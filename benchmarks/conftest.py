@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artifact of the paper's evaluation (a
+figure's protocol/state machine or the LOC table) and prints the rows
+it reproduces; pytest-benchmark provides the timing columns.  Shapes —
+who wins, what is possible, what is refused — are *asserted*, so a
+regression in the reproduction fails the bench rather than silently
+changing a number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_keystone_system, build_sanctum_system, image_from_assembly
+from repro.hw.machine import MachineConfig
+
+
+def bench_config() -> MachineConfig:
+    return MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256)
+
+
+@pytest.fixture(params=["sanctum", "keystone"])
+def platform_system(request):
+    if request.param == "sanctum":
+        return build_sanctum_system(config=bench_config(), n_regions=8)
+    return build_keystone_system(config=bench_config())
+
+
+@pytest.fixture
+def sanctum():
+    return build_sanctum_system(config=bench_config(), n_regions=8)
+
+
+def exit_image(value: int = 0):
+    return image_from_assembly(
+        f"entry:\n    li a2, {value}\n    li a0, 0\n    ecall\n"
+    )
+
+
+def table(title: str, rows: list[tuple]) -> None:
+    """Print a small aligned results table under the bench output."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(r[i])) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

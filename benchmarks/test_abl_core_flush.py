@@ -1,0 +1,124 @@
+"""Ablation — core cleaning on enclave exit (§V-C).
+
+"Before delegating execution to the OS, SM cleans the core's state."
+The ablation disables that cleaning and measures exactly what the OS
+can then read off the core: the enclave's live register file, its TLB
+entries, and its L1 lines — versus the hardened monitor, where the OS
+receives zeros.
+"""
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED, Core
+from repro.hw.isa import Reg
+
+from conftest import bench_config, table
+
+OS = DOMAIN_UNTRUSTED
+
+#: The "secret" the victim holds in a register when interrupted.
+SECRET = 0x5EC7E7
+
+
+def _victim_image():
+    return image_from_assembly(
+        f"""
+entry:
+    li   t2, {SECRET}               # secret lands in a register
+loop:
+    addi t0, t0, 1
+    jal  zero, loop
+"""
+    )
+
+
+def _run_aex(system):
+    kernel = system.kernel
+    loaded = kernel.load_enclave(_victim_image())
+    core = kernel.machine.cores[0]
+    assert system.sm.enter_enclave(OS, loaded.eid, loaded.tids[0], 0) is ApiResult.OK
+    kernel.machine.interrupts.arm_timer(0, core.cycles + 300)
+    kernel.machine.run_core(0, 10_000)
+    system.sm.os_events.drain(0)
+    return core, loaded
+
+
+def _observed_state(core, loaded):
+    """What an OS inspecting the core after AEX can see."""
+    return {
+        "register_secret": core.read_reg(Reg.T2),
+        "tlb_entries": len(core.tlb),
+        "l1_enclave_lines": sum(
+            1
+            for index in range(core.l1.n_sets)
+            for domain in core.l1.resident_domains(index)
+            if domain == loaded.eid
+        ),
+    }
+
+
+def test_abl_with_core_cleaning(benchmark):
+    def run():
+        system = build_sanctum_system(config=bench_config())
+        core, loaded = _run_aex(system)
+        return _observed_state(core, loaded)
+
+    observed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert observed["register_secret"] == 0
+    assert observed["tlb_entries"] == 0
+    assert observed["l1_enclave_lines"] == 0
+
+
+def test_abl_without_core_cleaning(benchmark):
+    """Disable the clean step: the OS reads the secret straight out."""
+
+    def run():
+        system = build_sanctum_system(config=bench_config())
+        original = Core.clean_architectural_state
+        Core.clean_architectural_state = lambda self: None
+        try:
+            core, loaded = _run_aex(system)
+            return _observed_state(core, loaded)
+        finally:
+            Core.clean_architectural_state = original
+
+    observed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert observed["register_secret"] == SECRET, "the register file leaks"
+    assert observed["tlb_entries"] > 0, "enclave translations leak"
+    assert observed["l1_enclave_lines"] > 0, "enclave cache lines leak"
+
+
+def test_abl_core_flush_summary(benchmark):
+    secure = build_sanctum_system(config=bench_config())
+    core, loaded = _run_aex(secure)
+    with_clean = _observed_state(core, loaded)
+
+    insecure = build_sanctum_system(config=bench_config())
+    original = Core.clean_architectural_state
+    Core.clean_architectural_state = lambda self: None
+    try:
+        core, loaded = _run_aex(insecure)
+        without_clean = _observed_state(core, loaded)
+    finally:
+        Core.clean_architectural_state = original
+
+    rows = [
+        ("surface visible to OS after AEX", "with cleaning", "without cleaning"),
+        (
+            "secret register value",
+            hex(with_clean["register_secret"]),
+            hex(without_clean["register_secret"]),
+        ),
+        ("TLB entries", with_clean["tlb_entries"], without_clean["tlb_entries"]),
+        (
+            "enclave L1 lines",
+            with_clean["l1_enclave_lines"],
+            without_clean["l1_enclave_lines"],
+        ),
+    ]
+    table("Ablation — core cleaning on AEX", rows)
+    assert with_clean["register_secret"] == 0
+    assert without_clean["register_secret"] == SECRET
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+

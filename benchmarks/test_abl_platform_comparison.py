@@ -1,0 +1,97 @@
+"""Ablation — Sanctum vs Keystone backends (§VII).
+
+The same SM core drives both isolation platforms; what differs is the
+memory-isolation mechanism (static regions + partitioned LLC vs dynamic
+PMP regions) and therefore the threat-model surface.  This bench runs
+an identical workload on both and tabulates the differences the paper
+describes.
+"""
+
+import pytest
+
+from repro import build_keystone_system, build_sanctum_system
+from repro.attacks.cache_probe import run_prime_probe_experiment
+from repro.sdk.protocol import run_remote_attestation
+from repro.sm.events import OsEventKind
+
+from conftest import bench_config, exit_image, table
+
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_abl_identical_workload_runs_on_both(benchmark, platform):
+    builder = build_sanctum_system if platform == "sanctum" else build_keystone_system
+    system = builder(config=bench_config())
+    kernel = system.kernel
+    image = exit_image()
+
+    def load_run_destroy():
+        loaded = kernel.load_enclave(image)
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        kernel.destroy_enclave(loaded.eid)
+        return events
+
+    events = benchmark.pedantic(load_run_destroy, rounds=5, iterations=1)
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+
+
+def test_abl_platform_surface_table(benchmark):
+    sanctum = build_sanctum_system(config=bench_config())
+    keystone = build_keystone_system(config=bench_config())
+
+    # Run the full attestation workload on both — functionally equal.
+    sanctum_outcome = run_remote_attestation(sanctum)
+    keystone_outcome = run_remote_attestation(keystone)
+    assert sanctum_outcome.verification.ok and keystone_outcome.verification.ok
+
+    # Side-channel surface differs exactly as §VII says.
+    cache_sanctum = run_prime_probe_experiment(
+        build_sanctum_system(), secret=37, reference_secret=9
+    )
+    cache_keystone = run_prime_probe_experiment(
+        build_keystone_system(), secret=37, reference_secret=9
+    )
+
+    rows = [
+        ("property", "sanctum", "keystone"),
+        ("memory isolation", "fixed DRAM regions (Sanctum 64x32 MiB style)", "dynamic PMP intervals"),
+        ("region granularity", f"{sanctum.platform.region_size // (1024*1024)} MiB fixed", "arbitrary size"),
+        ("LLC isolation", "partitioned by region", "none (threat-model caveat)"),
+        (
+            "prime+probe outcome",
+            f"defeated ({cache_sanctum.recovered_secret})",
+            f"secret leaked ({cache_keystone.recovered_secret})",
+        ),
+        ("remote attestation", "verified", "verified"),
+        (
+            "enclave measurement portability",
+            "platform-bound",
+            "platform-bound",
+        ),
+    ]
+    table("§VII — platform comparison under identical SM core", rows)
+    assert cache_sanctum.recovered_secret is None
+    assert cache_keystone.recovered_secret == 37
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+
+def test_abl_memory_grant_mechanisms_differ(benchmark):
+    """Sanctum donates whole regions via Fig. 2; Keystone carves exactly."""
+    sanctum = build_sanctum_system(config=bench_config())
+    keystone = build_keystone_system(config=bench_config())
+    image = exit_image()
+    s_loaded = sanctum.kernel.load_enclave(image)
+    k_loaded = keystone.kernel.load_enclave(image)
+    # Sanctum: the grant is a whole region regardless of need.
+    assert s_loaded.region_size == sanctum.platform.region_size
+    # Keystone: the grant is sized to the image.
+    assert k_loaded.region_size < sanctum.platform.region_size
+    assert k_loaded.region_size >= image.required_pages() * 4096
+    rows = [
+        ("platform", "granted bytes for a 5-page enclave"),
+        ("sanctum", s_loaded.region_size),
+        ("keystone", k_loaded.region_size),
+    ]
+    table("memory-grant granularity", rows)
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+

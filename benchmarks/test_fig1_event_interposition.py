@@ -1,0 +1,97 @@
+"""Figure 1 — the SM interface: every machine event is interposed.
+
+Reproduces the routing diagram: enclave ecalls dispatch inside the SM;
+OS-bound events (interrupts) force an AEX that cleans the core before
+delegation; untrusted traps delegate directly.  The bench times the
+full interrupt→AEX→delegation path and reports the interposition cost
+in simulated cycles.
+"""
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.isa import NUM_REGS
+from repro.hw.traps import TrapCause
+from repro.sm.events import OsEventKind
+
+from conftest import table
+
+
+def _spin_image():
+    return image_from_assembly("entry:\nloop:\n    addi t0, t0, 1\n    jal zero, loop\n")
+
+
+def test_fig1_interrupt_aex_delegation(benchmark, platform_system):
+    system = platform_system
+    kernel = system.kernel
+    loaded = kernel.load_enclave(_spin_image())
+    core = kernel.machine.cores[0]
+
+    def one_aex():
+        assert system.sm.enter_enclave(
+            DOMAIN_UNTRUSTED, loaded.eid, loaded.tids[0], 0
+        ) is ApiResult.OK
+        kernel.machine.interrupts.arm_timer(0, core.cycles + 500)
+        kernel.machine.run_core(0, 10_000)
+        return system.sm.os_events.drain(0)
+
+    events = benchmark(one_aex)
+    assert events[0].kind is OsEventKind.AEX
+    assert events[0].cause is TrapCause.TIMER_INTERRUPT
+    # Fig. 1's security payload: the OS receives a *cleaned* core.
+    assert core.regs == [0] * NUM_REGS and core.domain == DOMAIN_UNTRUSTED
+    table(
+        "Fig. 1 — event routing (one timer interrupt during enclave execution)",
+        [
+            ("event", "handled by", "core cleaned", "delegated to OS"),
+            ("timer interrupt", "SM first", "yes (regs+L1+TLB)", "as AEX event"),
+        ],
+    )
+
+
+def test_fig1_enclave_ecall_roundtrip(benchmark, platform_system):
+    """An enclave ecall (GET_RANDOM) is dispatched by the SM and returns
+    to the enclave without the OS ever seeing the event."""
+    system = platform_system
+    kernel = system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   t2, 200
+again:
+    li   a0, 5                      # GET_RANDOM
+    li   a1, buf
+    li   a2, 8
+    ecall
+    addi t2, t2, -1
+    bne  t2, zero, again
+    sw   t2, {out}(zero)
+    li   a0, 0
+    ecall
+    .align 8
+buf:
+    .zero 8
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+
+    def run_two_hundred_ecalls():
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        return events
+
+    events = benchmark.pedantic(run_two_hundred_ecalls, rounds=3, iterations=1)
+    assert [e.kind for e in events] == [OsEventKind.ENCLAVE_EXIT], (
+        "200 SM ecalls produced zero OS-visible events"
+    )
+
+
+def test_fig1_untrusted_trap_delegation(benchmark, platform_system):
+    """Traps from untrusted code delegate straight to the OS handler."""
+    kernel = platform_system.kernel
+    program = kernel.install_user_program("li a0, 1\necall\nhalt\n")
+
+    def one_syscall():
+        __, events = program.run()
+        return events
+
+    events = benchmark(one_syscall)
+    assert events[0].kind is OsEventKind.SYSCALL

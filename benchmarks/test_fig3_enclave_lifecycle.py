@@ -1,0 +1,70 @@
+"""Figure 3 — the enclave lifecycle, timed end to end.
+
+Regenerates create → grant memory → page tables → load pages → threads
+→ init → enter/exit → delete, and reports how the measured-loading
+phase scales with enclave size (the dominant cost, since every page is
+copied and SHA-3-extended).
+"""
+
+from repro import image_from_assembly
+from repro.sm.events import OsEventKind
+
+from conftest import table
+
+
+def _sized_image(data_pages: int):
+    payload = "\n".join(
+        f"    .zero 4096  # page {i}" for i in range(data_pages)
+    )
+    return image_from_assembly(
+        f"entry:\n    li a0, 0\n    ecall\n    .align 4096\n{payload}\n",
+        stack_pages=1,
+    )
+
+
+def test_fig3_full_lifecycle(benchmark, platform_system):
+    system = platform_system
+    kernel = system.kernel
+    image = _sized_image(2)
+
+    def lifecycle():
+        loaded = kernel.load_enclave(image)
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        kernel.destroy_enclave(loaded.eid)
+        return events
+
+    events = benchmark.pedantic(lifecycle, rounds=5, iterations=1)
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+
+
+def test_fig3_loading_scales_with_size(benchmark, platform_system):
+    """Measured loading is linear in pages (each page hashed + copied)."""
+    import time
+
+    kernel = platform_system.kernel
+    rows = [("data pages", "load+init seconds", "per page")]
+    timings = {}
+    for pages in (1, 8, 32):
+        image = _sized_image(pages)
+        start = time.perf_counter()
+        loaded = kernel.load_enclave(image)
+        elapsed = time.perf_counter() - start
+        kernel.destroy_enclave(loaded.eid)
+        timings[pages] = elapsed
+        rows.append((pages, f"{elapsed:.4f}", f"{elapsed / (pages + 3):.4f}"))
+    table("Fig. 3 — enclave initialization cost vs size", rows)
+    assert timings[32] > timings[1], "more pages cost more"
+    # Roughly linear: 32 pages should not cost 100x one page.
+    assert timings[32] < timings[1] * 150
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+
+def test_fig3_enter_exit_roundtrip(benchmark, platform_system):
+    kernel = platform_system.kernel
+    loaded = kernel.load_enclave(_sized_image(1))
+
+    def enter_exit():
+        return kernel.enter_and_run(loaded.eid, loaded.tids[0])
+
+    events = benchmark(enter_exit)
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT

@@ -1,0 +1,82 @@
+"""Figure 4 — the thread lifecycle, including reassignment.
+
+Regenerates assigned → scheduled → assigned (enter/exit churn), and the
+blocked → free → re-granted → accepted path that moves a thread between
+two enclaves.
+"""
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.resources import ResourceType
+from repro.sm.thread import ThreadState
+
+from conftest import exit_image, table
+
+OS = DOMAIN_UNTRUSTED
+
+
+def test_fig4_schedule_churn(benchmark, platform_system):
+    """enter/exit the same thread repeatedly (schedule ↔ deschedule)."""
+    kernel = platform_system.kernel
+    loaded = kernel.load_enclave(exit_image())
+
+    def enter_exit():
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        return events
+
+    benchmark(enter_exit)
+    thread = platform_system.sm.state.thread(loaded.tids[0])
+    assert thread.state is ThreadState.ASSIGNED
+
+
+def test_fig4_thread_reassignment(benchmark, platform_system):
+    """Move a thread between enclaves: block → clean → grant → accept."""
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    b = kernel.load_enclave(exit_image(2))
+    tid = a.tids[0]
+    owners = [a.eid, b.eid]
+    state = {"current": 0}
+
+    def reassign():
+        current = owners[state["current"]]
+        target = owners[1 - state["current"]]
+        assert sm.block_resource(current, ResourceType.THREAD, tid) is ApiResult.OK
+        assert sm.clean_resource(OS, ResourceType.THREAD, tid) is ApiResult.OK
+        assert sm.grant_resource(OS, ResourceType.THREAD, tid, target) is ApiResult.OK
+        assert sm.accept_thread(target, tid) is ApiResult.OK
+        state["current"] = 1 - state["current"]
+
+    benchmark(reassign)
+    thread = sm.state.thread(tid)
+    assert thread.owner_eid in owners and thread.state is ThreadState.ASSIGNED
+
+
+def test_fig4_lifecycle_states_table(benchmark, platform_system):
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    tid = a.tids[0]
+    rows = [("step", "thread state", "owner")]
+
+    def snap(step):
+        thread = sm.state.thread(tid)
+        rows.append((step, thread.state.value, hex(thread.owner_eid)))
+
+    snap("after create_thread (via loader)")
+    assert sm.enter_enclave(OS, a.eid, tid, 0) is ApiResult.OK
+    snap("after enter_enclave")
+    assert sm.state.thread(tid).state is ThreadState.SCHEDULED
+    kernel.machine.run_core(0, 100_000)
+    sm.os_events.drain(0)
+    snap("after exit_enclave")
+    assert sm.block_resource(a.eid, ResourceType.THREAD, tid) is ApiResult.OK
+    snap("after block_resource")
+    assert sm.clean_resource(OS, ResourceType.THREAD, tid) is ApiResult.OK
+    snap("after clean_resource")
+    table("Fig. 4 — thread lifecycle trace", rows)
+    assert sm.state.thread(tid).state is ThreadState.FREE
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+

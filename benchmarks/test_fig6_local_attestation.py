@@ -1,0 +1,48 @@
+"""Figure 6 — local attestation between two real enclaves.
+
+E2 attests E1 through SM-mediated mail: the SM records the sender's
+measurement; E2 exports it; the expected constant is the measurement
+predicted offline from E1's binary.  The bench times the full 3-phase
+exchange (receiver accept, sender send, receiver fetch) including the
+enclave entries/exits it costs.
+"""
+
+from repro.sdk.local_attestation import run_local_attestation
+
+from conftest import table
+
+
+def test_fig6_local_attestation(benchmark, platform_system):
+    outcome = benchmark.pedantic(
+        lambda: run_local_attestation(platform_system, message=b"fig6 message"),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.authenticated
+    table(
+        "Fig. 6 — local attestation of E1 by E2",
+        [
+            ("step", "result"),
+            ("1. E2 accept_mail(E1)", "mailbox EXPECTING"),
+            ("2. E1 send_mail(E2, msg)", "delivered; SM records E1's measurement"),
+            ("3. E2 get_mail", f"message={outcome.message_received!r}"),
+            (
+                "4. E2 validates sender hash",
+                "match" if outcome.authenticated else "MISMATCH",
+            ),
+        ],
+    )
+
+
+def test_fig6_sender_identity_is_sm_vouched(benchmark, platform_system):
+    """Two different sender binaries produce different recorded hashes;
+    each matches its own offline prediction (step ④'s constant)."""
+    first = run_local_attestation(platform_system, message=b"sender-one-msg")
+    second = run_local_attestation(platform_system, message=b"sender-two-m")
+    assert first.authenticated and second.authenticated
+    assert (
+        first.recorded_sender_measurement != second.recorded_sender_measurement
+    ), "different binaries, different SM-recorded identities"
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+

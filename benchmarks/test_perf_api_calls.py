@@ -1,0 +1,106 @@
+"""SM API microbenchmarks — the "lightweight" claim, per call.
+
+Times each SM API call in isolation.  Absolute numbers are Python
+simulation figures; the *ordering* is the meaningful shape: resource
+transitions and mail are cheap constant-time checks, loading costs one
+page hash + copy, cleaning costs a region scrub.
+"""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.sm.resources import ResourceType
+
+from conftest import exit_image
+
+OS = DOMAIN_UNTRUSTED
+RWX = PTE_R | PTE_W | PTE_X
+
+
+def test_perf_create_delete_enclave(benchmark, platform_system):
+    sm = platform_system.sm
+
+    def create_delete():
+        eid = sm.state.suggest_metadata(4096)
+        assert sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 1) is ApiResult.OK
+        assert sm.delete_enclave(OS, eid) is ApiResult.OK
+
+    benchmark(create_delete)
+
+
+def test_perf_load_page(benchmark, platform_system):
+    """One measured page load (copy + SHA-3 extend + PTE write)."""
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, 0x40000000, 0x400000, 1) is ApiResult.OK
+    base, size, __ = kernel.donate_memory(eid, 600 * PAGE_SIZE)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    assert sm.allocate_page_table(OS, eid, 0, 1, base) is ApiResult.OK
+    assert sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE) is ApiResult.OK
+    state = {"next_paddr": base + 2 * PAGE_SIZE, "next_vaddr": 0x40000000}
+
+    def load_one_page():
+        result = sm.load_page(
+            OS, eid, state["next_vaddr"], state["next_paddr"], staging, RWX
+        )
+        assert result is ApiResult.OK, result.name
+        state["next_paddr"] += PAGE_SIZE
+        state["next_vaddr"] += PAGE_SIZE
+
+    benchmark.pedantic(load_one_page, rounds=100, iterations=1)
+
+
+def test_perf_mailbox_roundtrip(benchmark, platform_system):
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    b = kernel.load_enclave(exit_image(2))
+
+    def roundtrip():
+        sm.accept_mail(b.eid, 0, a.eid)
+        sm.send_mail(a.eid, b.eid, b"x" * 64)
+        sm.get_mail(b.eid, 0)
+
+    benchmark(roundtrip)
+
+
+def test_perf_get_field(benchmark, platform_system):
+    sm = platform_system.sm
+
+    def get_certificate():
+        result, data = sm.get_field(OS, 2)
+        assert result is ApiResult.OK and data
+
+    benchmark(get_certificate)
+
+
+def test_perf_get_random(benchmark, platform_system):
+    sm = platform_system.sm
+    benchmark(lambda: sm.get_random(OS, 32))
+
+
+def test_perf_clean_region(benchmark, sanctum):
+    """Region cleaning: the scrub is the price of reuse (Fig. 2)."""
+    sm = sanctum.sm
+    rid = sanctum.kernel._donatable_regions[0]
+
+    def block_clean_grant():
+        assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+        assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+        assert sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, OS) is ApiResult.OK
+
+    benchmark(block_clean_grant)
+
+
+def test_perf_enter_exit(benchmark, platform_system):
+    kernel = platform_system.kernel
+    loaded = kernel.load_enclave(exit_image())
+
+    def enter_exit():
+        return kernel.enter_and_run(loaded.eid, loaded.tids[0])
+
+    benchmark(enter_exit)

@@ -1,0 +1,105 @@
+"""Concurrent-API semantics (§V-A): fine-grained locks, failing
+transactions, and the conflict matrix.
+
+The simulation is single-threaded, so "concurrency" is modelled the way
+the SM defines it: a transaction holding a lock causes any overlapping
+transaction to fail with ``LOCK_CONFLICT`` and no side effects.  The
+bench measures the cost of lock acquisition and reports which API pairs
+conflict (same enclave) and which proceed independently (different
+enclaves — the fine-grained part).
+"""
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.resources import ResourceType
+
+from conftest import exit_image, table
+
+OS = DOMAIN_UNTRUSTED
+
+
+def test_perf_transaction_overhead(benchmark, platform_system):
+    """Lock take/release cost on the hottest call (accept_mail)."""
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    b = kernel.load_enclave(exit_image(2))
+
+    def accept():
+        assert sm.accept_mail(b.eid, 0, a.eid) is ApiResult.OK
+
+    benchmark(accept)
+
+
+def test_perf_conflicts_are_fine_grained(benchmark, platform_system):
+    """A held enclave lock blocks that enclave's calls — nobody else's."""
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    b = kernel.load_enclave(exit_image(2))
+    c = kernel.load_enclave(exit_image(3))
+
+    # Simulate an in-flight transaction on enclave a.
+    enclave_a = sm.state.enclave(a.eid)
+    assert enclave_a.lock.acquire("in-flight-call")
+    try:
+        blocked = sm.accept_mail(a.eid, 0, b.eid)
+        unaffected = sm.accept_mail(b.eid, 0, c.eid)
+        rows = [
+            ("operation", "result"),
+            ("accept_mail on locked enclave a", blocked.name),
+            ("accept_mail on enclave b", unaffected.name),
+        ]
+        table("fine-grained lock conflicts", rows)
+        assert blocked is ApiResult.LOCK_CONFLICT
+        assert unaffected is ApiResult.OK
+    finally:
+        enclave_a.lock.release()
+    # After release the blocked call succeeds — no residue from failure.
+    assert sm.accept_mail(a.eid, 0, b.eid) is ApiResult.OK
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+
+def test_perf_failed_transaction_has_no_side_effects(benchmark, platform_system):
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    a = kernel.load_enclave(exit_image(1))
+    record = sm.state.resources.get(ResourceType.DRAM_REGION, a.rids[0])
+    before = (record.state, record.owner)
+    assert record.lock.acquire("in-flight-call")
+    try:
+        result = sm.block_resource(a.eid, ResourceType.DRAM_REGION, a.rids[0])
+        assert result is ApiResult.LOCK_CONFLICT
+        assert (record.state, record.owner) == before
+    finally:
+        record.lock.release()
+    benchmark(lambda: None)  # tables/assertions are the payload; nothing to time
+
+
+def test_perf_conflict_rate_under_contention(benchmark, platform_system):
+    """Throughput of a mixed workload where 1 of 4 targets is locked."""
+    sm = platform_system.sm
+    kernel = platform_system.kernel
+    enclaves = [kernel.load_enclave(exit_image(i)) for i in range(4)]
+    locked = sm.state.enclave(enclaves[0].eid)
+    assert locked.lock.acquire("background-transaction")
+
+    def mixed_workload():
+        outcomes = {"ok": 0, "conflict": 0}
+        for target in enclaves:
+            for source in enclaves:
+                if source is target:
+                    continue
+                result = sm.accept_mail(target.eid, 0, source.eid)
+                if result is ApiResult.OK:
+                    outcomes["ok"] += 1
+                elif result is ApiResult.LOCK_CONFLICT:
+                    outcomes["conflict"] += 1
+        return outcomes
+
+    try:
+        outcomes = benchmark(mixed_workload)
+    finally:
+        locked.lock.release()
+    assert outcomes["conflict"] == 3, "exactly the locked enclave's calls fail"
+    assert outcomes["ok"] == 9

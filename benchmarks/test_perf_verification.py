@@ -1,0 +1,45 @@
+"""Bounded-checker scaling — how far small-scope exhaustiveness reaches.
+
+Not a paper figure, but the evidence behind our stand-in for the
+paper's "formally verified specification": the state space saturates
+quickly at small scope (every reachable state is visited), and the
+checker's throughput makes depth-7+ exploration routine in CI.
+"""
+
+from repro.verification import AbstractSm, BoundedChecker, ModelConfig
+
+from conftest import table
+
+
+def test_perf_checker_depth_sweep(benchmark):
+    checker = BoundedChecker()
+    rows = [("depth", "states", "transitions", "saturated?")]
+    previous_states = 0
+    for depth in (2, 4, 6, 8):
+        outcome = checker.run(max_depth=depth)
+        assert outcome.ok, outcome.violation
+        saturated = outcome.states_explored == previous_states
+        rows.append(
+            (depth, outcome.states_explored, outcome.transitions, saturated)
+        )
+        previous_states = outcome.states_explored
+    table("bounded checker — reachable states by depth (default universe)", rows)
+
+    outcome = benchmark.pedantic(lambda: checker.run(max_depth=8), rounds=3, iterations=1)
+    assert outcome.ok
+
+
+def test_perf_checker_universe_scaling(benchmark):
+    """Bigger universes grow the space; properties still hold everywhere."""
+    rows = [("universe", "states@6", "transitions")]
+    for label, config in [
+        ("2 regions, 2 eids, 1 tid", ModelConfig()),
+        ("3 regions, 2 eids, 1 tid", ModelConfig(n_regions=3)),
+        ("2 regions, 3 eids, 1 tid", ModelConfig(eids=(100, 101, 102))),
+        ("2 regions, 2 eids, 2 tids", ModelConfig(tids=(200, 201))),
+    ]:
+        outcome = BoundedChecker(AbstractSm(config)).run(max_depth=6)
+        assert outcome.ok, f"{label}: {outcome.violation}"
+        rows.append((label, outcome.states_explored, outcome.transitions))
+    table("bounded checker — universe scaling at depth 6", rows)
+    benchmark(lambda: BoundedChecker(AbstractSm(ModelConfig(n_regions=3))).run(max_depth=5))

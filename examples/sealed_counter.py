@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Sealed storage: enclave state that survives its own destruction.
+
+A counter enclave seals its state to untrusted storage using its
+*sealing key* — derived by the SM from (device secret, SM measurement,
+enclave measurement), so only the same binary on the same device under
+the same SM can ever unseal it.  All sealing crypto runs inside the
+enclave on the hardware crypto unit; the OS stores an opaque blob.
+
+The demo runs the enclave three times (destroying it in between),
+watching the counter persist, then lets the OS tamper with the blob and
+watches the enclave refuse it.
+
+Run:  python examples/sealed_counter.py
+"""
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.sm.api import EnclaveEcall
+
+#: Shared-page layout (all offsets from `shared`).
+#:   0x00 blob-present flag   0x04 nonce(8)  0x10 ciphertext(4)
+#:   0x14 mac(16)             0x40 status    0x44 counter (demo readout)
+STATUS_OK = 1
+STATUS_TAMPERED = 2
+
+
+def counter_enclave_source(shared: int) -> str:
+    get_key = int(EnclaveEcall.GET_SEALING_KEY)
+    get_random = int(EnclaveEcall.GET_RANDOM)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    return f"""
+_start:
+    li   a0, {get_key}              # sealing key -> private memory
+    li   a1, hash_in                # key occupies hash_in[0:32]
+    ecall
+    bne  a0, zero, fail
+
+    lw   t0, {shared}(zero)         # blob present?
+    beq  t0, zero, fresh
+
+    # ---- unseal: copy nonce+ct from shared, recompute mac ----
+    li   t0, 0
+copy_nonce_in:
+    li   t1, {shared + 0x04}
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, hash_in+32
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 8
+    bltu t0, t1, copy_nonce_in
+    lw   t0, {shared + 0x10}(zero)  # ciphertext word
+    li   t1, hash_in+40
+    sw   t0, 0(t1)
+
+    li   a1, hash_in                # mac' = SHA3(key||nonce||ct)[:16]
+    li   a2, 44
+    li   a3, digest
+    crypto 0
+    li   t0, 0
+check_mac:
+    li   t1, digest
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared + 0x14}
+    add  t1, t1, t0
+    lbu  a2, 0(t1)
+    bne  t2, a2, tampered
+    addi t0, t0, 1
+    li   t1, 16
+    bltu t0, t1, check_mac
+
+    li   a1, hash_in                # pad = SHA3(key||nonce)[:4]
+    li   a2, 40
+    li   a3, digest
+    crypto 0
+    li   t1, hash_in+40
+    lw   t0, 0(t1)                  # ciphertext
+    li   t1, digest
+    lw   t1, 0(t1)                  # pad word
+    xor  gp, t0, t1                 # gp = counter
+    jal  zero, bump
+
+fresh:
+    li   gp, 0
+
+bump:
+    addi gp, gp, 1                  # the enclave's actual work
+    sw   gp, {shared + 0x44}(zero)  # demo readout
+
+    # ---- reseal under a fresh nonce ----
+    li   a0, {get_random}
+    li   a1, hash_in+32
+    li   a2, 8
+    ecall
+    bne  a0, zero, fail
+    li   a1, hash_in                # new pad
+    li   a2, 40
+    li   a3, digest
+    crypto 0
+    li   t1, digest
+    lw   t1, 0(t1)
+    xor  t0, gp, t1                 # new ciphertext
+    li   t1, hash_in+40
+    sw   t0, 0(t1)
+    li   a1, hash_in                # new mac
+    li   a2, 44
+    li   a3, digest
+    crypto 0
+
+    li   t0, 0                      # export blob: nonce
+export_nonce:
+    li   t1, hash_in+32
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared + 0x04}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 8
+    bltu t0, t1, export_nonce
+    li   t1, hash_in+40             # ciphertext
+    lw   t0, 0(t1)
+    sw   t0, {shared + 0x10}(zero)
+    li   t0, 0                      # mac
+export_mac:
+    li   t1, digest
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared + 0x14}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 16
+    bltu t0, t1, export_mac
+    li   t0, 1
+    sw   t0, {shared}(zero)         # blob present
+    sw   t0, {shared + 0x40}(zero)  # status OK
+    li   a0, {exit_call}
+    ecall
+
+tampered:
+    li   t0, {STATUS_TAMPERED}
+    sw   t0, {shared + 0x40}(zero)
+    li   a0, {exit_call}
+    ecall
+
+fail:
+    addi t0, a0, 0x100
+    sw   t0, {shared + 0x40}(zero)
+    li   a0, {exit_call}
+    ecall
+
+    .align 8
+hash_in:
+    .zero 44                        # key(32) || nonce(8) || ct(4)
+    .align 8
+digest:
+    .zero 64
+"""
+
+
+def main() -> None:
+    system = build_sanctum_system()
+    kernel = system.kernel
+    shared = kernel.alloc_buffer(1)
+    image = image_from_assembly(
+        counter_enclave_source(shared), entry_symbol="_start"
+    )
+
+    print("== a counter that survives enclave destruction ==")
+    for run in range(1, 4):
+        loaded = kernel.load_enclave(image)
+        kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        status = kernel.machine.memory.read_u32(shared + 0x40)
+        counter = kernel.machine.memory.read_u32(shared + 0x44)
+        blob = kernel.read_shared(shared + 0x04, 0x24)
+        print(f"   run {run}: status={status} counter={counter} "
+              f"blob={blob[:12].hex()}…")
+        assert status == STATUS_OK and counter == run
+        kernel.destroy_enclave(loaded.eid)
+
+    print("\n== the OS tampers with the sealed blob ==")
+    ciphertext = kernel.machine.memory.read_u32(shared + 0x10)
+    kernel.write_shared(shared + 0x10, ((ciphertext ^ 1) & 0xFFFFFFFF).to_bytes(4, "little"))
+    loaded = kernel.load_enclave(image)
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    status = kernel.machine.memory.read_u32(shared + 0x40)
+    print(f"   status after tamper: {status} "
+          f"({'rejected — MAC mismatch' if status == STATUS_TAMPERED else 'ACCEPTED?!'})")
+    assert status == STATUS_TAMPERED
+
+    print("\nstate outlives the enclave; integrity outlives the OS's honesty.")
+
+
+if __name__ == "__main__":
+    main()

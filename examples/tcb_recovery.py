@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""TCB recovery: what patching the security monitor does to trust.
+
+Because enclaves "may be implemented via ... authenticated, privileged
+software, which may be replaced or patched as needed" (the paper's
+abstract — and its whole point versus microcoded SGX), the trust story
+must survive an SM update.  Secure boot makes that automatic:
+
+* the SM's keys derive from KDF(device secret, SM measurement), so a
+  patched SM gets *different* keys — it cannot impersonate the old one;
+* sealing keys derive from the SM secret, so data sealed under a
+  vulnerable SM is unreachable from the patched one (and vice versa) —
+  compromise doesn't travel through upgrades;
+* verifiers pin the SM measurement they trust, so attestations from the
+  old (possibly broken) SM are rejected the day the verifier updates its
+  policy — no hardware recall required.
+
+Run:  python examples/tcb_recovery.py
+"""
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.sdk.protocol import run_remote_attestation
+from repro.sm.attestation import verify_attestation
+
+
+def main() -> None:
+    image = image_from_assembly("entry:\n    li a0, 0\n    ecall\n")
+
+    # The same physical device (same TRNG seed = same device secret)
+    # booting two different monitor builds.
+    print("== one device, two SM builds ==")
+    v1 = build_sanctum_system(sm_image=b"sanctorum v1 (has a bug)")
+    v2 = build_sanctum_system(sm_image=b"sanctorum v2 (patched)")
+    print(f"   v1 SM measurement : {v1.boot.sm_measurement.hex()[:24]}…")
+    print(f"   v2 SM measurement : {v2.boot.sm_measurement.hex()[:24]}…")
+    print(f"   v1 SM public key  : {v1.boot.sm_public_key.hex()[:24]}…")
+    print(f"   v2 SM public key  : {v2.boot.sm_public_key.hex()[:24]}…")
+    assert v1.boot.sm_public_key != v2.boot.sm_public_key
+
+    print("\n== sealing keys do not cross the update ==")
+    keys = {}
+    for name, system in (("v1", v1), ("v2", v2)):
+        loaded = system.kernel.load_enclave(image)
+        __, key = system.sm.get_sealing_key(loaded.eid)
+        keys[name] = key
+        print(f"   {name} sealing key for the same enclave: {key.hex()[:24]}…")
+    assert keys["v1"] != keys["v2"]
+    print("   -> data sealed under the buggy SM stays sealed to it.")
+
+    print("\n== verifiers retire the old SM by policy ==")
+    # A fresh boot of v1 (the signing enclave must be registered before
+    # any other enclave exists).
+    v1 = build_sanctum_system(sm_image=b"sanctorum v1 (has a bug)")
+    outcome = run_remote_attestation(v1)
+    assert outcome.verification.ok
+    print("   v1 attestation, verifier with no pin     : accepted")
+    pinned = verify_attestation(
+        outcome.report,
+        v1.root_public_key,
+        expected_nonce=outcome.report.nonce,
+        expected_sm_measurement=v2.boot.sm_measurement,  # only trust v2 now
+    )
+    print(f"   v1 attestation, verifier pinning v2     : "
+          f"{'accepted?!' if pinned.ok else f'rejected ({pinned.reason})'}")
+    assert not pinned.ok
+
+    print("\n== and the old SM cannot forge its way back ==")
+    # A report signed by v1's key but claiming v2's certificate fails
+    # because the certificate binds key *and* measurement.
+    import dataclasses
+
+    forged = dataclasses.replace(outcome.report, sm_certificate=v2.boot.sm_certificate)
+    result = verify_attestation(
+        forged, v1.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    print(f"   v1 signature under v2's certificate     : "
+          f"{'accepted?!' if result.ok else f'rejected ({result.reason})'}")
+    assert not result.ok
+
+    print("\npatching the monitor rotates every secret that depended on it.")
+
+
+if __name__ == "__main__":
+    main()

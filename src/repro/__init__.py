@@ -1,0 +1,52 @@
+"""Sanctorum reproduction: a lightweight security monitor for secure enclaves.
+
+A complete, executable reproduction of *Sanctorum* (Lebedev et al.,
+DATE 2019): the security monitor itself (:mod:`repro.sm`), the
+simulated multicore hardware it requires (:mod:`repro.hw`), the two
+isolation backends of §VII (:mod:`repro.platforms`), an untrusted OS
+(:mod:`repro.kernel`), an enclave SDK (:mod:`repro.sdk`), side-channel
+attackers (:mod:`repro.attacks`), and a bounded model checker for the
+SM's isolation invariants (:mod:`repro.verification`).
+
+Quick start::
+
+    from repro import build_sanctum_system, image_from_assembly
+
+    system = build_sanctum_system()
+    image = image_from_assembly('''
+        li a0, 0        # EXIT_ENCLAVE
+        ecall
+    ''')
+    enclave = system.kernel.load_enclave(image)
+    events = system.kernel.enter_and_run(enclave.eid, enclave.tids[0])
+"""
+
+from repro.errors import ApiResult, SanctorumError
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.loader import EnclaveImage, EnclaveSegment, image_from_assembly
+from repro.kernel.os_model import OsKernel
+from repro.sm.api import EnclaveEcall, SecurityMonitor
+from repro.sm.attestation import AttestationReport, verify_attestation
+from repro.system import System, build_keystone_system, build_sanctum_system, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApiResult",
+    "SanctorumError",
+    "Machine",
+    "MachineConfig",
+    "EnclaveImage",
+    "EnclaveSegment",
+    "image_from_assembly",
+    "OsKernel",
+    "EnclaveEcall",
+    "SecurityMonitor",
+    "AttestationReport",
+    "verify_attestation",
+    "System",
+    "build_keystone_system",
+    "build_sanctum_system",
+    "build_system",
+    "__version__",
+]

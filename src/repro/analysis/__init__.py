@@ -1,0 +1,5 @@
+"""Analysis tooling: the LOC inventory of §VII-A."""
+
+from repro.analysis.loc import LocReport, count_loc, loc_report
+
+__all__ = ["LocReport", "count_loc", "loc_report"]

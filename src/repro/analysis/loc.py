@@ -1,0 +1,123 @@
+"""Lines-of-code inventory, categorized the way the paper reports it.
+
+§VII-A: "The existing implementation for the MIT Sanctum processor
+consists of 5785 LOC (C: 5264 LOC, Assembly: 521 LOC).  Much of this
+code is a cryptographic hash function, standard C library functions,
+and privileged code required to boot a modern OS.  Excluding these, the
+non platform-specific SM code weighs in at 1011 LOC of C99."
+
+The LOC bench reproduces that table for this implementation: total SM
+footprint, the crypto/support share, the platform-specific share, and
+the platform-independent SM core — checking the paper's *shape* claim
+that the security-critical core is a small fraction of the whole.
+
+Counting rule: non-blank lines that are not comments and not pure
+docstring lines (docstrings are documentation, which C comments would
+be) — i.e., lines contributing executable structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pathlib
+import tokenize
+
+#: Categories mirroring the paper's breakdown, mapped to our packages.
+CATEGORY_PACKAGES = {
+    # The paper's "non platform-specific SM code" (1011 LOC of C99).
+    "sm_core": ["sm"],
+    # "Much of this code is a cryptographic hash function, standard C
+    # library functions" — our crypto + shared utilities.
+    "crypto_and_support": ["crypto", "util"],
+    # Architecture-specific components (§VII).
+    "platform_specific": ["platforms"],
+    # The hardware substrate the real SM gets for free from silicon.
+    "hardware_model": ["hw"],
+}
+
+
+def count_loc(path: pathlib.Path) -> int:
+    """Count code lines in one Python file (no blanks/comments/docstrings)."""
+    source = path.read_text()
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        # Malformed file: fall back to a crude count.
+        return sum(
+            1
+            for line in source.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        )
+    at_statement_start = True
+    for token in tokens:
+        kind = token.type
+        if kind in (tokenize.COMMENT, tokenize.NL, tokenize.ENCODING, tokenize.ENDMARKER):
+            continue
+        if kind in (tokenize.NEWLINE, tokenize.INDENT, tokenize.DEDENT):
+            at_statement_start = True
+            continue
+        if kind == tokenize.STRING and at_statement_start:
+            # A string expression opening a statement is a docstring.
+            at_statement_start = False
+            continue
+        at_statement_start = False
+        for line in range(token.start[0], token.end[0] + 1):
+            code_lines.add(line)
+    return len(code_lines)
+
+
+@dataclasses.dataclass
+class LocReport:
+    """The §VII-A-style inventory for this implementation."""
+
+    per_category: dict[str, int]
+    per_package: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_package.values())
+
+    @property
+    def sm_total(self) -> int:
+        """SM + crypto + platform code: the analogue of the 5785 figure."""
+        return (
+            self.per_category["sm_core"]
+            + self.per_category["crypto_and_support"]
+            + self.per_category["platform_specific"]
+        )
+
+    @property
+    def sm_core(self) -> int:
+        """Platform-independent monitor core: the analogue of 1011."""
+        return self.per_category["sm_core"]
+
+    def core_fraction(self) -> float:
+        """Share of the SM footprint that is the platform-independent core."""
+        return self.sm_core / self.sm_total if self.sm_total else 0.0
+
+    def rows(self) -> list[tuple[str, int]]:
+        """Printable table rows."""
+        out = [(name, loc) for name, loc in sorted(self.per_category.items())]
+        out.append(("sm_total (core+crypto+platform)", self.sm_total))
+        out.append(("repository_total", self.total))
+        return out
+
+
+def loc_report(src_root: pathlib.Path | None = None) -> LocReport:
+    """Build the inventory over the installed ``repro`` package."""
+    if src_root is None:
+        import repro
+
+        src_root = pathlib.Path(repro.__file__).parent
+    per_package: dict[str, int] = {}
+    for path in sorted(src_root.rglob("*.py")):
+        relative = path.relative_to(src_root)
+        package = relative.parts[0] if len(relative.parts) > 1 else "(top)"
+        per_package[package] = per_package.get(package, 0) + count_loc(path)
+    per_category = {
+        category: sum(per_package.get(pkg, 0) for pkg in packages)
+        for category, packages in CATEGORY_PACKAGES.items()
+    }
+    return LocReport(per_category=per_category, per_package=per_package)

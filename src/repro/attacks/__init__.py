@@ -1,0 +1,29 @@
+"""Side-channel attackers (paper §II-c, §IV-B2).
+
+Sanctum "defend[s] against a large class of side channel attacks";
+Keystone "does not ... isolate microarchitectural resources such as
+shared cache lines".  This package implements the two attacks those
+claims are about, as real programs against the simulated hardware:
+
+* :mod:`repro.attacks.cache_probe` — prime+probe on the shared LLC:
+  succeeds against an unpartitioned cache, is structurally defeated by
+  Sanctum's region-partitioned LLC.
+* :mod:`repro.attacks.controlled_channel` — the page-fault
+  controlled channel: recovers an unprotected process's access pattern
+  exactly, and observes *nothing* from an enclave, because private
+  faults never reach the OS and private page tables are never OS
+  business.
+"""
+
+from repro.attacks.cache_probe import PrimeProbeAttacker, run_prime_probe_experiment
+from repro.attacks.controlled_channel import (
+    run_controlled_channel_on_enclave,
+    run_controlled_channel_on_process,
+)
+
+__all__ = [
+    "PrimeProbeAttacker",
+    "run_prime_probe_experiment",
+    "run_controlled_channel_on_enclave",
+    "run_controlled_channel_on_process",
+]

@@ -1,0 +1,236 @@
+"""Prime+probe against the shared last-level cache.
+
+The classic LLC attack the paper's cache partitioning defeats
+(§IV-B2): the attacker — an ordinary untrusted user process — fills
+cache sets with its own lines (*prime*), lets the victim enclave run,
+then re-touches its lines timing each set (*probe*).  Sets the victim
+touched evict attacker lines, turning the victim's secret-dependent
+addresses into latency spikes.
+
+Both halves are real programs: the attacker is U-mode SVM-32 code
+timing itself with ``rdcycle``; the victim is an enclave whose single
+secret-dependent load is the entire signal.  The experiment driver runs
+a calibration pass and a measurement pass and reports the recovered
+secret, if any.
+
+Outcome by configuration (asserted by the ablation bench):
+
+* unpartitioned LLC (baseline / Keystone): recovery succeeds;
+* Sanctum's region-partitioned LLC: the victim's lines live in a
+  disjoint slice of sets the attacker cannot even address — recovery is
+  structurally impossible, not merely noisy.
+
+Blind spots: the attacker's own footprint (probe-code fetches, its
+page-table walks, the results buffer) saturates a handful of sets every
+pass.  A victim line aliasing one of those sets is masked — the
+experiment then reports ``recovered_secret=None`` even on an insecure
+cache.  This is a real property of prime+probe (attackers re-align
+buffers and retry); keep the LLC large relative to the attacker's
+footprint when reproducing the recovery result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.cache import LINE_SIZE
+from repro.kernel.loader import image_from_assembly
+from repro.kernel.os_model import OsKernel
+from repro.sdk.runtime import exit_sequence
+from repro.system import System
+
+
+@dataclasses.dataclass
+class PrimeProbeResult:
+    """Per-set probe timings and the derived verdict."""
+
+    #: Probe latency per set with no victim at all (pollution baseline:
+    #: the attacker's own code/PTE footprint).
+    baseline: list[int]
+    #: Probe latency per set after the calibration victim (known secret).
+    calibration: list[int]
+    #: Probe latency per set after the target victim (unknown secret).
+    measured: list[int]
+    #: Sets hotter than baseline in the measurement pass.
+    hot_sets: list[int]
+    #: The secret value the attacker infers, or None.
+    recovered_secret: int | None
+
+
+class PrimeProbeAttacker:
+    """The untrusted prime+probe process."""
+
+    def __init__(self, kernel: OsKernel, n_sets: int | None = None) -> None:
+        self.kernel = kernel
+        llc = kernel.machine.llc
+        self.n_sets = n_sets if n_sets is not None else llc.n_sets
+        self.n_ways = llc.n_ways
+        #: Stride between two attacker lines mapping to the same set
+        #: under the *unpartitioned* index function.
+        self.way_stride = llc.n_sets * LINE_SIZE
+        buffer_pages = (self.n_ways * self.way_stride) // 4096
+        self.buffer = kernel.alloc_buffer(buffer_pages)
+        self.results = kernel.alloc_buffer(
+            max(1, (self.n_sets * 4 + 4095) // 4096)
+        )
+        # Install both halves once: stable code placement keeps the
+        # attacker's own fetch footprint identical across passes.
+        self._prime_program = kernel.install_user_program(self._attack_source())
+        self._probe_program = kernel.install_user_program(self._probe_source())
+
+    def _attack_source(self) -> str:
+        """Prime all sets, then probe each, storing latencies per set."""
+        return f"""
+    # ---- prime: touch every (set, way) line ----
+    li   t0, 0                       # set index
+prime_set:
+    li   t1, 0                       # way index
+prime_way:
+    li   t2, {self.way_stride}
+    mul  a4, t1, t2
+    li   t2, {LINE_SIZE}
+    mul  a5, t0, t2
+    add  a4, a4, a5
+    li   a5, {self.buffer}
+    add  a4, a4, a5
+    lw   a3, 0(a4)
+    addi t1, t1, 1
+    li   t2, {self.n_ways}
+    bltu t1, t2, prime_way
+    addi t0, t0, 1
+    li   t2, {self.n_sets}
+    bltu t0, t2, prime_set
+    halt
+
+    # (probe phase is a separate program so the victim runs in between)
+"""
+
+    def _probe_source(self) -> str:
+        return f"""
+    li   t0, 0                       # set index
+probe_set:
+    rdcycle a2
+    li   t1, 0                       # way index
+probe_way:
+    li   t2, {self.way_stride}
+    mul  a4, t1, t2
+    li   t2, {LINE_SIZE}
+    mul  a5, t0, t2
+    add  a4, a4, a5
+    li   a5, {self.buffer}
+    add  a4, a4, a5
+    lw   a3, 0(a4)
+    addi t1, t1, 1
+    li   t2, {self.n_ways}
+    bltu t1, t2, probe_way
+    rdcycle a3
+    sub  a2, a3, a2                  # latency of this set's probe
+    li   t2, 4
+    mul  a4, t0, t2
+    li   a5, {self.results}
+    add  a4, a4, a5
+    sw   a2, 0(a4)
+    addi t0, t0, 1
+    li   t2, {self.n_sets}
+    bltu t0, t2, probe_set
+    halt
+"""
+
+    def prime(self, core_id: int = 0) -> None:
+        """Run the prime pass on a core."""
+        self._prime_program.run(core_id=core_id)
+
+    def probe(self, core_id: int = 0) -> list[int]:
+        """Run the probe pass; returns latency per set."""
+        self._probe_program.run(core_id=core_id)
+        data = self.kernel.machine.memory.read(self.results, 4 * self.n_sets)
+        return [
+            int.from_bytes(data[4 * i : 4 * i + 4], "little")
+            for i in range(self.n_sets)
+        ]
+
+
+def build_cache_victim_image(secret: int, evrange_base: int = 0x40000000):
+    """An enclave whose one extra load depends on its secret.
+
+    The secret is baked into the binary's data (so the two experiment
+    passes are two different — and differently measured — enclaves,
+    like two runs of a victim with different key material).  The victim
+    touches ``probe_area + secret * LINE_SIZE``: exactly one
+    secret-indexed cache line.
+    """
+    source = f"""
+entry:
+    li   t0, secret_cell
+    lw   t1, 0(t0)                   # the secret
+    li   t2, {LINE_SIZE}
+    mul  t1, t1, t2
+    li   t0, probe_area
+    add  t0, t0, t1
+    lw   t2, 0(t0)                   # the secret-dependent access
+{exit_sequence()}
+    .align 64
+secret_cell:
+    .word {secret}
+    .align 4096
+probe_area:
+    .zero 4096
+"""
+    return image_from_assembly(source, evrange_base=evrange_base)
+
+
+def run_prime_probe_experiment(
+    system: System, secret: int, reference_secret: int = 0
+) -> PrimeProbeResult:
+    """Three-pass differential prime+probe against a victim enclave.
+
+    The attacker's own probe has a footprint (its code fetches and
+    TLB-walk PTE reads pollute a few sets), so it first measures that
+    footprint with *no* victim (baseline), then runs a *calibration*
+    victim with a secret it chooses (locating the victim's
+    secret-to-set mapping), and finally the target victim.  The hottest
+    above-baseline set in each victim pass differs by exactly the
+    secret difference.
+
+    ``secret`` and ``reference_secret`` must fit one page of lines
+    (0..63) and should land outside the attacker's polluted sets; the
+    calibration pass makes polluted sets visible (their delta is zero),
+    so a real attacker would retry with a shifted victim buffer if the
+    signal is masked — here the result simply reports None.
+    """
+    lines_per_page = 4096 // LINE_SIZE
+    if not 0 <= secret < lines_per_page:
+        raise ValueError(f"secret must fit one page of lines, got {secret}")
+    kernel = system.kernel
+    attacker = PrimeProbeAttacker(kernel)
+
+    def one_pass(victim_secret: int | None) -> list[int]:
+        loaded = None
+        if victim_secret is not None:
+            loaded = kernel.load_enclave(build_cache_victim_image(victim_secret))
+        attacker.prime()
+        if loaded is not None:
+            kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        latencies = attacker.probe()
+        if loaded is not None:
+            kernel.destroy_enclave(loaded.eid)
+        return latencies
+
+    baseline = one_pass(None)
+    calibration = one_pass(reference_secret)
+    measured = one_pass(secret)
+
+    # The two victim passes share everything (code fetches, page walks)
+    # except the one secret-indexed line, so their difference isolates
+    # it; the empty baseline is kept for reporting which sets the
+    # attacker's own footprint saturates (deltas there are masked).
+    diffs = [m - c for m, c in zip(measured, calibration)]
+    hot_sets = [
+        index for index, (b, m) in enumerate(zip(baseline, measured)) if m > b
+    ]
+    recovered = None
+    if max(diffs) > 0 and min(diffs) < 0:
+        meas_hot = diffs.index(max(diffs))
+        cal_hot = diffs.index(min(diffs))
+        recovered = (reference_secret + (meas_hot - cal_hot)) % lines_per_page
+    return PrimeProbeResult(baseline, calibration, measured, hot_sets, recovered)

@@ -1,0 +1,136 @@
+"""Minimal certificate format and chain verification for the SM's PKI.
+
+§IV-A / §VI-C: attestation "requires a PKI to bootstrap trust in the
+hardware and SM"; the SM "stores the certificate(s) needed to ascertain
+its trustworthiness via the trusted PKI".
+
+The chain mirrors the Sanctum secure-boot paper [CSF'18]:
+
+    manufacturer root key
+      └── signs the *device certificate* (device public key)
+            └── signs the *SM certificate* (SM public key + SM measurement)
+
+Certificates are flat, deterministic byte structures signed with
+Ed25519 — deliberately far simpler than X.509 but carrying the same
+trust semantics the protocol needs: subject key, subject identity,
+issuer, and an embedded measurement where applicable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.ed25519 import ed25519_sign, ed25519_verify
+from repro.errors import CertificateError
+
+_MAGIC = b"SANCTCRT"
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject public key to an identity.
+
+    Attributes
+    ----------
+    subject:
+        Human-readable subject name (e.g. ``"device"``, ``"sm"``).
+    subject_key:
+        The subject's 32-byte Ed25519 public key.
+    issuer:
+        Name of the signer.
+    measurement:
+        Optional measurement bound into the certificate (the SM
+        certificate binds the SM's measurement; others leave it empty).
+    signature:
+        Ed25519 signature by the issuer over :meth:`to_signed_bytes`.
+    """
+
+    subject: str
+    subject_key: bytes
+    issuer: str
+    measurement: bytes
+    signature: bytes
+
+    def to_signed_bytes(self) -> bytes:
+        """Serialize the to-be-signed portion deterministically."""
+        subject = self.subject.encode()
+        issuer = self.issuer.encode()
+        parts = [
+            _MAGIC,
+            len(subject).to_bytes(2, "little"), subject,
+            len(self.subject_key).to_bytes(2, "little"), self.subject_key,
+            len(issuer).to_bytes(2, "little"), issuer,
+            len(self.measurement).to_bytes(2, "little"), self.measurement,
+        ]
+        return b"".join(parts)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full certificate, signature included."""
+        body = self.to_signed_bytes()
+        return body + len(self.signature).to_bytes(2, "little") + self.signature
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Certificate":
+        """Parse a certificate serialized by :meth:`to_bytes`."""
+        view = memoryview(data)
+        if bytes(view[:8]) != _MAGIC:
+            raise CertificateError("bad certificate magic")
+        offset = 8
+
+        def take() -> bytes:
+            nonlocal offset
+            if offset + 2 > len(view):
+                raise CertificateError("truncated certificate")
+            length = int.from_bytes(view[offset : offset + 2], "little")
+            offset += 2
+            if offset + length > len(view):
+                raise CertificateError("truncated certificate field")
+            field = bytes(view[offset : offset + length])
+            offset += length
+            return field
+
+        subject = take().decode()
+        subject_key = take()
+        issuer = take().decode()
+        measurement = take()
+        signature = take()
+        if offset != len(view):
+            raise CertificateError("trailing bytes after certificate")
+        return cls(subject, subject_key, issuer, measurement, signature)
+
+    @classmethod
+    def issue(
+        cls,
+        issuer_name: str,
+        issuer_secret: bytes,
+        subject: str,
+        subject_key: bytes,
+        measurement: bytes = b"",
+    ) -> "Certificate":
+        """Create and sign a certificate with the issuer's secret key."""
+        unsigned = cls(subject, subject_key, issuer_name, measurement, b"")
+        signature = ed25519_sign(issuer_secret, unsigned.to_signed_bytes())
+        return dataclasses.replace(unsigned, signature=signature)
+
+    def verify(self, issuer_key: bytes) -> bool:
+        """Check the signature against the purported issuer public key."""
+        return ed25519_verify(issuer_key, self.to_signed_bytes(), self.signature)
+
+
+def verify_chain(chain: list[Certificate], root_key: bytes) -> Certificate:
+    """Verify a root-first certificate chain against a trusted root key.
+
+    Each certificate must be signed by the previous certificate's
+    subject key (the first by ``root_key``).  Returns the leaf
+    certificate on success; raises :class:`CertificateError` otherwise.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    signer_key = root_key
+    for depth, cert in enumerate(chain):
+        if not cert.verify(signer_key):
+            raise CertificateError(
+                f"certificate {depth} ({cert.subject!r}) failed verification"
+            )
+        signer_key = cert.subject_key
+    return chain[-1]

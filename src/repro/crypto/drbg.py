@@ -1,0 +1,69 @@
+"""SHA-3-based deterministic random bit generator.
+
+§IV-B4: "Enclaves must have private access to a trusted source of
+entropy to perform key agreement and seed cryptographic keys."  The
+hardware TRNG (:class:`repro.util.rng.DeterministicTRNG` in this
+simulation) provides raw entropy; the monitor conditions it through
+this DRBG before handing random bytes to enclaves or using them for key
+generation.
+
+The construction is a simple hash-DRBG over SHAKE256: state is a
+64-byte seed; each generate call squeezes output from
+``SHAKE256(state || "out" || counter)`` and then ratchets the state
+with ``SHAKE256(state || "next")``, giving forward secrecy (compromise
+of the current state does not reveal previously generated output).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha3 import shake256
+from repro.util.rng import DeterministicTRNG
+
+_STATE_SIZE = 64
+
+
+class Sha3Drbg:
+    """Forward-secure DRBG conditioned from a TRNG.
+
+    Parameters
+    ----------
+    trng:
+        Entropy source used for instantiation and reseeding.
+    personalization:
+        Optional domain-separation string mixed into the initial state
+        so distinct consumers seeded from the same TRNG diverge.
+    """
+
+    def __init__(self, trng: DeterministicTRNG, personalization: bytes = b"") -> None:
+        self._trng = trng
+        seed_material = trng.read(_STATE_SIZE)
+        self._state = shake256(seed_material + b"|init|" + personalization, _STATE_SIZE)
+        self._reseed_counter = 0
+        self._generates_since_reseed = 0
+
+    #: Generate calls allowed before an automatic reseed from the TRNG.
+    RESEED_INTERVAL = 1 << 16
+
+    def reseed(self, additional_input: bytes = b"") -> None:
+        """Mix fresh TRNG entropy (and optional caller input) into the state."""
+        fresh = self._trng.read(_STATE_SIZE)
+        self._state = shake256(
+            self._state + b"|reseed|" + fresh + additional_input, _STATE_SIZE
+        )
+        self._reseed_counter += 1
+        self._generates_since_reseed = 0
+
+    def generate(self, n: int) -> bytes:
+        """Return ``n`` pseudorandom bytes and ratchet the state forward."""
+        if n < 0:
+            raise ValueError(f"byte count must be non-negative, got {n}")
+        if self._generates_since_reseed >= self.RESEED_INTERVAL:
+            self.reseed()
+        out = shake256(self._state + b"|out|", n)
+        self._state = shake256(self._state + b"|next|", _STATE_SIZE)
+        self._generates_since_reseed += 1
+        return out
+
+    def generate_u64(self) -> int:
+        """Return a pseudorandom 64-bit integer."""
+        return int.from_bytes(self.generate(8), "little")

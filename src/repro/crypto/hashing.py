@@ -1,0 +1,79 @@
+"""Extend-style measurement hash used by the security monitor.
+
+§VI-A: "Each operation performed by SM on behalf of the OS as part of
+enclave initialization (creating the enclave data structure, reserving
+space for page tables, loading pages, loading threads) extends the
+enclave's hash with each operation to produce a final measurement at
+initialization."
+
+:class:`MeasurementHash` is a thin, auditable wrapper around incremental
+SHA3-512 that frames every extend operation unambiguously: each extend
+contributes an operation tag, the lengths of every field, and the field
+bytes, so distinct operation sequences can never collide by
+concatenation ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha3 import SHA3_512
+
+
+class MeasurementHash:
+    """Incremental, extend-framed SHA3-512 measurement.
+
+    Each call to :meth:`extend` absorbs one *operation record*: a short
+    ASCII tag naming the operation plus a sequence of byte-string
+    fields, all length-prefixed.  The final :meth:`value` is the
+    enclave's measurement.
+    """
+
+    DIGEST_SIZE = 64
+
+    def __init__(self) -> None:
+        self._hash = SHA3_512()
+        self._operations = 0
+        self._final: bytes | None = None
+
+    @property
+    def operation_count(self) -> int:
+        """Number of extend operations absorbed so far."""
+        return self._operations
+
+    def extend(self, tag: str, *fields: bytes) -> None:
+        """Absorb one operation record.
+
+        Parameters
+        ----------
+        tag:
+            Short ASCII name of the SM operation (e.g. ``"load_page"``).
+        fields:
+            The operation's arguments as byte strings (integers should
+            be pre-encoded with a fixed width by the caller).
+        """
+        if self._final is not None:
+            raise ValueError("measurement already finalized")
+        tag_bytes = tag.encode("ascii")
+        record = bytearray()
+        record += len(tag_bytes).to_bytes(2, "little")
+        record += tag_bytes
+        record += len(fields).to_bytes(2, "little")
+        for field in fields:
+            record += len(field).to_bytes(8, "little")
+            record += field
+        self._hash.update(bytes(record))
+        self._operations += 1
+
+    def finalize(self) -> bytes:
+        """Finalize and return the 64-byte measurement."""
+        if self._final is None:
+            self._final = self._hash.digest()
+        return self._final
+
+    def value(self) -> bytes:
+        """Alias for :meth:`finalize`."""
+        return self.finalize()
+
+    @staticmethod
+    def encode_u64(value: int) -> bytes:
+        """Fixed-width little-endian encoding helper for integer fields."""
+        return (value & ((1 << 64) - 1)).to_bytes(8, "little")

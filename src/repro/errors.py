@@ -1,0 +1,70 @@
+"""Error codes and exception hierarchy for the Sanctorum reproduction.
+
+The security monitor (SM) API reports failures through :class:`ApiResult`
+codes, mirroring the error-code style of the C implementation; the
+simulator substrate raises exceptions for conditions that would be
+hardware faults or programming errors in the simulation itself.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ApiResult(enum.IntEnum):
+    """Result codes returned by every SM API call.
+
+    ``OK`` is the only success value.  The remaining codes identify why
+    the monitor rejected a request; callers (the untrusted OS or an
+    enclave) receive the code and nothing else, so codes are designed
+    not to leak private state beyond what the caller already controls.
+    """
+
+    OK = 0
+    #: The caller is not authorized to perform this operation.
+    PROHIBITED = 1
+    #: An argument failed validation (bad alignment, out of range, ...).
+    INVALID_VALUE = 2
+    #: The referenced object is not in a state permitting the operation.
+    INVALID_STATE = 3
+    #: A concurrent API transaction holds a required lock.
+    LOCK_CONFLICT = 4
+    #: The referenced resource does not exist or is not of the named type.
+    UNKNOWN_RESOURCE = 5
+    #: The operation would exhaust a fixed-size SM structure.
+    NO_SPACE = 6
+    #: The mailbox transition is not permitted (wrong sender/empty/full).
+    MAILBOX_STATE = 7
+
+
+class SanctorumError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class HardwareError(SanctorumError):
+    """The simulated hardware was used in a physically impossible way.
+
+    These are simulation-level bugs (e.g. accessing a frame that does
+    not exist on the bus), not conditions an adversary can trigger.
+    """
+
+
+class AssemblerError(SanctorumError):
+    """The SVM-32 assembler rejected a source program."""
+
+
+class CryptoError(SanctorumError):
+    """A cryptographic operation failed (bad signature, bad point, ...)."""
+
+
+class CertificateError(CryptoError):
+    """A certificate or certificate chain failed verification."""
+
+
+class InvariantViolation(SanctorumError):
+    """An SM runtime self-check failed.
+
+    Raised by :mod:`repro.sm.invariants` when the monitor's internal
+    state no longer satisfies its own security invariants; this always
+    indicates a bug in the monitor, never legal adversary behaviour.
+    """

@@ -1,0 +1,39 @@
+"""Simulated hardware platform for the Sanctorum reproduction.
+
+The paper's SM runs on an in-order multiprocessor (MIT Sanctum or a
+stock RISC-V with PMP for Keystone).  This package models that machine:
+
+* :mod:`repro.hw.isa` / :mod:`repro.hw.asm` — a small fixed-width
+  RISC-like ISA ("SVM-32") and a two-pass assembler, so enclave
+  binaries are real bytes in simulated memory.
+* :mod:`repro.hw.memory` — physical frames on a DRAM bus.
+* :mod:`repro.hw.paging` / :mod:`repro.hw.tlb` — Sv32-style two-level
+  page tables with the dual-root scheme Sanctum uses for ``evrange``.
+* :mod:`repro.hw.cache` — set-associative caches with cycle accounting
+  and DRAM-region partitioning for the LLC.
+* :mod:`repro.hw.pmp` — RISC-V-style physical memory protection, the
+  Keystone backend's isolation primitive.
+* :mod:`repro.hw.core` / :mod:`repro.hw.machine` — in-order cores,
+  interrupts, DMA, and the trap plumbing that delivers every machine
+  event to the security monitor first (Fig. 1).
+"""
+
+from repro.hw.isa import Instruction, Opcode, Reg, decode, disassemble, encode
+from repro.hw.asm import assemble
+from repro.hw.memory import PhysicalMemory
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.trace import Tracer
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "Reg",
+    "decode",
+    "disassemble",
+    "encode",
+    "assemble",
+    "PhysicalMemory",
+    "Machine",
+    "MachineConfig",
+    "Tracer",
+]

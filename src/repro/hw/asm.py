@@ -1,0 +1,356 @@
+"""Two-pass assembler for SVM-32.
+
+Enclave binaries in this reproduction are real machine code produced by
+this assembler, loaded page-by-page via the SM's ``load_page`` API and
+measured by SHA-3 — exactly the pipeline the paper describes for
+enclave initialization (§VI-A).
+
+Syntax (one statement per line; ``#`` or ``;`` start a comment)::
+
+    entry:                    # labels end with ':'
+        li   a0, 42           # mnemonics are case-insensitive
+        addi sp, sp, -16
+        lw   t0, 8(sp)        # memory operands: imm(base)
+        sw   t0, 0x10(a1)
+        beq  t0, zero, done   # branch targets may be labels
+        jal  ra, subroutine
+    done:
+        ecall
+        halt
+        .word 0xdeadbeef      # data directives
+        .bytes 01 02 ff
+        .ascii "hello"
+        .zero 16              # n zero bytes
+        .align 4096           # pad with zeros to an alignment
+
+Registers accept both ``r<N>`` and ABI names (``zero ra sp gp tp
+t0-t2 a0-a7``).  Immediates accept decimal, hex (``0x``), negative
+values, and ``%lo(label)``-free plain label references where an
+address-sized immediate is expected (``li a0, buffer``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import AssemblerError
+from repro.hw.isa import INSTRUCTION_SIZE, Instruction, Opcode, Reg
+
+_REG_NAMES: dict[str, int] = {f"r{i}": i for i in range(16)}
+_REG_NAMES.update({reg.name.lower(): int(reg) for reg in Reg})
+
+#: imm(base) memory operand; imm may be a literal, a label, or
+#: label+offset arithmetic.
+_MEM_OPERAND = re.compile(r"^([^()]+)\(([\w$.]+)\)$")
+
+#: opcode -> operand shape.
+#: "rdi" = rd, imm; "rri" = rd, rs1, imm; "rrr" = rd, rs1, rs2;
+#: "ssb" = rs1, rs2, branch-target; "mem_l" = rd, imm(rs1);
+#: "mem_s" = rs2, imm(rs1); "jal" = rd, target; "none" = no operands;
+#: "rd" = rd only.
+_SHAPES: dict[Opcode, str] = {
+    Opcode.NOP: "none",
+    Opcode.HALT: "none",
+    Opcode.LI: "rdi",
+    Opcode.ADDI: "rri",
+    Opcode.ANDI: "rri",
+    Opcode.ORI: "rri",
+    Opcode.XORI: "rri",
+    Opcode.ADD: "rrr",
+    Opcode.SUB: "rrr",
+    Opcode.MUL: "rrr",
+    Opcode.DIVU: "rrr",
+    Opcode.REMU: "rrr",
+    Opcode.AND: "rrr",
+    Opcode.OR: "rrr",
+    Opcode.XOR: "rrr",
+    Opcode.SLL: "rrr",
+    Opcode.SRL: "rrr",
+    Opcode.SRA: "rrr",
+    Opcode.SLT: "rrr",
+    Opcode.SLTU: "rrr",
+    Opcode.LW: "mem_l",
+    Opcode.LBU: "mem_l",
+    Opcode.SW: "mem_s",
+    Opcode.SB: "mem_s",
+    Opcode.BEQ: "ssb",
+    Opcode.BNE: "ssb",
+    Opcode.BLTU: "ssb",
+    Opcode.BGEU: "ssb",
+    Opcode.BLT: "ssb",
+    Opcode.BGE: "ssb",
+    Opcode.JAL: "jal",
+    Opcode.JALR: "rri",
+    Opcode.ECALL: "none",
+    Opcode.EBREAK: "none",
+    Opcode.RDCYCLE: "rd",
+    Opcode.FENCE: "none",
+    Opcode.CRYPTO: "i",
+}
+
+
+@dataclasses.dataclass
+class AssembledImage:
+    """Output of :func:`assemble`: raw bytes plus the symbol table."""
+
+    data: bytes
+    symbols: dict[str, int]
+    base: int
+
+    def symbol(self, name: str) -> int:
+        """Return the absolute address of a label."""
+        if name not in self.symbols:
+            raise AssemblerError(f"unknown symbol {name!r}")
+        return self.symbols[name]
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    name = token.lower()
+    if name not in _REG_NAMES:
+        raise AssemblerError(f"line {line_no}: unknown register {token!r}")
+    return _REG_NAMES[name]
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: bad integer {token!r}") from exc
+
+
+@dataclasses.dataclass
+class _Statement:
+    line_no: int
+    address: int
+    mnemonic: str
+    operands: list[str]
+
+
+def _tokenize(source: str) -> list[tuple[int, str]]:
+    """Strip comments/blank lines; return (line_no, text) pairs."""
+    out = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if text:
+            out.append((line_no, text))
+    return out
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def _directive_size(mnemonic: str, operands: list[str], address: int, line_no: int) -> int:
+    """Return the byte size a data directive will occupy at ``address``."""
+    if mnemonic == ".word":
+        return 4 * len(operands)
+    if mnemonic == ".bytes":
+        return len(" ".join(operands).split())
+    if mnemonic == ".ascii":
+        return len(_parse_string(operands, line_no))
+    if mnemonic == ".zero":
+        if len(operands) != 1:
+            raise AssemblerError(f"line {line_no}: .zero takes one operand")
+        return _parse_int(operands[0], line_no)
+    if mnemonic == ".align":
+        if len(operands) != 1:
+            raise AssemblerError(f"line {line_no}: .align takes one operand")
+        alignment = _parse_int(operands[0], line_no)
+        if alignment <= 0:
+            raise AssemblerError(f"line {line_no}: .align must be positive")
+        return (-address) % alignment
+    raise AssemblerError(f"line {line_no}: unknown directive {mnemonic!r}")
+
+
+def _parse_string(operands: list[str], line_no: int) -> bytes:
+    text = ",".join(operands).strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblerError(f'line {line_no}: .ascii needs a "quoted" string')
+    return text[1:-1].encode("ascii")
+
+
+def assemble(source: str, base: int = 0) -> AssembledImage:
+    """Assemble SVM-32 source into an image at base address ``base``.
+
+    Two passes: the first lays out statements and collects label
+    addresses; the second encodes instructions, resolving labels in
+    immediates and branch targets.
+    """
+    statements: list[_Statement] = []
+    symbols: dict[str, int] = {}
+    address = base
+
+    for line_no, text in _tokenize(source):
+        # Peel off any leading labels (several may share a line).
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w$.]*):\s*(.*)$", text)
+            if not match:
+                break
+            label, text = match.group(1), match.group(2)
+            if label in symbols:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            symbols[label] = address
+            if not text:
+                break
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        statement = _Statement(line_no, address, mnemonic, operands)
+        statements.append(statement)
+        if mnemonic.startswith("."):
+            address += _directive_size(mnemonic, operands, address, line_no)
+        else:
+            address += INSTRUCTION_SIZE
+
+    def resolve(token: str, line_no: int) -> int:
+        if token in symbols:
+            return symbols[token]
+        # Simple arithmetic: "buffer+16", "buffer-0x10", "4096+64".
+        match = re.match(r"^([\w$.]+)([+-])(\w+)$", token)
+        if match:
+            left = match.group(1)
+            base_value = symbols[left] if left in symbols else None
+            if base_value is None:
+                try:
+                    base_value = int(left, 0)
+                except ValueError:
+                    base_value = None
+            if base_value is not None:
+                offset = _parse_int(match.group(3), line_no)
+                sign = 1 if match.group(2) == "+" else -1
+                return base_value + sign * offset
+        return _parse_int(token, line_no)
+
+    output = bytearray()
+    for statement in statements:
+        line_no = statement.line_no
+        mnemonic, operands = statement.mnemonic, statement.operands
+        if mnemonic.startswith("."):
+            output += _encode_directive(statement, symbols)
+            continue
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}") from exc
+        shape = _SHAPES[opcode]
+        instruction = _encode_statement(
+            opcode, shape, operands, statement.address, resolve, line_no
+        )
+        output += instruction.encode()
+
+    return AssembledImage(bytes(output), symbols, base)
+
+
+def _encode_directive(statement: _Statement, symbols: dict[str, int]) -> bytes:
+    mnemonic, operands, line_no = statement.mnemonic, statement.operands, statement.line_no
+    if mnemonic == ".word":
+        out = bytearray()
+        for token in operands:
+            value = symbols.get(token)
+            if value is None:
+                value = _parse_int(token, line_no)
+            out += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        return bytes(out)
+    if mnemonic == ".bytes":
+        # Hex bytes, separated by spaces and/or commas.
+        return bytes(int(token, 16) for token in " ".join(operands).split())
+    if mnemonic == ".ascii":
+        return _parse_string(operands, line_no)
+    if mnemonic == ".zero":
+        return bytes(_parse_int(operands[0], line_no))
+    if mnemonic == ".align":
+        alignment = _parse_int(operands[0], line_no)
+        return bytes((-statement.address) % alignment)
+    raise AssemblerError(f"line {line_no}: unknown directive {mnemonic!r}")
+
+
+def _encode_statement(
+    opcode: Opcode,
+    shape: str,
+    operands: list[str],
+    address: int,
+    resolve,
+    line_no: int,
+) -> Instruction:
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"line {line_no}: {opcode.name.lower()} expects {count} operands, "
+                f"got {len(operands)}"
+            )
+
+    if shape == "none":
+        need(0)
+        return Instruction(opcode)
+    if shape == "rd":
+        need(1)
+        return Instruction(opcode, rd=_parse_register(operands[0], line_no))
+    if shape == "i":
+        need(1)
+        return Instruction(opcode, imm=resolve(operands[0], line_no))
+    if shape == "rdi":
+        need(2)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_no),
+            imm=resolve(operands[1], line_no),
+        )
+    if shape == "rri":
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_no),
+            rs1=_parse_register(operands[1], line_no),
+            imm=resolve(operands[2], line_no),
+        )
+    if shape == "rrr":
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_no),
+            rs1=_parse_register(operands[1], line_no),
+            rs2=_parse_register(operands[2], line_no),
+        )
+    if shape in ("mem_l", "mem_s"):
+        need(2)
+        match = _MEM_OPERAND.match(operands[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: expected imm(base) memory operand, got {operands[1]!r}"
+            )
+        imm = resolve(match.group(1), line_no)
+        base_reg = _parse_register(match.group(2), line_no)
+        data_reg = _parse_register(operands[0], line_no)
+        if shape == "mem_l":
+            return Instruction(opcode, rd=data_reg, rs1=base_reg, imm=imm)
+        return Instruction(opcode, rs1=base_reg, rs2=data_reg, imm=imm)
+    if shape == "ssb":
+        need(3)
+        target = resolve(operands[2], line_no)
+        offset = target - address if operands[2] not in ("",) and not _is_literal(operands[2]) else target
+        return Instruction(
+            opcode,
+            rs1=_parse_register(operands[0], line_no),
+            rs2=_parse_register(operands[1], line_no),
+            imm=offset,
+        )
+    if shape == "jal":
+        need(2)
+        target = resolve(operands[1], line_no)
+        offset = target - address if not _is_literal(operands[1]) else target
+        return Instruction(
+            opcode, rd=_parse_register(operands[0], line_no), imm=offset
+        )
+    raise AssemblerError(f"line {line_no}: internal: unhandled shape {shape!r}")
+
+
+def _is_literal(token: str) -> bool:
+    """True when a branch operand is a numeric literal (already an offset)."""
+    try:
+        int(token, 0)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,179 @@
+"""Set-associative cache models with cycle accounting and partitioning.
+
+Two structures matter to the paper's threat model (§IV-B2):
+
+* **L1 caches** are private per core and carry microarchitectural state
+  across context switches; Sanctum *time-multiplexes* them — the SM
+  flushes L1 (and all core state) whenever the core changes protection
+  domain.  :meth:`Cache.flush` models that.
+* **The shared LLC** is *partitioned* by DRAM region (page colouring):
+  each DRAM region maps to a disjoint slice of LLC sets, so enclaves in
+  different regions can never evict each other's lines.
+  :class:`PartitionedLlc` computes set indices region-relative; the
+  unpartitioned baseline (``partitioned=False``) hashes the full
+  address, letting domains collide — the configuration the prime+probe
+  ablation attacks.
+
+Timing: an access costs ``hit_cycles`` on hit and ``miss_penalty`` plus
+the next level's cost on miss.  Accesses are attributed to the
+requesting protection domain for the leakage analyses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+LINE_SIZE = 64
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, including cross-domain evictions."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Evictions where the victim line belonged to a different protection
+    #: domain than the requester — the raw signal behind prime+probe.
+    cross_domain_evictions: int = 0
+    flushes: int = 0
+    #: Whether the most recent access hit; lets the next cache level
+    #: decide whether the request propagates to it.
+    last_was_hit: bool = False
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cross_domain_evictions = 0
+        self.flushes = 0
+
+
+@dataclasses.dataclass
+class _Line:
+    tag: int
+    domain: int
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        hit_cycles: int,
+        miss_penalty: int,
+        name: str = "cache",
+    ) -> None:
+        if n_sets <= 0 or n_ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.hit_cycles = hit_cycles
+        self.miss_penalty = miss_penalty
+        self.name = name
+        #: Per set: list of lines, most-recently-used last.
+        self._sets: list[list[_Line]] = [[] for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    def set_index(self, paddr: int) -> int:
+        """Map a physical address to a set; subclasses override."""
+        return (paddr // LINE_SIZE) % self.n_sets
+
+    def access(self, paddr: int, domain: int) -> int:
+        """Access the line containing ``paddr``; returns cycles consumed.
+
+        Returns only this level's cost contribution: ``hit_cycles`` on a
+        hit, ``hit_cycles + miss_penalty`` on a miss (the caller adds
+        lower-level costs if it models them explicitly; our machine
+        folds DRAM latency into the LLC's ``miss_penalty``).
+        """
+        tag = paddr // LINE_SIZE
+        index = self.set_index(paddr)
+        lines = self._sets[index]
+        for position, line in enumerate(lines):
+            if line.tag == tag:
+                # LRU update: move to most-recently-used position.
+                lines.append(lines.pop(position))
+                self.stats.hits += 1
+                self.stats.last_was_hit = True
+                return self.hit_cycles
+        self.stats.misses += 1
+        self.stats.last_was_hit = False
+        if len(lines) >= self.n_ways:
+            victim = lines.pop(0)
+            self.stats.evictions += 1
+            if victim.domain != domain:
+                self.stats.cross_domain_evictions += 1
+        lines.append(_Line(tag, domain))
+        return self.hit_cycles + self.miss_penalty
+
+    def probe(self, paddr: int) -> bool:
+        """Return True when the line holding ``paddr`` is resident.
+
+        A pure inspection helper for experiments — does not update LRU
+        state or statistics.
+        """
+        tag = paddr // LINE_SIZE
+        return any(line.tag == tag for line in self._sets[self.set_index(paddr)])
+
+    def flush(self) -> None:
+        """Invalidate every line (the SM's core-cleaning step for L1s)."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats.flushes += 1
+
+    def flush_domain(self, domain: int) -> None:
+        """Invalidate all lines owned by one domain (selective clean)."""
+        for lines in self._sets:
+            lines[:] = [line for line in lines if line.domain != domain]
+        self.stats.flushes += 1
+
+    def resident_domains(self, index: int) -> list[int]:
+        """Domains currently occupying a set (diagnostics for leak tests)."""
+        return [line.domain for line in self._sets[index]]
+
+
+class PartitionedLlc(Cache):
+    """Shared last-level cache with optional DRAM-region partitioning.
+
+    With ``partitioned=True`` (Sanctum's configuration) the set index is
+    ``region_index * sets_per_region + line_within_region``, so every
+    DRAM region owns a private, disjoint slice of the cache: no
+    cross-region eviction is possible *by construction*.  With
+    ``partitioned=False`` (the baseline/Keystone configuration) the set
+    index hashes the whole address and regions collide.
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        region_size: int,
+        n_regions: int,
+        partitioned: bool,
+        hit_cycles: int = 20,
+        miss_penalty: int = 100,
+    ) -> None:
+        super().__init__(n_sets, n_ways, hit_cycles, miss_penalty, name="llc")
+        if partitioned and n_sets % n_regions != 0:
+            raise ValueError(
+                f"LLC sets ({n_sets}) must divide evenly across {n_regions} regions"
+            )
+        self.region_size = region_size
+        self.n_regions = n_regions
+        self.partitioned = partitioned
+        self._sets_per_region = n_sets // n_regions if n_regions else n_sets
+
+    def set_index(self, paddr: int) -> int:
+        if not self.partitioned:
+            return (paddr // LINE_SIZE) % self.n_sets
+        region = (paddr // self.region_size) % self.n_regions
+        within = (paddr % self.region_size) // LINE_SIZE
+        return region * self._sets_per_region + within % self._sets_per_region
+
+    def region_of_set(self, index: int) -> int | None:
+        """Inverse map for experiments; None when unpartitioned."""
+        if not self.partitioned:
+            return None
+        return index // self._sets_per_region

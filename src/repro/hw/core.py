@@ -1,0 +1,392 @@
+"""The in-order SVM-32 core.
+
+Each core owns its architected state (16 registers, pc, privilege), a
+private L1 cache and TLB (both flushed by the SM when the core changes
+protection domain — §IV-B2's time-multiplexing), and the *translation
+context* the SM programs on enclave entry: the OS page-table root, the
+enclave page-table root, and ``evrange``.
+
+The dual page-table walk (§VII-A) is implemented in :meth:`translate`:
+a virtual address inside ``evrange`` walks the enclave's private
+tables; anything outside walks the OS tables — so enclave accesses to
+OS-shared buffers work without the OS ever learning enclave
+translations.
+
+The core executes one instruction per :meth:`step`; all memory traffic
+(fetches, loads, stores, and the walker's PTE reads) flows through the
+machine's physical access path, where isolation checks and cache
+timing live.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.cache import Cache
+from repro.hw.isa import INSTRUCTION_SIZE, NUM_REGS, Opcode, decode
+from repro.hw.paging import AccessType, PageFault, PageTableWalker, Translation
+from repro.hw.pmp import PmpPerm, PmpUnit, Privilege
+from repro.hw.tlb import Tlb
+from repro.hw.traps import Trap, TrapCause
+from repro.util.bits import to_signed32, to_unsigned32
+
+#: Reserved protection-domain constants ("SM and untrusted software are
+#: identified via reserved constants" — §V-C).  Enclave domains are the
+#: physical addresses of their metadata structures (their eid), which
+#: are always >= one page, so these small values can never collide.
+DOMAIN_UNTRUSTED = 0
+DOMAIN_SM = 1
+
+_ACCESS_TO_PAGE_FAULT = {
+    AccessType.FETCH: TrapCause.PAGE_FAULT_FETCH,
+    AccessType.LOAD: TrapCause.PAGE_FAULT_LOAD,
+    AccessType.STORE: TrapCause.PAGE_FAULT_STORE,
+}
+_ACCESS_TO_ACCESS_FAULT = {
+    AccessType.FETCH: TrapCause.ACCESS_FAULT_FETCH,
+    AccessType.LOAD: TrapCause.ACCESS_FAULT_LOAD,
+    AccessType.STORE: TrapCause.ACCESS_FAULT_STORE,
+}
+_ACCESS_TO_PMP_PERM = {
+    AccessType.FETCH: PmpPerm.X,
+    AccessType.LOAD: PmpPerm.R,
+    AccessType.STORE: PmpPerm.W,
+}
+
+
+@dataclasses.dataclass
+class TranslationContext:
+    """The address-translation state the SM programs on a core."""
+
+    #: Paging on/off; off means vaddr == paddr (M-mode / pre-boot).
+    paging_enabled: bool = False
+    #: Physical page number of the OS page-table root.
+    os_root_ppn: int = 0
+    #: Physical page number of the enclave page-table root (if entered).
+    enclave_root_ppn: int = 0
+    #: Enclave virtual range as (base, size); None when no enclave.
+    evrange: tuple[int, int] | None = None
+
+    def in_evrange(self, vaddr: int) -> bool:
+        if self.evrange is None:
+            return False
+        base, size = self.evrange
+        return base <= vaddr < base + size
+
+
+class Core:
+    """One in-order, single-thread SVM-32 pipeline."""
+
+    #: Cycle cost charged per TLB-miss page-table level walked, on top
+    #: of the cache cost of the PTE reads themselves.
+    WALK_CYCLES_PER_LEVEL = 2
+
+    def __init__(self, core_id: int, machine: "Machine") -> None:  # noqa: F821
+        self.core_id = core_id
+        self.machine = machine
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.privilege = Privilege.M
+        self.halted = True
+        self.cycles = 0
+        self.instructions_retired = 0
+        #: Protection domain on whose behalf the core currently executes.
+        self.domain = DOMAIN_UNTRUSTED
+        self.context = TranslationContext()
+        self.l1 = Cache(
+            n_sets=machine.config.l1_sets,
+            n_ways=machine.config.l1_ways,
+            hit_cycles=machine.config.l1_hit_cycles,
+            miss_penalty=0,
+            name=f"l1[{core_id}]",
+        )
+        self.tlb = Tlb(capacity=machine.config.tlb_entries)
+        self.pmp = PmpUnit()
+        self._walker = PageTableWalker(machine.memory, self._walker_read_u32)
+
+    # ------------------------------------------------------------------
+    # Register file
+    # ------------------------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Read a register; r0 always reads zero."""
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write a register; writes to r0 are discarded."""
+        if index != 0:
+            self.regs[index] = to_unsigned32(value)
+
+    def clean_architectural_state(self) -> None:
+        """Zero registers, flush L1 and TLB — the SM's core clean.
+
+        §V-C: "Before delegating execution to the OS, SM cleans the
+        core's state (this is a re-allocation of the 'core' resource to
+        another protection domain)."
+        """
+        self.regs = [0] * NUM_REGS
+        self.l1.flush()
+        self.tlb.flush_all()
+
+    # ------------------------------------------------------------------
+    # Memory access path
+    # ------------------------------------------------------------------
+
+    def _walker_read_u32(self, paddr: int) -> int:
+        """PTE read issued by the hardware walker.
+
+        Walker traffic is checked and timed like any other access by
+        this core's current domain; a denied PTE read surfaces as a
+        page fault on the original access (handled by the caller).
+        """
+        self.cycles += self.machine.physical_access_cycles(self, paddr)
+        if not self.machine.check_isolation(self, paddr, AccessType.LOAD):
+            raise PageFault(paddr, AccessType.LOAD, "walker denied by isolation hardware")
+        return self.machine.memory.read_u32(paddr)
+
+    def translate(self, vaddr: int, access: AccessType) -> int:
+        """Translate a virtual address, using the dual-root scheme.
+
+        Raises :class:`Trap` (page fault) when translation fails.
+        """
+        vaddr = to_unsigned32(vaddr)
+        if not self.context.paging_enabled:
+            return vaddr
+        use_enclave_root = self.context.in_evrange(vaddr)
+        root_ppn = (
+            self.context.enclave_root_ppn if use_enclave_root else self.context.os_root_ppn
+        )
+        # TLB entries are tagged by the domain whose tables produced them.
+        tlb_domain = self.domain if use_enclave_root else DOMAIN_UNTRUSTED
+        vpn = vaddr >> 12
+        cached = self.tlb.lookup(tlb_domain, vpn)
+        if cached is not None and cached.permits(access):
+            return cached.paddr(vaddr)
+        try:
+            translation = self._walker.walk(root_ppn, vaddr, access)
+        except PageFault as fault:
+            raise Trap(_ACCESS_TO_PAGE_FAULT[access], tval=fault.vaddr, pc=self.pc) from fault
+        self.cycles += self.WALK_CYCLES_PER_LEVEL * 2
+        self.tlb.insert(tlb_domain, translation)
+        return translation.paddr(vaddr)
+
+    def _checked_physical(self, paddr: int, access: AccessType) -> None:
+        """Isolation check + cache timing for one physical access."""
+        if not self.machine.check_isolation(self, paddr, access):
+            raise Trap(_ACCESS_TO_ACCESS_FAULT[access], tval=paddr, pc=self.pc)
+        self.cycles += self.machine.physical_access_cycles(self, paddr)
+
+    def load(self, vaddr: int, size: int) -> int:
+        """Translated, checked, timed load of 1 or 4 bytes."""
+        paddr = self.translate(vaddr, AccessType.LOAD)
+        self._checked_physical(paddr, AccessType.LOAD)
+        data = self.machine.memory.read(paddr, size)
+        return int.from_bytes(data, "little")
+
+    def store(self, vaddr: int, value: int, size: int) -> None:
+        """Translated, checked, timed store of 1 or 4 bytes."""
+        paddr = self.translate(vaddr, AccessType.STORE)
+        self._checked_physical(paddr, AccessType.STORE)
+        self.machine.memory.write(paddr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def fetch(self, vaddr: int) -> bytes:
+        """Translated, checked, timed instruction fetch.
+
+        Instructions are naturally aligned; a misaligned pc (e.g. from a
+        corrupted jump target) traps as an illegal instruction rather
+        than decoding byte salad.
+        """
+        if vaddr % INSTRUCTION_SIZE:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=vaddr, pc=self.pc)
+        paddr = self.translate(vaddr, AccessType.FETCH)
+        self._checked_physical(paddr, AccessType.FETCH)
+        return self.machine.memory.read(paddr, INSTRUCTION_SIZE)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Fetch, decode, and execute one instruction.
+
+        Raises :class:`Trap` for every exceptional condition; the
+        machine routes the trap to the SM.  On a trap, pc still points
+        at the faulting instruction and no architectural state from the
+        faulting instruction has been committed.
+        """
+        raw = self.fetch(self.pc)
+        try:
+            instruction = decode(raw)
+        except ValueError:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=self.pc, pc=self.pc) from None
+        self.cycles += 1
+        self._execute(instruction)
+        self.instructions_retired += 1
+
+    def _execute(self, ins) -> None:
+        op = ins.opcode
+        rs1 = self.read_reg(ins.rs1)
+        rs2 = self.read_reg(ins.rs2)
+        next_pc = to_unsigned32(self.pc + INSTRUCTION_SIZE)
+
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.FENCE:
+            # Address-translation fence: drops this domain's TLB entries
+            # (how an enclave managing its own page tables makes PTE
+            # edits visible, cf. RISC-V's sfence.vma).
+            self.tlb.flush_domain(self.domain)
+        elif op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.LI:
+            self.write_reg(ins.rd, ins.imm)
+        elif op is Opcode.ADDI:
+            self.write_reg(ins.rd, rs1 + ins.imm)
+        elif op is Opcode.ANDI:
+            self.write_reg(ins.rd, rs1 & to_unsigned32(ins.imm))
+        elif op is Opcode.ORI:
+            self.write_reg(ins.rd, rs1 | to_unsigned32(ins.imm))
+        elif op is Opcode.XORI:
+            self.write_reg(ins.rd, rs1 ^ to_unsigned32(ins.imm))
+        elif op is Opcode.ADD:
+            self.write_reg(ins.rd, rs1 + rs2)
+        elif op is Opcode.SUB:
+            self.write_reg(ins.rd, rs1 - rs2)
+        elif op is Opcode.MUL:
+            self.write_reg(ins.rd, rs1 * rs2)
+        elif op is Opcode.DIVU:
+            self.write_reg(ins.rd, 0xFFFFFFFF if rs2 == 0 else rs1 // rs2)
+        elif op is Opcode.REMU:
+            self.write_reg(ins.rd, rs1 if rs2 == 0 else rs1 % rs2)
+        elif op is Opcode.AND:
+            self.write_reg(ins.rd, rs1 & rs2)
+        elif op is Opcode.OR:
+            self.write_reg(ins.rd, rs1 | rs2)
+        elif op is Opcode.XOR:
+            self.write_reg(ins.rd, rs1 ^ rs2)
+        elif op is Opcode.SLL:
+            self.write_reg(ins.rd, rs1 << (rs2 & 31))
+        elif op is Opcode.SRL:
+            self.write_reg(ins.rd, rs1 >> (rs2 & 31))
+        elif op is Opcode.SRA:
+            self.write_reg(ins.rd, to_signed32(rs1) >> (rs2 & 31))
+        elif op is Opcode.SLT:
+            self.write_reg(ins.rd, 1 if to_signed32(rs1) < to_signed32(rs2) else 0)
+        elif op is Opcode.SLTU:
+            self.write_reg(ins.rd, 1 if rs1 < rs2 else 0)
+        elif op is Opcode.LW:
+            self.write_reg(ins.rd, self.load(rs1 + ins.imm, 4))
+        elif op is Opcode.LBU:
+            self.write_reg(ins.rd, self.load(rs1 + ins.imm, 1))
+        elif op is Opcode.SW:
+            self.store(rs1 + ins.imm, rs2, 4)
+        elif op is Opcode.SB:
+            self.store(rs1 + ins.imm, rs2, 1)
+        elif op is Opcode.BEQ:
+            if rs1 == rs2:
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.BNE:
+            if rs1 != rs2:
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.BLTU:
+            if rs1 < rs2:
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.BGEU:
+            if rs1 >= rs2:
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.BLT:
+            if to_signed32(rs1) < to_signed32(rs2):
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.BGE:
+            if to_signed32(rs1) >= to_signed32(rs2):
+                next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.JAL:
+            self.write_reg(ins.rd, self.pc + INSTRUCTION_SIZE)
+            next_pc = to_unsigned32(self.pc + ins.imm)
+        elif op is Opcode.JALR:
+            self.write_reg(ins.rd, self.pc + INSTRUCTION_SIZE)
+            next_pc = to_unsigned32(rs1 + ins.imm)
+        elif op is Opcode.ECALL:
+            cause = (
+                TrapCause.ECALL_FROM_S
+                if self.privilege is Privilege.S
+                else TrapCause.ECALL_FROM_U
+            )
+            raise Trap(cause, pc=self.pc)
+        elif op is Opcode.EBREAK:
+            raise Trap(TrapCause.BREAKPOINT, pc=self.pc)
+        elif op is Opcode.RDCYCLE:
+            self.write_reg(ins.rd, self.cycles)
+        elif op is Opcode.CRYPTO:
+            self._execute_crypto(ins.imm)
+        else:  # pragma: no cover - decode() rejects unknown opcodes first
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=self.pc, pc=self.pc)
+
+        self.pc = next_pc
+
+    def pmp_perm_for(self, access: AccessType) -> PmpPerm:
+        """Map an access type to the PMP permission it requires."""
+        return _ACCESS_TO_PMP_PERM[access]
+
+    # ------------------------------------------------------------------
+    # Crypto accelerator (Opcode.CRYPTO)
+    # ------------------------------------------------------------------
+
+    def read_buffer(self, vaddr: int, length: int) -> bytes:
+        """Read ``length`` bytes through the translated access path."""
+        return bytes(self.load(vaddr + i, 1) for i in range(length))
+
+    def write_buffer(self, vaddr: int, data: bytes) -> None:
+        """Write bytes through the translated access path."""
+        for i, value in enumerate(data):
+            self.store(vaddr + i, value, 1)
+
+    def _execute_crypto(self, function: int) -> None:
+        """Execute one crypto-accelerator operation.
+
+        Operand buffers are accessed with the core's *current*
+        translation context and isolation checks, so the accelerator
+        cannot be used to cross protection domains; faults on operand
+        access surface exactly like load/store faults.
+        """
+        from repro.crypto.ed25519 import ed25519_public_key, ed25519_sign
+        from repro.crypto.sha3 import sha3_512
+        from repro.crypto.x25519 import x25519, x25519_base
+        from repro.errors import CryptoError
+        from repro.hw.isa import CryptoFn, Reg
+
+        a1 = self.read_reg(Reg.A1)
+        a2 = self.read_reg(Reg.A2)
+        a3 = self.read_reg(Reg.A3)
+        a4 = self.read_reg(Reg.A4)
+        try:
+            fn = CryptoFn(function)
+        except ValueError:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=self.pc, pc=self.pc) from None
+        try:
+            if fn is CryptoFn.SHA3_512:
+                self.write_buffer(a3, sha3_512(self.read_buffer(a1, a2)))
+                self.cycles += 100 + 4 * a2
+            elif fn is CryptoFn.ED25519_SIGN:
+                key = self.read_buffer(a1, 32)
+                message = self.read_buffer(a2, a3)
+                self.write_buffer(a4, ed25519_sign(key, message))
+                self.cycles += 60_000
+            elif fn is CryptoFn.ED25519_PUB:
+                self.write_buffer(a2, ed25519_public_key(self.read_buffer(a1, 32)))
+                self.cycles += 30_000
+            elif fn is CryptoFn.X25519_BASE:
+                self.write_buffer(a2, x25519_base(self.read_buffer(a1, 32)))
+                self.cycles += 30_000
+            elif fn is CryptoFn.X25519:
+                scalar = self.read_buffer(a1, 32)
+                point = self.read_buffer(a2, 32)
+                self.write_buffer(a3, x25519(scalar, point))
+                self.cycles += 30_000
+            elif fn is CryptoFn.RANDOM:
+                self.write_buffer(a1, self.machine.trng.read(a2))
+                self.cycles += 10 * a2
+        except CryptoError:
+            # Bad key/point material is the program's bug, reported the
+            # way hardware would: an illegal-operand trap.
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=self.pc, pc=self.pc) from None

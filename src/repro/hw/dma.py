@@ -1,0 +1,92 @@
+"""DMA devices and the SM-programmed DMA filter.
+
+§IV-B1: "The hardware platform must also be able to restrict access by
+external actors: SM must be able to restrict DMA by devices to memory
+owned by SM or enclaves."
+
+:class:`DmaFilter` is the hardware range checker the SM programs with
+the set of physical intervals DMA may touch (everything *except* SM and
+enclave memory).  :class:`DmaDevice` models a bus master whose every
+transfer is checked against the filter; a denied transfer fails
+wholesale without partial writes, and the denial is observable by the
+(untrusted) driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.memory import PhysicalMemory
+
+
+@dataclasses.dataclass(frozen=True)
+class DmaRange:
+    """One allowed physical interval ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def covers(self, paddr: int, length: int) -> bool:
+        return self.base <= paddr and paddr + length <= self.base + self.size
+
+
+class DmaFilter:
+    """White-list of physical ranges DMA transfers may touch.
+
+    The SM reprograms this whenever memory changes protection domain;
+    an empty filter denies all DMA (the secure default at boot).
+    """
+
+    def __init__(self) -> None:
+        self._ranges: list[DmaRange] = []
+
+    def set_ranges(self, ranges: list[DmaRange]) -> None:
+        """Replace the white-list atomically."""
+        self._ranges = list(ranges)
+
+    def ranges(self) -> list[DmaRange]:
+        return list(self._ranges)
+
+    def permits(self, paddr: int, length: int) -> bool:
+        """True when the whole interval is inside one allowed range.
+
+        Transfers spanning two allowed ranges are rejected — real DMA
+        filters check per-burst, and conservative rejection errs safe.
+        """
+        return any(r.covers(paddr, length) for r in self._ranges)
+
+
+class DmaDenied(Exception):
+    """A DMA transfer was rejected by the filter."""
+
+    def __init__(self, paddr: int, length: int) -> None:
+        self.paddr = paddr
+        self.length = length
+        super().__init__(f"DMA to [{paddr:#x}, {paddr + length:#x}) denied by filter")
+
+
+class DmaDevice:
+    """A bus-mastering device (e.g. a NIC) driven by the untrusted OS."""
+
+    def __init__(self, name: str, memory: PhysicalMemory, dma_filter: DmaFilter) -> None:
+        self.name = name
+        self._memory = memory
+        self._filter = dma_filter
+        self.transfers_completed = 0
+        self.transfers_denied = 0
+
+    def write_to_memory(self, paddr: int, data: bytes) -> None:
+        """Device -> memory transfer (e.g. packet receive)."""
+        if not self._filter.permits(paddr, len(data)):
+            self.transfers_denied += 1
+            raise DmaDenied(paddr, len(data))
+        self._memory.write(paddr, data)
+        self.transfers_completed += 1
+
+    def read_from_memory(self, paddr: int, length: int) -> bytes:
+        """Memory -> device transfer (e.g. packet transmit)."""
+        if not self._filter.permits(paddr, length):
+            self.transfers_denied += 1
+            raise DmaDenied(paddr, length)
+        self.transfers_completed += 1
+        return self._memory.read(paddr, length)

@@ -1,0 +1,77 @@
+"""Interrupt controller: timer, software (IPI), and external interrupts.
+
+The OS "is always able to de-schedule an enclave by interrupting it,
+forcing an AEX" (§V-A).  In this model the untrusted OS arms timers and
+sends IPIs through the controller; the machine checks for a pending
+interrupt before every instruction and, when one is due, raises it as a
+:class:`~repro.hw.traps.Trap` delivered — like every event — to the SM
+first (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.hw.traps import Trap, TrapCause
+
+
+class InterruptController:
+    """Per-core pending interrupt state plus per-core timer compares.
+
+    Like RISC-V's ``mtimecmp``, each core has exactly one timer compare
+    value: arming a new deadline replaces the previous one.
+    """
+
+    def __init__(self, n_cores: int) -> None:
+        self.n_cores = n_cores
+        self._pending: list[list[TrapCause]] = [[] for _ in range(n_cores)]
+        #: Per-core timer compare value (None = disarmed).
+        self._timer_compare: list[int | None] = [None] * n_cores
+
+    def arm_timer(self, core_id: int, due_cycle: int) -> None:
+        """Arm (or re-arm) the core's timer for an absolute cycle count."""
+        self._check_core(core_id)
+        self._timer_compare[core_id] = due_cycle
+
+    def cancel_timer(self, core_id: int) -> None:
+        """Disarm the core's timer (write mtimecmp to the far future)."""
+        self._check_core(core_id)
+        self._timer_compare[core_id] = None
+
+    def send_ipi(self, core_id: int) -> None:
+        """Post a software interrupt (inter-processor interrupt)."""
+        self._check_core(core_id)
+        self._pending[core_id].append(TrapCause.SOFTWARE_INTERRUPT)
+
+    def raise_external(self, core_id: int) -> None:
+        """Post an external (device) interrupt."""
+        self._check_core(core_id)
+        self._pending[core_id].append(TrapCause.EXTERNAL_INTERRUPT)
+
+    def poll(self, core_id: int, current_cycle: int) -> Trap | None:
+        """Return the next deliverable interrupt for a core, if any.
+
+        A due timer compare fires once and disarms itself.
+        """
+        self._check_core(core_id)
+        compare = self._timer_compare[core_id]
+        if compare is not None and compare <= current_cycle:
+            self._timer_compare[core_id] = None
+            self._pending[core_id].append(TrapCause.TIMER_INTERRUPT)
+        if self._pending[core_id]:
+            cause = self._pending[core_id].pop(0)
+            return Trap(cause)
+        return None
+
+    def pending_count(self, core_id: int) -> int:
+        """Number of undelivered interrupts queued for a core."""
+        self._check_core(core_id)
+        return len(self._pending[core_id])
+
+    def clear(self, core_id: int) -> None:
+        """Drop all pending interrupts and disarm the timer (core reset)."""
+        self._check_core(core_id)
+        self._pending[core_id].clear()
+        self._timer_compare[core_id] = None
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.n_cores:
+            raise ValueError(f"core {core_id} out of range [0, {self.n_cores})")

@@ -1,0 +1,223 @@
+"""SVM-32: the fixed-width RISC-like ISA executed by simulated cores.
+
+The paper's platforms execute RISC-V; modelling all of RV64GC would
+add enormous surface without changing any security-relevant behaviour.
+SVM-32 keeps exactly what the monitor's world cares about:
+
+* deterministic in-order execution (Sanctum cores are in-order,
+  single-thread pipelines — §VII-A),
+* loads/stores translated by page tables and checked by the isolation
+  hardware on every physical access,
+* ``ecall`` as the only way to enter the monitor synchronously,
+* ``rdcycle`` so user code (and attackers) can observe timing.
+
+Encoding: every instruction is 8 bytes —
+``opcode:u8  rd:u8  rs1:u8  rs2:u8  imm:i32(little-endian)``.
+Sixteen 32-bit registers; ``r0`` reads as zero and ignores writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.util.bits import to_signed32, to_unsigned32
+
+#: Bytes per instruction.
+INSTRUCTION_SIZE = 8
+
+#: Number of general-purpose registers.
+NUM_REGS = 16
+
+
+class Opcode(enum.IntEnum):
+    """SVM-32 opcodes."""
+
+    NOP = 0
+    HALT = 1
+    #: rd = imm
+    LI = 2
+    #: rd = rs1 + imm
+    ADDI = 3
+    ADD = 4
+    SUB = 5
+    MUL = 6
+    #: Unsigned divide; divide-by-zero yields all-ones (RISC-V semantics).
+    DIVU = 7
+    REMU = 8
+    AND = 9
+    OR = 10
+    XOR = 11
+    #: Shift amounts use the low 5 bits of rs2.
+    SLL = 12
+    SRL = 13
+    SRA = 14
+    #: rd = (rs1 < rs2) signed / unsigned.
+    SLT = 15
+    SLTU = 16
+    #: rd = mem32[rs1 + imm]
+    LW = 17
+    #: mem32[rs1 + imm] = rs2
+    SW = 18
+    #: rd = zero-extended mem8[rs1 + imm]
+    LBU = 19
+    #: mem8[rs1 + imm] = low byte of rs2
+    SB = 20
+    #: Branches: pc += imm when taken (imm is a byte offset).
+    BEQ = 21
+    BNE = 22
+    BLTU = 23
+    BGEU = 24
+    BLT = 25
+    BGE = 26
+    #: rd = pc + 8; pc += imm
+    JAL = 27
+    #: rd = pc + 8; pc = rs1 + imm
+    JALR = 28
+    #: Synchronous trap into the security monitor.
+    ECALL = 29
+    #: Debug breakpoint trap.
+    EBREAK = 30
+    #: rd = low 32 bits of the core cycle counter.
+    RDCYCLE = 31
+    #: Memory fence; a timing-only no-op on this in-order core.
+    FENCE = 32
+    ANDI = 33
+    ORI = 34
+    XORI = 35
+    #: Hardware crypto accelerator (cf. the RISC-V scalar-crypto
+    #: extensions).  ``imm`` selects the function (:class:`CryptoFn`);
+    #: operands are passed in a1..a4 as virtual addresses/lengths and
+    #: go through the normal translated, isolation-checked access path.
+    CRYPTO = 36
+
+
+class CryptoFn(enum.IntEnum):
+    """Function selector for :data:`Opcode.CRYPTO`.
+
+    The accelerator lets enclave code perform the paper's attestation
+    cryptography (Fig. 7 steps ④–⑤) entirely inside the enclave's
+    protection domain — the reproduction's stand-in for linking a
+    crypto library into the enclave binary.
+    """
+
+    #: a1=src vaddr, a2=len, a3=dst vaddr (64-byte digest out).
+    SHA3_512 = 0
+    #: a1=secret-key vaddr (32B), a2=msg vaddr, a3=msg len, a4=out vaddr (64B).
+    ED25519_SIGN = 1
+    #: a1=secret-key vaddr (32B), a2=out vaddr (32B public key).
+    ED25519_PUB = 2
+    #: a1=scalar vaddr (32B), a2=out vaddr (32B): scalar * base point.
+    X25519_BASE = 3
+    #: a1=scalar vaddr (32B), a2=point vaddr (32B), a3=out vaddr (32B).
+    X25519 = 4
+    #: a1=dst vaddr, a2=len: fill from the hardware entropy source.
+    RANDOM = 5
+
+
+class Reg(enum.IntEnum):
+    """Register numbers with their ABI aliases.
+
+    Calling convention: ``a0`` carries the ecall number on entry to the
+    monitor and the result code on return; ``a1``–``a7`` carry
+    arguments / extra return values.
+    """
+
+    ZERO = 0
+    RA = 1
+    SP = 2
+    GP = 3
+    TP = 4
+    T0 = 5
+    T1 = 6
+    T2 = 7
+    A0 = 8
+    A1 = 9
+    A2 = 10
+    A3 = 11
+    A4 = 12
+    A5 = 13
+    A6 = 14
+    A7 = 15
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded SVM-32 instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGS:
+                raise ValueError(f"{name}={value} out of range for {NUM_REGS} registers")
+        if not -(2**31) <= self.imm < 2**31:
+            raise ValueError(f"immediate {self.imm} does not fit in 32 bits")
+
+    def encode(self) -> bytes:
+        """Serialize to the 8-byte wire format."""
+        return bytes(
+            (int(self.opcode), self.rd, self.rs1, self.rs2)
+        ) + to_unsigned32(self.imm).to_bytes(4, "little")
+
+
+def encode(instruction: Instruction) -> bytes:
+    """Encode one instruction to 8 bytes."""
+    return instruction.encode()
+
+
+def decode(raw: bytes) -> Instruction:
+    """Decode 8 bytes into an :class:`Instruction`.
+
+    Raises :class:`ValueError` for malformed input — the core converts
+    this into an illegal-instruction trap.
+    """
+    if len(raw) != INSTRUCTION_SIZE:
+        raise ValueError(f"instruction must be {INSTRUCTION_SIZE} bytes, got {len(raw)}")
+    opcode_value, rd, rs1, rs2 = raw[0], raw[1], raw[2], raw[3]
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as exc:
+        raise ValueError(f"unknown opcode {opcode_value}") from exc
+    imm = to_signed32(int.from_bytes(raw[4:8], "little"))
+    return Instruction(opcode, rd, rs1, rs2, imm)
+
+
+def _reg_name(index: int) -> str:
+    return Reg(index).name.lower()
+
+
+def disassemble(instruction: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    op = instruction.opcode
+    name = op.name.lower()
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+    imm = instruction.imm
+    if op in (Opcode.NOP, Opcode.HALT, Opcode.ECALL, Opcode.EBREAK, Opcode.FENCE):
+        return name
+    if op is Opcode.RDCYCLE:
+        return f"{name} {_reg_name(rd)}"
+    if op is Opcode.CRYPTO:
+        try:
+            return f"{name} {imm}  # {CryptoFn(imm).name}"
+        except ValueError:
+            return f"{name} {imm}"
+    if op is Opcode.LI:
+        return f"{name} {_reg_name(rd)}, {imm:#x}" if abs(imm) > 9 else f"{name} {_reg_name(rd)}, {imm}"
+    if op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.JALR):
+        return f"{name} {_reg_name(rd)}, {_reg_name(rs1)}, {imm}"
+    if op in (Opcode.LW, Opcode.LBU):
+        return f"{name} {_reg_name(rd)}, {imm}({_reg_name(rs1)})"
+    if op in (Opcode.SW, Opcode.SB):
+        return f"{name} {_reg_name(rs2)}, {imm}({_reg_name(rs1)})"
+    if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLTU, Opcode.BGEU, Opcode.BLT, Opcode.BGE):
+        return f"{name} {_reg_name(rs1)}, {_reg_name(rs2)}, pc{imm:+d}"
+    if op is Opcode.JAL:
+        return f"{name} {_reg_name(rd)}, pc{imm:+d}"
+    # Three-register ALU forms.
+    return f"{name} {_reg_name(rd)}, {_reg_name(rs1)}, {_reg_name(rs2)}"

@@ -1,0 +1,196 @@
+"""The machine: cores, memory, caches, devices, and trap routing.
+
+This is the "abstract machine consisting of an array of typed resources
+isolated by the hardware platform" (§VII) the SM runs on.  The machine
+owns:
+
+* the DRAM bus (:class:`~repro.hw.memory.PhysicalMemory`),
+* the shared LLC (installed by the platform backend),
+* the cores, each with private L1/TLB/PMP,
+* the interrupt controller and DMA filter,
+* the *isolation platform* — the Sanctum region unit or the Keystone
+  PMP discipline — consulted on every physical access, and
+* the trap handler, which is always the security monitor: **every**
+  event on every core is delivered to the SM before any other software
+  sees it (Fig. 1).
+
+The run loop is a deterministic round-robin interleaving of core
+steps, which makes every experiment replayable and lets the bounded
+checker enumerate interleavings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Protocol
+
+from repro.hw.cache import PartitionedLlc
+from repro.hw.core import Core
+from repro.hw.dma import DmaFilter
+from repro.hw.interrupts import InterruptController
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import AccessType
+from repro.hw.traps import Trap
+from repro.util.rng import DeterministicTRNG
+
+
+class IsolationCheck(Protocol):
+    """The hook an isolation platform installs on the machine."""
+
+    def check_access(self, core: Core, paddr: int, access: AccessType) -> bool:
+        """Decide whether the core's current domain may touch ``paddr``."""
+        ...
+
+
+@dataclasses.dataclass
+class MachineConfig:
+    """Machine geometry.  Defaults are laptop-scale; the paper's full
+    2 GB / 64-region Sanctum configuration is constructible (memory is
+    sparse) but slower to simulate."""
+
+    n_cores: int = 4
+    dram_size: int = 64 * 1024 * 1024
+    l1_sets: int = 64
+    l1_ways: int = 4
+    l1_hit_cycles: int = 2
+    llc_sets: int = 512
+    llc_ways: int = 8
+    llc_hit_cycles: int = 20
+    llc_miss_penalty: int = 100
+    tlb_entries: int = 64
+    trng_seed: int = 2019
+
+
+class Machine:
+    """A simulated enclave-capable multiprocessor system."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+        self.memory = PhysicalMemory(self.config.dram_size)
+        self.interrupts = InterruptController(self.config.n_cores)
+        self.dma_filter = DmaFilter()
+        self.trng = DeterministicTRNG(self.config.trng_seed)
+        self.cores = [Core(i, self) for i in range(self.config.n_cores)]
+        #: Shared LLC; the platform backend replaces this with a
+        #: partitioned instance when it installs itself.
+        self.llc: PartitionedLlc | None = None
+        self._isolation: IsolationCheck | None = None
+        self._trap_handler: Callable[[Core, Trap], None] | None = None
+        #: Optional per-instruction observer (see repro.hw.trace).
+        self._trace_hook: Callable[[Core], None] | None = None
+        #: Optional trap observer, called before the handler.
+        self._trap_observer: Callable[[Core, Trap], None] | None = None
+        #: Monotonic global step counter used for fair interleaving.
+        self.global_steps = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def install_isolation(self, platform: IsolationCheck) -> None:
+        """Attach the isolation platform (Sanctum regions or PMP)."""
+        self._isolation = platform
+
+    def install_llc(self, llc: PartitionedLlc) -> None:
+        """Attach the shared last-level cache."""
+        self.llc = llc
+
+    def set_trap_handler(self, handler: Callable[[Core, Trap], None]) -> None:
+        """Register the SM as the machine's sole trap handler."""
+        self._trap_handler = handler
+
+    def set_trace_hook(self, hook: Callable[[Core], None] | None) -> None:
+        """Install (or clear) a pre-instruction observer.
+
+        Debug instrumentation only: the hook sees the core *before*
+        each instruction and must not mutate machine state.
+        """
+        self._trace_hook = hook
+
+    def set_trap_observer(self, observer: Callable[[Core, Trap], None] | None) -> None:
+        """Install (or clear) a trap observer (runs before the handler)."""
+        self._trap_observer = observer
+
+    # ------------------------------------------------------------------
+    # Physical access path (called by cores and the page-table walker)
+    # ------------------------------------------------------------------
+
+    def check_isolation(self, core: Core, paddr: int, access: AccessType) -> bool:
+        """Ask the installed platform whether this access is legal.
+
+        With no platform installed (bare machine, pre-boot) everything
+        is permitted — matching hardware before the SM programs it.
+        """
+        if self._isolation is None:
+            return True
+        return self._isolation.check_access(core, paddr, access)
+
+    def physical_access_cycles(self, core: Core, paddr: int) -> int:
+        """Charge cache cycles for one physical access.
+
+        An L1 hit costs the L1 hit latency; an L1 miss propagates to
+        the shared LLC (when installed), which adds its hit latency or
+        its DRAM miss penalty.
+        """
+        cycles = core.l1.access(paddr, core.domain)
+        if not core.l1.stats.last_was_hit and self.llc is not None:
+            cycles += self.llc.access(paddr, core.domain)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def deliver_trap(self, core: Core, trap: Trap) -> None:
+        """Route a trap to the SM (the registered handler)."""
+        if self._trap_handler is None:
+            raise RuntimeError(f"trap with no handler installed: {trap}")
+        if self._trap_observer is not None:
+            self._trap_observer(core, trap)
+        self._trap_handler(core, trap)
+
+    def step_core(self, core_id: int) -> bool:
+        """Advance one core by one instruction (or one trap delivery).
+
+        Returns True when the core did any work (was not halted).
+        """
+        core = self.cores[core_id]
+        if core.halted:
+            return False
+        interrupt = self.interrupts.poll(core_id, core.cycles)
+        if interrupt is not None:
+            self.deliver_trap(core, dataclasses.replace(interrupt, pc=core.pc))
+            return True
+        if self._trace_hook is not None:
+            self._trace_hook(core)
+        try:
+            core.step()
+        except Trap as trap:
+            self.deliver_trap(core, trap)
+        self.global_steps += 1
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Round-robin all cores until all halt or the budget expires.
+
+        Returns the number of core-steps executed.
+        """
+        executed = 0
+        while executed < max_steps:
+            progressed = False
+            for core_id in range(self.config.n_cores):
+                if executed >= max_steps:
+                    break
+                if self.step_core(core_id):
+                    progressed = True
+                    executed += 1
+            if not progressed:
+                break
+        return executed
+
+    def run_core(self, core_id: int, max_steps: int = 1_000_000) -> int:
+        """Run a single core until it halts or the budget expires."""
+        executed = 0
+        while executed < max_steps and self.step_core(core_id):
+            executed += 1
+        return executed

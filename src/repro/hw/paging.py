@@ -1,0 +1,191 @@
+"""Two-level page tables and the hardware page-table walker.
+
+Modelled after Sv32: 32-bit virtual addresses, 4 KB pages, two levels
+of 1024 four-byte PTEs (one table fits exactly in one page).  Sanctum's
+key addition (§VII-A) is the *dual page-table walk*: a core executing
+an enclave uses the enclave's private root for virtual addresses inside
+``evrange`` and the OS root outside it, so the OS never sees enclave
+page-table state and cannot mount controlled-channel attacks on it.
+That selection logic lives in :mod:`repro.hw.core`; this module is the
+walker itself plus PTE encoding helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+#: PTE flag bits (subset of Sv32's).
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+
+#: PPN field position in a 32-bit PTE.
+_PTE_PPN_SHIFT = 12
+
+#: Virtual address field widths.
+VPN_BITS = 10
+LEVELS = 2
+ENTRIES_PER_TABLE = 1 << VPN_BITS
+
+
+class AccessType(enum.Enum):
+    """The three access kinds the walker distinguishes."""
+
+    FETCH = "fetch"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclasses.dataclass(frozen=True)
+class Translation:
+    """A successful translation, as cached by the TLB."""
+
+    vpn: int
+    ppn: int
+    readable: bool
+    writable: bool
+    executable: bool
+
+    def paddr(self, vaddr: int) -> int:
+        """Combine the mapped frame with the page offset of ``vaddr``."""
+        return (self.ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    def permits(self, access: AccessType) -> bool:
+        if access is AccessType.FETCH:
+            return self.executable
+        if access is AccessType.LOAD:
+            return self.readable
+        return self.writable
+
+
+class PageFault(Exception):
+    """Raised by the walker; the core converts it into a trap.
+
+    Attributes mirror RISC-V's ``stval``-style reporting: the faulting
+    virtual address and the access type that failed.
+    """
+
+    def __init__(self, vaddr: int, access: AccessType, reason: str) -> None:
+        self.vaddr = vaddr
+        self.access = access
+        self.reason = reason
+        super().__init__(f"page fault ({access.value}) at {vaddr:#x}: {reason}")
+
+
+def make_pte(ppn: int, flags: int) -> int:
+    """Build a 32-bit PTE from a physical page number and flag bits."""
+    return ((ppn << _PTE_PPN_SHIFT) | flags) & 0xFFFFFFFF
+
+
+def pte_ppn(pte: int) -> int:
+    """Extract the physical page number from a PTE."""
+    return pte >> _PTE_PPN_SHIFT
+
+
+def pte_flags(pte: int) -> int:
+    """Extract the flag bits from a PTE."""
+    return pte & (PAGE_SIZE - 1)
+
+
+def is_leaf(pte: int) -> bool:
+    """A valid PTE with any of R/W/X set is a leaf mapping."""
+    return bool(pte & PTE_V) and bool(pte & (PTE_R | PTE_W | PTE_X))
+
+
+def vpn_index(vaddr: int, level: int) -> int:
+    """Extract the VPN slice of ``vaddr`` for table ``level`` (1 = root)."""
+    return (vaddr >> (PAGE_SHIFT + VPN_BITS * level)) & (ENTRIES_PER_TABLE - 1)
+
+
+class PageTableWalker:
+    """The hardware walker: reads PTEs through a physical-read callback.
+
+    The callback is how the machine model interposes isolation checks on
+    the walker's own memory traffic — on Sanctum, the private page-table
+    walk for ``evrange`` must only ever touch enclave-owned frames, and
+    the invariant is enforced where the walker reads DRAM.
+    """
+
+    def __init__(self, memory: PhysicalMemory, read_u32=None) -> None:
+        self._memory = memory
+        self._read_u32 = read_u32 if read_u32 is not None else memory.read_u32
+
+    def walk(self, root_ppn: int, vaddr: int, access: AccessType) -> Translation:
+        """Translate ``vaddr`` starting from the table at ``root_ppn``.
+
+        Raises :class:`PageFault` on any invalid, non-leaf-at-bottom, or
+        permission-violating entry.
+        """
+        table_ppn = root_ppn
+        for level in range(LEVELS - 1, -1, -1):
+            entry_paddr = (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, level)
+            pte = self._read_u32(entry_paddr)
+            if not pte & PTE_V:
+                raise PageFault(vaddr, access, f"invalid PTE at level {level}")
+            if is_leaf(pte):
+                if level != 0:
+                    # No superpages in this model; a leaf above level 0
+                    # is a misconfigured table.
+                    raise PageFault(vaddr, access, "superpage leaf not supported")
+                translation = Translation(
+                    vpn=vaddr >> PAGE_SHIFT,
+                    ppn=pte_ppn(pte),
+                    readable=bool(pte & PTE_R),
+                    writable=bool(pte & PTE_W),
+                    executable=bool(pte & PTE_X),
+                )
+                if not translation.permits(access):
+                    raise PageFault(vaddr, access, "permission denied by PTE")
+                return translation
+            table_ppn = pte_ppn(pte)
+        raise PageFault(vaddr, access, "walk ended on a non-leaf PTE")
+
+
+class PageTableBuilder:
+    """Helper for constructing page tables directly in physical memory.
+
+    Used by the untrusted OS model for its own address space and by
+    tests; the SM constructs *enclave* tables only through its
+    ``allocate_page_table`` / ``load_page`` API, which uses the same
+    encoding via :func:`make_pte`.
+    """
+
+    def __init__(self, memory: PhysicalMemory, frame_allocator) -> None:
+        self._memory = memory
+        self._allocate_frame = frame_allocator
+        self.root_ppn: int = frame_allocator()
+        memory.zero_range(self.root_ppn << PAGE_SHIFT, PAGE_SIZE)
+
+    def map_page(self, vaddr: int, ppn: int, flags: int) -> None:
+        """Map the page containing ``vaddr`` to physical page ``ppn``."""
+        root_base = self.root_ppn << PAGE_SHIFT
+        l1_entry_paddr = root_base + 4 * vpn_index(vaddr, 1)
+        l1_pte = self._memory.read_u32(l1_entry_paddr)
+        if not l1_pte & PTE_V:
+            table_ppn = self._allocate_frame()
+            self._memory.zero_range(table_ppn << PAGE_SHIFT, PAGE_SIZE)
+            self._memory.write_u32(l1_entry_paddr, make_pte(table_ppn, PTE_V))
+            l1_pte = make_pte(table_ppn, PTE_V)
+        table_base = pte_ppn(l1_pte) << PAGE_SHIFT
+        l0_entry_paddr = table_base + 4 * vpn_index(vaddr, 0)
+        self._memory.write_u32(l0_entry_paddr, make_pte(ppn, flags | PTE_V))
+
+    def map_range(self, vaddr: int, paddr: int, length: int, flags: int) -> None:
+        """Identity-shape mapping of a byte range, page by page."""
+        offset = 0
+        while offset < length:
+            self.map_page((vaddr + offset), (paddr + offset) >> PAGE_SHIFT, flags)
+            offset += PAGE_SIZE
+
+    def unmap_page(self, vaddr: int) -> None:
+        """Clear the leaf PTE for ``vaddr`` (leaves the L0 table in place)."""
+        root_base = self.root_ppn << PAGE_SHIFT
+        l1_pte = self._memory.read_u32(root_base + 4 * vpn_index(vaddr, 1))
+        if not l1_pte & PTE_V:
+            return
+        table_base = pte_ppn(l1_pte) << PAGE_SHIFT
+        self._memory.write_u32(table_base + 4 * vpn_index(vaddr, 0), 0)

@@ -1,0 +1,74 @@
+"""Per-core TLB with domain tags and shootdown support.
+
+§VII-A: "A page table walk invariant guarantees TLB entries conform to
+the allocation [of] DRAM regions, requiring a TLB shootdown whenever
+DRAM regions are re-allocated to a different protection domain."
+
+Entries are tagged with the protection domain that installed them, so
+the monitor can flush a single domain's entries on context switch and
+the platform can shoot down every core's TLB when memory moves between
+domains.  The TLB also counts hits/misses, which feeds the cycle model
+(a miss costs a hardware walk, whose PTE reads go through the cache
+hierarchy like any other physical access).
+"""
+
+from __future__ import annotations
+
+from repro.hw.paging import Translation
+
+
+class Tlb:
+    """A simple fully-associative TLB with FIFO replacement."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"TLB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: (domain, vpn) -> Translation
+        self._entries: dict[tuple[int, int], Translation] = {}
+        self.hits = 0
+        self.misses = 0
+        self.shootdowns = 0
+
+    def lookup(self, domain: int, vpn: int) -> Translation | None:
+        """Return the cached translation for (domain, vpn), if any."""
+        entry = self._entries.get((domain, vpn))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def insert(self, domain: int, translation: Translation) -> None:
+        """Install a translation, evicting the oldest entry when full."""
+        key = (domain, translation.vpn)
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = translation
+
+    def flush_all(self) -> None:
+        """Drop every entry (global shootdown on this core)."""
+        self._entries.clear()
+        self.shootdowns += 1
+
+    def flush_domain(self, domain: int) -> None:
+        """Drop all entries installed by one protection domain."""
+        stale = [key for key in self._entries if key[0] == domain]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.shootdowns += 1
+
+    def flush_ppn(self, ppn: int) -> None:
+        """Drop every entry mapping to physical page ``ppn``.
+
+        Used when a single page changes hands (demand paging) without a
+        full region reassignment.
+        """
+        stale = [key for key, entry in self._entries.items() if entry.ppn == ppn]
+        for key in stale:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)

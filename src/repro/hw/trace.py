@@ -1,0 +1,163 @@
+"""Execution tracing for debugging enclaves and monitor behaviour.
+
+A :class:`Tracer` attaches to a machine and records, per instruction:
+core, protection domain, privilege, pc, cycle count, and — when
+``disassemble=True`` — the instruction text; plus every trap delivered.
+Records can be filtered by domain so an enclave developer sees only
+their enclave's execution.
+
+The tracer is read-only instrumentation: it never perturbs timing,
+TLBs, or caches (instruction bytes are fetched straight from physical
+memory using the SM-visible mapping, bypassing the cycle model).
+
+    tracer = Tracer(system.machine, disassemble=True)
+    with tracer:
+        system.kernel.enter_and_run(eid, tid)
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.core import Core
+from repro.hw.isa import INSTRUCTION_SIZE, decode, disassemble
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.traps import Trap
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced event: an instruction about to execute, or a trap."""
+
+    core_id: int
+    domain: int
+    pc: int
+    cycles: int
+    #: Disassembly, "<trap …>" for trap records, or "" when disabled.
+    text: str
+    is_trap: bool = False
+
+
+class Tracer:
+    """Attachable, filterable instruction/trap tracer."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        domains: set[int] | None = None,
+        disassemble: bool = True,
+        max_records: int = 100_000,
+    ) -> None:
+        self.machine = machine
+        self.domains = domains
+        self.disassemble_enabled = disassemble
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self) -> None:
+        self.machine.set_trace_hook(self._on_instruction)
+        self.machine.set_trap_observer(self._on_trap)
+
+    def detach(self) -> None:
+        self.machine.set_trace_hook(None)
+        self.machine.set_trap_observer(None)
+
+    def __enter__(self) -> "Tracer":
+        self.attach()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.detach()
+        return False
+
+    # -- recording ---------------------------------------------------------
+
+    def _wants(self, domain: int) -> bool:
+        return self.domains is None or domain in self.domains
+
+    def _record(self, record: TraceRecord) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def _peek_instruction(self, core: Core) -> str:
+        """Fetch + decode the next instruction without side effects."""
+        if not self.disassemble_enabled:
+            return ""
+        try:
+            if core.context.paging_enabled:
+                # Re-walk the tables read-only (no TLB insert, no cycles).
+                from repro.hw.paging import AccessType, PageTableWalker
+
+                walker = PageTableWalker(self.machine.memory)
+                root = (
+                    core.context.enclave_root_ppn
+                    if core.context.in_evrange(core.pc)
+                    else core.context.os_root_ppn
+                )
+                paddr = walker.walk(root, core.pc, AccessType.FETCH).paddr(core.pc)
+            else:
+                paddr = core.pc
+            raw = self.machine.memory.read(paddr, INSTRUCTION_SIZE)
+            return disassemble(decode(raw))
+        except Exception:
+            return "<unreadable>"
+
+    def _on_instruction(self, core: Core) -> None:
+        if not self._wants(core.domain):
+            return
+        self._record(
+            TraceRecord(
+                core_id=core.core_id,
+                domain=core.domain,
+                pc=core.pc,
+                cycles=core.cycles,
+                text=self._peek_instruction(core),
+            )
+        )
+
+    def _on_trap(self, core: Core, trap: Trap) -> None:
+        if not self._wants(core.domain):
+            return
+        self._record(
+            TraceRecord(
+                core_id=core.core_id,
+                domain=core.domain,
+                pc=trap.pc,
+                cycles=core.cycles,
+                text=f"<trap {trap.cause.value} tval={trap.tval:#x}>",
+                is_trap=True,
+            )
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def format(self, limit: int | None = None) -> str:
+        """Render the trace as aligned text."""
+        lines = []
+        for record in self.records[: limit or len(self.records)]:
+            marker = "!" if record.is_trap else " "
+            lines.append(
+                f"{marker} core{record.core_id} dom={record.domain:#8x} "
+                f"cyc={record.cycles:>8d} pc={record.pc:#010x}  {record.text}"
+            )
+        if self.dropped:
+            lines.append(f"… {self.dropped} records dropped (max_records reached)")
+        return "\n".join(lines)
+
+    def instruction_count(self, domain: int | None = None) -> int:
+        """Traced instructions, optionally for one domain."""
+        return sum(
+            1
+            for r in self.records
+            if not r.is_trap and (domain is None or r.domain == domain)
+        )
+
+    def traps(self) -> list[TraceRecord]:
+        return [r for r in self.records if r.is_trap]

@@ -1,0 +1,77 @@
+"""Trap causes and the trap record delivered to the security monitor.
+
+§IV-B3: "The SM must also be able to interpose on hardware events such
+as faults and interrupts...  For example, the OS must not be able to
+execute its fault handler on a core with enclave permissions; SM must
+be able to receive the interrupt, perform an enclave exit on the core,
+and then delegate the interrupt to the OS."
+
+Every synchronous exception and asynchronous interrupt a core takes is
+packaged as a :class:`Trap` and delivered to the machine's registered
+trap handler — which is always the SM.  Nothing reaches the OS or an
+enclave handler except through the SM's delegation logic
+(:mod:`repro.sm.events`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class TrapCause(enum.Enum):
+    """Why a core trapped.  Mirrors the RISC-V mcause taxonomy."""
+
+    # Synchronous exceptions.
+    ILLEGAL_INSTRUCTION = "illegal_instruction"
+    BREAKPOINT = "breakpoint"
+    ECALL_FROM_U = "ecall_from_u"
+    ECALL_FROM_S = "ecall_from_s"
+    PAGE_FAULT_FETCH = "page_fault_fetch"
+    PAGE_FAULT_LOAD = "page_fault_load"
+    PAGE_FAULT_STORE = "page_fault_store"
+    ACCESS_FAULT_FETCH = "access_fault_fetch"
+    ACCESS_FAULT_LOAD = "access_fault_load"
+    ACCESS_FAULT_STORE = "access_fault_store"
+    # Asynchronous interrupts.
+    TIMER_INTERRUPT = "timer_interrupt"
+    SOFTWARE_INTERRUPT = "software_interrupt"
+    EXTERNAL_INTERRUPT = "external_interrupt"
+
+    @property
+    def is_interrupt(self) -> bool:
+        """True for asynchronous causes (delivered between instructions)."""
+        return self in (
+            TrapCause.TIMER_INTERRUPT,
+            TrapCause.SOFTWARE_INTERRUPT,
+            TrapCause.EXTERNAL_INTERRUPT,
+        )
+
+    @property
+    def is_page_fault(self) -> bool:
+        return self in (
+            TrapCause.PAGE_FAULT_FETCH,
+            TrapCause.PAGE_FAULT_LOAD,
+            TrapCause.PAGE_FAULT_STORE,
+        )
+
+    @property
+    def is_ecall(self) -> bool:
+        return self in (TrapCause.ECALL_FROM_U, TrapCause.ECALL_FROM_S)
+
+
+@dataclasses.dataclass(frozen=True)
+class Trap(Exception):
+    """One trap event: cause, faulting value, and the pc it interrupted.
+
+    ``tval`` carries the faulting virtual address for page faults, the
+    faulting physical address for access faults, and zero otherwise —
+    the same convention as RISC-V's ``mtval``.
+    """
+
+    cause: TrapCause
+    tval: int = 0
+    pc: int = 0
+
+    def __str__(self) -> str:
+        return f"Trap({self.cause.value}, tval={self.tval:#x}, pc={self.pc:#x})"

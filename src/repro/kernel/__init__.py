@@ -1,0 +1,31 @@
+"""The untrusted operating system model.
+
+The paper's OS is adversarial but *functional*: it owns resource
+management (the SM only verifies), loads enclaves, schedules them, and
+services their demands.  This package provides that OS:
+
+* :mod:`repro.kernel.os_model` — frame/region allocation, SM API
+  driving, core scheduling plumbing.
+* :mod:`repro.kernel.loader` — the enclave image format and the
+  measured loading sequence (create → grant memory → page tables →
+  load pages → threads → init).
+* :mod:`repro.kernel.scheduler` — a round-robin enclave scheduler with
+  timer preemption (exercising AEX).
+* :mod:`repro.kernel.paging_service` — demand paging of OS-shared
+  buffers, cooperating with enclave fault handlers.
+* :mod:`repro.kernel.adversary` — *malicious* OS behaviours used by the
+  security test-suite and the attack benches.
+
+Nothing in this package is trusted; everything it does goes through
+either the SM API or hardware state the OS legitimately controls.
+"""
+
+from repro.kernel.loader import EnclaveImage, EnclaveSegment, image_from_assembly
+from repro.kernel.os_model import OsKernel
+
+__all__ = [
+    "EnclaveImage",
+    "EnclaveSegment",
+    "image_from_assembly",
+    "OsKernel",
+]

@@ -1,0 +1,215 @@
+"""Malicious-OS behaviours (paper §IV).
+
+"SM assumes an insidious privileged software adversary able to subvert
+any software (other than SM) in order to impersonate, tamper with, or
+inspect an enclave."  This module is that adversary: every method is an
+attack the threat model says must fail, implemented through exactly the
+interfaces a compromised OS controls — its own cores and page tables,
+the SM API, and DMA-capable devices.  Each method returns what the
+adversary *observed*, so the security tests assert on outcomes rather
+than on internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.dma import DmaDenied, DmaDevice
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W
+from repro.hw.traps import TrapCause
+from repro.kernel.os_model import LoadedEnclave, OsKernel
+from repro.sm.events import OsEventKind
+from repro.sm.resources import ResourceType
+
+
+@dataclasses.dataclass
+class ProbeResult:
+    """Outcome of a direct memory-probe attack."""
+
+    #: Did the probing load complete (True would be a security failure)?
+    succeeded: bool
+    #: The trap cause observed, if the access was stopped.
+    fault: TrapCause | None
+    #: The value read, when the probe succeeded.
+    value: int | None = None
+
+
+class MaliciousOs:
+    """An adversarial driver wrapped around the (untrusted) kernel."""
+
+    def __init__(self, kernel: OsKernel) -> None:
+        self.kernel = kernel
+        self.sm = kernel.sm
+        self.machine = kernel.machine
+
+    # ------------------------------------------------------------------
+    # Direct inspection attempts
+    # ------------------------------------------------------------------
+
+    def probe_physical(self, paddr: int, core_id: int = 0) -> ProbeResult:
+        """Read a physical address from an OS-controlled core.
+
+        The OS identity-maps all DRAM, so the page-table walk succeeds;
+        only the isolation hardware stands between the OS and the
+        target.  Targets inside SM or enclave memory must fault.
+        """
+        source = f"""
+            lw   a5, {paddr}(zero)
+            halt
+        """
+        core, events = self.kernel.run_user_program(source, core_id=core_id)
+        faults = [e for e in events if e.kind is OsEventKind.FAULT]
+        if faults:
+            return ProbeResult(False, faults[0].cause)
+        return ProbeResult(True, None, core.read_reg(13))  # a5
+
+    def probe_enclave_memory(self, loaded: LoadedEnclave, offset: int = 0) -> ProbeResult:
+        """Try to read an enclave's private memory directly."""
+        return self.probe_physical(loaded.region_base + offset)
+
+    def probe_sm_metadata(self) -> ProbeResult:
+        """Try to read the SM's metadata arena (enclave metadata lives there)."""
+        arena = self.sm.state.metadata_arenas[0]
+        return self.probe_physical(arena.base)
+
+    def dma_attack(self, device: DmaDevice, paddr: int, payload: bytes = b"\xde\xad") -> bool:
+        """Program a device to DMA into protected memory.
+
+        Returns True when the DMA filter stopped the transfer (the
+        required outcome for SM/enclave targets).
+        """
+        try:
+            device.write_to_memory(paddr, payload)
+        except DmaDenied:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # API abuse
+    # ------------------------------------------------------------------
+
+    def tamper_after_init(self, loaded: LoadedEnclave) -> ApiResult:
+        """Try to load another page into an already-initialized enclave.
+
+        §V-C: init_enclave "seals" the enclave, preventing further
+        modifications by untrusted software via the API.
+        """
+        staging = self.kernel.alloc_frame() << 12
+        self.machine.memory.write(staging, b"\xde\xad\xbe\xef")
+        return self.sm.load_page(
+            DOMAIN_UNTRUSTED,
+            loaded.eid,
+            loaded.image.evrange_base,
+            loaded.region_base + loaded.region_size - PAGE_SIZE,
+            staging,
+            PTE_R | PTE_W,
+        )
+
+    def steal_enclave_region(self, loaded: LoadedEnclave) -> ApiResult:
+        """Try to block (and so later reclaim) enclave-owned memory.
+
+        Only the *owner* may block a resource (Fig. 2); the OS is not
+        the owner, so the SM must refuse.
+        """
+        return self.sm.block_resource(
+            DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, loaded.rids[0]
+        )
+
+    def reclaim_without_cleaning(self, loaded: LoadedEnclave) -> ApiResult:
+        """delete_enclave, then grant a *blocked* region straight to the OS.
+
+        The grant must fail: blocked resources require cleaning before
+        they change protection domains (§V-B).
+        """
+        result = self.sm.delete_enclave(DOMAIN_UNTRUSTED, loaded.eid)
+        if result is not ApiResult.OK:
+            return result
+        return self.sm.grant_resource(
+            DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, loaded.rids[0], DOMAIN_UNTRUSTED
+        )
+
+    def impersonate_signing_enclave(self, shared_addr: int) -> ApiResult:
+        """Load a look-alike signing enclave and ask for the key.
+
+        The impostor's binary differs (even one byte), so its
+        measurement differs, so the key-release check must refuse.
+        Returns the result of its GET_ATTESTATION_KEY ecall, reported
+        through the shared status word.
+        """
+        from repro.sdk.signing_enclave import signing_enclave_source
+        from repro.kernel.loader import image_from_assembly
+
+        source = signing_enclave_source(shared_addr)
+        impostor_source = source.replace(
+            "# ---- Sanctorum signing enclave", "# ---- impostor signing enclave"
+        ) + "\n    .word 0xbad\n"
+        image = image_from_assembly(source=impostor_source, entry_symbol="_start")
+        loaded = self.kernel.load_enclave(image)
+        self.kernel.write_shared(shared_addr, (1).to_bytes(4, "little"))
+        self.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        status = self.machine.memory.read_u32(shared_addr + 0x40)
+        if status >= 0x100:
+            return ApiResult(status - 0x100)
+        return ApiResult.OK
+
+    def double_entry(self, loaded: LoadedEnclave) -> ApiResult:
+        """Enter the same thread on two cores at once (must fail)."""
+        first = self.sm.enter_enclave(
+            DOMAIN_UNTRUSTED, loaded.eid, loaded.tids[0], 0
+        )
+        if first is not ApiResult.OK:
+            return first
+        second = self.sm.enter_enclave(
+            DOMAIN_UNTRUSTED, loaded.eid, loaded.tids[0], 1
+        )
+        # Let the first entry finish so the system stays usable.
+        self.machine.run_core(0, 2_000_000)
+        self.sm.os_events.drain(0)
+        return second
+
+    def forge_eid(self, fake_eid: int) -> ApiResult:
+        """Operate on a made-up enclave id."""
+        return self.sm.init_enclave(DOMAIN_UNTRUSTED, fake_eid)
+
+    def create_enclave_outside_sm_memory(self) -> ApiResult:
+        """Place enclave metadata in OS memory (SM must refuse).
+
+        If this succeeded the OS could forge and tamper with metadata
+        directly, bypassing every other check.
+        """
+        os_paddr = self.kernel.alloc_frame() << 12
+        return self.sm.create_enclave(
+            DOMAIN_UNTRUSTED, os_paddr, 0x40000000, 0x10000, 1
+        )
+
+    def overlap_metadata(self, loaded: LoadedEnclave) -> ApiResult:
+        """Create new metadata overlapping an existing enclave's."""
+        return self.sm.create_enclave(
+            DOMAIN_UNTRUSTED, loaded.eid + 64, 0x40000000, 0x10000, 1
+        )
+
+    def map_enclave_page_into_os_tables(self, loaded: LoadedEnclave, core_id: int = 0) -> ProbeResult:
+        """Map enclave physical memory into OS page tables and read it.
+
+        The mapping itself is the OS's prerogative (its tables, its
+        business) — the *access* must still fault at the isolation
+        hardware.
+        """
+        window = 0x7F000000
+        self.kernel.page_tables.map_page(
+            window, loaded.region_base >> 12, PTE_R | PTE_W
+        )
+        for core in self.machine.cores:
+            core.tlb.flush_all()
+        source = f"""
+            lw   a5, {window}(zero)
+            halt
+        """
+        core, events = self.kernel.run_user_program(source, core_id=core_id)
+        faults = [e for e in events if e.kind is OsEventKind.FAULT]
+        if faults:
+            return ProbeResult(False, faults[0].cause)
+        return ProbeResult(True, None, core.read_reg(13))

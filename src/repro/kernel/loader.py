@@ -1,0 +1,146 @@
+"""Enclave images and their measured loading sequence (paper §V-C, §VI-A).
+
+An :class:`EnclaveImage` is the reproduction's enclave binary format: a
+set of virtual segments (real SVM-32 machine code and data), the
+enclave virtual range they live in, thread entry points, and a mailbox
+count.  :func:`image_from_assembly` builds one straight from assembler
+source, so example enclaves are written as programs, not byte blobs.
+
+Loading follows the paper's initialization order exactly — and the SM
+*enforces* that order, so the loader is also living documentation of
+the rules: page tables before data, ascending physical pages, every
+operation extending the measurement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.asm import assemble
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.util.bits import align_up
+
+#: Virtual span covered by one level-0 page table (1024 * 4 KB).
+L0_SPAN = PAGE_SIZE * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class EnclaveSegment:
+    """One virtual segment to be loaded into enclave memory."""
+
+    vaddr: int
+    data: bytes
+    #: PTE permission bits (PTE_R | PTE_W | PTE_X subset).
+    acl: int
+
+    def __post_init__(self) -> None:
+        if self.vaddr % PAGE_SIZE:
+            raise ValueError(f"segment vaddr {self.vaddr:#x} not page-aligned")
+
+    def pages(self) -> list[tuple[int, bytes]]:
+        """Split into page-sized (vaddr, bytes) chunks, zero-padded."""
+        out = []
+        data = self.data
+        offset = 0
+        while offset < len(data) or (offset == 0 and not data):
+            chunk = data[offset : offset + PAGE_SIZE]
+            chunk = chunk + bytes(PAGE_SIZE - len(chunk))
+            out.append((self.vaddr + offset, chunk))
+            offset += PAGE_SIZE
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class EnclaveImage:
+    """A complete enclave binary, ready for measured loading."""
+
+    evrange_base: int
+    evrange_size: int
+    segments: tuple[EnclaveSegment, ...]
+    entry_pc: int
+    entry_sp: int
+    fault_pc: int = 0
+    fault_sp: int = 0
+    num_mailboxes: int = 1
+
+    def __post_init__(self) -> None:
+        for segment in self.segments:
+            end = segment.vaddr + max(len(segment.data), PAGE_SIZE)
+            if segment.vaddr < self.evrange_base or end > self.evrange_base + self.evrange_size:
+                raise ValueError(
+                    f"segment at {segment.vaddr:#x} escapes evrange "
+                    f"[{self.evrange_base:#x}, +{self.evrange_size:#x})"
+                )
+
+    def total_pages(self) -> int:
+        """Data pages this image loads (page tables not included)."""
+        return sum(len(s.pages()) for s in self.segments)
+
+    def l0_blocks(self) -> list[int]:
+        """The distinct level-0 table indices the segments touch."""
+        blocks = set()
+        for segment in self.segments:
+            for vaddr, _ in segment.pages():
+                blocks.add(vaddr // L0_SPAN)
+        return sorted(blocks)
+
+    def required_pages(self) -> int:
+        """Physical pages needed: root + L0 tables + data pages."""
+        return 1 + len(self.l0_blocks()) + self.total_pages()
+
+
+#: Default enclave memory layout used by the assembly helper.
+DEFAULT_EVRANGE_BASE = 0x40000000
+DEFAULT_STACK_PAGES = 2
+
+
+def image_from_assembly(
+    source: str,
+    evrange_base: int = DEFAULT_EVRANGE_BASE,
+    evrange_size: int | None = None,
+    stack_pages: int = DEFAULT_STACK_PAGES,
+    num_mailboxes: int = 1,
+    entry_symbol: str | None = None,
+    fault_symbol: str | None = None,
+) -> EnclaveImage:
+    """Assemble source into a ready-to-load enclave image.
+
+    Layout: code+data (RWX) at ``evrange_base``, then a zeroed RW stack
+    of ``stack_pages`` with ``entry_sp`` at its top.  The entry point
+    is ``entry_symbol`` (default: the image base); the optional fault
+    handler is ``fault_symbol`` with a dedicated stack page above the
+    main stack.
+    """
+    assembled = assemble(source, base=evrange_base)
+    code_size = align_up(max(len(assembled.data), 1), PAGE_SIZE)
+    stack_base = evrange_base + code_size
+    fault_stack_pages = 1 if fault_symbol else 0
+    total_size = code_size + (stack_pages + fault_stack_pages) * PAGE_SIZE
+    if evrange_size is None:
+        evrange_size = align_up(total_size, PAGE_SIZE)
+    segments = [
+        EnclaveSegment(evrange_base, assembled.data, PTE_R | PTE_W | PTE_X),
+        EnclaveSegment(stack_base, bytes(stack_pages * PAGE_SIZE), PTE_R | PTE_W),
+    ]
+    entry_sp = stack_base + stack_pages * PAGE_SIZE
+    fault_pc = 0
+    fault_sp = 0
+    if fault_symbol:
+        fault_stack_base = stack_base + stack_pages * PAGE_SIZE
+        segments.append(
+            EnclaveSegment(fault_stack_base, bytes(PAGE_SIZE), PTE_R | PTE_W)
+        )
+        fault_pc = assembled.symbol(fault_symbol)
+        fault_sp = fault_stack_base + PAGE_SIZE
+    entry_pc = assembled.symbol(entry_symbol) if entry_symbol else evrange_base
+    return EnclaveImage(
+        evrange_base=evrange_base,
+        evrange_size=evrange_size,
+        segments=tuple(segments),
+        entry_pc=entry_pc,
+        entry_sp=entry_sp,
+        fault_pc=fault_pc,
+        fault_sp=fault_sp,
+        num_mailboxes=num_mailboxes,
+    )

@@ -1,0 +1,101 @@
+"""Demand paging of OS-shared buffers (paper §III, §V-C).
+
+Enclave accesses *outside* evrange go through the OS page tables, so
+the OS may demand-page that memory exactly as it does for normal
+processes: the enclave faults, the SM performs an AEX and delegates the
+fault — *with* the faulting address, since it lies in OS-managed
+memory — the OS maps the page, and re-enters the enclave, whose runtime
+resumes the interrupted access from the AEX state.
+
+(The complementary case — faults on enclave-*private* pages — never
+reaches the OS: the SM either delivers them to the enclave's own
+handler or performs an AEX whose fault address is withheld.  The
+controlled-channel ablation bench measures exactly this difference.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W
+from repro.kernel.os_model import OsError, OsKernel
+from repro.sm.events import OsEventKind
+from repro.util.bits import align_down
+
+
+@dataclasses.dataclass
+class PagingTrace:
+    """Fault-service log for one demand-paged run."""
+
+    faults_serviced: int = 0
+    #: Page-aligned fault addresses, in service order — what the OS
+    #: legitimately observes for *shared* memory.
+    fault_addresses: list[int] = dataclasses.field(default_factory=list)
+    reentries: int = 0
+    finished: bool = False
+
+
+class DemandPager:
+    """An OS service that lazily maps a shared buffer for an enclave."""
+
+    def __init__(self, kernel: OsKernel, buffer_base: int, n_pages: int) -> None:
+        self.kernel = kernel
+        self.buffer_base = buffer_base
+        self.n_pages = n_pages
+        self._resident: set[int] = set()
+        # Start with the whole window unmapped in the OS tables.
+        for index in range(n_pages):
+            kernel.page_tables.unmap_page(buffer_base + index * PAGE_SIZE)
+        self._flush_tlbs()
+
+    def _flush_tlbs(self) -> None:
+        for core in self.kernel.machine.cores:
+            core.tlb.flush_all()
+
+    def _service_fault(self, vaddr: int) -> bool:
+        page = align_down(vaddr, PAGE_SIZE)
+        index = (page - self.buffer_base) // PAGE_SIZE
+        if not 0 <= index < self.n_pages:
+            return False
+        # Identity-map the page back in (the backing frames exist; a
+        # richer model would swap contents from a backing store).
+        self.kernel.page_tables.map_page(page, page >> PAGE_SHIFT, PTE_R | PTE_W)
+        self._flush_tlbs()
+        self._resident.add(index)
+        return True
+
+    def run_with_paging(
+        self, eid: int, tid: int, core_id: int = 0, max_faults: int = 10_000
+    ) -> PagingTrace:
+        """Run an enclave thread, servicing its shared-buffer faults.
+
+        Returns the service trace once the enclave exits voluntarily.
+        """
+        trace = PagingTrace()
+        result = self.kernel.sm.enter_enclave(DOMAIN_UNTRUSTED, eid, tid, core_id)
+        if result is not ApiResult.OK:
+            raise OsError(f"enter_enclave failed: {result.name}")
+        while True:
+            self.kernel.machine.run_core(core_id, 2_000_000)
+            events = self.kernel.sm.os_events.drain(core_id)
+            if not events:
+                raise OsError("core stopped without a delegated event")
+            event = events[0]
+            if event.kind is OsEventKind.ENCLAVE_EXIT:
+                trace.finished = True
+                return trace
+            if event.kind is not OsEventKind.AEX or not event.cause.is_page_fault:
+                raise OsError(f"unexpected event during paging: {event}")
+            if trace.faults_serviced >= max_faults:
+                raise OsError("fault budget exhausted (livelock?)")
+            if not self._service_fault(event.tval):
+                raise OsError(f"fault outside the paged window: {event.tval:#x}")
+            trace.faults_serviced += 1
+            trace.fault_addresses.append(align_down(event.tval, PAGE_SIZE))
+            result = self.kernel.sm.enter_enclave(DOMAIN_UNTRUSTED, eid, tid, core_id)
+            if result is not ApiResult.OK:
+                raise OsError(f"re-enter failed: {result.name}")
+            trace.reentries += 1

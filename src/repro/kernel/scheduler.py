@@ -1,0 +1,178 @@
+"""Preemptive enclave scheduling (paper §V-A, Fig. 1).
+
+"The OS is always able to de-schedule an enclave by interrupting it,
+forcing an AEX."  This scheduler does exactly that: it arms a timer
+before entering each enclave, lets the SM convert the interrupt into an
+asynchronous enclave exit, and rotates to the next runnable thread.
+Enclaves built with the SDK runtime resume transparently from their AEX
+state on re-entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.kernel.os_model import OsError, OsKernel
+from repro.sm.events import OsEvent, OsEventKind
+
+
+@dataclasses.dataclass
+class ScheduledTask:
+    """One enclave thread under the scheduler's control."""
+
+    eid: int
+    tid: int
+    finished: bool = False
+    entries: int = 0
+    aex_count: int = 0
+
+
+@dataclasses.dataclass
+class ScheduleTrace:
+    """What happened during a scheduling run (for tests and benches)."""
+
+    time_slices: int = 0
+    aex_events: int = 0
+    voluntary_exits: int = 0
+    events: list[OsEvent] = dataclasses.field(default_factory=list)
+
+
+class RoundRobinScheduler:
+    """Timer-preemptive round-robin over enclave threads on one core."""
+
+    def __init__(self, kernel: OsKernel, core_id: int = 0, slice_cycles: int = 2000) -> None:
+        if slice_cycles <= 0:
+            raise ValueError(f"slice must be positive, got {slice_cycles}")
+        self.kernel = kernel
+        self.core_id = core_id
+        self.slice_cycles = slice_cycles
+        self.tasks: list[ScheduledTask] = []
+
+    def add(self, eid: int, tid: int) -> ScheduledTask:
+        task = ScheduledTask(eid, tid)
+        self.tasks.append(task)
+        return task
+
+    def run(self, max_slices: int = 1000, max_steps_per_slice: int = 500_000) -> ScheduleTrace:
+        """Rotate through tasks until all exit voluntarily (or budget ends).
+
+        Each slice: arm the preemption timer, enter the thread, run the
+        core until it halts (AEX or exit), account the delegated events.
+        """
+        trace = ScheduleTrace()
+        machine = self.kernel.machine
+        core = machine.cores[self.core_id]
+        while trace.time_slices < max_slices and not all(t.finished for t in self.tasks):
+            progressed = False
+            for task in self.tasks:
+                if task.finished:
+                    continue
+                machine.interrupts.arm_timer(
+                    self.core_id, core.cycles + self.slice_cycles
+                )
+                result = self.kernel.sm.enter_enclave(
+                    DOMAIN_UNTRUSTED, task.eid, task.tid, self.core_id
+                )
+                if result is not ApiResult.OK:
+                    raise OsError(f"enter_enclave failed for {task.eid:#x}: {result.name}")
+                task.entries += 1
+                machine.run_core(self.core_id, max_steps_per_slice)
+                events = self.kernel.sm.os_events.drain(self.core_id)
+                trace.events.extend(events)
+                trace.time_slices += 1
+                progressed = True
+                for event in events:
+                    if event.kind is OsEventKind.AEX:
+                        task.aex_count += 1
+                        trace.aex_events += 1
+                    elif event.kind is OsEventKind.ENCLAVE_EXIT:
+                        task.finished = True
+                        trace.voluntary_exits += 1
+                if trace.time_slices >= max_slices:
+                    break
+            if not progressed:
+                break
+        # Drain any timer that fired after the final exit.
+        machine.interrupts.clear(self.core_id)
+        return trace
+
+
+class SmpScheduler:
+    """Timer-preemptive scheduling across *all* cores simultaneously.
+
+    Idle cores pull from a shared ready queue; every dispatched slice is
+    bounded by that core's timer.  All cores genuinely interleave — the
+    machine's round-robin steps every running core, so enclaves execute
+    concurrently and mailbox/ownership interleavings are real.
+    """
+
+    def __init__(
+        self,
+        kernel: OsKernel,
+        core_ids: list[int] | None = None,
+        slice_cycles: int = 2000,
+    ) -> None:
+        if slice_cycles <= 0:
+            raise ValueError(f"slice must be positive, got {slice_cycles}")
+        self.kernel = kernel
+        self.core_ids = core_ids or list(range(kernel.machine.config.n_cores))
+        self.slice_cycles = slice_cycles
+        self.tasks: list[ScheduledTask] = []
+        self._ready: list[ScheduledTask] = []
+        #: core_id -> task currently dispatched there.
+        self._running: dict[int, ScheduledTask] = {}
+
+    def add(self, eid: int, tid: int) -> ScheduledTask:
+        task = ScheduledTask(eid, tid)
+        self.tasks.append(task)
+        self._ready.append(task)
+        return task
+
+    def _dispatch(self, core_id: int, task: ScheduledTask) -> None:
+        machine = self.kernel.machine
+        core = machine.cores[core_id]
+        result = self.kernel.sm.enter_enclave(
+            DOMAIN_UNTRUSTED, task.eid, task.tid, core_id
+        )
+        if result is not ApiResult.OK:
+            raise OsError(f"enter_enclave failed on core {core_id}: {result.name}")
+        machine.interrupts.arm_timer(core_id, core.cycles + self.slice_cycles)
+        task.entries += 1
+        self._running[core_id] = task
+
+    def run(self, max_rounds: int = 10_000, steps_per_round: int = 20_000) -> ScheduleTrace:
+        """Run until every task exits voluntarily (or the budget ends)."""
+        trace = ScheduleTrace()
+        machine = self.kernel.machine
+        for _ in range(max_rounds):
+            if all(task.finished for task in self.tasks):
+                break
+            # Fill idle cores from the ready queue.
+            for core_id in self.core_ids:
+                if core_id not in self._running and self._ready:
+                    self._dispatch(core_id, self._ready.pop(0))
+            machine.run(max_steps=steps_per_round)
+            # Account every core that came back to the OS.
+            for core_id in self.core_ids:
+                events = self.kernel.sm.os_events.drain(core_id)
+                if not events:
+                    continue
+                trace.events.extend(events)
+                task = self._running.pop(core_id, None)
+                for event in events:
+                    if event.kind is OsEventKind.AEX:
+                        trace.aex_events += 1
+                        trace.time_slices += 1
+                        if task is not None:
+                            task.aex_count += 1
+                            self._ready.append(task)
+                    elif event.kind is OsEventKind.ENCLAVE_EXIT:
+                        trace.voluntary_exits += 1
+                        trace.time_slices += 1
+                        if task is not None:
+                            task.finished = True
+        for core_id in self.core_ids:
+            machine.interrupts.clear(core_id)
+        return trace

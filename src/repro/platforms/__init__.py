@@ -1,0 +1,24 @@
+"""Architecture-specific isolation backends (paper §VII).
+
+The SM core is generic over "an abstract machine consisting of an array
+of typed resources isolated by the hardware platform"; what differs per
+platform is how memory is isolated, cleaned, and assigned:
+
+* :mod:`repro.platforms.sanctum` — the MIT Sanctum processor: fixed
+  DRAM regions, an LLC partitioned by region, TLB shootdowns on region
+  reassignment (§VII-A).
+* :mod:`repro.platforms.keystone` — the Keystone enclave framework:
+  RISC-V PMP white-listing of arbitrary physical intervals, no
+  microarchitectural isolation (§VII-B).
+"""
+
+from repro.platforms.base import IsolationPlatform, RegionInfo
+from repro.platforms.sanctum import SanctumPlatform
+from repro.platforms.keystone import KeystonePlatform
+
+__all__ = [
+    "IsolationPlatform",
+    "RegionInfo",
+    "SanctumPlatform",
+    "KeystonePlatform",
+]

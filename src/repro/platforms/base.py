@@ -1,0 +1,141 @@
+"""The interface every isolation platform offers the security monitor.
+
+§VII: "Refining the high-level tasks of cleaning resources and
+assigning them to protection domains is specific to the hardware
+platform.  Of importance is SM's implementation of memory: private
+segments of physical memory are used throughout SM, but SM does not
+prescribe specific means by which memory is isolated."
+
+The SM core (``repro.sm``) talks to the platform only through this
+interface; the two concrete backends differ exactly where the paper
+says they do.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.hw.core import Core
+from repro.hw.machine import Machine
+from repro.hw.paging import AccessType
+
+#: Sentinel owner for a cleaned region awaiting assignment.
+OWNER_FREE = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionInfo:
+    """One isolated memory region as the SM sees it."""
+
+    rid: int
+    base: int
+    size: int
+    owner: int
+
+
+class IsolationPlatform(abc.ABC):
+    """Hardware isolation services consumed by the SM."""
+
+    #: Human-readable backend name ("sanctum" / "keystone").
+    name: str = "abstract"
+
+    #: Whether the shared LLC is partitioned across protection domains
+    #: (True on Sanctum, False on Keystone — §VII-B: "Keystone does
+    #: not, at the time of this writing, isolate microarchitectural
+    #: resources such as shared cache lines").
+    isolates_llc: bool = False
+
+    #: Whether regions are created/destroyed dynamically (Keystone) or
+    #: form a fixed array (Sanctum).  Dynamic regions dissolve back
+    #: into the untrusted pool when cleaned.
+    dynamic_regions: bool = False
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # -- memory geometry -------------------------------------------------
+
+    @abc.abstractmethod
+    def region_of(self, paddr: int) -> int | None:
+        """Region id containing ``paddr``, or None if unregioned."""
+
+    @abc.abstractmethod
+    def region_range(self, rid: int) -> tuple[int, int]:
+        """Return (base, size) of a region."""
+
+    @abc.abstractmethod
+    def region_ids(self) -> list[int]:
+        """All currently existing region ids."""
+
+    @abc.abstractmethod
+    def region_owner(self, rid: int) -> int:
+        """The protection domain the hardware believes owns the region."""
+
+    # -- assignment and cleaning -----------------------------------------
+
+    @abc.abstractmethod
+    def assign_region(self, rid: int, owner: int) -> None:
+        """Program the hardware so ``owner`` (and only it) may access."""
+
+    def clean_region(self, rid: int) -> None:
+        """Scrub a region for reassignment: zero DRAM, purge caches/TLBs.
+
+        This is the platform half of the SM's ``clean_resource``
+        (Fig. 2): after it returns, no residue of the previous owner is
+        observable through memory or the memory hierarchy.
+        """
+        base, size = self.region_range(rid)
+        self.machine.memory.zero_range(base, size)
+        old_owner = self.region_owner(rid)
+        if self.machine.llc is not None:
+            self.machine.llc.flush_domain(old_owner)
+        for core in self.machine.cores:
+            core.l1.flush_domain(old_owner)
+        self.tlb_shootdown()
+        self.assign_region(rid, OWNER_FREE)
+
+    def tlb_shootdown(self) -> None:
+        """Flush every core's TLB (region reassignment invariant, §VII-A)."""
+        for core in self.machine.cores:
+            core.tlb.flush_all()
+
+    # -- dynamic regions (Keystone) ---------------------------------------
+
+    def create_region(self, base: int, size: int, owner: int) -> int:
+        """Carve a new isolated region out of untrusted memory.
+
+        Only meaningful on platforms with dynamic regions (Keystone);
+        the static-region Sanctum backend rejects it.
+        """
+        raise NotImplementedError(f"{self.name} has a static region map")
+
+    def delete_region(self, rid: int) -> None:
+        """Return a dynamic region's interval to the untrusted pool."""
+        raise NotImplementedError(f"{self.name} has a static region map")
+
+    # -- per-core context --------------------------------------------------
+
+    def configure_core(self, core: Core) -> None:
+        """Reprogram per-core isolation state after a domain switch.
+
+        Keystone rewrites the hart's PMP entries here; Sanctum's
+        region checks are global and keyed by the core's domain, so its
+        override is a no-op.
+        """
+
+    # -- the access check installed on the machine -------------------------
+
+    @abc.abstractmethod
+    def check_access(self, core: Core, paddr: int, access: AccessType) -> bool:
+        """Hardware check applied to every physical access of a core."""
+
+    # -- introspection ------------------------------------------------------
+
+    def regions(self) -> list[RegionInfo]:
+        """Snapshot of all regions (for experiments and invariants)."""
+        out = []
+        for rid in self.region_ids():
+            base, size = self.region_range(rid)
+            out.append(RegionInfo(rid, base, size, self.region_owner(rid)))
+        return out

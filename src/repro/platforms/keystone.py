@@ -1,0 +1,193 @@
+"""The Keystone backend: PMP-based isolation of dynamic regions.
+
+§VII-B: "For memory isolation, SM straightforwardly marks its own
+private state as solely accessible via RISC-V's M-Mode, allowing the OS
+to access physical memory outside of this forbidden range, and granting
+itself unrestricted access.  Enclaves are likewise marked via a
+white-listed range of physical memory of arbitrary size. ...  Keystone
+does not, at the time of this writing, isolate microarchitectural
+resources such as shared cache lines across arbitrary platforms."
+
+Regions here are *dynamic*: the SM carves an interval of any
+PMP-expressible size out of untrusted memory per enclave
+(:meth:`create_region`) and returns it on enclave destruction.  Every
+domain switch reprograms the executing hart's PMP entries
+(:meth:`configure_core`):
+
+* slot 0 hides blocked/free regions and *other* enclaves' regions from
+  everyone below M-mode;
+* when the hart runs an enclave, a high-priority slot exposes exactly
+  that enclave's region;
+* a low-priority catch-all grants S/U access to the remaining
+  (untrusted) memory;
+* the SM's own region is covered by the deny slots and reachable only
+  from M-mode.
+
+The LLC stays *unpartitioned* — the prime+probe ablation bench shows
+exactly the leakage the paper's threat-model caveat concedes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.cache import PartitionedLlc
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
+from repro.hw.machine import Machine
+from repro.hw.paging import AccessType
+from repro.hw.pmp import PmpEntry, PmpPerm, Privilege
+from repro.platforms.base import OWNER_FREE, IsolationPlatform
+
+
+@dataclasses.dataclass
+class _DynamicRegion:
+    rid: int
+    base: int
+    size: int
+    owner: int
+
+
+class KeystonePlatform(IsolationPlatform):
+    """PMP-based isolation on an unmodified RISC-V machine."""
+
+    name = "keystone"
+    isolates_llc = False
+    dynamic_regions = True
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine)
+        self._regions: dict[int, _DynamicRegion] = {}
+        self._next_rid = 0
+        llc = PartitionedLlc(
+            n_sets=machine.config.llc_sets,
+            n_ways=machine.config.llc_ways,
+            region_size=machine.config.dram_size,
+            n_regions=1,
+            partitioned=False,
+            hit_cycles=machine.config.llc_hit_cycles,
+            miss_penalty=machine.config.llc_miss_penalty,
+        )
+        machine.install_llc(llc)
+        machine.install_isolation(self)
+
+    # -- geometry ---------------------------------------------------------
+
+    def region_of(self, paddr: int) -> int | None:
+        for region in self._regions.values():
+            if region.base <= paddr < region.base + region.size:
+                return region.rid
+        return None
+
+    def region_range(self, rid: int) -> tuple[int, int]:
+        region = self._region(rid)
+        return region.base, region.size
+
+    def region_ids(self) -> list[int]:
+        return sorted(self._regions)
+
+    def region_owner(self, rid: int) -> int:
+        return self._region(rid).owner
+
+    # -- dynamic regions ----------------------------------------------------
+
+    def create_region(self, base: int, size: int, owner: int) -> int:
+        """White-list a new interval as an isolated region.
+
+        The interval must lie in DRAM and not overlap any existing
+        region (overlap would alias two protection domains).
+        """
+        if size <= 0 or base < 0 or base + size > self.machine.config.dram_size:
+            raise ValueError(f"region [{base:#x}, +{size:#x}) outside DRAM")
+        for region in self._regions.values():
+            if base < region.base + region.size and region.base < base + size:
+                raise ValueError(
+                    f"region [{base:#x}, +{size:#x}) overlaps region {region.rid}"
+                )
+        rid = self._next_rid
+        self._next_rid += 1
+        self._regions[rid] = _DynamicRegion(rid, base, size, owner)
+        self._reprogram_all_cores()
+        return rid
+
+    def delete_region(self, rid: int) -> None:
+        """Drop a region; its interval reverts to untrusted memory."""
+        self._region(rid)
+        del self._regions[rid]
+        self._reprogram_all_cores()
+
+    # -- assignment -----------------------------------------------------------
+
+    def assign_region(self, rid: int, owner: int) -> None:
+        self._region(rid).owner = owner
+        self._reprogram_all_cores()
+
+    # -- per-core PMP programming ---------------------------------------------
+
+    def configure_core(self, core: Core) -> None:
+        """Rewrite the hart's PMP to reflect its current domain.
+
+        Entry order (lowest slot wins, as in RISC-V):
+
+        1. if the core runs an enclave: that enclave's region, RWX for
+           U-mode;
+        2. every region (enclave-owned, SM-owned, blocked, free): deny
+           for S/U — covering regions not exposed by rule 1;
+        3. catch-all over DRAM: RWX for S/U (untrusted memory).
+        """
+        core.pmp.clear()
+        slot = 0
+        if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
+            for region in self._regions.values():
+                if region.owner == core.domain:
+                    core.pmp.set_entry(
+                        slot,
+                        PmpEntry(
+                            region.base,
+                            region.size,
+                            {Privilege.U: PmpPerm.RWX, Privilege.S: PmpPerm.NONE},
+                            label=f"enclave-{core.domain:#x}",
+                        ),
+                    )
+                    slot += 1
+        for region in self._regions.values():
+            if slot >= core.pmp.entry_slots - 1:
+                raise RuntimeError("out of PMP slots; reduce region count")
+            core.pmp.set_entry(
+                slot,
+                PmpEntry(region.base, region.size, {}, label=f"deny-{region.rid}"),
+            )
+            slot += 1
+        core.pmp.set_entry(
+            core.pmp.entry_slots - 1,
+            PmpEntry(
+                0,
+                self.machine.config.dram_size,
+                {Privilege.U: PmpPerm.RWX, Privilege.S: PmpPerm.RWX},
+                label="untrusted-catch-all",
+            ),
+        )
+
+    def _reprogram_all_cores(self) -> None:
+        for core in self.machine.cores:
+            self.configure_core(core)
+
+    # -- access check ------------------------------------------------------------
+
+    def check_access(self, core: Core, paddr: int, access: AccessType) -> bool:
+        if core.privilege is Privilege.M:
+            return True
+        if not 0 <= paddr < self.machine.config.dram_size:
+            return False
+        return core.pmp.check(paddr, core.privilege, core.pmp_perm_for(access))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _region(self, rid: int) -> _DynamicRegion:
+        region = self._regions.get(rid)
+        if region is None:
+            raise ValueError(f"unknown region id {rid}")
+        return region
+
+    def owned_by(self, owner: int) -> list[int]:
+        """Region ids currently owned by a domain (diagnostics)."""
+        return [rid for rid, region in self._regions.items() if region.owner == owner]

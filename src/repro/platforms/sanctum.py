@@ -1,0 +1,119 @@
+"""The MIT Sanctum backend: fixed DRAM regions + partitioned LLC.
+
+§VII-A: "memory isolation is provided by allocating memory in the form
+of 64 isolated DRAM regions of fixed size (32 MB) ...  DRAM regions are
+isolated throughout the shared memory hierarchy including the
+last-level cache.  A page table walk invariant guarantees TLB entries
+conform to the allocation [of] DRAM regions, requiring a TLB shootdown
+whenever DRAM regions are re-allocated to a different protection
+domain."
+
+The hardware state modelled here is the per-region owner table the
+Sanctum chip keeps next to its memory controller.  The access rule:
+
+* a core in M-mode (the SM itself, and the pre-boot ROM) may access
+  everything — §IV-B3's "exclusive unrestricted access";
+* memory owned by the untrusted domain is accessible to *every*
+  domain — this is how enclaves reach OS-shared buffers outside
+  ``evrange`` (§V-C notes such accesses "may leak timing information",
+  which the cache model indeed exhibits);
+* memory owned by an enclave (or by the SM, or free/blocked awaiting
+  cleaning) is accessible only to that exact owner.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cache import PartitionedLlc
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
+from repro.hw.machine import Machine
+from repro.hw.paging import AccessType
+from repro.hw.pmp import Privilege
+from repro.platforms.base import OWNER_FREE, IsolationPlatform
+from repro.util.bits import is_pow2
+
+
+class SanctumPlatform(IsolationPlatform):
+    """Region-based isolation as implemented by the Sanctum processor."""
+
+    name = "sanctum"
+    isolates_llc = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        n_regions: int = 8,
+        llc_partitioned: bool = True,
+    ) -> None:
+        super().__init__(machine)
+        dram = machine.config.dram_size
+        if not is_pow2(n_regions) or dram % n_regions != 0:
+            raise ValueError(
+                f"region count {n_regions} must be a power of two dividing "
+                f"DRAM size {dram:#x}"
+            )
+        self.n_regions = n_regions
+        self.region_size = dram // n_regions
+        #: The hardware owner table; everything starts untrusted, and
+        #: secure boot (repro.sm.boot) claims the SM's own regions.
+        self._owners = [DOMAIN_UNTRUSTED] * n_regions
+        llc = PartitionedLlc(
+            n_sets=machine.config.llc_sets,
+            n_ways=machine.config.llc_ways,
+            region_size=self.region_size,
+            n_regions=n_regions,
+            partitioned=llc_partitioned,
+            hit_cycles=machine.config.llc_hit_cycles,
+            miss_penalty=machine.config.llc_miss_penalty,
+        )
+        machine.install_llc(llc)
+        machine.install_isolation(self)
+
+    # -- geometry ---------------------------------------------------------
+
+    def region_of(self, paddr: int) -> int | None:
+        if not 0 <= paddr < self.machine.config.dram_size:
+            return None
+        return paddr // self.region_size
+
+    def region_range(self, rid: int) -> tuple[int, int]:
+        self._check_rid(rid)
+        return rid * self.region_size, self.region_size
+
+    def region_ids(self) -> list[int]:
+        return list(range(self.n_regions))
+
+    def region_owner(self, rid: int) -> int:
+        self._check_rid(rid)
+        return self._owners[rid]
+
+    # -- assignment --------------------------------------------------------
+
+    def assign_region(self, rid: int, owner: int) -> None:
+        self._check_rid(rid)
+        self._owners[rid] = owner
+
+    # -- access check --------------------------------------------------------
+
+    def check_access(self, core: Core, paddr: int, access: AccessType) -> bool:
+        if core.privilege is Privilege.M:
+            return True
+        rid = self.region_of(paddr)
+        if rid is None:
+            return False
+        owner = self._owners[rid]
+        if owner == DOMAIN_UNTRUSTED:
+            # OS memory is reachable from every domain (shared buffers).
+            return True
+        if owner == DOMAIN_SM or owner == OWNER_FREE:
+            return False
+        return owner == core.domain
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_rid(self, rid: int) -> None:
+        if not 0 <= rid < self.n_regions:
+            raise ValueError(f"region id {rid} out of range [0, {self.n_regions})")
+
+    def owned_by(self, owner: int) -> list[int]:
+        """Region ids currently owned by a domain (diagnostics)."""
+        return [rid for rid, o in enumerate(self._owners) if o == owner]

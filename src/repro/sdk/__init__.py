@@ -1,0 +1,45 @@
+"""Enclave SDK: write enclave programs for the simulated machine.
+
+The pieces a real enclave framework ships — a C runtime, syscall stubs,
+and attestation helpers — appear here for SVM-32:
+
+* :mod:`repro.sdk.ecall` — assembler snippets for each SM ecall.
+* :mod:`repro.sdk.runtime` — the crt0 wrapper handling AEX resume.
+* :mod:`repro.sdk.measure` — offline measurement prediction: compute,
+  without any hardware, the measurement an image *will* have — used by
+  remote verifiers (§VI-C) and to hard-code the signing enclave's
+  measurement into the SM.
+* :mod:`repro.sdk.signing_enclave` — the trusted signing enclave of
+  Fig. 7, as a real in-VM program.
+* :mod:`repro.sdk.attestation_client` — E1's side of Fig. 7, including
+  the step-⑩ channel service.
+* :mod:`repro.sdk.local_attestation` — the Fig. 6 exchange, both
+  enclaves in-VM.
+* :mod:`repro.sdk.protocol` — host-side drivers for Figs. 6/7 and
+  channel exchanges.
+* :mod:`repro.sdk.channel` — the verifier's half of the step-⑩ sealed
+  message scheme.
+"""
+
+from repro.sdk.channel import open_word, seal_word
+from repro.sdk.local_attestation import run_local_attestation
+from repro.sdk.measure import predict_measurement
+from repro.sdk.protocol import (
+    RemoteAttestationOutcome,
+    run_channel_exchange,
+    run_remote_attestation,
+)
+from repro.sdk.runtime import with_runtime
+from repro.sdk.signing_enclave import build_signing_enclave_image
+
+__all__ = [
+    "open_word",
+    "seal_word",
+    "run_local_attestation",
+    "predict_measurement",
+    "RemoteAttestationOutcome",
+    "run_channel_exchange",
+    "run_remote_attestation",
+    "with_runtime",
+    "build_signing_enclave_image",
+]

@@ -1,0 +1,360 @@
+"""The attestation client enclave (paper Fig. 7, E1's side).
+
+A real SVM-32 program doing everything E1 does in the figure:
+
+* **phase 0** — performs its half of the key agreement (①): generates
+  an X25519 keypair with the hardware entropy source, publishes its
+  public key, and derives the session key from the verifier's public
+  key; then relays the verifier's nonce (②) to the signing enclave
+  through an SM mailbox (③) and opens its own mailbox for the reply.
+* **phase 1** — receives the signature (⑥), *locally attests the
+  signer* by comparing the SM-recorded sender measurement against the
+  SM's hard-coded signing-enclave measurement (fetched via
+  ``get_field``), exports the signature plus its own measurement to the
+  shared page for the verifier (⑦–⑧), and proves possession of the
+  session key by publishing ``SHA3-512(session_key || "channel-proof")``
+  (the first authenticated message of step ⑩).
+* **phase 2** — serves the attested channel: unseals a 32-bit command
+  from the verifier (the :mod:`repro.sdk.channel` scheme, computed here
+  with the SHA-3 accelerator), rejects bad MACs, increments the value,
+  and returns it resealed under a fresh nonce — step ⑩'s "all
+  subsequent messages", both directions.
+
+Shared request-page ABI (one untrusted page at ``shared_addr``):
+
+====== ===============================================================
+offset meaning
+====== ===============================================================
+0x004  signing enclave eid (in, written by the OS)
+0x008  verifier nonce, 32 bytes (in)
+0x040  status (out: 1 = OK, 2 = signer-measurement mismatch, 0x100+e)
+0x080  attestation signature, 64 bytes (out)
+0x0C0  this enclave's measurement, 64 bytes (out)
+0x100  client X25519 public key, 32 bytes (out)
+0x120  verifier X25519 public key, 32 bytes (in)
+0x140  channel-key proof, 64 bytes (out)
+0x160  sealed command: nonce(8) ‖ ct(4) ‖ mac(16) (in, phase 2)
+0x190  sealed response: nonce(8) ‖ ct(4) ‖ mac(16) (out, phase 2)
+====== ===============================================================
+"""
+
+from __future__ import annotations
+
+from repro.kernel.loader import EnclaveImage, image_from_assembly
+from repro.sm.api import EnclaveEcall
+from repro.sm.attestation import MEASUREMENT_SIZE, NONCE_SIZE
+from repro.sm.state import FieldId
+
+#: Label hashed for the channel proof (must match the verifier side).
+CHANNEL_PROOF_LABEL = b"channel-proof"
+
+
+def attestation_client_source(shared_addr: int) -> str:
+    """The client enclave's assembler source, bound to a request page."""
+    proof_len = 32 + len(CHANNEL_PROOF_LABEL)
+    return f"""
+# ---- attestation client enclave (E1) --------------------------------
+_start:
+    li   t0, phase
+    lw   t1, 0(t0)
+    beq  t1, zero, phase0
+    li   t2, 1
+    beq  t1, t2, phase1
+    jal  zero, phase2
+
+phase0:
+    li   a1, dh_secret                                  # ① key agreement: own keypair
+    li   a2, 32
+    crypto 5                                            # RANDOM
+    li   a1, dh_secret
+    li   a2, dh_public
+    crypto 3                                            # X25519_BASE
+    li   t0, 0                                          # publish our public key
+copy_pub:
+    li   t1, dh_public
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x100}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 32
+    bltu t0, t1, copy_pub
+    li   t0, 0                                          # read the verifier's public key
+copy_vpub:
+    li   t1, {shared_addr + 0x120}
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, verifier_pub
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 32
+    bltu t0, t1, copy_vpub
+    li   a1, dh_secret                                  # session key (private)
+    li   a2, verifier_pub
+    li   a3, session_key
+    crypto 4                                            # X25519
+
+    li   t0, 0                                          # ② nonce into private memory
+copy_nonce:
+    li   t1, {shared_addr + 0x8}
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, nonce_buf
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, {NONCE_SIZE}
+    bltu t0, t1, copy_nonce
+
+    lw   gp, {shared_addr + 0x4}(zero)                  # signing enclave eid
+    li   a0, {int(EnclaveEcall.SEND_MAIL)}              # ③ nonce -> signing enclave
+    add  a1, gp, zero
+    li   a2, nonce_buf
+    li   a3, {NONCE_SIZE}
+    ecall
+    bne  a0, zero, fail
+    li   a0, {int(EnclaveEcall.ACCEPT_MAIL)}            # await its reply
+    li   a1, 0
+    add  a2, gp, zero
+    ecall
+    bne  a0, zero, fail
+    li   t0, phase
+    li   t1, 1
+    sw   t1, 0(t0)
+    jal  zero, done
+
+phase1:
+    li   a0, {int(EnclaveEcall.GET_MAIL)}               # ⑥ signature arrives
+    li   a1, 0
+    li   a2, sig_buf
+    li   a3, sender_buf
+    ecall
+    bne  a0, zero, fail
+
+    li   a0, {int(EnclaveEcall.GET_FIELD)}              # locally attest the signer
+    li   a1, {int(FieldId.SIGNING_ENCLAVE_MEASUREMENT)}
+    li   a2, expected_buf
+    ecall
+    bne  a0, zero, fail
+    li   t0, 0
+check_sender:
+    li   t1, sender_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, expected_buf
+    add  t1, t1, t0
+    lbu  a2, 0(t1)
+    bne  t2, a2, bad_sender
+    addi t0, t0, 1
+    li   t1, {MEASUREMENT_SIZE}
+    bltu t0, t1, check_sender
+
+    li   a0, {int(EnclaveEcall.GET_SELF_MEASUREMENT)}   # ⑦ our own measurement
+    li   a1, self_buf
+    ecall
+    bne  a0, zero, fail
+
+    li   t0, 0                                          # export signature
+copy_sig:
+    li   t1, sig_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x80}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 64
+    bltu t0, t1, copy_sig
+    li   t0, 0                                          # export measurement
+copy_self:
+    li   t1, self_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0xC0}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, {MEASUREMENT_SIZE}
+    bltu t0, t1, copy_self
+
+    li   a1, session_key                                # ⑩ prove the channel key
+    li   a2, {proof_len}
+    li   a3, proof_buf
+    crypto 0                                            # SHA3_512(key || label)
+    li   t0, 0
+copy_proof:
+    li   t1, proof_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x140}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 64
+    bltu t0, t1, copy_proof
+    li   t0, phase                                      # next entry serves ⑩
+    li   t1, 2
+    sw   t1, 0(t0)
+    jal  zero, done
+
+phase2:                                                 # ⑩ sealed command service
+    li   t0, 0                                          # ch_hash[0:32] = session key
+copy_chan_key:
+    li   t1, session_key
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, ch_hash
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 32
+    bltu t0, t1, copy_chan_key
+    li   t0, 0                                          # ch_hash[32:40] = nonce
+copy_cmd_nonce:
+    li   t1, {shared_addr + 0x160}
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, ch_hash+32
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 8
+    bltu t0, t1, copy_cmd_nonce
+    lw   t0, {shared_addr + 0x168}(zero)                # ch_hash[40:44] = ct
+    li   t1, ch_hash+40
+    sw   t0, 0(t1)
+
+    li   a1, ch_hash                                    # mac' = SHA3(key||nonce||ct)
+    li   a2, 44
+    li   a3, ch_digest
+    crypto 0
+    li   t0, 0
+check_cmd_mac:
+    li   t1, ch_digest
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x16C}
+    add  t1, t1, t0
+    lbu  a2, 0(t1)
+    bne  t2, a2, bad_sender
+    addi t0, t0, 1
+    li   t1, 16
+    bltu t0, t1, check_cmd_mac
+
+    li   a1, ch_hash                                    # pad = SHA3(key||nonce)
+    li   a2, 40
+    li   a3, ch_digest
+    crypto 0
+    li   t1, ch_hash+40
+    lw   t0, 0(t1)                                      # ciphertext
+    li   t1, ch_digest
+    lw   t1, 0(t1)                                      # pad word
+    xor  gp, t0, t1                                     # the command value
+    addi gp, gp, 1                                      # serve it: value + 1
+
+    li   a0, {int(EnclaveEcall.GET_RANDOM)}             # fresh response nonce
+    li   a1, ch_hash+32
+    li   a2, 8
+    ecall
+    bne  a0, zero, fail
+    li   t0, 0                                          # export nonce
+export_rsp_nonce:
+    li   t1, ch_hash+32
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x190}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 8
+    bltu t0, t1, export_rsp_nonce
+    li   a1, ch_hash                                    # pad2 = SHA3(key||nonce2)
+    li   a2, 40
+    li   a3, ch_digest
+    crypto 0
+    li   t1, ch_digest
+    lw   t1, 0(t1)
+    xor  t0, gp, t1                                     # ct2
+    li   t1, ch_hash+40
+    sw   t0, 0(t1)
+    sw   t0, {shared_addr + 0x198}(zero)
+    li   a1, ch_hash                                    # mac2 = SHA3(key||nonce2||ct2)
+    li   a2, 44
+    li   a3, ch_digest
+    crypto 0
+    li   t0, 0
+export_rsp_mac:
+    li   t1, ch_digest
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x19C}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 16
+    bltu t0, t1, export_rsp_mac
+
+done:
+    li   t1, 1
+    sw   t1, {shared_addr + 0x40}(zero)
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+bad_sender:
+    li   t1, 2
+    sw   t1, {shared_addr + 0x40}(zero)
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+fail:
+    addi t1, a0, 0x100
+    sw   t1, {shared_addr + 0x40}(zero)
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+# ---- private data ----------------------------------------------------
+    .align 8
+phase:
+    .word 0
+dh_secret:
+    .zero 32
+dh_public:
+    .zero 32
+verifier_pub:
+    .zero 32
+session_key:
+    .zero 32
+chan_label:
+    .ascii "{CHANNEL_PROOF_LABEL.decode("ascii")}"
+    .align 8
+nonce_buf:
+    .zero {NONCE_SIZE}
+sig_buf:
+    .zero 256
+sender_buf:
+    .zero {MEASUREMENT_SIZE}
+expected_buf:
+    .zero {MEASUREMENT_SIZE}
+self_buf:
+    .zero {MEASUREMENT_SIZE}
+proof_buf:
+    .zero 64
+ch_hash:
+    .zero 44
+    .align 8
+ch_digest:
+    .zero 64
+"""
+
+
+def build_attestation_client_image(
+    shared_addr: int, evrange_base: int = 0x60000000
+) -> EnclaveImage:
+    """Assemble the client enclave into a loadable image."""
+    return image_from_assembly(
+        attestation_client_source(shared_addr),
+        evrange_base=evrange_base,
+        entry_symbol="_start",
+    )

@@ -1,0 +1,75 @@
+"""The attested secure channel (paper Fig. 7, step ⑩).
+
+"Provided the attestation succeeds, the shared key authenticates all
+subsequent messages sent by E1."  This module is the *verifier's* half
+of a message scheme the enclave can also compute with nothing but the
+SHA-3 accelerator: a SHAKE-free, fixed-size seal
+
+    pad = SHA3-512(key || nonce)[:4]          (one 32-bit word payload)
+    ct  = word XOR pad
+    mac = SHA3-512(key || nonce || ct)[:16]
+
+The enclave side is implemented in SVM-32 inside
+:mod:`repro.sdk.attestation_client` (phase 2); both ends key it with
+the X25519 session secret from step ①.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.sha3 import sha3_512
+from repro.errors import CryptoError
+
+#: Wire layout of one sealed word: nonce(8) || ciphertext(4) || mac(16).
+NONCE_LEN = 8
+CT_LEN = 4
+MAC_LEN = 16
+SEALED_LEN = NONCE_LEN + CT_LEN + MAC_LEN
+
+
+@dataclasses.dataclass(frozen=True)
+class SealedWord:
+    """One sealed 32-bit message on the attested channel."""
+
+    nonce: bytes
+    ciphertext: bytes
+    mac: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.nonce + self.ciphertext + self.mac
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedWord":
+        if len(data) != SEALED_LEN:
+            raise CryptoError(f"sealed word must be {SEALED_LEN} bytes, got {len(data)}")
+        return cls(data[:NONCE_LEN], data[NONCE_LEN : NONCE_LEN + CT_LEN], data[-MAC_LEN:])
+
+
+def _pad(key: bytes, nonce: bytes) -> bytes:
+    return sha3_512(key + nonce)[:CT_LEN]
+
+
+def _mac(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    return sha3_512(key + nonce + ciphertext)[:MAC_LEN]
+
+
+def seal_word(key: bytes, nonce: bytes, value: int) -> SealedWord:
+    """Seal a 32-bit value under the channel key with a caller nonce."""
+    if len(key) != 32:
+        raise CryptoError(f"channel key must be 32 bytes, got {len(key)}")
+    if len(nonce) != NONCE_LEN:
+        raise CryptoError(f"nonce must be {NONCE_LEN} bytes, got {len(nonce)}")
+    plain = (value & 0xFFFFFFFF).to_bytes(CT_LEN, "little")
+    pad = _pad(key, nonce)
+    ciphertext = bytes(p ^ q for p, q in zip(plain, pad))
+    return SealedWord(nonce, ciphertext, _mac(key, nonce, ciphertext))
+
+
+def open_word(key: bytes, sealed: SealedWord) -> int:
+    """Verify and decrypt a sealed word; raises on a bad MAC."""
+    if _mac(key, sealed.nonce, sealed.ciphertext) != sealed.mac:
+        raise CryptoError("channel MAC verification failed")
+    pad = _pad(key, sealed.nonce)
+    plain = bytes(c ^ p for c, p in zip(sealed.ciphertext, pad))
+    return int.from_bytes(plain, "little")

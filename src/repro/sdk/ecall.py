@@ -1,0 +1,152 @@
+"""Assembler stubs for the enclave -> SM ecall interface.
+
+Each helper returns SVM-32 assembler text implementing one call of
+:class:`repro.sm.api.EnclaveEcall` with the documented register ABI
+(call number in ``a0``, arguments in ``a1``..``a3``, result code back
+in ``a0``).  They are plain string templates — the "header file" of the
+enclave SDK.
+"""
+
+from __future__ import annotations
+
+from repro.sm.api import EnclaveEcall
+
+
+def _call(number: EnclaveEcall, *setup: str) -> str:
+    lines = list(setup)
+    lines.append(f"    li   a0, {int(number)}          # {number.name}")
+    lines.append("    ecall")
+    return "\n".join(lines) + "\n"
+
+
+def exit_enclave() -> str:
+    """Voluntarily exit the enclave; does not return."""
+    return _call(EnclaveEcall.EXIT_ENCLAVE)
+
+
+def get_attestation_key(dst: str) -> str:
+    """Fetch the SM signing key to ``dst`` (signing enclave only)."""
+    return _call(EnclaveEcall.GET_ATTESTATION_KEY, f"    li   a1, {dst}")
+
+
+def accept_mail(mailbox_index: int, sender_reg_or_imm: str) -> str:
+    """Open ``mailbox_index`` for a sender (register name or immediate)."""
+    if sender_reg_or_imm in _REGISTERS:
+        move = f"    add  a2, {sender_reg_or_imm}, zero"
+    else:
+        move = f"    li   a2, {sender_reg_or_imm}"
+    return _call(
+        EnclaveEcall.ACCEPT_MAIL, f"    li   a1, {mailbox_index}", move
+    )
+
+
+def send_mail(recipient_reg_or_imm: str, msg: str, length: int) -> str:
+    """Send ``length`` bytes at label/address ``msg`` to a recipient."""
+    if recipient_reg_or_imm in _REGISTERS:
+        move = f"    add  a1, {recipient_reg_or_imm}, zero"
+    else:
+        move = f"    li   a1, {recipient_reg_or_imm}"
+    return _call(
+        EnclaveEcall.SEND_MAIL,
+        move,
+        f"    li   a2, {msg}",
+        f"    li   a3, {length}",
+    )
+
+
+def get_mail(mailbox_index: int, msg_dst: str, sender_dst: str) -> str:
+    """Fetch mail: message to ``msg_dst``, sender measurement to ``sender_dst``.
+
+    On success ``a0`` is 0 and ``a1`` holds the message length.
+    """
+    return _call(
+        EnclaveEcall.GET_MAIL,
+        f"    li   a1, {mailbox_index}",
+        f"    li   a2, {msg_dst}",
+        f"    li   a3, {sender_dst}",
+    )
+
+
+def get_random(dst: str, length: int) -> str:
+    """Fill ``length`` bytes at ``dst`` with SM-conditioned entropy."""
+    return _call(
+        EnclaveEcall.GET_RANDOM, f"    li   a1, {dst}", f"    li   a2, {length}"
+    )
+
+
+def get_field(field_id: int, dst: str) -> str:
+    """Copy a public SM field to ``dst``; length returned in ``a1``."""
+    return _call(
+        EnclaveEcall.GET_FIELD, f"    li   a1, {field_id}", f"    li   a2, {dst}"
+    )
+
+
+def get_self_measurement(dst: str) -> str:
+    """Copy this enclave's own 64-byte measurement to ``dst``."""
+    return _call(EnclaveEcall.GET_SELF_MEASUREMENT, f"    li   a1, {dst}")
+
+
+def resume_from_aex() -> str:
+    """Resume from the saved AEX state; does not return on success."""
+    return _call(EnclaveEcall.RESUME_FROM_AEX)
+
+
+def fault_return() -> str:
+    """Return from an enclave fault handler; does not return on success."""
+    return _call(EnclaveEcall.FAULT_RETURN)
+
+
+def block_resource(type_code: int, rid_reg_or_imm: str) -> str:
+    """Block an owned resource (0=core, 1=region, 2=thread)."""
+    if rid_reg_or_imm in _REGISTERS:
+        move = f"    add  a2, {rid_reg_or_imm}, zero"
+    else:
+        move = f"    li   a2, {rid_reg_or_imm}"
+    return _call(EnclaveEcall.BLOCK_RESOURCE, f"    li   a1, {type_code}", move)
+
+
+def accept_resource(type_code: int, rid_reg_or_imm: str) -> str:
+    """Accept an offered resource (completes a Fig.-2 transfer)."""
+    if rid_reg_or_imm in _REGISTERS:
+        move = f"    add  a2, {rid_reg_or_imm}, zero"
+    else:
+        move = f"    li   a2, {rid_reg_or_imm}"
+    return _call(EnclaveEcall.ACCEPT_RESOURCE, f"    li   a1, {type_code}", move)
+
+
+_REGISTERS = frozenset(
+    [f"r{i}" for i in range(16)]
+    + ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2"]
+    + [f"a{i}" for i in range(8)]
+)
+
+
+def memcpy(dst: str, src: str, length: int, scratch: str = "t0") -> str:
+    """Inline byte-copy loop of a fixed ``length`` using two temporaries.
+
+    Uses ``t1`` as the index register and ``t2`` for data alongside
+    ``scratch``; ``dst`` and ``src`` are labels or immediates.
+    """
+    suffix = id_suffix(dst, src)
+    return f"""
+    li   t1, 0
+memcpy_loop_{suffix}:
+    li   {scratch}, {src}
+    add  {scratch}, {scratch}, t1
+    lbu  t2, 0({scratch})
+    li   {scratch}, {dst}
+    add  {scratch}, {scratch}, t1
+    sb   t2, 0({scratch})
+    addi t1, t1, 1
+    li   {scratch}, {length}
+    bltu t1, {scratch}, memcpy_loop_{suffix}
+"""
+
+
+_suffix_counter = [0]
+
+
+def id_suffix(*parts: str) -> str:
+    """A unique label suffix so inline loops never collide."""
+    _suffix_counter[0] += 1
+    return f"{_suffix_counter[0]}"

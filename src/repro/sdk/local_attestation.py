@@ -1,0 +1,196 @@
+"""Local attestation between two enclaves (paper §VI-B, Fig. 6).
+
+"E2 signals its intent to receive messages from E1 ①, which enables E1
+to send a message to E2 ②.  SM stores the message in E2's mailbox ...
+SM also records the sender's measurement.  The recipient, E2, fetches
+its messages ③, and can validate the sender's hash against an expected
+constant ④ in order to authenticate the message."
+
+Both parties are real enclaves; the untrusted OS relays only the
+(public) enclave ids through shared pages.  The verifier-side check ④
+compares the SM-recorded sender measurement against the measurement
+predicted offline from E1's binary — the "expected constant" a real E2
+would carry compiled in.
+
+Shared-page ABIs (one untrusted page each):
+
+Sender page:   0x00 recipient eid (in) · 0x40 status (out)
+Receiver page: 0x00 sender eid (in)    · 0x40 status (out)
+               0x80 received message, 256 B (out)
+               0x180 sender measurement, 64 B (out)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.kernel.loader import EnclaveImage, image_from_assembly
+from repro.sdk.measure import predict_measurement
+from repro.sm.api import EnclaveEcall
+from repro.sm.attestation import MEASUREMENT_SIZE
+from repro.sm.events import OsEventKind
+from repro.system import System
+
+
+def sender_enclave_source(shared_addr: int, message: bytes) -> str:
+    """E1: mail a constant message from private memory to the recipient."""
+    if not message or len(message) > 256:
+        raise ValueError("message must be 1..256 bytes")
+    message_words = ", ".join(
+        str(int.from_bytes(message[i : i + 4].ljust(4, b"\0"), "little"))
+        for i in range(0, len(message), 4)
+    )
+    return f"""
+_start:
+    lw   a1, {shared_addr}(zero)                 # recipient eid from the OS
+    li   a0, {int(EnclaveEcall.SEND_MAIL)}       # ② send the message
+    li   a2, message
+    li   a3, {len(message)}
+    ecall
+    sw   a0, {shared_addr + 0x40}(zero)          # status = result code
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+    .align 8
+message:
+    .word {message_words}
+"""
+
+
+def receiver_enclave_source(shared_addr: int) -> str:
+    """E2: accept from E1 (phase 0), then fetch and export (phase 1)."""
+    return f"""
+_start:
+    li   t0, phase
+    lw   t1, 0(t0)
+    bne  t1, zero, phase1
+
+phase0:
+    lw   a2, {shared_addr}(zero)                 # sender eid from the OS
+    li   a0, {int(EnclaveEcall.ACCEPT_MAIL)}     # ① signal intent to receive
+    li   a1, 0
+    ecall
+    sw   a0, {shared_addr + 0x40}(zero)
+    li   t0, phase
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+phase1:
+    li   a0, {int(EnclaveEcall.GET_MAIL)}        # ③ fetch message + sender hash
+    li   a1, 0
+    li   a2, msg_buf
+    li   a3, sender_buf
+    ecall
+    sw   a0, {shared_addr + 0x40}(zero)
+    bne  a0, zero, out
+    add  a6, a1, zero                            # message length
+    li   t0, 0                                   # export the message
+copy_msg:
+    bgeu t0, a6, copy_sender
+    li   t1, msg_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x80}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    jal  zero, copy_msg
+copy_sender:
+    li   t0, 0                                   # export the sender hash ④
+copy_sender_loop:
+    li   t1, sender_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared_addr + 0x180}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, {MEASUREMENT_SIZE}
+    bltu t0, t1, copy_sender_loop
+out:
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+    .align 8
+phase:
+    .word 0
+msg_buf:
+    .zero 256
+sender_buf:
+    .zero {MEASUREMENT_SIZE}
+"""
+
+
+@dataclasses.dataclass
+class LocalAttestationOutcome:
+    """Everything the Fig.-6 run produced."""
+
+    message_sent: bytes
+    message_received: bytes
+    #: Sender measurement as recorded by the SM and exported by E2.
+    recorded_sender_measurement: bytes
+    #: Measurement predicted offline from E1's binary (the constant ④).
+    expected_sender_measurement: bytes
+    sender_eid: int
+    receiver_eid: int
+
+    @property
+    def authenticated(self) -> bool:
+        """Step ④: does the recorded sender hash match the constant?"""
+        return (
+            self.recorded_sender_measurement == self.expected_sender_measurement
+            and self.message_received == self.message_sent
+        )
+
+
+def run_local_attestation(
+    system: System, message: bytes = b"greetings from E1"
+) -> LocalAttestationOutcome:
+    """Execute the complete Fig.-6 exchange between two fresh enclaves."""
+    kernel = system.kernel
+    sender_page = kernel.alloc_buffer(1)
+    receiver_page = kernel.alloc_buffer(1)
+
+    sender_image = image_from_assembly(
+        sender_enclave_source(sender_page, message),
+        evrange_base=0x44000000,
+        entry_symbol="_start",
+    )
+    receiver_image = image_from_assembly(
+        receiver_enclave_source(receiver_page),
+        evrange_base=0x48000000,
+        entry_symbol="_start",
+    )
+    expected = predict_measurement(
+        sender_image, system.boot.sm_measurement, system.platform.name
+    )
+    sender = kernel.load_enclave(sender_image)
+    receiver = kernel.load_enclave(receiver_image)
+
+    # Untrusted OS relays the ids.
+    kernel.write_shared(sender_page, receiver.eid.to_bytes(4, "little"))
+    kernel.write_shared(receiver_page, sender.eid.to_bytes(4, "little"))
+
+    for eid, tid, page, label in (
+        (receiver.eid, receiver.tids[0], receiver_page, "receiver accept"),
+        (sender.eid, sender.tids[0], sender_page, "sender send"),
+        (receiver.eid, receiver.tids[0], receiver_page, "receiver fetch"),
+    ):
+        events = kernel.enter_and_run(eid, tid)
+        if not events or events[0].kind is not OsEventKind.ENCLAVE_EXIT:
+            raise RuntimeError(f"{label}: unexpected events {events}")
+        status = kernel.machine.memory.read_u32(page + 0x40)
+        if status != 0:
+            raise RuntimeError(f"{label}: ecall status {status}")
+
+    received = kernel.read_shared(receiver_page + 0x80, len(message))
+    recorded = kernel.read_shared(receiver_page + 0x180, MEASUREMENT_SIZE)
+    return LocalAttestationOutcome(
+        message_sent=message,
+        message_received=received,
+        recorded_sender_measurement=recorded,
+        expected_sender_measurement=expected,
+        sender_eid=sender.eid,
+        receiver_eid=receiver.eid,
+    )

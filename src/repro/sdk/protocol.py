@@ -1,0 +1,219 @@
+"""Host-side protocol drivers: Fig. 6 and Fig. 7 end to end.
+
+These functions play the roles the paper assigns to untrusted and
+remote parties: the OS schedules the enclaves and relays ids
+(explicitly untrusted — it moves only public data), and the *trusted
+first party* generates the nonce, performs key agreement, and verifies
+the final report against the manufacturer root key it already trusts.
+
+Everything security-relevant happens inside the simulated machine; the
+driver only reads and writes untrusted shared pages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.sha3 import sha3_512
+from repro.crypto.x25519 import x25519, x25519_generate_keypair
+from repro.errors import SanctorumError
+from repro.kernel.loader import EnclaveImage
+from repro.sdk.attestation_client import (
+    CHANNEL_PROOF_LABEL,
+    build_attestation_client_image,
+)
+from repro.sdk.measure import predict_measurement
+from repro.sdk.signing_enclave import build_signing_enclave_image
+from repro.sm.attestation import (
+    AttestationReport,
+    VerificationResult,
+    verify_attestation,
+)
+from repro.sm.events import OsEventKind
+from repro.sm.state import FieldId
+from repro.crypto.cert import Certificate
+from repro.system import System
+
+
+class ProtocolError(SanctorumError):
+    """A protocol step did not complete as scripted."""
+
+
+@dataclasses.dataclass
+class RemoteAttestationOutcome:
+    """Everything the Fig.-7 run produced, for inspection by callers."""
+
+    report: AttestationReport
+    verification: VerificationResult
+    #: Did the verifier's channel-key proof match the enclave's?
+    channel_ok: bool
+    client_eid: int
+    signing_eid: int
+    #: Cycle counts per protocol phase, for the benches.
+    phase_cycles: dict[str, int]
+    #: The verifier's X25519-derived session key (verifier-side secret;
+    #: the enclave holds its own copy privately) — keys step-⑩ traffic.
+    session_key: bytes = b""
+    #: Handles for continuing the session (step ⑩ exchanges).
+    client_tid: int = 0
+    client_page: int = 0
+    #: Handles for attesting further clients under the same signer.
+    signing_tid: int = 0
+    signing_page: int = 0
+
+
+def _run_phase(system: System, eid: int, tid: int, label: str, cycles: dict) -> None:
+    core = system.machine.cores[0]
+    before = core.cycles
+    events = system.kernel.enter_and_run(eid, tid, core_id=0)
+    cycles[label] = core.cycles - before
+    if not events or events[0].kind is not OsEventKind.ENCLAVE_EXIT:
+        raise ProtocolError(f"phase {label}: unexpected events {events}")
+
+
+def _check_status(system: System, page: int, label: str, expect: int = 1) -> None:
+    status = system.machine.memory.read_u32(page + 0x40)
+    if status != expect:
+        raise ProtocolError(f"{label}: enclave reported status {status:#x}")
+
+
+def run_remote_attestation(
+    system: System,
+    client_image: EnclaveImage | None = None,
+    nonce: bytes | None = None,
+    reuse_signing: RemoteAttestationOutcome | None = None,
+) -> RemoteAttestationOutcome:
+    """Execute the complete Fig.-7 protocol.
+
+    On a freshly booted system the driver predicts the signing
+    enclave's measurement and hard-codes it via the boot hook, then
+    loads the signer.  Pass a previous run's outcome as
+    ``reuse_signing`` to attest further clients under the *same*
+    signing enclave (its phase loop re-arms after every signature —
+    "the OS is responsible for scheduling the signing enclave").
+
+    A custom ``client_image`` may be supplied as long as it implements
+    the client shared-page ABI; by default the stock client of
+    :mod:`repro.sdk.attestation_client` is built against a freshly
+    allocated request page.
+    """
+    kernel, sm, machine = system.kernel, system.sm, system.machine
+    client_page = kernel.alloc_buffer(1)
+
+    if reuse_signing is None:
+        sign_page = kernel.alloc_buffer(1)
+        signing_image = build_signing_enclave_image(sign_page)
+        signing_measurement = predict_measurement(
+            signing_image, system.boot.sm_measurement, system.platform.name
+        )
+        sm.register_signing_enclave(signing_measurement)
+        signing = kernel.load_enclave(signing_image)
+        signing_eid, signing_tid = signing.eid, signing.tids[0]
+    else:
+        sign_page = reuse_signing.signing_page
+        signing_eid, signing_tid = reuse_signing.signing_eid, reuse_signing.signing_tid
+
+    if client_image is None:
+        client_image = build_attestation_client_image(client_page)
+    expected_client_measurement = predict_measurement(
+        client_image, system.boot.sm_measurement, system.platform.name
+    )
+    client = kernel.load_enclave(client_image)
+
+    # Trusted first party: nonce (②) and key agreement half (①).
+    verifier_rng = machine.trng.fork(b"remote-verifier")
+    if nonce is None:
+        nonce = verifier_rng.read(32)
+    verifier_secret, verifier_public = x25519_generate_keypair(verifier_rng.read(32))
+
+    # Untrusted OS relays the public ids and verifier inputs.
+    kernel.write_shared(sign_page, client.eid.to_bytes(4, "little"))
+    kernel.write_shared(client_page + 0x4, signing_eid.to_bytes(4, "little"))
+    kernel.write_shared(client_page + 0x8, nonce)
+    kernel.write_shared(client_page + 0x120, verifier_public)
+
+    cycles: dict[str, int] = {}
+    _run_phase(system, signing_eid, signing_tid, "signing_setup", cycles)
+    _check_status(system, sign_page, "signing setup")
+    _run_phase(system, client.eid, client.tids[0], "client_request", cycles)
+    _check_status(system, client_page, "client request")
+    _run_phase(system, signing_eid, signing_tid, "signing_sign", cycles)
+    _check_status(system, sign_page, "signing sign")
+    _run_phase(system, client.eid, client.tids[0], "client_report", cycles)
+    _check_status(system, client_page, "client report")
+
+    # ⑦–⑧: the report travels over the untrusted channel.
+    signature = kernel.read_shared(client_page + 0x80, 64)
+    reported_measurement = kernel.read_shared(client_page + 0xC0, 64)
+    client_dh_public = kernel.read_shared(client_page + 0x100, 32)
+    channel_proof = kernel.read_shared(client_page + 0x140, 64)
+
+    _, sm_cert_bytes = sm.get_field(0, FieldId.SM_CERTIFICATE)
+    _, device_cert_bytes = sm.get_field(0, FieldId.DEVICE_CERTIFICATE)
+    report = AttestationReport(
+        nonce=nonce,
+        enclave_measurement=reported_measurement,
+        signature=signature,
+        sm_certificate=Certificate.from_bytes(sm_cert_bytes),
+        device_certificate=Certificate.from_bytes(device_cert_bytes),
+    )
+
+    # ⑨: verification against the manufacturer root of trust.
+    verification = verify_attestation(
+        report,
+        system.root_public_key,
+        expected_nonce=nonce,
+        expected_enclave_measurement=expected_client_measurement,
+        expected_sm_measurement=system.boot.sm_measurement,
+    )
+
+    # ⑩: both ends must have derived the same session key.
+    shared_secret = x25519(verifier_secret, client_dh_public)
+    expected_proof = sha3_512(shared_secret + CHANNEL_PROOF_LABEL)
+    channel_ok = channel_proof == expected_proof
+
+    return RemoteAttestationOutcome(
+        report=report,
+        verification=verification,
+        channel_ok=channel_ok,
+        client_eid=client.eid,
+        signing_eid=signing_eid,
+        phase_cycles=cycles,
+        session_key=shared_secret,
+        client_tid=client.tids[0],
+        client_page=client_page,
+        signing_tid=signing_tid,
+        signing_page=sign_page,
+    )
+
+
+def run_channel_exchange(
+    system: System, outcome: RemoteAttestationOutcome, value: int
+) -> int:
+    """One step-⑩ round trip: sealed command in, sealed response out.
+
+    The verifier seals ``value`` under the session key; the enclave
+    unseals it in-VM (rejecting tampering), computes ``value + 1``, and
+    returns it resealed under a fresh nonce.  Returns the verified
+    response value; raises :class:`ProtocolError` if the enclave
+    reported a MAC failure and :class:`~repro.errors.CryptoError` if
+    the *response* fails verification.
+    """
+    from repro.sdk.channel import SEALED_LEN, SealedWord, open_word, seal_word
+
+    kernel = system.kernel
+    nonce = system.machine.trng.fork(b"verifier-channel").read(8)
+    sealed = seal_word(outcome.session_key, nonce, value)
+    kernel.write_shared(outcome.client_page + 0x160, sealed.to_bytes())
+
+    events = kernel.enter_and_run(outcome.client_eid, outcome.client_tid)
+    if not events or events[0].kind is not OsEventKind.ENCLAVE_EXIT:
+        raise ProtocolError(f"channel exchange: unexpected events {events}")
+    status = kernel.machine.memory.read_u32(outcome.client_page + 0x40)
+    if status != 1:
+        raise ProtocolError(f"enclave rejected the command (status {status:#x})")
+
+    response = SealedWord.from_bytes(
+        kernel.read_shared(outcome.client_page + 0x190, SEALED_LEN)
+    )
+    return open_word(outcome.session_key, response)

@@ -1,0 +1,46 @@
+"""The enclave runtime ("crt0") for SVM-32 enclaves.
+
+§V-C: "If the enclave re-enters, it will execute from its entry point,
+but may respond to the presence of the AEX state to resume execution,
+if implemented by the enclave."
+
+:func:`with_runtime` implements exactly that contract: on entry the SM
+sets ``a1`` to 1 when an AEX dump is pending; the runtime prologue
+resumes it (restoring the interrupted register file and pc) before the
+program's ``main`` ever runs again.  Enclaves that prefer to restart
+from scratch on every entry simply skip the wrapper.
+"""
+
+from __future__ import annotations
+
+from repro.sm.api import EnclaveEcall
+
+
+def with_runtime(main_source: str, resume_on_aex: bool = True) -> str:
+    """Wrap enclave code with the standard entry prologue.
+
+    The wrapped program starts at label ``_start``; ``main_source``
+    must define ``main``.  With ``resume_on_aex`` the prologue
+    transparently continues an interrupted computation; without it the
+    AEX dump is ignored (a fresh run observes nothing — the paper's
+    default behaviour).
+    """
+    if resume_on_aex:
+        prologue = f"""_start:
+    beq  a1, zero, main          # a1 = AEX-pending flag set by the SM
+    li   a0, {int(EnclaveEcall.RESUME_FROM_AEX)}  # RESUME_FROM_AEX
+    ecall                        # does not return on success
+    jal  zero, main              # stale flag: fall through to a fresh run
+"""
+    else:
+        prologue = """_start:
+    jal  zero, main
+"""
+    return prologue + main_source
+
+
+def exit_sequence() -> str:
+    """The canonical enclave exit: EXIT_ENCLAVE ecall."""
+    return f"""    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}       # EXIT_ENCLAVE
+    ecall
+"""

@@ -1,0 +1,159 @@
+"""The trusted signing enclave (paper §VI-C, Fig. 7 steps ④–⑤).
+
+"SM produces an attestation via this signing key by signing an
+enclave's message and measurement, but does not itself guarantee a
+confidential execution environment ..., relying instead on a trusted
+'signing enclave' to compute the signature.  The signing enclave's
+measurement is hard-coded in the security monitor, allowing it to
+retrieve the key."
+
+This is that enclave, as a *real SVM-32 program* executing inside the
+simulated machine: it retrieves the SM's attestation key through the
+authorized key-release ecall, receives a client's nonce through an
+SM-mediated mailbox (which also gives it the client's measurement,
+recorded by the SM — the client cannot lie about it), assembles the
+attestation message, signs it with the hardware crypto unit, and mails
+the signature back.
+
+The enclave persists a phase counter in its private memory so the OS
+can schedule it in two sittings (the mailbox rendezvous requires the
+client to run in between):
+
+* **phase 0** — fetch the key, read the client eid from the shared
+  request page, open mailbox 0 for that client, exit.
+* **phase 1** — fetch the nonce, build ``prefix || nonce ||
+  client-measurement``, Ed25519-sign it, mail the 64-byte signature to
+  the client, report status, exit.
+
+Shared request-page ABI (one untrusted page at ``shared_addr``):
+
+====== =============================================================
+offset meaning
+====== =============================================================
+0x00   client eid (written by the OS before phase 0)
+0x40   status (written by the enclave: 1 = OK, 0x100+e = ecall error)
+====== =============================================================
+"""
+
+from __future__ import annotations
+
+from repro.kernel.loader import EnclaveImage, image_from_assembly
+from repro.sm.api import EnclaveEcall
+from repro.sm.attestation import ATTESTATION_PREFIX, MEASUREMENT_SIZE, NONCE_SIZE
+
+#: Length of the signed message: prefix || nonce || measurement.
+_MESSAGE_LEN = len(ATTESTATION_PREFIX) + NONCE_SIZE + MEASUREMENT_SIZE
+
+
+def signing_enclave_source(shared_addr: int) -> str:
+    """The signing enclave's assembler source, bound to a request page."""
+    prefix_len = len(ATTESTATION_PREFIX)
+    return f"""
+# ---- Sanctorum signing enclave -------------------------------------
+_start:
+    li   t0, phase
+    lw   t1, 0(t0)
+    bne  t1, zero, phase1
+
+phase0:
+    li   a0, {int(EnclaveEcall.GET_ATTESTATION_KEY)}   # key-release (authorized by measurement)
+    li   a1, key_buf
+    ecall
+    bne  a0, zero, fail
+    lw   gp, {shared_addr}(zero)                        # client eid from request page
+    li   a0, {int(EnclaveEcall.ACCEPT_MAIL)}            # open mailbox 0 for the client
+    li   a1, 0
+    add  a2, gp, zero
+    ecall
+    bne  a0, zero, fail
+    li   t0, phase
+    li   t1, 1
+    sw   t1, 0(t0)
+    jal  zero, done
+
+phase1:
+    li   a0, {int(EnclaveEcall.GET_MAIL)}               # nonce + SM-recorded sender measurement
+    li   a1, 0
+    li   a2, mail_buf
+    li   a3, sender_buf
+    ecall
+    bne  a0, zero, fail
+
+    li   t0, 0                                          # nonce -> message[{prefix_len}:]
+copy_nonce:
+    li   t1, mail_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, msg_buf+{prefix_len}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, {NONCE_SIZE}
+    bltu t0, t1, copy_nonce
+
+    li   t0, 0                                          # measurement -> message[{prefix_len + NONCE_SIZE}:]
+copy_measurement:
+    li   t1, sender_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, msg_buf+{prefix_len + NONCE_SIZE}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, {MEASUREMENT_SIZE}
+    bltu t0, t1, copy_measurement
+
+    li   a1, key_buf                                    # Ed25519-sign the message
+    li   a2, msg_buf
+    li   a3, {_MESSAGE_LEN}
+    li   a4, sig_buf
+    crypto 1
+
+    lw   a1, {shared_addr}(zero)                        # mail signature to the client
+    li   a0, {int(EnclaveEcall.SEND_MAIL)}
+    li   a2, sig_buf
+    li   a3, 64
+    ecall
+    bne  a0, zero, fail
+    li   t0, phase                                      # ready for the next request
+    sw   zero, 0(t0)
+
+done:
+    li   t1, 1
+    sw   t1, {shared_addr + 0x40}(zero)                 # status: OK
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+fail:
+    addi t1, a0, 0x100                                  # status: 0x100 + error code
+    sw   t1, {shared_addr + 0x40}(zero)
+    li   a0, {int(EnclaveEcall.EXIT_ENCLAVE)}
+    ecall
+
+# ---- private data ---------------------------------------------------
+    .align 8
+phase:
+    .word 0
+key_buf:
+    .zero 32
+mail_buf:
+    .zero 256
+sender_buf:
+    .zero {MEASUREMENT_SIZE}
+msg_buf:
+    .ascii "{ATTESTATION_PREFIX.decode("ascii")}"
+    .zero {NONCE_SIZE + MEASUREMENT_SIZE}
+sig_buf:
+    .zero 64
+"""
+
+
+def build_signing_enclave_image(
+    shared_addr: int, evrange_base: int = 0x50000000
+) -> EnclaveImage:
+    """Assemble the signing enclave into a loadable image."""
+    return image_from_assembly(
+        signing_enclave_source(shared_addr),
+        evrange_base=evrange_base,
+        entry_symbol="_start",
+    )

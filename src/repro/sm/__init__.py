@@ -1,0 +1,46 @@
+"""Sanctorum — the security monitor (SM).
+
+This package is the paper's primary contribution: "a small, trusted,
+privileged security monitor [enforcing] a security policy over the
+untrusted system software's handling of machine resources" (§V).  The
+SM is deliberately *not* a kernel: it never chooses how resources are
+allocated, it only verifies the untrusted OS's choices against its
+security state machine and refuses the ones that would violate
+isolation.
+
+Layout mirrors the paper's structure:
+
+* :mod:`repro.sm.resources` — the generic owned/blocked/free resource
+  state machine (Fig. 2) and ownership map (§V-B).
+* :mod:`repro.sm.enclave` / :mod:`repro.sm.thread` — enclave and
+  thread metadata and lifecycles (Figs. 3 and 4, §V-C).
+* :mod:`repro.sm.measurement` — SHA-3 measurement of enclave
+  initialization (§VI-A).
+* :mod:`repro.sm.mailbox` — local attestation mailboxes (Fig. 5,
+  §VI-B).
+* :mod:`repro.sm.attestation` / :mod:`repro.sm.boot` — remote
+  attestation, the signing enclave, and secure-boot key derivation
+  (Fig. 7, §VI-C).
+* :mod:`repro.sm.events` — trap interposition and asynchronous enclave
+  exit (Fig. 1, §V-A/V-C).
+* :mod:`repro.sm.api` — the narrow API surface through which the OS
+  and enclaves drive all of the above (§V-A).
+* :mod:`repro.sm.invariants` — executable statements of the SM's
+  security invariants, checked on demand by tests and experiments.
+"""
+
+from repro.sm.api import SecurityMonitor
+from repro.sm.boot import SecureBootResult, secure_boot
+from repro.sm.enclave import EnclaveState
+from repro.sm.resources import ResourceState, ResourceType
+from repro.sm.thread import ThreadState
+
+__all__ = [
+    "SecurityMonitor",
+    "SecureBootResult",
+    "secure_boot",
+    "EnclaveState",
+    "ResourceState",
+    "ResourceType",
+    "ThreadState",
+]

@@ -1,0 +1,1191 @@
+"""The security monitor's API surface (paper §V-A).
+
+"SM implements an API for enclaves and untrusted system software to
+indirectly manage system resources, as permitted by SM's security state
+machine. ...  After authorizing the caller, SM uses fine-grained locks,
+and fails transactions in case of a concurrent operation.  SM checks
+the API call against the machine's current security policy to ensure SM
+cannot be asked to violate an enclave, nor allow a malicious enclave to
+compromise the untrusted system."
+
+:class:`SecurityMonitor` is the one object tying everything together:
+it owns the SM state, installs itself as the machine's trap handler
+(Fig. 1), and exposes
+
+* the **OS-callable API** (``create_enclave`` .. ``delete_enclave``,
+  resource transitions, ``enter_enclave``, ``get_field``, mail) as
+  methods taking an explicit ``caller`` domain, and
+* the **enclave-callable API** as an ecall dispatcher
+  (:class:`EnclaveEcall`) reached only through a real ``ecall``
+  instruction executed by enclave code on a core — the caller identity
+  is taken from the core's hardware state and cannot be forged.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
+from repro.hw.dma import DmaRange
+from repro.hw.isa import INSTRUCTION_SIZE, Reg
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_V, PTE_W, PTE_X, make_pte, vpn_index
+from repro.hw.pmp import Privilege
+from repro.hw.traps import Trap, TrapCause
+from repro.platforms.base import IsolationPlatform
+from repro.sm.boot import SecureBootResult, make_boot_drbg
+from repro.sm.enclave import (
+    ENCLAVE_METADATA_BASE_SIZE,
+    ENCLAVE_METADATA_PER_MAILBOX,
+    EnclaveMetadata,
+    EnclaveState,
+)
+from repro.sm.events import OsEvent, OsEventKind, OsEventQueue, fault_is_enclave_handled
+from repro.sm.locks import LockConflict, Transaction
+from repro.sm.mailbox import MAILBOX_SIZE, Mailbox
+from repro.sm.measurement import EnclaveMeasurement
+from repro.sm.resources import ResourceState, ResourceType
+from repro.sm.state import SmState
+from repro.sm.thread import THREAD_METADATA_SIZE, ThreadMetadata, ThreadState
+
+#: Measurement reported for mail sent by the untrusted OS.
+UNTRUSTED_MEASUREMENT = bytes(64)
+
+#: Maximum mailboxes per enclave (a fixed SM structure bound).
+MAX_MAILBOXES = 16
+
+#: ACL bits accepted by load_page.
+_ACL_MASK = PTE_R | PTE_W | PTE_X
+
+
+class EnclaveEcall(enum.IntEnum):
+    """Call numbers (in ``a0``) for the enclave -> SM ecall interface."""
+
+    EXIT_ENCLAVE = 0
+    #: a1 = destination vaddr for the 32-byte key (signing enclave only).
+    GET_ATTESTATION_KEY = 1
+    #: a1 = mailbox index, a2 = sender id (eid or 0 for the OS).
+    ACCEPT_MAIL = 2
+    #: a1 = recipient eid, a2 = message vaddr, a3 = length.
+    SEND_MAIL = 3
+    #: a1 = mailbox index, a2 = message dst vaddr, a3 = sender-measurement
+    #: dst vaddr; returns message length in a1.
+    GET_MAIL = 4
+    #: a1 = dst vaddr, a2 = length.
+    GET_RANDOM = 5
+    #: a1 = resource type code, a2 = rid.
+    BLOCK_RESOURCE = 6
+    #: a1 = resource type code, a2 = rid.
+    ACCEPT_RESOURCE = 7
+    #: a1 = field id, a2 = dst vaddr; returns field length in a1.
+    GET_FIELD = 8
+    RESUME_FROM_AEX = 9
+    FAULT_RETURN = 10
+    #: a1 = destination vaddr for this enclave's own 64-byte measurement.
+    GET_SELF_MEASUREMENT = 11
+    #: a1 = destination vaddr for this enclave's 32-byte sealing key.
+    GET_SEALING_KEY = 12
+    #: a1 = vaddr (in evrange), a2 = paddr (in enclave-owned memory),
+    #: a3 = acl.  Maps a page into the enclave's private range at
+    #: runtime — how an enclave uses memory it accepted via Fig. 2
+    #: ("enclaves manage their own private memory, as needed", §V-C).
+    MAP_PAGE = 13
+    #: a1 = vaddr.  Removes a runtime-private mapping.
+    UNMAP_PAGE = 14
+
+#: Resource type codes used on the ecall interface.
+_ECALL_RESOURCE_TYPES = {
+    0: ResourceType.CORE,
+    1: ResourceType.DRAM_REGION,
+    2: ResourceType.THREAD,
+}
+
+
+class SecurityMonitor:
+    """Sanctorum: the trusted monitor driving one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        platform: IsolationPlatform,
+        boot: SecureBootResult,
+        signing_enclave_measurement: bytes = b"",
+    ) -> None:
+        self.machine = machine
+        self.platform = platform
+        self.state = SmState()
+        self.os_events = OsEventQueue(machine.config.n_cores)
+        #: core_id -> tid of the enclave thread it is executing.
+        self._core_thread: dict[int, int] = {}
+
+        # Static trust state from secure boot (§IV-A).
+        self.state.sm_measurement = boot.sm_measurement
+        self.state.sm_secret_key = boot.sm_secret_key
+        self.state.sm_public_key = boot.sm_public_key
+        self.state.sm_certificate = boot.sm_certificate
+        self.state.device_certificate = boot.device_certificate
+        self.state.signing_enclave_measurement = signing_enclave_measurement
+        self.state.platform_name = platform.name
+        self.state.drbg = make_boot_drbg(machine.trng.fork(b"sm-drbg"))
+
+        # Static resource arrays (§V-B): cores, and (on platforms with a
+        # static map) every DRAM region.
+        for core in machine.cores:
+            self.state.resources.register(
+                ResourceType.CORE, core.core_id, DOMAIN_UNTRUSTED, ResourceState.OWNED
+            )
+        for rid in platform.region_ids():
+            self.state.resources.register(
+                ResourceType.DRAM_REGION,
+                rid,
+                platform.region_owner(rid),
+                ResourceState.OWNED,
+            )
+
+        machine.set_trap_handler(self.handle_trap)
+        self._recompute_dma_filter()
+
+    # ==================================================================
+    # Boot-time region claiming (called by platform bring-up code)
+    # ==================================================================
+
+    def claim_sm_region(self, rid: int) -> None:
+        """Mark a region as the SM's own (its image + static state)."""
+        self.platform.assign_region(rid, DOMAIN_SM)
+        record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
+        if record is None:
+            self.state.resources.register(
+                ResourceType.DRAM_REGION, rid, DOMAIN_SM, ResourceState.OWNED
+            )
+        else:
+            self.state.resources.assign_directly(ResourceType.DRAM_REGION, rid, DOMAIN_SM)
+        self._recompute_dma_filter()
+
+    def add_metadata_arena(self, base: int, size: int) -> None:
+        """Register an SM-owned interval for metadata structures."""
+        self.state.add_metadata_arena(base, size)
+
+    def register_signing_enclave(self, measurement: bytes) -> None:
+        """Boot-firmware hook: program the signing enclave's measurement.
+
+        The paper hard-codes this in the SM binary (§VI-C); here the
+        trusted boot path programs it once, before any enclave exists.
+        Both restrictions are enforced — a second call, or a call after
+        an enclave has been created, is a hard error, so the untrusted
+        OS can never install its own signing enclave.
+        """
+        if self.state.signing_enclave_measurement:
+            raise RuntimeError("signing enclave measurement is already hard-coded")
+        if self.state.enclaves:
+            raise RuntimeError("cannot program the signing enclave after enclaves exist")
+        if len(measurement) != 64:
+            raise ValueError(f"measurement must be 64 bytes, got {len(measurement)}")
+        self.state.signing_enclave_measurement = measurement
+
+    # ==================================================================
+    # OS-callable API
+    # ==================================================================
+
+    def create_metadata_region(self, caller: int, rid: int) -> ApiResult:
+        """OS grants a FREE region to the SM as a metadata region (§VII-A)."""
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(record.lock)
+                if record.state is not ResourceState.FREE:
+                    return ApiResult.INVALID_STATE
+                self.state.resources.assign_directly(ResourceType.DRAM_REGION, rid, DOMAIN_SM)
+                self.platform.assign_region(rid, DOMAIN_SM)
+                base, size = self.platform.region_range(rid)
+                self.state.add_metadata_arena(base, size)
+                self._recompute_dma_filter()
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def create_enclave(
+        self,
+        caller: int,
+        eid: int,
+        evrange_base: int,
+        evrange_size: int,
+        num_mailboxes: int = 1,
+    ) -> ApiResult:
+        """Create enclave metadata at OS-chosen address ``eid`` (Fig. 3).
+
+        The SM validates: the metadata interval is in SM-owned arena
+        space and overlaps nothing; the evrange is page-aligned and
+        non-empty; the mailbox count fits the fixed structure bound.
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        if eid in self.state.enclaves or eid in self.state.threads:
+            return ApiResult.INVALID_VALUE
+        if not 0 < num_mailboxes <= MAX_MAILBOXES:
+            return ApiResult.INVALID_VALUE
+        if evrange_size <= 0 or evrange_base % PAGE_SIZE or evrange_size % PAGE_SIZE:
+            return ApiResult.INVALID_VALUE
+        if evrange_base + evrange_size > 2**32:
+            return ApiResult.INVALID_VALUE
+        size = ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX * num_mailboxes
+        if not self.state.claim_metadata(eid, size):
+            return ApiResult.INVALID_VALUE
+        measurement = EnclaveMeasurement(self.state.sm_measurement, self.platform.name)
+        measurement.extend_create(evrange_base, evrange_size, num_mailboxes)
+        self.state.enclaves[eid] = EnclaveMetadata(
+            eid=eid,
+            evrange_base=evrange_base,
+            evrange_size=evrange_size,
+            state=EnclaveState.LOADING,
+            measurement_accumulator=measurement,
+            mailboxes=[Mailbox(i) for i in range(num_mailboxes)],
+        )
+        return ApiResult.OK
+
+    def create_enclave_region(
+        self, caller: int, eid: int, base: int, size: int
+    ) -> ApiResult:
+        """Keystone-style grant: carve an interval for a LOADING enclave.
+
+        Only meaningful on platforms with dynamic regions (§VII-B); the
+        Sanctum backend rejects it (its regions are static — use
+        ``grant_resource`` after block/clean instead).
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        enclave = self.state.enclave(eid)
+        if enclave is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if enclave.state is not EnclaveState.LOADING:
+            return ApiResult.INVALID_STATE
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                try:
+                    rid = self.platform.create_region(base, size, eid)
+                except NotImplementedError:
+                    return ApiResult.PROHIBITED
+                except ValueError:
+                    return ApiResult.INVALID_VALUE
+                self.state.resources.register(
+                    ResourceType.DRAM_REGION, rid, eid, ResourceState.OWNED
+                )
+                self._recompute_dma_filter()
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def allocate_page_table(
+        self, caller: int, eid: int, vaddr: int, level: int, paddr: int
+    ) -> ApiResult:
+        """Reserve an enclave-owned page as a page table (§V-C, §VI-A).
+
+        Enforced: page tables are at the base of the enclave's physical
+        space (before any data page), loads happen in ascending
+        physical order, and the root (level 1) comes first.
+        """
+        enclave, result = self._loading_enclave_for(caller, eid)
+        if enclave is None:
+            return result
+        if level not in (0, 1) or paddr % PAGE_SIZE:
+            return ApiResult.INVALID_VALUE
+        if enclave.data_loading_started:
+            return ApiResult.INVALID_STATE
+        ppn = paddr >> PAGE_SHIFT
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                check = self._check_enclave_page(enclave, ppn)
+                if check is not ApiResult.OK:
+                    return check
+                if level == 1:
+                    if enclave.page_table_root_ppn is not None:
+                        return ApiResult.INVALID_STATE
+                    enclave.page_table_root_ppn = ppn
+                    table_key = (0, 1)
+                else:
+                    if enclave.page_table_root_ppn is None:
+                        return ApiResult.INVALID_STATE
+                    if not enclave.in_evrange(vaddr):
+                        return ApiResult.INVALID_VALUE
+                    block = vaddr >> (PAGE_SHIFT + 10)
+                    table_key = (block, 0)
+                    if table_key in enclave.page_table_pages:
+                        return ApiResult.INVALID_STATE
+                    root_base = enclave.page_table_root_ppn << PAGE_SHIFT
+                    self.machine.memory.write_u32(
+                        root_base + 4 * vpn_index(vaddr, 1), make_pte(ppn, PTE_V)
+                    )
+                self.machine.memory.zero_range(paddr, PAGE_SIZE)
+                enclave.page_table_pages[table_key] = ppn
+                enclave.last_loaded_ppn = ppn
+                enclave.measurement_accumulator.extend_page_table(
+                    vaddr if level == 0 else 0, level
+                )
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def load_page(
+        self, caller: int, eid: int, vaddr: int, paddr: int, src_paddr: int, acl: int
+    ) -> ApiResult:
+        """Copy a page from untrusted memory into the enclave and map it.
+
+        The measurement covers (vaddr, acl, page bytes) — not the
+        physical placement (§VI-A).
+        """
+        enclave, result = self._loading_enclave_for(caller, eid)
+        if enclave is None:
+            return result
+        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE or src_paddr % PAGE_SIZE:
+            return ApiResult.INVALID_VALUE
+        if acl & ~_ACL_MASK or not acl & PTE_R:
+            return ApiResult.INVALID_VALUE
+        if not enclave.in_evrange(vaddr):
+            return ApiResult.INVALID_VALUE
+        if not self._paddr_is_untrusted(src_paddr, PAGE_SIZE):
+            return ApiResult.INVALID_VALUE
+        ppn = paddr >> PAGE_SHIFT
+        vpn = vaddr >> PAGE_SHIFT
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                if vpn in enclave.vpn_to_ppn:
+                    # No virtual aliasing: the injectivity invariant.
+                    return ApiResult.INVALID_STATE
+                check = self._check_enclave_page(enclave, ppn)
+                if check is not ApiResult.OK:
+                    return check
+                block = vaddr >> (PAGE_SHIFT + 10)
+                table_ppn = enclave.page_table_pages.get((block, 0))
+                if table_ppn is None:
+                    return ApiResult.INVALID_STATE
+                data = self.machine.memory.read(src_paddr, PAGE_SIZE)
+                self.machine.memory.write(paddr, data)
+                self.machine.memory.write_u32(
+                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
+                    make_pte(ppn, acl | PTE_V),
+                )
+                enclave.vpn_to_ppn[vpn] = ppn
+                enclave.last_loaded_ppn = ppn
+                enclave.data_loading_started = True
+                enclave.measurement_accumulator.extend_load_page(vaddr, acl, data)
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def create_thread(
+        self,
+        caller: int,
+        eid: int,
+        tid: int,
+        entry_pc: int,
+        entry_sp: int,
+        fault_pc: int = 0,
+        fault_sp: int = 0,
+    ) -> ApiResult:
+        """Create a thread metadata structure at OS-chosen address ``tid``."""
+        enclave, result = self._loading_enclave_for(caller, eid)
+        if enclave is None:
+            return result
+        if tid in self.state.threads or tid in self.state.enclaves:
+            return ApiResult.INVALID_VALUE
+        if not enclave.in_evrange(entry_pc):
+            return ApiResult.INVALID_VALUE
+        if fault_pc and not enclave.in_evrange(fault_pc):
+            return ApiResult.INVALID_VALUE
+        if not self.state.claim_metadata(tid, THREAD_METADATA_SIZE):
+            return ApiResult.INVALID_VALUE
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                thread = ThreadMetadata(
+                    tid=tid,
+                    owner_eid=eid,
+                    state=ThreadState.ASSIGNED,
+                    entry_pc=entry_pc,
+                    entry_sp=entry_sp,
+                    fault_pc=fault_pc,
+                    fault_sp=fault_sp,
+                )
+                self.state.threads[tid] = thread
+                self.state.resources.register(
+                    ResourceType.THREAD, tid, eid, ResourceState.OWNED
+                )
+                enclave.thread_tids.append(tid)
+                enclave.measurement_accumulator.extend_thread(
+                    entry_pc, entry_sp, fault_pc, fault_sp
+                )
+                return ApiResult.OK
+        except LockConflict:
+            self.state.release_metadata(tid)
+            return ApiResult.LOCK_CONFLICT
+
+    def init_enclave(self, caller: int, eid: int) -> ApiResult:
+        """Seal the enclave: finalize measurement, enable scheduling."""
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        enclave = self.state.enclave(eid)
+        if enclave is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                if enclave.state is not EnclaveState.LOADING:
+                    return ApiResult.INVALID_STATE
+                if enclave.page_table_root_ppn is None:
+                    return ApiResult.INVALID_STATE
+                enclave.measurement = enclave.measurement_accumulator.finalize()
+                enclave.state = EnclaveState.INITIALIZED
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def enter_enclave(self, caller: int, eid: int, tid: int, core_id: int) -> ApiResult:
+        """Schedule an enclave thread onto a core (§V-C).
+
+        The core is cleaned before the domain switch (no OS state leaks
+        in), the translation context is programmed for the dual walk,
+        and ``a1`` tells the enclave whether an AEX dump is pending.
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        enclave = self.state.enclave(eid)
+        thread = self.state.thread(tid)
+        if enclave is None or thread is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if not 0 <= core_id < self.machine.config.n_cores:
+            return ApiResult.INVALID_VALUE
+        core = self.machine.cores[core_id]
+        core_record = self.state.resources.get(ResourceType.CORE, core_id)
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock, thread.lock, core_record.lock)
+                if enclave.state is not EnclaveState.INITIALIZED:
+                    return ApiResult.INVALID_STATE
+                if thread.owner_eid != eid or thread.state is not ThreadState.ASSIGNED:
+                    return ApiResult.INVALID_STATE
+                if not core.halted or core.domain != DOMAIN_UNTRUSTED:
+                    return ApiResult.INVALID_STATE
+                aex_pending = thread.aex_present
+                core.clean_architectural_state()
+                core.domain = eid
+                core.privilege = Privilege.U
+                core.context.paging_enabled = True
+                core.context.enclave_root_ppn = enclave.page_table_root_ppn
+                core.context.evrange = (enclave.evrange_base, enclave.evrange_size)
+                core.pc = thread.entry_pc
+                core.write_reg(Reg.SP, thread.entry_sp)
+                core.write_reg(Reg.A1, 1 if aex_pending else 0)
+                self.platform.configure_core(core)
+                core.halted = False
+                thread.state = ThreadState.SCHEDULED
+                thread.core_id = core_id
+                enclave.scheduled_threads += 1
+                self._core_thread[core_id] = tid
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def delete_enclave(self, caller: int, eid: int) -> ApiResult:
+        """Destroy an enclave wholesale (Fig. 3): block all its resources.
+
+        Legal only while none of its threads are scheduled; all owned
+        regions and threads become BLOCKED and must be cleaned before
+        reuse (§V-B) — their contents stay inaccessible meanwhile.
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        enclave = self.state.enclave(eid)
+        if enclave is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        region_records = self.state.resources.owned_by(eid, ResourceType.DRAM_REGION)
+        thread_records = self.state.resources.owned_by(eid, ResourceType.THREAD)
+        try:
+            with Transaction() as txn:
+                txn.take(
+                    enclave.lock,
+                    *(r.lock for r in region_records),
+                    *(r.lock for r in thread_records),
+                )
+                if enclave.scheduled_threads > 0:
+                    return ApiResult.INVALID_STATE
+                for record in region_records:
+                    record.state = ResourceState.BLOCKED
+                for record in thread_records:
+                    record.state = ResourceState.BLOCKED
+                    thread = self.state.threads[record.rid]
+                    thread.state = ThreadState.BLOCKED
+                del self.state.enclaves[eid]
+                self.state.release_metadata(eid)
+                self._recompute_dma_filter()
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    # -- Fig.-2 generic resource transitions -----------------------------
+
+    def block_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
+        """Owner relinquishes a resource: OWNED -> BLOCKED."""
+        record = self.state.resources.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(record.lock)
+                if rtype is ResourceType.THREAD:
+                    thread = self.state.threads.get(rid)
+                    if thread is not None and thread.state is ThreadState.SCHEDULED:
+                        return ApiResult.INVALID_STATE
+                if rtype is ResourceType.DRAM_REGION:
+                    # An enclave must unmap its pages from a region
+                    # before relinquishing it — otherwise cleaning would
+                    # strand live mappings.
+                    enclave = self.state.enclave(caller)
+                    if enclave is not None and self._enclave_maps_into_region(
+                        enclave, rid
+                    ):
+                        return ApiResult.INVALID_STATE
+                result = self.state.resources.block(rtype, rid, caller)
+                if result is ApiResult.OK and rtype is ResourceType.THREAD:
+                    self.state.threads[rid].state = ThreadState.BLOCKED
+                if result is ApiResult.OK and rtype is ResourceType.DRAM_REGION:
+                    # A blocked region is in transit between domains:
+                    # fence DMA out of it immediately, not at cleaning.
+                    self._recompute_dma_filter()
+                return result
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def _enclave_maps_into_region(self, enclave, rid: int) -> bool:
+        base, size = self.platform.region_range(rid)
+        for ppn in list(enclave.vpn_to_ppn.values()) + list(
+            enclave.page_table_pages.values()
+        ):
+            if base <= (ppn << PAGE_SHIFT) < base + size:
+                return True
+        return False
+
+    def clean_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
+        """OS reclaims a blocked resource: BLOCKED -> FREE, after scrub.
+
+        The scrub is the SM's job (§V-B): region contents are zeroed
+        and purged from the memory hierarchy; thread save areas are
+        wiped.  Only then can the resource change protection domains.
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        record = self.state.resources.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(record.lock)
+                result = self.state.resources.clean(rtype, rid)
+                if result is not ApiResult.OK:
+                    return result
+                if rtype is ResourceType.DRAM_REGION:
+                    self.platform.clean_region(rid)
+                    if self.platform.dynamic_regions:
+                        # A cleaned dynamic region dissolves back into
+                        # the untrusted pool (§VII-B).
+                        self.platform.delete_region(rid)
+                        self.state.resources.unregister(rtype, rid)
+                    self._recompute_dma_filter()
+                elif rtype is ResourceType.THREAD:
+                    thread = self.state.threads[rid]
+                    thread.scrub()
+                    thread.state = ThreadState.FREE
+                    thread.owner_eid = DOMAIN_UNTRUSTED
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def grant_resource(
+        self, caller: int, rtype: ResourceType, rid: int, recipient: int
+    ) -> ApiResult:
+        """OS routes a FREE resource toward a new owner.
+
+        For an enclave still LOADING, ownership transfers immediately
+        (the enclave cannot run to accept, and the grant's effects are
+        covered by measurement).  For a running recipient the resource
+        becomes OFFERED and the recipient completes the hand-off with
+        ``accept_resource`` (§V-B).
+        """
+        if caller != DOMAIN_UNTRUSTED:
+            return ApiResult.PROHIBITED
+        record = self.state.resources.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        recipient_enclave = self.state.enclave(recipient)
+        if recipient != DOMAIN_UNTRUSTED and recipient_enclave is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(record.lock)
+                if record.state is not ResourceState.FREE:
+                    return ApiResult.INVALID_STATE
+                immediate = recipient == DOMAIN_UNTRUSTED or (
+                    recipient_enclave is not None
+                    and recipient_enclave.state is EnclaveState.LOADING
+                )
+                if immediate:
+                    self.state.resources.assign_directly(rtype, rid, recipient)
+                    self._complete_resource_transfer(rtype, rid, recipient)
+                    return ApiResult.OK
+                return self.state.resources.offer(rtype, rid, recipient)
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def accept_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
+        """Recipient domain completes an offered transfer: OFFERED -> OWNED."""
+        record = self.state.resources.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(record.lock)
+                result = self.state.resources.accept(rtype, rid, caller)
+                if result is ApiResult.OK:
+                    self._complete_resource_transfer(rtype, rid, caller)
+                return result
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def accept_thread(self, caller: int, tid: int) -> ApiResult:
+        """Paper alias: accept_thread(tid) == accept_resource(THREAD, tid)."""
+        return self.accept_resource(caller, ResourceType.THREAD, tid)
+
+    # -- mail (local attestation, §VI-B) ------------------------------------
+
+    def accept_mail(self, caller: int, mailbox_index: int, sender_id: int) -> ApiResult:
+        """Recipient enclave opens a mailbox for a specific sender."""
+        enclave = self.state.enclave(caller)
+        if enclave is None:
+            return ApiResult.PROHIBITED
+        if not 0 <= mailbox_index < len(enclave.mailboxes):
+            return ApiResult.INVALID_VALUE
+        if sender_id != DOMAIN_UNTRUSTED and self.state.enclave(sender_id) is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                return enclave.mailboxes[mailbox_index].accept(sender_id)
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def send_mail(self, caller: int, recipient_eid: int, message: bytes) -> ApiResult:
+        """Deliver mail (by any enclave or the OS) to an expecting mailbox."""
+        if len(message) > MAILBOX_SIZE:
+            return ApiResult.INVALID_VALUE
+        if caller == DOMAIN_UNTRUSTED:
+            sender_measurement = UNTRUSTED_MEASUREMENT
+        else:
+            sender = self.state.enclave(caller)
+            if sender is None or sender.state is not EnclaveState.INITIALIZED:
+                return ApiResult.PROHIBITED
+            sender_measurement = sender.measurement
+        recipient = self.state.enclave(recipient_eid)
+        if recipient is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        try:
+            with Transaction() as txn:
+                txn.take(recipient.lock)
+                for mailbox in recipient.mailboxes:
+                    result = mailbox.deliver(caller, sender_measurement, message)
+                    if result is ApiResult.OK:
+                        return ApiResult.OK
+                return ApiResult.MAILBOX_STATE
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def get_mail(self, caller: int, mailbox_index: int) -> tuple[ApiResult, bytes, bytes]:
+        """Recipient fetches (message, sender measurement) from a mailbox."""
+        enclave = self.state.enclave(caller)
+        if enclave is None:
+            return ApiResult.PROHIBITED, b"", b""
+        if not 0 <= mailbox_index < len(enclave.mailboxes):
+            return ApiResult.INVALID_VALUE, b"", b""
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                return enclave.mailboxes[mailbox_index].fetch()
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT, b"", b""
+
+    # -- public fields and randomness ----------------------------------------
+
+    def get_field(self, caller: int, field_id: int) -> tuple[ApiResult, bytes]:
+        """Public SM information (certificates, measurement — §VI-C)."""
+        return self.state.get_field(field_id)
+
+    def get_random(self, caller: int, n: int) -> tuple[ApiResult, bytes]:
+        """Conditioned entropy for any caller (§IV-B4)."""
+        if n < 0 or n > 4096:
+            return ApiResult.INVALID_VALUE, b""
+        return ApiResult.OK, self.state.drbg.generate(n)
+
+    def get_attestation_key(self, caller: int) -> tuple[ApiResult, bytes]:
+        """Release the SM signing key — to the signing enclave only (§VI-C)."""
+        enclave = self.state.enclave(caller)
+        if enclave is None or enclave.state is not EnclaveState.INITIALIZED:
+            return ApiResult.PROHIBITED, b""
+        if enclave.measurement != self.state.signing_enclave_measurement:
+            return ApiResult.PROHIBITED, b""
+        return ApiResult.OK, self.state.sm_secret_key
+
+    def map_enclave_page(self, caller: int, vaddr: int, paddr: int, acl: int) -> ApiResult:
+        """Map a page into a running enclave's private range (§V-C).
+
+        The enclave (only) may extend its own address space over memory
+        it owns — typically a region it just accepted through the
+        Fig.-2 handshake.  Unlike initialization-time ``load_page``,
+        runtime mappings are *not* measured (they are runtime state,
+        like SGX2's EAUG) and need not ascend physically; the no-alias
+        and ownership invariants still hold, and the level-0 table
+        covering ``vaddr`` must exist (reserve evrange tables at build
+        time).  The page is scrubbed before mapping so the enclave
+        never reads another domain's stale bytes.
+        """
+        enclave = self.state.enclave(caller)
+        if enclave is None:
+            return ApiResult.PROHIBITED
+        if enclave.state is not EnclaveState.INITIALIZED:
+            return ApiResult.INVALID_STATE
+        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE or not enclave.in_evrange(vaddr):
+            return ApiResult.INVALID_VALUE
+        if acl & ~_ACL_MASK or not acl & PTE_R:
+            return ApiResult.INVALID_VALUE
+        ppn = paddr >> PAGE_SHIFT
+        vpn = vaddr >> PAGE_SHIFT
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                if vpn in enclave.vpn_to_ppn or enclave.ppn_is_mapped(ppn):
+                    return ApiResult.INVALID_STATE
+                rid = self.platform.region_of(paddr)
+                record = (
+                    self.state.resources.get(ResourceType.DRAM_REGION, rid)
+                    if rid is not None
+                    else None
+                )
+                if (
+                    record is None
+                    or record.owner != caller
+                    or record.state is not ResourceState.OWNED
+                ):
+                    return ApiResult.PROHIBITED
+                block = vaddr >> (PAGE_SHIFT + 10)
+                table_ppn = enclave.page_table_pages.get((block, 0))
+                if table_ppn is None:
+                    return ApiResult.INVALID_STATE
+                self.machine.memory.zero_range(paddr, PAGE_SIZE)
+                self.machine.memory.write_u32(
+                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
+                    make_pte(ppn, acl | PTE_V),
+                )
+                enclave.vpn_to_ppn[vpn] = ppn
+                self._flush_domain_tlbs(caller)
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def unmap_enclave_page(self, caller: int, vaddr: int) -> ApiResult:
+        """Remove a runtime-private mapping (prerequisite for blocking
+        the backing region)."""
+        enclave = self.state.enclave(caller)
+        if enclave is None:
+            return ApiResult.PROHIBITED
+        if vaddr % PAGE_SIZE or not enclave.in_evrange(vaddr):
+            return ApiResult.INVALID_VALUE
+        vpn = vaddr >> PAGE_SHIFT
+        try:
+            with Transaction() as txn:
+                txn.take(enclave.lock)
+                if vpn not in enclave.vpn_to_ppn:
+                    return ApiResult.INVALID_STATE
+                block = vaddr >> (PAGE_SHIFT + 10)
+                table_ppn = enclave.page_table_pages.get((block, 0))
+                if table_ppn is None:
+                    return ApiResult.INVALID_STATE
+                self.machine.memory.write_u32(
+                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0), 0
+                )
+                del enclave.vpn_to_ppn[vpn]
+                self._flush_domain_tlbs(caller)
+                return ApiResult.OK
+        except LockConflict:
+            return ApiResult.LOCK_CONFLICT
+
+    def _flush_domain_tlbs(self, domain: int) -> None:
+        """Shoot down one domain's TLB entries on every core."""
+        for core in self.machine.cores:
+            core.tlb.flush_domain(domain)
+
+    def get_sealing_key(self, caller: int) -> tuple[ApiResult, bytes]:
+        """Derive the caller's sealing key (§IV-B4's "seed cryptographic
+        keys", as realized by Sanctum's and Keystone's sealing API).
+
+        ``KDF(SM secret, enclave measurement)``: stable for the same
+        enclave binary on the same device under the same SM, and
+        unreachable by any other enclave, the OS, or a patched SM
+        (whose secret differs by secure-boot key derivation).
+        """
+        enclave = self.state.enclave(caller)
+        if enclave is None or enclave.state is not EnclaveState.INITIALIZED:
+            return ApiResult.PROHIBITED, b""
+        from repro.crypto.sha3 import shake256
+
+        key = shake256(
+            self.state.sm_secret_key + b"|sealing-key|" + enclave.measurement, 32
+        )
+        return ApiResult.OK, key
+
+    # ==================================================================
+    # Event interposition (Fig. 1)
+    # ==================================================================
+
+    def handle_trap(self, core: Core, trap: Trap) -> None:
+        """The machine's sole trap handler: every event lands here first."""
+        if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
+            self._handle_enclave_trap(core, trap)
+            return
+        # Untrusted software held the core: delegate directly (no
+        # enclave state to clean), modelled by halting the core so the
+        # host-level kernel regains control.
+        if trap.cause.is_ecall:
+            kind = OsEventKind.SYSCALL
+        elif trap.cause.is_interrupt:
+            kind = OsEventKind.INTERRUPT
+        else:
+            kind = OsEventKind.FAULT
+        core.pc = trap.pc + INSTRUCTION_SIZE if trap.cause.is_ecall else trap.pc
+        core.halted = True
+        self.os_events.post(
+            OsEvent(core.core_id, kind, cause=trap.cause, tval=trap.tval)
+        )
+
+    def _handle_enclave_trap(self, core: Core, trap: Trap) -> None:
+        eid = core.domain
+        enclave = self.state.enclave(eid)
+        tid = self._core_thread.get(core.core_id)
+        thread = self.state.thread(tid) if tid is not None else None
+        if enclave is None or thread is None:
+            raise RuntimeError(
+                f"core {core.core_id} runs unknown domain {eid:#x}; SM state corrupt"
+            )
+        if trap.cause.is_ecall:
+            self._dispatch_enclave_ecall(core, enclave, thread, trap)
+            return
+        evrange = (enclave.evrange_base, enclave.evrange_size)
+        if (
+            fault_is_enclave_handled(trap, evrange, thread.fault_pc != 0)
+            and not thread.fault_present
+        ):
+            # Deliver to the enclave's own fault handler (§V-C): dump
+            # state to the fault area, vector to fault_pc with the
+            # cause/address in a0/a1.
+            thread.save_fault(list(core.regs), trap.pc)
+            core.pc = thread.fault_pc
+            core.write_reg(Reg.SP, thread.fault_sp)
+            core.write_reg(Reg.A0, list(TrapCause).index(trap.cause))
+            core.write_reg(Reg.A1, trap.tval)
+            return
+        self._asynchronous_enclave_exit(core, enclave, thread, trap)
+
+    def _asynchronous_enclave_exit(self, core: Core, enclave, thread, trap: Trap) -> None:
+        """AEX (§V-C): dump state, clean the core, delegate to the OS.
+
+        The fault address is withheld from the OS when it lies inside
+        evrange — revealing it would hand the OS exactly the
+        controlled-channel signal the design eliminates.
+
+        An unconsumed AEX dump is never overwritten: if the thread was
+        re-entered and interrupted again before it could RESUME, the
+        original interrupted context is the one worth keeping (the
+        re-entry prologue would only have resumed it anyway).
+        """
+        if not thread.aex_present:
+            thread.save_aex(list(core.regs), trap.pc)
+        visible_tval = trap.tval
+        if enclave.in_evrange(trap.tval):
+            visible_tval = 0
+        self._deschedule(core, enclave, thread)
+        self.os_events.post(
+            OsEvent(
+                core.core_id,
+                OsEventKind.AEX,
+                cause=trap.cause,
+                eid=enclave.eid,
+                tid=thread.tid,
+                tval=visible_tval,
+            )
+        )
+
+    def _deschedule(self, core: Core, enclave, thread) -> None:
+        """Common exit path: clean the core and hand it back to the OS."""
+        thread.state = ThreadState.ASSIGNED
+        thread.core_id = None
+        enclave.scheduled_threads -= 1
+        self._core_thread.pop(core.core_id, None)
+        core.clean_architectural_state()
+        core.domain = DOMAIN_UNTRUSTED
+        core.privilege = Privilege.S
+        core.context.evrange = None
+        core.context.enclave_root_ppn = 0
+        self.platform.configure_core(core)
+        core.halted = True
+
+    # ==================================================================
+    # Enclave ecall dispatch
+    # ==================================================================
+
+    def _dispatch_enclave_ecall(self, core: Core, enclave, thread, trap: Trap) -> None:
+        call_number = core.read_reg(Reg.A0)
+        a1 = core.read_reg(Reg.A1)
+        a2 = core.read_reg(Reg.A2)
+        a3 = core.read_reg(Reg.A3)
+        core.pc = trap.pc + INSTRUCTION_SIZE
+        try:
+            call = EnclaveEcall(call_number)
+        except ValueError:
+            core.write_reg(Reg.A0, ApiResult.INVALID_VALUE)
+            return
+
+        if call is EnclaveEcall.EXIT_ENCLAVE:
+            self._deschedule(core, enclave, thread)
+            self.os_events.post(
+                OsEvent(
+                    core.core_id,
+                    OsEventKind.ENCLAVE_EXIT,
+                    eid=enclave.eid,
+                    tid=thread.tid,
+                )
+            )
+            return
+        if call is EnclaveEcall.RESUME_FROM_AEX:
+            if not thread.aex_present:
+                core.write_reg(Reg.A0, ApiResult.INVALID_STATE)
+                return
+            saved = thread.take_aex()
+            core.regs = list(saved.regs)
+            core.pc = saved.pc
+            return
+        if call is EnclaveEcall.FAULT_RETURN:
+            if not thread.fault_present:
+                core.write_reg(Reg.A0, ApiResult.INVALID_STATE)
+                return
+            saved = thread.take_fault()
+            core.regs = list(saved.regs)
+            core.pc = saved.pc
+            return
+
+        result: ApiResult
+        if call is EnclaveEcall.GET_ATTESTATION_KEY:
+            result, key = self.get_attestation_key(enclave.eid)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a1, key)
+        elif call is EnclaveEcall.ACCEPT_MAIL:
+            result = self.accept_mail(enclave.eid, a1, a2)
+        elif call is EnclaveEcall.SEND_MAIL:
+            if a3 > MAILBOX_SIZE:
+                result = ApiResult.INVALID_VALUE
+            else:
+                read_result, message = self._read_enclave_buffer(core, a2, a3)
+                result = (
+                    self.send_mail(enclave.eid, a1, message)
+                    if read_result is ApiResult.OK
+                    else read_result
+                )
+        elif call is EnclaveEcall.GET_MAIL:
+            result, message, sender_measurement = self.get_mail(enclave.eid, a1)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a2, message)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a3, sender_measurement)
+            if result is ApiResult.OK:
+                core.write_reg(Reg.A1, len(message))
+        elif call is EnclaveEcall.GET_RANDOM:
+            result, data = self.get_random(enclave.eid, a2)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a1, data)
+        elif call is EnclaveEcall.BLOCK_RESOURCE:
+            rtype = _ECALL_RESOURCE_TYPES.get(a1)
+            result = (
+                self.block_resource(enclave.eid, rtype, a2)
+                if rtype is not None
+                else ApiResult.INVALID_VALUE
+            )
+        elif call is EnclaveEcall.ACCEPT_RESOURCE:
+            rtype = _ECALL_RESOURCE_TYPES.get(a1)
+            result = (
+                self.accept_resource(enclave.eid, rtype, a2)
+                if rtype is not None
+                else ApiResult.INVALID_VALUE
+            )
+        elif call is EnclaveEcall.GET_FIELD:
+            result, data = self.get_field(enclave.eid, a1)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a2, data)
+            if result is ApiResult.OK:
+                core.write_reg(Reg.A1, len(data))
+        elif call is EnclaveEcall.GET_SELF_MEASUREMENT:
+            result = self._write_enclave_buffer(core, a1, enclave.measurement)
+        elif call is EnclaveEcall.GET_SEALING_KEY:
+            result, key = self.get_sealing_key(enclave.eid)
+            if result is ApiResult.OK:
+                result = self._write_enclave_buffer(core, a1, key)
+        elif call is EnclaveEcall.MAP_PAGE:
+            result = self.map_enclave_page(enclave.eid, a1, a2, a3)
+        elif call is EnclaveEcall.UNMAP_PAGE:
+            result = self.unmap_enclave_page(enclave.eid, a1)
+        else:  # pragma: no cover - enum is exhaustive above
+            result = ApiResult.INVALID_VALUE
+        core.write_reg(Reg.A0, result)
+
+    # ==================================================================
+    # Helpers
+    # ==================================================================
+
+    def _loading_enclave_for(self, caller: int, eid: int):
+        """Authorize an OS initialization call on a LOADING enclave."""
+        if caller != DOMAIN_UNTRUSTED:
+            return None, ApiResult.PROHIBITED
+        enclave = self.state.enclave(eid)
+        if enclave is None:
+            return None, ApiResult.UNKNOWN_RESOURCE
+        if enclave.state is not EnclaveState.LOADING:
+            return None, ApiResult.INVALID_STATE
+        return enclave, ApiResult.OK
+
+    def _check_enclave_page(self, enclave, ppn: int) -> ApiResult:
+        """Validate one physical page for initialization use.
+
+        The page must lie in a region the enclave owns, must not
+        already back enclave memory, and must respect the ascending
+        load order (§VI-A).
+        """
+        paddr = ppn << PAGE_SHIFT
+        rid = self.platform.region_of(paddr)
+        if rid is None:
+            return ApiResult.INVALID_VALUE
+        record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
+        if record is None or record.owner != enclave.eid or record.state is not ResourceState.OWNED:
+            return ApiResult.PROHIBITED
+        if ppn <= enclave.last_loaded_ppn:
+            return ApiResult.INVALID_VALUE
+        if enclave.ppn_is_mapped(ppn):
+            return ApiResult.INVALID_STATE
+        return ApiResult.OK
+
+    def _paddr_is_untrusted(self, paddr: int, size: int) -> bool:
+        """Whether an interval is wholly in untrusted-owned memory."""
+        for offset in range(0, size, PAGE_SIZE):
+            rid = self.platform.region_of(paddr + offset)
+            if rid is None:
+                # Off the region map: on Keystone this is the untrusted
+                # pool; on Sanctum every DRAM address has a region.
+                if paddr + offset >= self.machine.config.dram_size:
+                    return False
+                continue
+            record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
+            if record is None:
+                continue
+            if record.owner != DOMAIN_UNTRUSTED or record.state is not ResourceState.OWNED:
+                return False
+        return True
+
+    def _complete_resource_transfer(self, rtype: ResourceType, rid: int, owner: int) -> None:
+        """Hardware-side effects of an ownership change."""
+        if rtype is ResourceType.DRAM_REGION:
+            self.platform.assign_region(rid, owner)
+            self._recompute_dma_filter()
+        elif rtype is ResourceType.THREAD:
+            thread = self.state.threads[rid]
+            thread.owner_eid = owner
+            thread.state = ThreadState.ASSIGNED
+            if owner != DOMAIN_UNTRUSTED:
+                enclave = self.state.enclave(owner)
+                if enclave is not None and rid not in enclave.thread_tids:
+                    enclave.thread_tids.append(rid)
+
+    def _recompute_dma_filter(self) -> None:
+        """Reprogram the DMA filter: devices may touch only untrusted memory.
+
+        §IV-B1: "SM must be able to restrict DMA by devices to memory
+        owned by SM or enclaves" — i.e. DMA is white-listed to
+        everything *not* owned by the SM or an enclave.
+        """
+        dram_size = self.machine.config.dram_size
+        forbidden: list[tuple[int, int]] = []
+        for rid in self.platform.region_ids():
+            record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
+            owner = record.owner if record is not None else self.platform.region_owner(rid)
+            state_ok = record is None or record.state is ResourceState.OWNED
+            if owner == DOMAIN_UNTRUSTED and state_ok:
+                continue
+            base, size = self.platform.region_range(rid)
+            forbidden.append((base, size))
+        forbidden.sort()
+        allowed: list[DmaRange] = []
+        cursor = 0
+        for base, size in forbidden:
+            if base > cursor:
+                allowed.append(DmaRange(cursor, base - cursor))
+            cursor = max(cursor, base + size)
+        if cursor < dram_size:
+            allowed.append(DmaRange(cursor, dram_size - cursor))
+        self.machine.dma_filter.set_ranges(allowed)
+
+    def _read_enclave_buffer(self, core: Core, vaddr: int, length: int) -> tuple[ApiResult, bytes]:
+        """Read enclave-private memory on the enclave's behalf.
+
+        The SM walks the enclave's own mapping (it built it), refusing
+        addresses outside evrange — SM never dereferences
+        OS-translated pointers on an enclave's behalf.
+        """
+        enclave = self.state.enclave(core.domain)
+        out = bytearray()
+        for offset in range(length):
+            paddr = self._enclave_vaddr_to_paddr(enclave, vaddr + offset)
+            if paddr is None:
+                return ApiResult.INVALID_VALUE, b""
+            out += self.machine.memory.read(paddr, 1)
+        return ApiResult.OK, bytes(out)
+
+    def _write_enclave_buffer(self, core: Core, vaddr: int, data: bytes) -> ApiResult:
+        """Write into enclave-private memory on the enclave's behalf."""
+        enclave = self.state.enclave(core.domain)
+        for offset, value in enumerate(data):
+            paddr = self._enclave_vaddr_to_paddr(enclave, vaddr + offset)
+            if paddr is None:
+                return ApiResult.INVALID_VALUE
+            self.machine.memory.write(paddr, bytes([value]))
+        return ApiResult.OK
+
+    def _enclave_vaddr_to_paddr(self, enclave, vaddr: int) -> int | None:
+        if enclave is None or not enclave.in_evrange(vaddr):
+            return None
+        ppn = enclave.vpn_to_ppn.get(vaddr >> PAGE_SHIFT)
+        if ppn is None:
+            return None
+        return (ppn << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    # -- introspection used by kernels, tests, and benches -----------------
+
+    def take_os_event(self, core_id: int) -> OsEvent | None:
+        """Kernel-side: pop the next delegated event for a core."""
+        return self.os_events.take(core_id)
+
+    def enclave_measurement(self, eid: int) -> bytes | None:
+        """The (finalized) measurement of an enclave, if initialized."""
+        enclave = self.state.enclave(eid)
+        if enclave is None or enclave.state is not EnclaveState.INITIALIZED:
+            return None
+        return enclave.measurement

@@ -1,0 +1,144 @@
+"""Remote attestation: report format and verifier side (paper §VI-C, Fig. 7).
+
+The SM itself never signs attestations — "SM ... does not itself
+guarantee a confidential execution environment (because SM itself is a
+shared resource), relying instead on a trusted 'signing enclave' to
+compute the signature."  The signing enclave obtains the SM's secret
+key through the authorized key-release API, signs
+``nonce || enclave-measurement``, and the attested enclave assembles
+the full report (signature + certificate chain) for the remote
+verifier.
+
+This module defines the byte formats both sides agree on and the
+verifier's logic (Fig. 7 step ⑨); the in-simulation signing enclave
+(:mod:`repro.sdk.signing_enclave`) produces exactly these bytes from
+inside an enclave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.cert import Certificate, verify_chain
+from repro.crypto.ed25519 import ed25519_verify
+from repro.crypto.hashing import MeasurementHash
+from repro.errors import CertificateError
+
+#: Byte sizes fixed by the protocol.
+NONCE_SIZE = 32
+MEASUREMENT_SIZE = MeasurementHash.DIGEST_SIZE
+SIGNATURE_SIZE = 64
+
+#: Domain-separation prefix for attestation signatures.
+ATTESTATION_PREFIX = b"sanctorum-attest|"
+
+
+def attestation_message(nonce: bytes, enclave_measurement: bytes) -> bytes:
+    """The exact byte string the signing enclave signs (step ⑤)."""
+    if len(nonce) != NONCE_SIZE:
+        raise ValueError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    if len(enclave_measurement) != MEASUREMENT_SIZE:
+        raise ValueError(
+            f"measurement must be {MEASUREMENT_SIZE} bytes, got {len(enclave_measurement)}"
+        )
+    return ATTESTATION_PREFIX + nonce + enclave_measurement
+
+
+@dataclasses.dataclass(frozen=True)
+class AttestationReport:
+    """Everything the remote verifier receives (steps ⑦–⑧)."""
+
+    nonce: bytes
+    enclave_measurement: bytes
+    signature: bytes
+    sm_certificate: Certificate
+    device_certificate: Certificate
+
+    def to_bytes(self) -> bytes:
+        """Wire format for shipping the report over the untrusted channel."""
+        parts = []
+        for field in (
+            self.nonce,
+            self.enclave_measurement,
+            self.signature,
+            self.sm_certificate.to_bytes(),
+            self.device_certificate.to_bytes(),
+        ):
+            parts.append(len(field).to_bytes(4, "little"))
+            parts.append(field)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AttestationReport":
+        view = memoryview(data)
+        offset = 0
+        fields = []
+        for _ in range(5):
+            if offset + 4 > len(view):
+                raise ValueError("truncated attestation report")
+            length = int.from_bytes(view[offset : offset + 4], "little")
+            offset += 4
+            if offset + length > len(view):
+                raise ValueError("truncated attestation report field")
+            fields.append(bytes(view[offset : offset + length]))
+            offset += length
+        if offset != len(view):
+            raise ValueError("trailing bytes after attestation report")
+        return cls(
+            nonce=fields[0],
+            enclave_measurement=fields[1],
+            signature=fields[2],
+            sm_certificate=Certificate.from_bytes(fields[3]),
+            device_certificate=Certificate.from_bytes(fields[4]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of :func:`verify_attestation`."""
+
+    ok: bool
+    reason: str
+    #: The SM measurement bound into the verified SM certificate (the
+    #: verifier should check it against a list of trusted SM builds).
+    sm_measurement: bytes = b""
+
+
+def verify_attestation(
+    report: AttestationReport,
+    root_public_key: bytes,
+    expected_nonce: bytes,
+    expected_enclave_measurement: bytes | None = None,
+    expected_sm_measurement: bytes | None = None,
+) -> VerificationResult:
+    """The trusted first party's check (Fig. 7 step ⑨).
+
+    Verifies, in order: the certificate chain up to the manufacturer
+    root, the nonce freshness, the attestation signature under the
+    SM key certified by that chain, and (optionally) that the enclave
+    and SM measurements match expected values.
+    """
+    try:
+        leaf = verify_chain(
+            [report.device_certificate, report.sm_certificate], root_public_key
+        )
+    except CertificateError as exc:
+        return VerificationResult(False, f"certificate chain invalid: {exc}")
+    if leaf.subject != "sm":
+        return VerificationResult(False, f"leaf certificate is {leaf.subject!r}, not 'sm'")
+    if report.nonce != expected_nonce:
+        return VerificationResult(False, "nonce mismatch (replay?)")
+    message = attestation_message(report.nonce, report.enclave_measurement)
+    if not ed25519_verify(leaf.subject_key, message, report.signature):
+        return VerificationResult(False, "attestation signature invalid")
+    if (
+        expected_enclave_measurement is not None
+        and report.enclave_measurement != expected_enclave_measurement
+    ):
+        return VerificationResult(False, "enclave measurement mismatch")
+    if (
+        expected_sm_measurement is not None
+        and leaf.measurement != expected_sm_measurement
+    ):
+        return VerificationResult(False, "SM measurement mismatch")
+    return VerificationResult(True, "attestation verified", sm_measurement=leaf.measurement)

@@ -1,0 +1,144 @@
+"""Secure boot: measuring the SM and deriving its keys (paper §IV-A).
+
+"SM's binary image is also assumed to be trustworthy (but is
+authenticated via a secure boot protocol and endowed with unique
+keys)" — the protocol is the one of Lebedev et al., CSF 2018 [7],
+which this module reproduces:
+
+1. At *provisioning time* the manufacturer generates its root keypair,
+   generates a per-device keypair from the device's unique secret, and
+   signs the **device certificate** with the root key.
+2. At *boot time* the boot ROM measures the SM image with SHA-3,
+   derives the **SM keypair** deterministically from
+   ``KDF(device_secret, sm_measurement)`` — so a different SM binary
+   yields different keys and cannot impersonate this one — and signs
+   the **SM certificate** (binding the SM public key *and* the SM
+   measurement) with the device key.
+3. The device secret is then made inaccessible; the SM holds only its
+   own derived secret key plus the two certificates.
+
+The SM image we measure is the actual source of :mod:`repro.sm` — the
+reproduction's analogue of hashing the monitor binary: patch the
+monitor and the measurement, keys, and certificates all change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from repro.crypto.cert import Certificate
+from repro.crypto.drbg import Sha3Drbg
+from repro.crypto.ed25519 import ed25519_generate_keypair
+from repro.crypto.sha3 import SHA3_512, shake256
+from repro.util.rng import DeterministicTRNG
+
+
+def sm_image_bytes() -> bytes:
+    """The SM 'binary': concatenated sources of the repro.sm package.
+
+    Deterministic for a given build: files are concatenated in sorted
+    order with their names framed in, so renames and reorders are
+    visible to the measurement.
+    """
+    package_dir = pathlib.Path(__file__).parent
+    image = bytearray()
+    for path in sorted(package_dir.glob("*.py")):
+        data = path.read_bytes()
+        image += len(path.name).to_bytes(2, "little")
+        image += path.name.encode()
+        image += len(data).to_bytes(8, "little")
+        image += data
+    return bytes(image)
+
+
+def measure_sm_image(image: bytes) -> bytes:
+    """Boot ROM step: SHA3-512 over the SM image."""
+    digest = SHA3_512()
+    digest.update(b"sanctorum-sm-image|")
+    digest.update(image)
+    return digest.digest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ManufacturerProvisioning:
+    """Secrets and certificates created before the device ships."""
+
+    root_secret: bytes
+    root_public: bytes
+    device_secret: bytes
+    device_public: bytes
+    device_certificate: Certificate
+
+
+def provision_device(trng: DeterministicTRNG) -> ManufacturerProvisioning:
+    """Manufacturer-side provisioning (step 1 above)."""
+    root_secret, root_public = ed25519_generate_keypair(trng.read(32))
+    device_unique_secret = trng.read(32)
+    device_secret, device_public = ed25519_generate_keypair(device_unique_secret)
+    device_certificate = Certificate.issue(
+        issuer_name="manufacturer",
+        issuer_secret=root_secret,
+        subject="device",
+        subject_key=device_public,
+    )
+    return ManufacturerProvisioning(
+        root_secret=root_secret,
+        root_public=root_public,
+        device_secret=device_secret,
+        device_public=device_public,
+        device_certificate=device_certificate,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SecureBootResult:
+    """What the boot ROM hands the freshly measured SM."""
+
+    sm_measurement: bytes
+    sm_secret_key: bytes
+    sm_public_key: bytes
+    sm_certificate: Certificate
+    device_certificate: Certificate
+    #: The manufacturer root key a remote verifier must already trust.
+    root_public: bytes
+
+
+def secure_boot(
+    provisioning: ManufacturerProvisioning,
+    sm_image: bytes | None = None,
+    trng: DeterministicTRNG | None = None,
+) -> SecureBootResult:
+    """Boot-ROM steps 2–3: measure the SM, derive keys, certify them.
+
+    ``trng`` is accepted for interface completeness (a real ROM mixes
+    hardware entropy into its DRBG); key derivation itself is
+    deterministic in (device secret, SM measurement), which is the
+    property the attestation story depends on.
+    """
+    image = sm_image if sm_image is not None else sm_image_bytes()
+    sm_measurement = measure_sm_image(image)
+    seed = shake256(
+        b"sanctum-sm-key-derivation|" + provisioning.device_secret + sm_measurement, 32
+    )
+    sm_secret_key, sm_public_key = ed25519_generate_keypair(seed)
+    sm_certificate = Certificate.issue(
+        issuer_name="device",
+        issuer_secret=provisioning.device_secret,
+        subject="sm",
+        subject_key=sm_public_key,
+        measurement=sm_measurement,
+    )
+    return SecureBootResult(
+        sm_measurement=sm_measurement,
+        sm_secret_key=sm_secret_key,
+        sm_public_key=sm_public_key,
+        sm_certificate=sm_certificate,
+        device_certificate=provisioning.device_certificate,
+        root_public=provisioning.root_public,
+    )
+
+
+def make_boot_drbg(trng: DeterministicTRNG) -> Sha3Drbg:
+    """The SM's conditioned randomness source, seeded at boot."""
+    return Sha3Drbg(trng, personalization=b"sanctorum-sm")

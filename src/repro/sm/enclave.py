@@ -1,0 +1,92 @@
+"""Enclave metadata and lifecycle (paper §V-C, Fig. 3).
+
+"Enclave metadata tracks various properties (the enclave's measurement,
+virtual range, lifecycle state, lock), thread IDs (tid), and the
+machine resources owned by this enclave.  The metadata also contains
+mailboxes used for trusted inter-enclave communication. ...  An eid is
+the physical address of the enclave's metadata structure."
+
+Lifecycle (Fig. 3)::
+
+    create_enclave ──▶ LOADING ── init_enclave ──▶ INITIALIZED ── delete_enclave ──▶ (gone)
+                          │  (grant memory, allocate_page_table,
+                          │   load_page, create_thread extend the
+                          │   measurement while LOADING)
+                          └── delete_enclave also legal while LOADING
+
+The no-aliasing discipline of §VI-A is enforced here: pages must be
+loaded in ascending physical order, page tables before data, and every
+virtual page mapped at most once — making the measurement fully
+descriptive of the initial state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.sm.locks import SmLock
+from repro.sm.mailbox import Mailbox
+from repro.sm.measurement import EnclaveMeasurement
+
+#: Fixed part of an enclave metadata structure, in bytes; each mailbox
+#: and each tracked page add to it.  Drives the SM-memory allocator so
+#: eids are real, non-overlapping physical addresses.
+ENCLAVE_METADATA_BASE_SIZE = 1024
+ENCLAVE_METADATA_PER_MAILBOX = 384
+
+
+class EnclaveState(enum.Enum):
+    """Fig.-3 lifecycle states."""
+
+    LOADING = "loading"
+    INITIALIZED = "initialized"
+
+
+@dataclasses.dataclass
+class EnclaveMetadata:
+    """One enclave's metadata structure in SM-owned memory."""
+
+    #: The enclave ID: physical address of this structure.
+    eid: int
+    #: Enclave virtual range (base, size); private walks happen inside it.
+    evrange_base: int
+    evrange_size: int
+    state: EnclaveState
+    measurement_accumulator: EnclaveMeasurement
+    mailboxes: list[Mailbox]
+    lock: SmLock = dataclasses.field(default_factory=lambda: SmLock())
+    #: Final measurement, set by init_enclave.
+    measurement: bytes = b""
+    #: Physical page number of the enclave's private page-table root.
+    page_table_root_ppn: int | None = None
+    #: tids of threads assigned to this enclave.
+    thread_tids: list[int] = dataclasses.field(default_factory=list)
+    #: Highest physical page number used so far by loading operations —
+    #: enforces the monotonic-load rule of §VI-A.
+    last_loaded_ppn: int = -1
+    #: Virtual page number -> physical page number, for the injectivity
+    #: check and for fault handling.
+    vpn_to_ppn: dict[int, int] = dataclasses.field(default_factory=dict)
+    #: Physical pages holding the enclave's page tables (vaddr-keyed).
+    page_table_pages: dict[tuple[int, int], int] = dataclasses.field(default_factory=dict)
+    #: Set once any data page is loaded; page tables must precede data.
+    data_loading_started: bool = False
+    #: Number of threads currently scheduled on cores.
+    scheduled_threads: int = 0
+
+    def __post_init__(self) -> None:
+        self.lock.name = f"enclave[{self.eid:#x}]"
+
+    def in_evrange(self, vaddr: int) -> bool:
+        return self.evrange_base <= vaddr < self.evrange_base + self.evrange_size
+
+    def metadata_size(self) -> int:
+        """Bytes this structure occupies in SM memory."""
+        return ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX * len(
+            self.mailboxes
+        )
+
+    def ppn_is_mapped(self, ppn: int) -> bool:
+        """Whether a physical page already backs enclave memory."""
+        return ppn in self.vpn_to_ppn.values() or ppn in self.page_table_pages.values()

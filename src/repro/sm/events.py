@@ -1,0 +1,93 @@
+"""Event interposition and asynchronous enclave exit (paper Fig. 1, §V-C).
+
+Every trap on every core — ecalls, faults, interrupts — is delivered to
+the SM before any other software sees it.  The SM then:
+
+* dispatches enclave ecalls to the enclave API;
+* delivers eligible faults to the faulting enclave's *own* handler
+  ("Enclaves can implement fault handlers, and receive some
+  traps/faults in order to implement paging or handle some
+  exceptions");
+* performs an **AEX** for everything that must reach the OS while an
+  enclave holds the core: "the interface forwards OS events to the OS
+  handler, but requires an Asynchronous Enclave Exit to clean sensitive
+  processor state before delegating the event to the OS."
+
+Delegation to the OS is modelled as an :class:`OsEvent` posted to a
+per-core queue that the (host-level) untrusted kernel drains; the core
+is halted so the kernel regains control, which is the simulation's
+equivalent of vectoring into the OS trap handler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.hw.traps import Trap, TrapCause
+
+
+class OsEventKind(enum.Enum):
+    """What the SM delegated to the untrusted OS."""
+
+    #: An enclave exited voluntarily (exit_enclave ecall).
+    ENCLAVE_EXIT = "enclave_exit"
+    #: An asynchronous enclave exit; ``cause`` holds the trap cause.
+    AEX = "aex"
+    #: A trap taken while untrusted code held the core.
+    INTERRUPT = "interrupt"
+    #: An ecall from untrusted code (an OS syscall, not SM business).
+    SYSCALL = "syscall"
+    #: A fault taken while untrusted code held the core.
+    FAULT = "fault"
+
+
+@dataclasses.dataclass(frozen=True)
+class OsEvent:
+    """One delegated event, as observed by the untrusted kernel."""
+
+    core_id: int
+    kind: OsEventKind
+    cause: TrapCause | None = None
+    eid: int | None = None
+    tid: int | None = None
+    tval: int = 0
+
+
+class OsEventQueue:
+    """Per-core queues of events the SM has delegated to the OS."""
+
+    def __init__(self, n_cores: int) -> None:
+        self._queues: list[list[OsEvent]] = [[] for _ in range(n_cores)]
+
+    def post(self, event: OsEvent) -> None:
+        self._queues[event.core_id].append(event)
+
+    def take(self, core_id: int) -> OsEvent | None:
+        """Pop the oldest delegated event for a core (None if empty)."""
+        queue = self._queues[core_id]
+        return queue.pop(0) if queue else None
+
+    def pending(self, core_id: int) -> int:
+        return len(self._queues[core_id])
+
+    def drain(self, core_id: int) -> list[OsEvent]:
+        events, self._queues[core_id] = self._queues[core_id], []
+        return events
+
+
+def fault_is_enclave_handled(trap: Trap, evrange: tuple[int, int], has_handler: bool) -> bool:
+    """Decide whether a fault goes to the enclave's own handler.
+
+    Only page faults on addresses *inside* ``evrange`` are enclave
+    business (the enclave manages its own private memory, §V-C); faults
+    outside evrange concern OS-managed memory, and all other causes
+    (illegal instruction, access faults, breakpoints) delegate to the
+    OS after an AEX.
+    """
+    if not has_handler:
+        return False
+    if not trap.cause.is_page_fault:
+        return False
+    base, size = evrange
+    return base <= trap.tval < base + size

@@ -1,0 +1,196 @@
+"""Executable statements of the SM's security invariants.
+
+The paper's design rests on invariants stated across §V–§VI; this
+module writes them down as code so tests, benches, and long-running
+experiments can call :func:`check_all` after any operation and fail
+loudly the moment the monitor's state stops satisfying its own rules.
+A violation always means an SM bug — never legal adversary behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT
+from repro.sm.api import SecurityMonitor
+from repro.sm.enclave import EnclaveState
+from repro.sm.resources import ResourceState, ResourceType
+from repro.sm.thread import ThreadState
+
+
+def _fail(name: str, detail: str) -> None:
+    raise InvariantViolation(f"{name}: {detail}")
+
+
+def check_metadata_in_sm_memory(sm: SecurityMonitor) -> None:
+    """§V-B: metadata wholly resides in SM-owned memory, non-overlapping."""
+    intervals = []
+    for arena in sm.state.metadata_arenas:
+        for start, size in arena.claims.items():
+            if not arena.contains(start, size):
+                _fail("metadata_in_sm_memory", f"claim {start:#x}+{size} escapes arena")
+            intervals.append((start, start + size))
+    intervals.sort()
+    for (a_start, a_end), (b_start, b_end) in zip(intervals, intervals[1:]):
+        if b_start < a_end:
+            _fail(
+                "metadata_in_sm_memory",
+                f"claims [{a_start:#x},{a_end:#x}) and [{b_start:#x},{b_end:#x}) overlap",
+            )
+    for eid in sm.state.enclaves:
+        if not sm.state.in_sm_metadata(eid):
+            _fail("metadata_in_sm_memory", f"enclave {eid:#x} metadata outside arenas")
+    for tid in sm.state.threads:
+        if not sm.state.in_sm_metadata(tid):
+            _fail("metadata_in_sm_memory", f"thread {tid:#x} metadata outside arenas")
+
+
+def check_region_ownership(sm: SecurityMonitor) -> None:
+    """§V-B: protection domains are non-overlapping over memory regions.
+
+    The SM's resource map and the isolation hardware must agree on
+    every region's owner, and every owner must be a live domain.
+    """
+    for record in sm.state.resources.all_records():
+        if record.rtype is not ResourceType.DRAM_REGION:
+            continue
+        hw_owner = sm.platform.region_owner(record.rid)
+        if record.state is ResourceState.OWNED and hw_owner != record.owner:
+            _fail(
+                "region_ownership",
+                f"region {record.rid}: map says {record.owner:#x}, "
+                f"hardware says {hw_owner:#x}",
+            )
+        if record.state is ResourceState.OWNED and record.owner not in (
+            DOMAIN_UNTRUSTED,
+            DOMAIN_SM,
+        ):
+            if record.owner not in sm.state.enclaves:
+                _fail(
+                    "region_ownership",
+                    f"region {record.rid} owned by dead enclave {record.owner:#x}",
+                )
+
+
+def check_enclave_page_injectivity(sm: SecurityMonitor) -> None:
+    """§VI-A: virtual-to-physical mapping is injective, pages are owned."""
+    for enclave in sm.state.enclaves.values():
+        ppns = list(enclave.vpn_to_ppn.values())
+        if len(ppns) != len(set(ppns)):
+            _fail("page_injectivity", f"enclave {enclave.eid:#x} aliases a physical page")
+        table_ppns = set(enclave.page_table_pages.values())
+        if table_ppns & set(ppns):
+            _fail(
+                "page_injectivity",
+                f"enclave {enclave.eid:#x}: page table doubles as data page",
+            )
+        for ppn in list(ppns) + list(table_ppns):
+            rid = sm.platform.region_of(ppn << PAGE_SHIFT)
+            if rid is None:
+                _fail("page_injectivity", f"enclave page {ppn:#x} outside any region")
+            record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+            if record is None or record.owner != enclave.eid:
+                _fail(
+                    "page_injectivity",
+                    f"enclave {enclave.eid:#x} maps page in region {rid} it does not own",
+                )
+
+
+def check_measurement_discipline(sm: SecurityMonitor) -> None:
+    """§VI-A: measurement finalized exactly when the enclave is sealed."""
+    for enclave in sm.state.enclaves.values():
+        if enclave.state is EnclaveState.INITIALIZED and len(enclave.measurement) != 64:
+            _fail(
+                "measurement_discipline",
+                f"initialized enclave {enclave.eid:#x} lacks a measurement",
+            )
+        if enclave.state is EnclaveState.LOADING and enclave.measurement:
+            _fail(
+                "measurement_discipline",
+                f"loading enclave {enclave.eid:#x} already has a final measurement",
+            )
+
+
+def check_scheduling_consistency(sm: SecurityMonitor) -> None:
+    """§V-C: thread/core scheduling state is mutually consistent."""
+    scheduled_by_enclave: dict[int, int] = {}
+    for tid, thread in sm.state.threads.items():
+        if thread.state is ThreadState.SCHEDULED:
+            if thread.core_id is None:
+                _fail("scheduling", f"scheduled thread {tid:#x} has no core")
+            core = sm.machine.cores[thread.core_id]
+            if core.domain != thread.owner_eid:
+                _fail(
+                    "scheduling",
+                    f"thread {tid:#x} scheduled on core {thread.core_id} "
+                    f"but core runs domain {core.domain:#x}",
+                )
+            scheduled_by_enclave[thread.owner_eid] = (
+                scheduled_by_enclave.get(thread.owner_eid, 0) + 1
+            )
+        elif thread.core_id is not None:
+            _fail("scheduling", f"descheduled thread {tid:#x} still claims a core")
+    for eid, enclave in sm.state.enclaves.items():
+        expected = scheduled_by_enclave.get(eid, 0)
+        if enclave.scheduled_threads != expected:
+            _fail(
+                "scheduling",
+                f"enclave {eid:#x} counts {enclave.scheduled_threads} scheduled "
+                f"threads; metadata shows {expected}",
+            )
+    for core in sm.machine.cores:
+        if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
+            if core.domain not in sm.state.enclaves:
+                _fail("scheduling", f"core {core.core_id} runs dead domain {core.domain:#x}")
+
+
+def check_dma_exclusion(sm: SecurityMonitor) -> None:
+    """§IV-B1: the DMA filter excludes all SM- and enclave-owned memory."""
+    for record in sm.state.resources.all_records():
+        if record.rtype is not ResourceType.DRAM_REGION:
+            continue
+        protected = (
+            record.owner != DOMAIN_UNTRUSTED
+            or record.state is not ResourceState.OWNED
+        )
+        if not protected:
+            continue
+        base, size = sm.platform.region_range(record.rid)
+        for probe in (base, base + size // 2, base + size - 4):
+            if sm.machine.dma_filter.permits(probe, 4):
+                _fail(
+                    "dma_exclusion",
+                    f"DMA filter permits access to protected region {record.rid} "
+                    f"at {probe:#x}",
+                )
+
+
+def check_lock_quiescence(sm: SecurityMonitor) -> None:
+    """Between API calls, no SM lock may remain held (transactions end)."""
+    for record in sm.state.resources.all_records():
+        if record.lock.held:
+            _fail("lock_quiescence", f"resource lock {record.lock.name} still held")
+    for enclave in sm.state.enclaves.values():
+        if enclave.lock.held:
+            _fail("lock_quiescence", f"enclave lock {enclave.lock.name} still held")
+    for thread in sm.state.threads.values():
+        if thread.lock.held:
+            _fail("lock_quiescence", f"thread lock {thread.lock.name} still held")
+
+
+#: All checks, in execution order.
+ALL_CHECKS = (
+    check_metadata_in_sm_memory,
+    check_region_ownership,
+    check_enclave_page_injectivity,
+    check_measurement_discipline,
+    check_scheduling_consistency,
+    check_dma_exclusion,
+    check_lock_quiescence,
+)
+
+
+def check_all(sm: SecurityMonitor) -> None:
+    """Run every invariant check; raises InvariantViolation on failure."""
+    for check in ALL_CHECKS:
+        check(sm)

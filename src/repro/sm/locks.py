@@ -1,0 +1,102 @@
+"""Fine-grained locks with transactional acquire-all-or-fail semantics.
+
+§V-A: "The SM API is highly concurrent on a multicore processor, and
+requires transaction semantics for most API calls.  After authorizing
+the caller, SM uses fine-grained locks, and fails transactions in case
+of a concurrent operation."
+
+The simulation itself is single-threaded, but the *semantics* matter:
+an API call must atomically acquire every lock it needs or fail with
+``LOCK_CONFLICT`` without observable side effects.  Tests exercise
+contention by holding locks across simulated-concurrent calls.
+
+Locks are acquired in a canonical global order (by each lock's stable
+ordinal) so that even nested/multi-object transactions are
+deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ApiResult
+
+_ordinals = itertools.count()
+
+
+class SmLock:
+    """One fine-grained lock guarding a metadata structure or resource."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.ordinal = next(_ordinals)
+        self.held_by: str | None = None
+
+    @property
+    def held(self) -> bool:
+        return self.held_by is not None
+
+    def acquire(self, holder: str = "sm") -> bool:
+        """Try to take the lock; returns False when already held."""
+        if self.held_by is not None:
+            return False
+        self.held_by = holder
+        return True
+
+    def release(self) -> None:
+        if self.held_by is None:
+            raise RuntimeError(f"releasing unheld lock {self.name!r}")
+        self.held_by = None
+
+
+class LockConflict(Exception):
+    """Raised inside a transaction when a needed lock is held.
+
+    The transaction machinery converts this into
+    :data:`~repro.errors.ApiResult.LOCK_CONFLICT` after rolling back
+    already-acquired locks.
+    """
+
+
+class Transaction:
+    """Context manager bundling lock acquisition for one API call.
+
+    Usage::
+
+        with Transaction() as txn:
+            txn.take(enclave.lock, thread.lock)
+            ... mutate state ...
+
+    ``take`` sorts the requested locks into canonical order and either
+    acquires them all or raises :class:`LockConflict`; ``__exit__``
+    releases everything acquired, in reverse order, on both success and
+    failure.  State mutations must only happen after all ``take`` calls
+    succeed, which every API call in :mod:`repro.sm.api` observes.
+    """
+
+    def __init__(self, holder: str = "sm") -> None:
+        self._holder = holder
+        self._acquired: list[SmLock] = []
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def take(self, *locks: SmLock) -> None:
+        """Acquire the given locks (all or nothing for this batch)."""
+        for lock in sorted(set(locks), key=lambda l: l.ordinal):
+            if lock in self._acquired:
+                continue
+            if not lock.acquire(self._holder):
+                raise LockConflict(lock.name)
+            self._acquired.append(lock)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        for lock in reversed(self._acquired):
+            lock.release()
+        self._acquired.clear()
+        return False
+
+
+def as_result(exc: LockConflict) -> ApiResult:
+    """The API-visible result for a lock conflict."""
+    return ApiResult.LOCK_CONFLICT

@@ -1,0 +1,96 @@
+"""SM-mediated mailboxes for local attestation (paper §VI-B, Fig. 5).
+
+"SM endows each enclave metadata structure in SM memory with a buffer
+of one or more 'mailboxes' used by that enclave to receive
+authenticated messages. ...  In order to thwart denial of service by a
+malicious sender, the recipient must signal their intent to receive
+from a specific sender via the accept_mail(sender_id) API."
+
+State machine per mailbox::
+
+                 accept_mail(sender)            send_mail (by that sender)
+    CLOSED ────────────────────────▶ EXPECTING ──────────────────────▶ FULL
+       ▲                                                                 │
+       └─────────────────────────────────────────────────────────────────┘
+                        get_mail (by the recipient enclave)
+
+SM records the *measurement* of the sender alongside the message: the
+recipient authenticates the sender by comparing that measurement to an
+expected constant, leveraging mutual trust in the SM rather than
+cryptography (there is no shared channel to protect — the SM moves the
+bytes between SM-owned buffers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ApiResult
+
+#: Fixed mailbox payload capacity, in bytes.
+MAILBOX_SIZE = 256
+
+
+class MailboxState(enum.Enum):
+    """Fig.-5 states (with the pre-accept state made explicit)."""
+
+    CLOSED = "closed"
+    EXPECTING = "expecting"
+    FULL = "full"
+
+
+@dataclasses.dataclass
+class Mailbox:
+    """One receive mailbox in an enclave's metadata structure."""
+
+    index: int
+    state: MailboxState = MailboxState.CLOSED
+    #: Sender the recipient agreed to receive from (domain id).
+    expected_sender: int | None = None
+    message: bytes = b""
+    #: Measurement of the actual sender, recorded by the SM at send time.
+    sender_measurement: bytes = b""
+
+    def accept(self, sender: int) -> ApiResult:
+        """Recipient signals intent to receive from ``sender``.
+
+        Re-accepting is allowed from CLOSED or EXPECTING (the recipient
+        may change its mind about the sender) but not while FULL — the
+        pending message must be fetched first, or a malicious recipient
+        could drop an authenticated message it dislikes and blame the
+        sender.
+        """
+        if self.state is MailboxState.FULL:
+            return ApiResult.MAILBOX_STATE
+        self.state = MailboxState.EXPECTING
+        self.expected_sender = sender
+        self.message = b""
+        self.sender_measurement = b""
+        return ApiResult.OK
+
+    def deliver(self, sender: int, sender_measurement: bytes, message: bytes) -> ApiResult:
+        """SM delivers mail on behalf of ``sender``."""
+        if len(message) > MAILBOX_SIZE:
+            return ApiResult.INVALID_VALUE
+        if self.state is not MailboxState.EXPECTING:
+            return ApiResult.MAILBOX_STATE
+        if sender != self.expected_sender:
+            # An unaccepted sender cannot fill the mailbox: the DoS
+            # defence the paper calls out.
+            return ApiResult.PROHIBITED
+        self.state = MailboxState.FULL
+        self.message = bytes(message)
+        self.sender_measurement = sender_measurement
+        return ApiResult.OK
+
+    def fetch(self) -> tuple[ApiResult, bytes, bytes]:
+        """Recipient retrieves (message, sender_measurement); empties box."""
+        if self.state is not MailboxState.FULL:
+            return ApiResult.MAILBOX_STATE, b"", b""
+        message, measurement = self.message, self.sender_measurement
+        self.state = MailboxState.CLOSED
+        self.expected_sender = None
+        self.message = b""
+        self.sender_measurement = b""
+        return ApiResult.OK, message, measurement

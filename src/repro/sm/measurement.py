@@ -1,0 +1,71 @@
+"""Enclave measurement (paper §VI-A).
+
+"SM measures enclaves via a sha3 cryptographic hash computed for each
+enclave as part of initialization.  This measurement covers the
+enclave's configuration, private virtual memory, and any global state
+necessary to convey trust (e.g., the identity of SM and capabilities of
+the hardware)."
+
+Key properties this module realizes (and the tests assert):
+
+* **Determinism / virtual-address equivalence** — "Two equivalent
+  enclaves initialized with identical virtual addresses will have equal
+  measurements; the physical addresses used when initializing the
+  enclave are not covered by measurement."  No extend operation below
+  includes a physical address.
+* **Operation-order sensitivity** — each initialization API call
+  extends the running hash, so reordering operations changes the
+  measurement.
+* **Context binding** — the first extend covers the SM's own identity
+  and the platform name, binding the measurement to the trust context
+  the attestation conveys.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import MeasurementHash
+
+_U64 = MeasurementHash.encode_u64
+
+
+class EnclaveMeasurement:
+    """The per-enclave measurement accumulator the SM maintains."""
+
+    def __init__(self, sm_measurement: bytes, platform_name: str) -> None:
+        self._hash = MeasurementHash()
+        self._hash.extend(
+            "sm_context", sm_measurement, platform_name.encode("ascii")
+        )
+        self._finalized = False
+
+    def extend_create(self, evrange_base: int, evrange_size: int, num_mailboxes: int) -> None:
+        """Cover the enclave's configuration at ``create_enclave``."""
+        self._hash.extend(
+            "create_enclave",
+            _U64(evrange_base),
+            _U64(evrange_size),
+            _U64(num_mailboxes),
+        )
+
+    def extend_page_table(self, vaddr: int, level: int) -> None:
+        """Cover a page-table reservation (``allocate_page_table``)."""
+        self._hash.extend("allocate_page_table", _U64(vaddr), _U64(level))
+
+    def extend_load_page(self, vaddr: int, acl: int, data: bytes) -> None:
+        """Cover a loaded page's virtual placement, permissions and bytes."""
+        self._hash.extend("load_page", _U64(vaddr), _U64(acl), data)
+
+    def extend_thread(self, entry_pc: int, entry_sp: int, fault_pc: int, fault_sp: int) -> None:
+        """Cover a created thread's entry and fault-handler configuration."""
+        self._hash.extend(
+            "create_thread", _U64(entry_pc), _U64(entry_sp), _U64(fault_pc), _U64(fault_sp)
+        )
+
+    def finalize(self) -> bytes:
+        """Produce the final measurement at ``init_enclave``."""
+        self._finalized = True
+        return self._hash.finalize()
+
+    @property
+    def operation_count(self) -> int:
+        return self._hash.operation_count

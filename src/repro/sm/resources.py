@@ -1,0 +1,178 @@
+"""The generic resource map and state machine (paper §V-B, Fig. 2).
+
+"SM enforces invariants over the system software's allocation of
+isolated resources (cores, physical memory, cache lines, etc.) to
+their respective protection domains. ...  Protection domains must be
+non-overlapping with respect to machine resources."
+
+Every mutable machine resource is tracked by one
+:class:`ResourceRecord` carrying its owner, its Fig.-2 state, and a
+fine-grained lock.  The legal transitions::
+
+          block_resource(type, rid)        clean_resource(type, rid)
+    OWNED ─────────────────────────▶ BLOCKED ──────────────────────▶ FREE
+      ▲        (by owner)                         (by the OS)         │
+      │                                                               │
+      └───────────────────────────────────────────────────────────────┘
+            grant (OS offers) + accept_resource (new owner accepts)
+
+are enforced by :class:`ResourceMap`; the API layer adds caller
+authorization on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ApiResult
+from repro.sm.locks import SmLock
+
+
+class ResourceType(enum.Enum):
+    """The typed resource arrays the SM manages (§V-B)."""
+
+    CORE = "core"
+    DRAM_REGION = "dram_region"
+    THREAD = "thread"
+
+
+class ResourceState(enum.Enum):
+    """Fig.-2 states, plus OFFERED for an OS grant awaiting acceptance."""
+
+    OWNED = "owned"
+    BLOCKED = "blocked"
+    FREE = "free"
+    #: The OS has granted a FREE resource to a domain that has not yet
+    #: accepted it ("An existing domain can accept resources the OS
+    #: offers, completing the transition" — §V-B).
+    OFFERED = "offered"
+
+
+@dataclasses.dataclass
+class ResourceRecord:
+    """Metadata for one resource: owner, state, and its lock."""
+
+    rtype: ResourceType
+    rid: int
+    owner: int
+    state: ResourceState
+    lock: SmLock = dataclasses.field(default_factory=lambda: SmLock())
+    #: Owner-to-be while in the OFFERED state.
+    offered_to: int | None = None
+
+    def __post_init__(self) -> None:
+        self.lock.name = f"{self.rtype.value}[{self.rid}]"
+
+
+class ResourceMap:
+    """Owner/state accounting for every typed resource array.
+
+    The map itself performs *state-machine* checks; caller
+    authorization (who may block what) lives in the API layer, which
+    also takes the per-record locks.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[ResourceType, int], ResourceRecord] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self, rtype: ResourceType, rid: int, owner: int, state: ResourceState
+    ) -> ResourceRecord:
+        """Add a resource to the map (static arrays at boot, dynamic later)."""
+        key = (rtype, rid)
+        if key in self._records:
+            raise ValueError(f"resource {rtype.value}[{rid}] already registered")
+        record = ResourceRecord(rtype, rid, owner, state)
+        self._records[key] = record
+        return record
+
+    def unregister(self, rtype: ResourceType, rid: int) -> None:
+        """Remove a dynamic resource (e.g. a deleted Keystone region)."""
+        del self._records[(rtype, rid)]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, rtype: ResourceType, rid: int) -> ResourceRecord | None:
+        return self._records.get((rtype, rid))
+
+    def owned_by(self, owner: int, rtype: ResourceType | None = None) -> list[ResourceRecord]:
+        """All records a domain owns (optionally filtered by type)."""
+        return [
+            r
+            for r in self._records.values()
+            if r.owner == owner
+            and r.state is ResourceState.OWNED
+            and (rtype is None or r.rtype is rtype)
+        ]
+
+    def all_records(self) -> list[ResourceRecord]:
+        return list(self._records.values())
+
+    # -- Fig. 2 transitions -------------------------------------------------------
+
+    def block(self, rtype: ResourceType, rid: int, caller: int) -> ApiResult:
+        """owner: OWNED -> BLOCKED."""
+        record = self.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if record.state is not ResourceState.OWNED:
+            return ApiResult.INVALID_STATE
+        if record.owner != caller:
+            return ApiResult.PROHIBITED
+        record.state = ResourceState.BLOCKED
+        return ApiResult.OK
+
+    def clean(self, rtype: ResourceType, rid: int) -> ApiResult:
+        """OS: BLOCKED -> FREE (the API layer performs the actual scrub)."""
+        record = self.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if record.state is not ResourceState.BLOCKED:
+            return ApiResult.INVALID_STATE
+        record.state = ResourceState.FREE
+        record.owner = -1
+        record.offered_to = None
+        return ApiResult.OK
+
+    def offer(self, rtype: ResourceType, rid: int, new_owner: int) -> ApiResult:
+        """OS: FREE -> OFFERED(new_owner)."""
+        record = self.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if record.state is not ResourceState.FREE:
+            return ApiResult.INVALID_STATE
+        record.state = ResourceState.OFFERED
+        record.offered_to = new_owner
+        return ApiResult.OK
+
+    def accept(self, rtype: ResourceType, rid: int, caller: int) -> ApiResult:
+        """offered-to domain: OFFERED -> OWNED."""
+        record = self.get(rtype, rid)
+        if record is None:
+            return ApiResult.UNKNOWN_RESOURCE
+        if record.state is not ResourceState.OFFERED:
+            return ApiResult.INVALID_STATE
+        if record.offered_to != caller:
+            return ApiResult.PROHIBITED
+        record.state = ResourceState.OWNED
+        record.owner = caller
+        record.offered_to = None
+        return ApiResult.OK
+
+    def assign_directly(self, rtype: ResourceType, rid: int, owner: int) -> None:
+        """SM-internal assignment bypassing the offer/accept handshake.
+
+        Used only where the paper's model allows it: granting resources
+        to an enclave still being loaded (the enclave cannot run to
+        accept anything yet, so the grant is covered by measurement
+        instead), and boot-time claiming by the SM itself.
+        """
+        record = self.get(rtype, rid)
+        if record is None:
+            raise ValueError(f"unknown resource {rtype.value}[{rid}]")
+        record.state = ResourceState.OWNED
+        record.owner = owner
+        record.offered_to = None

@@ -1,0 +1,164 @@
+"""SM global state (paper §V-B).
+
+"SM maintains a map of each resource to its respective owner and a lock
+via resource metadata. ...  the metadata must wholly reside in SM-owned
+memory, and be non-overlapping with other structures.  SM also
+maintains some global static state, such as the expected measurement of
+the signing enclave, and SM's certificates and keys."
+
+Metadata structures here are Python objects, but their *addresses* are
+real: every enclave/thread metadata structure is allocated a
+non-overlapping interval inside an SM-owned **metadata arena** (a DRAM
+region granted to the SM), and its physical address is its identity
+(eid/tid) exactly as in the paper.  The isolation hardware protects
+those intervals because the backing region is SM-owned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.crypto.cert import Certificate
+from repro.crypto.drbg import Sha3Drbg
+from repro.errors import ApiResult
+from repro.sm.enclave import EnclaveMetadata
+from repro.sm.resources import ResourceMap
+from repro.sm.thread import ThreadMetadata
+from repro.util.bits import align_up
+
+
+class FieldId(enum.IntEnum):
+    """Public fields exposed by ``get_field`` (§VI-C)."""
+
+    SM_MEASUREMENT = 0
+    SM_PUBLIC_KEY = 1
+    SM_CERTIFICATE = 2
+    DEVICE_CERTIFICATE = 3
+    SIGNING_ENCLAVE_MEASUREMENT = 4
+    PLATFORM_NAME = 5
+
+
+@dataclasses.dataclass
+class MetadataArena:
+    """One SM-owned interval holding metadata structures.
+
+    The SM "does not make resource management decisions, instead only
+    verifying the decisions made by system software" (§V) — so the
+    *untrusted OS chooses* where in an arena each metadata structure
+    lives (the chosen address becomes the eid/tid), and the SM merely
+    validates that the interval is inside the arena and overlaps no
+    existing structure.  :meth:`suggest` is a convenience for
+    well-behaved OS models; it grants no authority.
+    """
+
+    base: int
+    size: int
+    #: start -> size of every claimed interval.
+    claims: dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def claim(self, paddr: int, size: int) -> bool:
+        """Validate and record an OS-chosen interval; False on conflict."""
+        if size <= 0 or not self.contains(paddr, size):
+            return False
+        for start, length in self.claims.items():
+            if paddr < start + length and start < paddr + size:
+                return False
+        self.claims[paddr] = size
+        return True
+
+    def release(self, paddr: int) -> None:
+        """Drop a claim (structure destroyed)."""
+        self.claims.pop(paddr, None)
+
+    def suggest(self, size: int, alignment: int = 64) -> int | None:
+        """First-fit free interval an OS could claim (helper, no authority)."""
+        cursor = align_up(self.base, alignment)
+        for start in sorted(self.claims) + [self.base + self.size]:
+            if cursor + size <= start:
+                return cursor
+            if start < self.base + self.size:
+                cursor = align_up(start + self.claims[start], alignment)
+        return None
+
+    def contains(self, paddr: int, size: int = 1) -> bool:
+        return self.base <= paddr and paddr + size <= self.base + self.size
+
+
+class SmState:
+    """Everything the SM remembers between API calls."""
+
+    def __init__(self) -> None:
+        self.resources = ResourceMap()
+        #: eid -> enclave metadata.
+        self.enclaves: dict[int, EnclaveMetadata] = {}
+        #: tid -> thread metadata.
+        self.threads: dict[int, ThreadMetadata] = {}
+        self.metadata_arenas: list[MetadataArena] = []
+
+        # Static trust state, populated by secure boot.
+        self.sm_measurement: bytes = b""
+        self.sm_secret_key: bytes = b""
+        self.sm_public_key: bytes = b""
+        self.sm_certificate: Certificate | None = None
+        self.device_certificate: Certificate | None = None
+        self.signing_enclave_measurement: bytes = b""
+        self.platform_name: str = ""
+        self.drbg: Sha3Drbg | None = None
+
+    # -- metadata allocation ---------------------------------------------
+
+    def add_metadata_arena(self, base: int, size: int) -> None:
+        self.metadata_arenas.append(MetadataArena(base, size))
+
+    def claim_metadata(self, paddr: int, size: int) -> bool:
+        """Validate an OS-chosen metadata interval and record it."""
+        for arena in self.metadata_arenas:
+            if arena.contains(paddr, size):
+                return arena.claim(paddr, size)
+        return False
+
+    def release_metadata(self, paddr: int) -> None:
+        for arena in self.metadata_arenas:
+            arena.release(paddr)
+
+    def suggest_metadata(self, size: int) -> int | None:
+        """First-fit helper for OS models choosing a metadata address."""
+        for arena in self.metadata_arenas:
+            paddr = arena.suggest(size)
+            if paddr is not None:
+                return paddr
+        return None
+
+    def in_sm_metadata(self, paddr: int, size: int = 1) -> bool:
+        return any(a.contains(paddr, size) for a in self.metadata_arenas)
+
+    # -- registries ---------------------------------------------------------
+
+    def enclave(self, eid: int) -> EnclaveMetadata | None:
+        return self.enclaves.get(eid)
+
+    def thread(self, tid: int) -> ThreadMetadata | None:
+        return self.threads.get(tid)
+
+    # -- public fields ---------------------------------------------------------
+
+    def get_field(self, field_id: int) -> tuple[ApiResult, bytes]:
+        """The public, unauthenticated field store behind ``get_field``."""
+        try:
+            field = FieldId(field_id)
+        except ValueError:
+            return ApiResult.INVALID_VALUE, b""
+        if field is FieldId.SM_MEASUREMENT:
+            return ApiResult.OK, self.sm_measurement
+        if field is FieldId.SM_PUBLIC_KEY:
+            return ApiResult.OK, self.sm_public_key
+        if field is FieldId.SM_CERTIFICATE:
+            cert = self.sm_certificate
+            return (ApiResult.OK, cert.to_bytes()) if cert else (ApiResult.INVALID_STATE, b"")
+        if field is FieldId.DEVICE_CERTIFICATE:
+            cert = self.device_certificate
+            return (ApiResult.OK, cert.to_bytes()) if cert else (ApiResult.INVALID_STATE, b"")
+        if field is FieldId.SIGNING_ENCLAVE_MEASUREMENT:
+            return ApiResult.OK, self.signing_enclave_measurement
+        return ApiResult.OK, self.platform_name.encode("ascii")

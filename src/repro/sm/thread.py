@@ -1,0 +1,114 @@
+"""Thread metadata and lifecycle (paper §V-C, Fig. 4).
+
+"Thread metadata structures are another first-class type recognized by
+SM ...  the physical address of a thread's metadata is a thread ID
+(tid).  The thread metadata tracks the thread's owner enclave, lock,
+the core it is scheduled on, the presence of an AEX state dump, and the
+address to execute upon enclave_enter, as well as the addresses of
+fault handlers.  Thread metadata also reserves space for core state in
+case of an AEX and, separately, in case of a fault."
+
+Lifecycle::
+
+    create_thread                    enter_enclave          AEX / exit
+   ───────────────▶ ASSIGNED ◀──────────────────▶ SCHEDULED
+                        │ block_resource(THREAD)
+                        ▼
+                     BLOCKED ── clean_resource ──▶ FREE ── grant+accept_thread ──▶ ASSIGNED
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.hw.isa import NUM_REGS
+from repro.sm.locks import SmLock
+
+#: Bytes reserved in SM memory for one thread metadata structure
+#: (register save areas for AEX and fault, plus bookkeeping) — used by
+#: the metadata allocator so tids are real, non-overlapping physical
+#: addresses.
+THREAD_METADATA_SIZE = 512
+
+
+class ThreadState(enum.Enum):
+    """Fig.-4 lifecycle states."""
+
+    ASSIGNED = "assigned"
+    SCHEDULED = "scheduled"
+    BLOCKED = "blocked"
+    FREE = "free"
+
+
+@dataclasses.dataclass
+class SavedCoreState:
+    """A register-file dump in a thread's AEX or fault save area."""
+
+    regs: list[int]
+    pc: int
+
+    @classmethod
+    def empty(cls) -> "SavedCoreState":
+        return cls([0] * NUM_REGS, 0)
+
+
+@dataclasses.dataclass
+class ThreadMetadata:
+    """One thread's metadata structure in SM-owned memory."""
+
+    #: The thread ID: physical address of this structure.
+    tid: int
+    #: Owning enclave's eid.
+    owner_eid: int
+    state: ThreadState
+    #: Virtual address the thread starts at on enclave_enter.
+    entry_pc: int
+    entry_sp: int
+    #: Enclave-virtual fault handler entry (0 = none installed).
+    fault_pc: int
+    fault_sp: int
+    lock: SmLock = dataclasses.field(default_factory=lambda: SmLock())
+    #: Core the thread is currently scheduled on (None = descheduled).
+    core_id: int | None = None
+    #: Whether the AEX save area holds a valid dump.
+    aex_present: bool = False
+    aex_state: SavedCoreState = dataclasses.field(default_factory=SavedCoreState.empty)
+    #: Whether the fault save area holds a valid dump.
+    fault_present: bool = False
+    fault_state: SavedCoreState = dataclasses.field(default_factory=SavedCoreState.empty)
+
+    def __post_init__(self) -> None:
+        self.lock.name = f"thread[{self.tid:#x}]"
+
+    def save_aex(self, regs: list[int], pc: int) -> None:
+        """Dump core state into the AEX area (asynchronous exit)."""
+        self.aex_state = SavedCoreState(list(regs), pc)
+        self.aex_present = True
+
+    def take_aex(self) -> SavedCoreState:
+        """Consume the AEX dump (enclave resuming after re-entry)."""
+        if not self.aex_present:
+            raise ValueError(f"thread {self.tid:#x} has no AEX state")
+        self.aex_present = False
+        return self.aex_state
+
+    def save_fault(self, regs: list[int], pc: int) -> None:
+        """Dump core state into the fault area (enclave-handled fault)."""
+        self.fault_state = SavedCoreState(list(regs), pc)
+        self.fault_present = True
+
+    def take_fault(self) -> SavedCoreState:
+        """Consume the fault dump (enclave handler returning)."""
+        if not self.fault_present:
+            raise ValueError(f"thread {self.tid:#x} has no fault state")
+        self.fault_present = False
+        return self.fault_state
+
+    def scrub(self) -> None:
+        """Clear all execution state (thread cleaning for reassignment)."""
+        self.core_id = None
+        self.aex_present = False
+        self.aex_state = SavedCoreState.empty()
+        self.fault_present = False
+        self.fault_state = SavedCoreState.empty()

@@ -1,0 +1,117 @@
+"""One-call bring-up of a complete enclave-capable system.
+
+These builders perform the full boot story of the paper: construct the
+machine, install the isolation platform, provision the device with the
+manufacturer PKI, run secure boot (measure the SM, derive its keys,
+build the certificate chain — §IV-A), instantiate the security monitor,
+claim the SM's own memory, and start the untrusted OS.
+
+    >>> system = build_sanctum_system()
+    >>> enclave = system.kernel.load_enclave(image)
+    >>> events = system.kernel.enter_and_run(enclave.eid, enclave.tids[0])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.kernel.os_model import OsKernel
+from repro.platforms.base import IsolationPlatform
+from repro.platforms.keystone import KeystonePlatform
+from repro.platforms.sanctum import SanctumPlatform
+from repro.sm.api import SecurityMonitor
+from repro.sm.boot import (
+    ManufacturerProvisioning,
+    SecureBootResult,
+    provision_device,
+    secure_boot,
+)
+from repro.hw.core import DOMAIN_SM
+from repro.sm.resources import ResourceState, ResourceType
+
+#: Bytes at the start of the SM's region reserved for its image/stack
+#: before the metadata arena begins.
+SM_IMAGE_RESERVED = 64 * 1024
+
+#: Size of the SM's own PMP region on Keystone.
+KEYSTONE_SM_REGION_SIZE = 2 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class System:
+    """A booted machine with its platform, monitor, and OS."""
+
+    machine: Machine
+    platform: IsolationPlatform
+    sm: SecurityMonitor
+    kernel: OsKernel
+    provisioning: ManufacturerProvisioning
+    boot: SecureBootResult
+
+    @property
+    def root_public_key(self) -> bytes:
+        """The manufacturer root key remote verifiers must trust."""
+        return self.boot.root_public
+
+
+def build_sanctum_system(
+    config: MachineConfig | None = None,
+    n_regions: int = 8,
+    llc_partitioned: bool = True,
+    signing_enclave_measurement: bytes = b"",
+    sm_image: bytes | None = None,
+) -> System:
+    """Boot a Sanctum-style system (paper §VII-A).
+
+    Region 0 becomes SM-owned (image + initial metadata arena); the
+    remaining regions boot untrusted.  ``llc_partitioned=False`` builds
+    the insecure-baseline configuration used by the cache ablation.
+    """
+    machine = Machine(config or MachineConfig())
+    platform = SanctumPlatform(machine, n_regions, llc_partitioned=llc_partitioned)
+    provisioning = provision_device(machine.trng.fork(b"manufacturer"))
+    boot = secure_boot(provisioning, sm_image=sm_image)
+    sm = SecurityMonitor(machine, platform, boot, signing_enclave_measurement)
+    sm.claim_sm_region(0)
+    region_base, region_size = platform.region_range(0)
+    sm.add_metadata_arena(region_base + SM_IMAGE_RESERVED, region_size - SM_IMAGE_RESERVED)
+    kernel = OsKernel(machine, sm, platform)
+    return System(machine, platform, sm, kernel, provisioning, boot)
+
+
+def build_keystone_system(
+    config: MachineConfig | None = None,
+    signing_enclave_measurement: bytes = b"",
+    sm_image: bytes | None = None,
+    sm_region_size: int = KEYSTONE_SM_REGION_SIZE,
+) -> System:
+    """Boot a Keystone-style system (paper §VII-B).
+
+    The SM white-lists one region at the bottom of DRAM for itself via
+    PMP; all other memory boots untrusted and enclave regions are
+    carved dynamically.
+    """
+    machine = Machine(config or MachineConfig())
+    platform = KeystonePlatform(machine)
+    rid = platform.create_region(0, sm_region_size, DOMAIN_SM)
+    provisioning = provision_device(machine.trng.fork(b"manufacturer"))
+    boot = secure_boot(provisioning, sm_image=sm_image)
+    sm = SecurityMonitor(machine, platform, boot, signing_enclave_measurement)
+    sm.add_metadata_arena(SM_IMAGE_RESERVED, sm_region_size - SM_IMAGE_RESERVED)
+    # The SM region pre-exists the monitor, so it is already registered;
+    # make sure its record reflects SM ownership.
+    record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+    assert record is not None and record.owner == DOMAIN_SM
+    assert record.state is ResourceState.OWNED
+    kernel = OsKernel(machine, sm, platform)
+    return System(machine, platform, sm, kernel, provisioning, boot)
+
+
+def build_system(platform_name: str = "sanctum", **kwargs) -> System:
+    """Build a system by platform name ("sanctum" or "keystone")."""
+    if platform_name == "sanctum":
+        return build_sanctum_system(**kwargs)
+    if platform_name == "keystone":
+        return build_keystone_system(**kwargs)
+    raise ValueError(f"unknown platform {platform_name!r}")

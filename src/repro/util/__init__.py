@@ -1,0 +1,29 @@
+"""Shared low-level helpers for the Sanctorum reproduction."""
+
+from repro.util.bits import (
+    align_down,
+    align_up,
+    bit,
+    extract_bits,
+    is_aligned,
+    is_pow2,
+    mask,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.util.rng import DeterministicTRNG
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "bit",
+    "extract_bits",
+    "is_aligned",
+    "is_pow2",
+    "mask",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "DeterministicTRNG",
+]

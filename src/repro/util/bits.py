@@ -1,0 +1,78 @@
+"""Bit-manipulation helpers used across the hardware and monitor models."""
+
+from __future__ import annotations
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def mask(width: int) -> int:
+    """Return a mask with the ``width`` least-significant bits set."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(index: int) -> int:
+    """Return an integer with only bit ``index`` set."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return 1 << index
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    return (value >> low) & mask(width)
+
+
+def is_pow2(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when ``value`` is a multiple of ``alignment``.
+
+    ``alignment`` must be a power of two; passing anything else is a
+    programming error, not a runtime condition.
+    """
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def to_unsigned32(value: int) -> int:
+    """Reduce a Python integer to an unsigned 32-bit value."""
+    return value & _WORD_MASK
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= _WORD_MASK
+    if value & 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def sign_extend(value: int, from_width: int) -> int:
+    """Sign-extend the low ``from_width`` bits of ``value`` to a Python int."""
+    if from_width <= 0:
+        raise ValueError(f"from_width must be positive, got {from_width}")
+    value &= mask(from_width)
+    sign_bit = 1 << (from_width - 1)
+    if value & sign_bit:
+        return value - (1 << from_width)
+    return value

@@ -1,0 +1,78 @@
+"""Simulated true-random-number generator (TRNG).
+
+Sanctorum requires "trustworthy hardware including a random number
+generator" (paper abstract / §IV-B4).  Real silicon exposes an entropy
+source; for reproducible experiments we model it as a deterministic,
+seedable generator with the same interface.  All randomness in the
+reproduction — attestation key generation, DRBG seeding, nonce
+generation — flows from one of these, so every experiment is replayable
+bit-for-bit from its seed.
+
+The generator is splitmix64, which is tiny, fast, and has provably full
+period; it is a *simulation artifact* standing in for hardware entropy,
+not a cryptographic primitive (the cryptographic conditioning lives in
+:mod:`repro.crypto.drbg`).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicTRNG:
+    """Deterministic stand-in for a hardware entropy source.
+
+    Parameters
+    ----------
+    seed:
+        Any integer; equal seeds produce identical output streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit value from the stream."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit value from the stream."""
+        return self.next_u64() & 0xFFFFFFFF
+
+    def read(self, n: int) -> bytes:
+        """Return ``n`` bytes of raw entropy."""
+        if n < 0:
+            raise ValueError(f"byte count must be non-negative, got {n}")
+        out = bytearray()
+        while len(out) < n:
+            out += self.next_u64().to_bytes(8, "little")
+        return bytes(out[:n])
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a value in ``[low, high]`` (inclusive), for test drivers."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        # Rejection sampling keeps the distribution uniform.
+        limit = (1 << 64) - ((1 << 64) % span)
+        while True:
+            v = self.next_u64()
+            if v < limit:
+                return low + (v % span)
+
+    def fork(self, label: bytes | str) -> "DeterministicTRNG":
+        """Derive an independent stream for a named consumer.
+
+        Used by the machine model to give each device its own entropy
+        stream without the streams aliasing each other.
+        """
+        if isinstance(label, str):
+            label = label.encode()
+        mixed = self._state
+        for byte_value in label:
+            mixed = ((mixed ^ byte_value) * 0x100000001B3) & _MASK64
+        return DeterministicTRNG(mixed)

@@ -1,0 +1,30 @@
+"""Bounded verification of the SM's isolation state machine.
+
+The paper's SM "implements a formally verified specification for
+generic enclaves" (the TAP model of Subramanyan et al. [11]); the
+mechanized proofs themselves are out of scope for a simulation, so this
+package provides the executable counterpart: an *abstract model* of the
+SM's resource/lifecycle state machine (:mod:`repro.verification.model`),
+safety properties transcribing the paper's invariants
+(:mod:`repro.verification.properties`), and a bounded exhaustive
+checker that explores every reachable state up to a depth and reports a
+counterexample trace on violation (:mod:`repro.verification.checker`).
+
+The test-suite additionally replays explored action sequences against
+the *real* monitor and checks the two agree on accept/reject — tying
+the abstract model to the implementation the way TAP ties its model to
+a compliant platform.
+"""
+
+from repro.verification.checker import BoundedChecker, CheckOutcome
+from repro.verification.model import Action, AbstractSm, ModelConfig
+from repro.verification.properties import ALL_PROPERTIES
+
+__all__ = [
+    "BoundedChecker",
+    "CheckOutcome",
+    "Action",
+    "AbstractSm",
+    "ModelConfig",
+    "ALL_PROPERTIES",
+]

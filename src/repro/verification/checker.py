@@ -1,0 +1,118 @@
+"""Bounded exhaustive exploration of the abstract SM model.
+
+A breadth-first search from the initial state over every enabled
+action, up to a configurable depth, checking every safety property in
+every reachable state.  On violation it reports the full action trace
+— a counterexample an SM developer can replay against the real API.
+
+The universe is tiny (2 regions, 2 enclave ids, 1 thread id by
+default), which is exactly the regime where this style of checking is
+strong: the paper's invariants are control-flow properties of the state
+machine, and small-scope exhaustiveness covers every transition shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.verification.model import AbstractSm, Action, ModelState
+from repro.verification.properties import ALL_PROPERTIES
+
+Property = Callable[[ModelState], "str | None"]
+
+
+@dataclasses.dataclass
+class CheckOutcome:
+    """Result of one bounded-checking run."""
+
+    ok: bool
+    states_explored: int
+    transitions: int
+    max_depth_reached: int
+    #: On failure: the violated property's name and its message.
+    violation: str | None = None
+    #: On failure: the action sequence reaching the bad state.
+    counterexample: list[Action] = dataclasses.field(default_factory=list)
+
+
+class BoundedChecker:
+    """Exhaustive BFS model checker for :class:`AbstractSm`."""
+
+    def __init__(
+        self,
+        model: AbstractSm | None = None,
+        properties: Sequence[Property] = ALL_PROPERTIES,
+    ) -> None:
+        self.model = model or AbstractSm()
+        self.properties = tuple(properties)
+
+    def _check_state(self, state: ModelState) -> str | None:
+        for prop in self.properties:
+            message = prop(state)
+            if message is not None:
+                return f"{prop.__name__}: {message}"
+        return None
+
+    def run(self, max_depth: int = 6, max_states: int = 500_000) -> CheckOutcome:
+        """Explore all states reachable within ``max_depth`` actions."""
+        actions = self.model.actions()
+        initial = self.model.initial_state()
+        violation = self._check_state(initial)
+        if violation is not None:
+            return CheckOutcome(False, 1, 0, 0, violation, [])
+
+        #: state -> action path that first reached it.
+        seen: dict[ModelState, tuple[Action, ...]] = {initial: ()}
+        frontier: deque[tuple[ModelState, int]] = deque([(initial, 0)])
+        transitions = 0
+        max_depth_reached = 0
+
+        while frontier:
+            state, depth = frontier.popleft()
+            if depth >= max_depth:
+                continue
+            for action in actions:
+                successor = self.model.apply(state, action)
+                if successor is None:
+                    continue
+                transitions += 1
+                if successor in seen:
+                    continue
+                path = seen[state] + (action,)
+                seen[successor] = path
+                max_depth_reached = max(max_depth_reached, depth + 1)
+                violation = self._check_state(successor)
+                if violation is not None:
+                    return CheckOutcome(
+                        False,
+                        len(seen),
+                        transitions,
+                        max_depth_reached,
+                        violation,
+                        list(path),
+                    )
+                if len(seen) >= max_states:
+                    return CheckOutcome(
+                        True, len(seen), transitions, max_depth_reached
+                    )
+                frontier.append((successor, depth + 1))
+
+        return CheckOutcome(True, len(seen), transitions, max_depth_reached)
+
+    def enabled_traces(self, length: int, limit: int = 10_000) -> list[list[Action]]:
+        """Sample accepted action sequences (for differential testing)."""
+        actions = self.model.actions()
+        traces: list[list[Action]] = []
+        stack = [(self.model.initial_state(), [])]
+        while stack and len(traces) < limit:
+            state, path = stack.pop()
+            if len(path) == length:
+                traces.append(path)
+                continue
+            for action in actions:
+                successor = self.model.apply(state, action)
+                if successor is not None:
+                    stack.append((successor, path + [action]))
+        return traces

@@ -1,0 +1,384 @@
+"""An abstract model of the SM's security state machine.
+
+This is the reproduction's stand-in for the TAP-style specification the
+paper's SM implements [11]: a small, pure transition system over
+abstract resources — no bytes, no addresses, just ownership, lifecycle,
+and taint.  Its soundness target is the *decision structure* of
+:mod:`repro.sm.api`: which requests the monitor accepts in which
+states.
+
+State components:
+
+* ``regions[rid] = (owner, rstate, taint)`` — taint records the last
+  domain whose data touched the region and is only cleared by
+  ``clean``; it is how the model expresses "reassignment without
+  cleaning leaks".
+* ``enclaves[eid] = lifecycle`` (absent = not created).
+* ``threads[tid] = (owner_eid, tstate)``.
+
+Actions mirror the API calls relevant to isolation.  ``apply`` returns
+the successor state, or None when the monitor must refuse — both
+outcomes are meaningful (the checker also verifies the real SM agrees).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet
+
+#: Abstract domain constants (mirroring repro.hw.core).
+OS = 0
+SM = 1
+
+
+class Lifecycle(enum.Enum):
+    LOADING = "loading"
+    INITIALIZED = "initialized"
+
+
+class RState(enum.Enum):
+    OWNED = "owned"
+    BLOCKED = "blocked"
+    FREE = "free"
+    OFFERED = "offered"
+
+
+class TState(enum.Enum):
+    ASSIGNED = "assigned"
+    SCHEDULED = "scheduled"
+    BLOCKED = "blocked"
+    FREE = "free"
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    owner: int
+    state: RState
+    #: Domain whose data may still reside in the region (-1 = clean).
+    taint: int
+    #: Pending recipient while OFFERED.
+    offered_to: int = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Thread:
+    owner: int
+    state: TState
+
+
+class MState(enum.Enum):
+    CLOSED = "closed"
+    EXPECTING = "expecting"
+    FULL = "full"
+
+
+@dataclasses.dataclass(frozen=True)
+class Mailbox:
+    """One enclave's (single, in the model) receive mailbox (Fig. 5)."""
+
+    state: MState = MState.CLOSED
+    #: Sender the recipient agreed to receive from (-1 = none).
+    expected: int = -1
+    #: Who actually filled the box (-1 = empty) — the property
+    #: ``mail_only_from_accepted_sender`` checks it against ``expected``.
+    filled_by: int = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelState:
+    regions: tuple[Region, ...]
+    #: eid -> lifecycle; encoded as sorted tuple for hashability.
+    enclaves: tuple[tuple[int, Lifecycle], ...]
+    threads: tuple[tuple[int, Thread], ...]
+    #: eid -> mailbox (present iff the enclave exists).
+    mailboxes: tuple[tuple[int, Mailbox], ...] = ()
+
+    def enclave(self, eid: int) -> Lifecycle | None:
+        for key, lifecycle in self.enclaves:
+            if key == eid:
+                return lifecycle
+        return None
+
+    def thread(self, tid: int) -> Thread | None:
+        for key, thread in self.threads:
+            if key == tid:
+                return thread
+        return None
+
+    def with_region(self, rid: int, region: Region) -> "ModelState":
+        regions = list(self.regions)
+        regions[rid] = region
+        return dataclasses.replace(self, regions=tuple(regions))
+
+    def with_enclave(self, eid: int, lifecycle: Lifecycle | None) -> "ModelState":
+        enclaves = {k: v for k, v in self.enclaves}
+        if lifecycle is None:
+            enclaves.pop(eid, None)
+        else:
+            enclaves[eid] = lifecycle
+        return dataclasses.replace(self, enclaves=tuple(sorted(enclaves.items(), key=lambda kv: kv[0])))
+
+    def with_thread(self, tid: int, thread: Thread) -> "ModelState":
+        threads = {k: v for k, v in self.threads}
+        threads[tid] = thread
+        return dataclasses.replace(self, threads=tuple(sorted(threads.items(), key=lambda kv: kv[0])))
+
+    def mailbox(self, eid: int) -> Mailbox | None:
+        for key, box in self.mailboxes:
+            if key == eid:
+                return box
+        return None
+
+    def with_mailbox(self, eid: int, box: Mailbox | None) -> "ModelState":
+        boxes = {k: v for k, v in self.mailboxes}
+        if box is None:
+            boxes.pop(eid, None)
+        else:
+            boxes[eid] = box
+        return dataclasses.replace(
+            self, mailboxes=tuple(sorted(boxes.items(), key=lambda kv: kv[0]))
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Action:
+    """One abstract API call."""
+
+    name: str
+    args: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.args}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Size of the bounded universe."""
+
+    n_regions: int = 2
+    eids: tuple[int, ...] = (100, 101)
+    tids: tuple[int, ...] = (200,)
+
+
+class AbstractSm:
+    """The abstract transition system."""
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        self.config = config or ModelConfig()
+
+    def initial_state(self) -> ModelState:
+        regions = tuple(
+            Region(owner=OS, state=RState.OWNED, taint=OS)
+            for _ in range(self.config.n_regions)
+        )
+        return ModelState(regions=regions, enclaves=(), threads=())
+
+    # ------------------------------------------------------------------
+    # Action enumeration
+    # ------------------------------------------------------------------
+
+    def actions(self) -> list[Action]:
+        """Every syntactically possible action in the universe."""
+        config = self.config
+        out: list[Action] = []
+        for eid in config.eids:
+            out.append(Action("create_enclave", (eid,)))
+            out.append(Action("init_enclave", (eid,)))
+            out.append(Action("delete_enclave", (eid,)))
+            for tid in config.tids:
+                out.append(Action("create_thread", (eid, tid)))
+                out.append(Action("enter_enclave", (eid, tid)))
+                out.append(Action("exit_enclave", (eid, tid)))
+                out.append(Action("accept_thread", (eid, tid)))
+        for rid in range(config.n_regions):
+            for domain in (OS,) + config.eids:
+                out.append(Action("block_region", (domain, rid)))
+                out.append(Action("grant_region", (rid, domain)))
+                out.append(Action("accept_region", (domain, rid)))
+            out.append(Action("clean_region", (rid,)))
+        for tid in config.tids:
+            out.append(Action("block_thread", (tid,)))
+            out.append(Action("clean_thread", (tid,)))
+            for eid in config.eids:
+                out.append(Action("grant_thread", (tid, eid)))
+        for recipient in config.eids:
+            out.append(Action("get_mail", (recipient,)))
+            for sender in (OS,) + config.eids:
+                if sender != recipient:
+                    out.append(Action("accept_mail", (recipient, sender)))
+                    out.append(Action("send_mail", (sender, recipient)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Transition function
+    # ------------------------------------------------------------------
+
+    def apply(self, state: ModelState, action: Action) -> ModelState | None:
+        """Successor state, or None when the SM must refuse."""
+        handler = getattr(self, f"_do_{action.name}")
+        return handler(state, *action.args)
+
+    # -- enclave lifecycle (Fig. 3) -----------------------------------
+
+    def _do_create_enclave(self, state: ModelState, eid: int) -> ModelState | None:
+        if state.enclave(eid) is not None:
+            return None
+        return state.with_enclave(eid, Lifecycle.LOADING).with_mailbox(eid, Mailbox())
+
+    def _do_init_enclave(self, state: ModelState, eid: int) -> ModelState | None:
+        if state.enclave(eid) is not Lifecycle.LOADING:
+            return None
+        return state.with_enclave(eid, Lifecycle.INITIALIZED)
+
+    def _do_delete_enclave(self, state: ModelState, eid: int) -> ModelState | None:
+        if state.enclave(eid) is None:
+            return None
+        for _, thread in state.threads:
+            if thread.owner == eid and thread.state is TState.SCHEDULED:
+                return None
+        new_state = state
+        for rid, region in enumerate(state.regions):
+            if region.owner == eid and region.state is RState.OWNED:
+                new_state = new_state.with_region(
+                    rid, dataclasses.replace(region, state=RState.BLOCKED)
+                )
+        for tid, thread in state.threads:
+            if thread.owner == eid and thread.state is not TState.FREE:
+                new_state = new_state.with_thread(
+                    tid, dataclasses.replace(thread, state=TState.BLOCKED)
+                )
+        return new_state.with_enclave(eid, None).with_mailbox(eid, None)
+
+    # -- threads (Fig. 4) -----------------------------------------------
+
+    def _do_create_thread(self, state: ModelState, eid: int, tid: int) -> ModelState | None:
+        if state.enclave(eid) is not Lifecycle.LOADING:
+            return None
+        if state.thread(tid) is not None:
+            return None
+        return state.with_thread(tid, Thread(owner=eid, state=TState.ASSIGNED))
+
+    def _do_enter_enclave(self, state: ModelState, eid: int, tid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if state.enclave(eid) is not Lifecycle.INITIALIZED:
+            return None
+        if thread is None or thread.owner != eid or thread.state is not TState.ASSIGNED:
+            return None
+        return state.with_thread(tid, dataclasses.replace(thread, state=TState.SCHEDULED))
+
+    def _do_exit_enclave(self, state: ModelState, eid: int, tid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if thread is None or thread.owner != eid or thread.state is not TState.SCHEDULED:
+            return None
+        return state.with_thread(tid, dataclasses.replace(thread, state=TState.ASSIGNED))
+
+    def _do_block_thread(self, state: ModelState, tid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if thread is None or thread.state is not TState.ASSIGNED:
+            return None
+        return state.with_thread(tid, dataclasses.replace(thread, state=TState.BLOCKED))
+
+    def _do_clean_thread(self, state: ModelState, tid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if thread is None or thread.state is not TState.BLOCKED:
+            return None
+        return state.with_thread(tid, Thread(owner=OS, state=TState.FREE))
+
+    def _do_grant_thread(self, state: ModelState, tid: int, eid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if thread is None or thread.state is not TState.FREE:
+            return None
+        lifecycle = state.enclave(eid)
+        if lifecycle is None:
+            return None
+        # Accept is modelled as a separate step only for running
+        # enclaves; LOADING enclaves receive immediately (as in the API).
+        if lifecycle is Lifecycle.LOADING:
+            return state.with_thread(tid, Thread(owner=eid, state=TState.ASSIGNED))
+        return state.with_thread(tid, Thread(owner=eid, state=TState.BLOCKED))
+
+    def _do_accept_thread(self, state: ModelState, eid: int, tid: int) -> ModelState | None:
+        thread = state.thread(tid)
+        if thread is None or thread.owner != eid or thread.state is not TState.BLOCKED:
+            return None
+        if state.enclave(eid) is not Lifecycle.INITIALIZED:
+            return None
+        return state.with_thread(tid, dataclasses.replace(thread, state=TState.ASSIGNED))
+
+    # -- mailboxes (Fig. 5) ------------------------------------------------
+
+    def _do_accept_mail(self, state: ModelState, recipient: int, sender: int) -> ModelState | None:
+        if state.enclave(recipient) is not Lifecycle.INITIALIZED:
+            return None
+        if sender != OS and state.enclave(sender) is None:
+            return None
+        box = state.mailbox(recipient)
+        if box is None or box.state is MState.FULL:
+            return None
+        return state.with_mailbox(
+            recipient, Mailbox(state=MState.EXPECTING, expected=sender)
+        )
+
+    def _do_send_mail(self, state: ModelState, sender: int, recipient: int) -> ModelState | None:
+        if sender != OS and state.enclave(sender) is not Lifecycle.INITIALIZED:
+            return None
+        box = state.mailbox(recipient)
+        if box is None or box.state is not MState.EXPECTING or box.expected != sender:
+            return None
+        return state.with_mailbox(
+            recipient,
+            Mailbox(state=MState.FULL, expected=box.expected, filled_by=sender),
+        )
+
+    def _do_get_mail(self, state: ModelState, recipient: int) -> ModelState | None:
+        if state.enclave(recipient) is not Lifecycle.INITIALIZED:
+            return None
+        box = state.mailbox(recipient)
+        if box is None or box.state is not MState.FULL:
+            return None
+        return state.with_mailbox(recipient, Mailbox())
+
+    # -- regions (Fig. 2) -------------------------------------------------
+
+    def _do_block_region(self, state: ModelState, caller: int, rid: int) -> ModelState | None:
+        region = state.regions[rid]
+        if region.state is not RState.OWNED or region.owner != caller:
+            return None
+        if caller != OS and state.enclave(caller) is None:
+            return None
+        return state.with_region(rid, dataclasses.replace(region, state=RState.BLOCKED))
+
+    def _do_clean_region(self, state: ModelState, rid: int) -> ModelState | None:
+        region = state.regions[rid]
+        if region.state is not RState.BLOCKED:
+            return None
+        return state.with_region(rid, Region(owner=-1, state=RState.FREE, taint=-1))
+
+    def _do_grant_region(self, state: ModelState, rid: int, recipient: int) -> ModelState | None:
+        region = state.regions[rid]
+        if region.state is not RState.FREE:
+            return None
+        if recipient == OS:
+            return state.with_region(rid, Region(owner=OS, state=RState.OWNED, taint=OS))
+        lifecycle = state.enclave(recipient)
+        if lifecycle is None:
+            return None
+        if lifecycle is Lifecycle.LOADING:
+            return state.with_region(
+                rid, Region(owner=recipient, state=RState.OWNED, taint=recipient)
+            )
+        return state.with_region(
+            rid,
+            Region(owner=-1, state=RState.OFFERED, taint=region.taint, offered_to=recipient),
+        )
+
+    def _do_accept_region(self, state: ModelState, caller: int, rid: int) -> ModelState | None:
+        region = state.regions[rid]
+        if region.state is not RState.OFFERED or region.offered_to != caller:
+            return None
+        if caller != OS and state.enclave(caller) is None:
+            return None
+        return state.with_region(
+            rid, Region(owner=caller, state=RState.OWNED, taint=caller)
+        )

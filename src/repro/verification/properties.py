@@ -1,0 +1,121 @@
+"""Safety properties over the abstract SM model.
+
+Each property is a predicate over a :class:`~repro.verification.model.ModelState`;
+together they transcribe the paper's isolation invariants (§V-B, §V-C)
+into checkable form.  A property returns None when satisfied and a
+human-readable violation description otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.verification.model import (
+    OS,
+    Lifecycle,
+    ModelState,
+    MState,
+    RState,
+    TState,
+)
+
+
+def exclusive_region_ownership(state: ModelState) -> str | None:
+    """§V-B: an OWNED region has exactly one live owner."""
+    for rid, region in enumerate(state.regions):
+        if region.state is RState.OWNED:
+            if region.owner == -1:
+                return f"region {rid} OWNED with no owner"
+            if region.owner != OS and state.enclave(region.owner) is None:
+                return f"region {rid} OWNED by dead enclave {region.owner}"
+        else:
+            if region.state is RState.FREE and region.owner != -1:
+                return f"region {rid} FREE but still has owner {region.owner}"
+    return None
+
+
+def no_stale_data_across_domains(state: ModelState) -> str | None:
+    """§V-B: a region reaching a new domain carries no previous taint.
+
+    If a region is OWNED by X while tainted by Y != X, some path
+    transferred it without cleaning — the leak Fig. 2 exists to prevent.
+    """
+    for rid, region in enumerate(state.regions):
+        if region.state is RState.OWNED and region.taint not in (-1, region.owner):
+            return (
+                f"region {rid} owned by {region.owner} but tainted by "
+                f"{region.taint} (reassigned without cleaning)"
+            )
+        if region.state is RState.OFFERED and region.taint != -1:
+            return f"region {rid} offered while still tainted by {region.taint}"
+    return None
+
+
+def blocked_means_unreachable(state: ModelState) -> str | None:
+    """§V-B: blocked resources await cleaning; they have no new owner."""
+    for rid, region in enumerate(state.regions):
+        if region.state is RState.BLOCKED and region.offered_to != -1:
+            return f"region {rid} blocked yet offered to {region.offered_to}"
+    return None
+
+
+def threads_belong_to_live_enclaves(state: ModelState) -> str | None:
+    """§V-C: active threads always belong to an existing enclave."""
+    for tid, thread in state.threads:
+        if thread.state in (TState.ASSIGNED, TState.SCHEDULED):
+            if state.enclave(thread.owner) is None:
+                return f"thread {tid} {thread.state.value} for dead enclave {thread.owner}"
+    return None
+
+
+def scheduled_threads_are_initialized(state: ModelState) -> str | None:
+    """§V-C: only initialized enclaves' threads run on cores."""
+    for tid, thread in state.threads:
+        if thread.state is TState.SCHEDULED:
+            if state.enclave(thread.owner) is not Lifecycle.INITIALIZED:
+                return f"thread {tid} scheduled for non-initialized enclave {thread.owner}"
+    return None
+
+
+def no_deleted_enclave_retains_running_thread(state: ModelState) -> str | None:
+    """Fig. 3: deletion is gated on no threads being scheduled."""
+    live = {eid for eid, _ in state.enclaves}
+    for tid, thread in state.threads:
+        if thread.state is TState.SCHEDULED and thread.owner not in live:
+            return f"thread {tid} still scheduled after enclave {thread.owner} deletion"
+    return None
+
+
+def mail_only_from_accepted_sender(state: ModelState) -> str | None:
+    """§VI-B: a full mailbox was filled by exactly the accepted sender."""
+    for eid, box in state.mailboxes:
+        if box.state is MState.FULL and box.filled_by != box.expected:
+            return (
+                f"enclave {eid}'s mailbox filled by {box.filled_by} "
+                f"but accepted sender was {box.expected}"
+            )
+        if box.state is MState.FULL and box.filled_by == -1:
+            return f"enclave {eid}'s mailbox FULL with no recorded sender"
+    return None
+
+
+def mailboxes_belong_to_live_enclaves(state: ModelState) -> str | None:
+    """Mailboxes live in enclave metadata: no enclave, no mailbox."""
+    live = {eid for eid, _ in state.enclaves}
+    for eid, _ in state.mailboxes:
+        if eid not in live:
+            return f"mailbox for dead enclave {eid}"
+    for eid in live:
+        if state.mailbox(eid) is None:
+            return f"enclave {eid} missing its mailbox"
+    return None
+
+
+ALL_PROPERTIES = (
+    exclusive_region_ownership,
+    no_stale_data_across_domains,
+    blocked_means_unreachable,
+    threads_belong_to_live_enclaves,
+    scheduled_threads_are_initialized,
+    no_deleted_enclave_retains_running_thread,
+    mail_only_from_accepted_sender,
+    mailboxes_belong_to_live_enclaves,
+)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the Sanctorum reproduction test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_keystone_system, build_sanctum_system, image_from_assembly
+from repro.hw.machine import MachineConfig
+
+
+def small_config() -> MachineConfig:
+    """A compact machine that keeps unit tests fast."""
+    return MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256)
+
+
+@pytest.fixture
+def sanctum_system():
+    """A freshly booted Sanctum system (8 regions, partitioned LLC)."""
+    return build_sanctum_system(config=small_config(), n_regions=8)
+
+
+@pytest.fixture
+def keystone_system():
+    """A freshly booted Keystone system (PMP, unpartitioned LLC)."""
+    return build_keystone_system(config=small_config())
+
+
+@pytest.fixture(params=["sanctum", "keystone"])
+def any_system(request):
+    """Parametrized over both platform backends."""
+    if request.param == "sanctum":
+        return build_sanctum_system(config=small_config(), n_regions=8)
+    return build_keystone_system(config=small_config())
+
+
+def trivial_enclave_image(result_addr: int | None = None, value: int = 42):
+    """An enclave that optionally stores a value to shared memory and exits."""
+    store = f"    sw   a2, {result_addr}(zero)\n" if result_addr is not None else ""
+    return image_from_assembly(
+        f"""
+entry:
+    li   a2, {value}
+{store}    li   a0, 0
+    ecall
+"""
+    )

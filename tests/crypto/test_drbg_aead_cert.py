@@ -1,0 +1,172 @@
+"""DRBG, AEAD, and certificate chain tests."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.cert import Certificate, verify_chain
+from repro.crypto.drbg import Sha3Drbg
+from repro.crypto.ed25519 import ed25519_generate_keypair
+from repro.errors import CertificateError, CryptoError
+from repro.util.rng import DeterministicTRNG
+
+
+# ---------------------------------------------------------------------------
+# DRBG
+# ---------------------------------------------------------------------------
+
+def test_drbg_deterministic_per_seed():
+    a = Sha3Drbg(DeterministicTRNG(42), b"p")
+    b = Sha3Drbg(DeterministicTRNG(42), b"p")
+    assert a.generate(64) == b.generate(64)
+
+
+def test_drbg_personalization_separates_streams():
+    a = Sha3Drbg(DeterministicTRNG(42), b"alpha")
+    b = Sha3Drbg(DeterministicTRNG(42), b"beta")
+    assert a.generate(32) != b.generate(32)
+
+
+def test_drbg_output_ratchets_forward():
+    drbg = Sha3Drbg(DeterministicTRNG(1))
+    outputs = {drbg.generate(16) for _ in range(50)}
+    assert len(outputs) == 50
+
+
+def test_drbg_reseed_changes_stream():
+    a = Sha3Drbg(DeterministicTRNG(7))
+    b = Sha3Drbg(DeterministicTRNG(7))
+    a.generate(8)
+    b.generate(8)
+    a.reseed(b"extra")
+    assert a.generate(16) != b.generate(16)
+
+
+def test_drbg_rejects_negative():
+    drbg = Sha3Drbg(DeterministicTRNG(7))
+    with pytest.raises(ValueError):
+        drbg.generate(-1)
+
+
+def test_drbg_u64_in_range():
+    drbg = Sha3Drbg(DeterministicTRNG(7))
+    for _ in range(10):
+        assert 0 <= drbg.generate_u64() < 2**64
+
+
+# ---------------------------------------------------------------------------
+# AEAD
+# ---------------------------------------------------------------------------
+
+KEY = b"k" * 32
+NONCE = b"n" * 16
+
+
+@given(st.binary(max_size=300), st.binary(max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_aead_roundtrip(plaintext, aad):
+    box = aead_encrypt(KEY, NONCE, plaintext, aad)
+    assert aead_decrypt(KEY, NONCE, box, aad) == plaintext
+
+
+def test_aead_detects_ciphertext_tampering():
+    box = bytearray(aead_encrypt(KEY, NONCE, b"secret payload"))
+    box[0] ^= 1
+    with pytest.raises(CryptoError):
+        aead_decrypt(KEY, NONCE, bytes(box))
+
+
+def test_aead_detects_tag_tampering():
+    box = bytearray(aead_encrypt(KEY, NONCE, b"secret payload"))
+    box[-1] ^= 1
+    with pytest.raises(CryptoError):
+        aead_decrypt(KEY, NONCE, bytes(box))
+
+
+def test_aead_binds_aad_key_and_nonce():
+    box = aead_encrypt(KEY, NONCE, b"data", b"context")
+    with pytest.raises(CryptoError):
+        aead_decrypt(KEY, NONCE, box, b"other-context")
+    with pytest.raises(CryptoError):
+        aead_decrypt(b"x" * 32, NONCE, box, b"context")
+    with pytest.raises(CryptoError):
+        aead_decrypt(KEY, b"m" * 16, box, b"context")
+
+
+def test_aead_rejects_bad_parameter_sizes():
+    with pytest.raises(CryptoError):
+        aead_encrypt(b"short", NONCE, b"")
+    with pytest.raises(CryptoError):
+        aead_encrypt(KEY, b"short", b"")
+    with pytest.raises(CryptoError):
+        aead_decrypt(KEY, NONCE, b"too-short")
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+def _chain():
+    trng = DeterministicTRNG(99)
+    root_secret, root_public = ed25519_generate_keypair(trng.read(32))
+    device_secret, device_public = ed25519_generate_keypair(trng.read(32))
+    sm_secret, sm_public = ed25519_generate_keypair(trng.read(32))
+    device_cert = Certificate.issue("manufacturer", root_secret, "device", device_public)
+    sm_cert = Certificate.issue(
+        "device", device_secret, "sm", sm_public, measurement=b"M" * 64
+    )
+    return root_public, device_cert, sm_cert
+
+
+def test_chain_verifies_and_returns_leaf():
+    root_public, device_cert, sm_cert = _chain()
+    leaf = verify_chain([device_cert, sm_cert], root_public)
+    assert leaf.subject == "sm"
+    assert leaf.measurement == b"M" * 64
+
+
+def test_chain_rejects_wrong_root():
+    _, device_cert, sm_cert = _chain()
+    _, wrong_root = ed25519_generate_keypair(b"\x09" * 32)
+    with pytest.raises(CertificateError):
+        verify_chain([device_cert, sm_cert], wrong_root)
+
+
+def test_chain_rejects_reordered_certificates():
+    root_public, device_cert, sm_cert = _chain()
+    with pytest.raises(CertificateError):
+        verify_chain([sm_cert, device_cert], root_public)
+
+
+def test_chain_rejects_empty():
+    with pytest.raises(CertificateError):
+        verify_chain([], b"\x00" * 32)
+
+
+def test_certificate_serialization_roundtrip():
+    _, device_cert, sm_cert = _chain()
+    for cert in (device_cert, sm_cert):
+        assert Certificate.from_bytes(cert.to_bytes()) == cert
+
+
+@pytest.mark.parametrize("field", ["subject", "issuer", "measurement"])
+def test_tampered_certificate_fails_verification(field):
+    root_public, device_cert, sm_cert = _chain()
+    tampered = dataclasses.replace(
+        sm_cert, **{field: "evil" if field != "measurement" else b"evil" + bytes(60)}
+    )
+    assert not tampered.verify(device_cert.subject_key)
+
+
+def test_truncated_certificate_rejected():
+    _, device_cert, _ = _chain()
+    data = device_cert.to_bytes()
+    with pytest.raises(CertificateError):
+        Certificate.from_bytes(data[:-3])
+    with pytest.raises(CertificateError):
+        Certificate.from_bytes(b"BADMAGIC" + data[8:])
+    with pytest.raises(CertificateError):
+        Certificate.from_bytes(data + b"\x00")

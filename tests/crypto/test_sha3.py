@@ -1,0 +1,136 @@
+"""SHA-3 / SHAKE: FIPS 202 known answers and structural properties."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha3 import (
+    SHA3_256,
+    SHA3_512,
+    SHAKE128,
+    SHAKE256,
+    keccak_f1600,
+    sha3_256,
+    sha3_384,
+    sha3_512,
+    shake128,
+    shake256,
+)
+
+# FIPS 202 known-answer vectors (NIST examples).
+KNOWN_ANSWERS = [
+    (
+        sha3_256,
+        b"",
+        "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a",
+    ),
+    (
+        sha3_256,
+        b"abc",
+        "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532",
+    ),
+    (
+        sha3_512,
+        b"",
+        "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6"
+        "15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26",
+    ),
+    (
+        sha3_512,
+        b"abc",
+        "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e"
+        "10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0",
+    ),
+    (
+        sha3_384,
+        b"abc",
+        "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b2"
+        "98d88cea927ac7f539f1edf228376d25",
+    ),
+]
+
+
+@pytest.mark.parametrize("func,message,expected", KNOWN_ANSWERS)
+def test_fips202_known_answers(func, message, expected):
+    assert func(message).hex() == expected
+
+
+@pytest.mark.parametrize(
+    "ours,theirs",
+    [(sha3_256, "sha3_256"), (sha3_384, "sha3_384"), (sha3_512, "sha3_512")],
+)
+def test_matches_hashlib_across_block_boundaries(ours, theirs):
+    # Exercise lengths around the sponge rate boundaries (72/104/136).
+    for length in [0, 1, 71, 72, 73, 103, 104, 105, 135, 136, 137, 272, 1000]:
+        message = bytes(i & 0xFF for i in range(length))
+        assert ours(message) == hashlib.new(theirs, message).digest()
+
+
+def test_shake_matches_hashlib():
+    assert shake128(b"abc", 64) == hashlib.shake_128(b"abc").digest(64)
+    assert shake256(b"sanctorum", 200) == hashlib.shake_256(b"sanctorum").digest(200)
+
+
+def test_shake_prefix_consistency():
+    # Squeezing N bytes then M more equals squeezing N+M at once.
+    xof = SHAKE256(b"seed")
+    first = xof.read(10)
+    second = xof.read(30)
+    assert first + second == shake256(b"seed", 40)
+
+
+@given(st.binary(max_size=600), st.integers(min_value=0, max_value=600))
+@settings(max_examples=40, deadline=None)
+def test_incremental_equals_oneshot(message, split):
+    split = min(split, len(message))
+    digest = SHA3_256()
+    digest.update(message[:split])
+    digest.update(message[split:])
+    assert digest.digest() == sha3_256(message)
+
+
+def test_digest_is_idempotent_and_locks_updates():
+    digest = SHA3_512(b"abc")
+    first = digest.digest()
+    assert digest.digest() == first
+    with pytest.raises(ValueError):
+        digest.update(b"more")
+
+
+@given(st.binary(min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_bit_change_diffuses(message):
+    flipped = bytes([message[0] ^ 1]) + message[1:]
+    a, b = sha3_256(message), sha3_256(flipped)
+    assert a != b
+    # Avalanche: a substantial fraction of output bits differ.
+    differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert differing > 64
+
+
+def test_keccak_permutation_shape_and_determinism():
+    state = list(range(25))
+    out1 = keccak_f1600(state)
+    out2 = keccak_f1600(state)
+    assert out1 == out2
+    assert len(out1) == 25
+    assert all(0 <= lane < 2**64 for lane in out1)
+    assert state == list(range(25)), "input state must not be mutated"
+
+
+def test_keccak_rejects_bad_state():
+    with pytest.raises(ValueError):
+        keccak_f1600([0] * 24)
+
+
+def test_shake128_differs_from_shake256():
+    assert shake128(b"x", 32) != shake256(b"x", 32)
+
+
+def test_cannot_absorb_after_squeeze():
+    xof = SHAKE128(b"data")
+    xof.read(1)
+    with pytest.raises(ValueError):
+        xof.update(b"more")

@@ -1,0 +1,187 @@
+"""Bit helpers, ISA encode/decode, and the assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.hw.asm import assemble
+from repro.hw.isa import INSTRUCTION_SIZE, Instruction, Opcode, Reg, decode, encode
+from repro.util.bits import (
+    align_down,
+    align_up,
+    extract_bits,
+    is_aligned,
+    is_pow2,
+    mask,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+# ---------------------------------------------------------------------------
+# Bit helpers
+# ---------------------------------------------------------------------------
+
+def test_mask_and_bit_basics():
+    assert mask(0) == 0
+    assert mask(8) == 0xFF
+    assert extract_bits(0xABCD, 4, 8) == 0xBC
+    with pytest.raises(ValueError):
+        mask(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.sampled_from([1, 2, 4, 4096, 65536]))
+def test_alignment_laws(value, alignment):
+    down = align_down(value, alignment)
+    up = align_up(value, alignment)
+    assert down <= value <= up
+    assert is_aligned(down, alignment) and is_aligned(up, alignment)
+    assert up - down in (0, alignment)
+
+
+def test_alignment_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        align_up(10, 3)
+    assert is_pow2(4096) and not is_pow2(0) and not is_pow2(12)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed32(to_unsigned32(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_sign_extend_16(value):
+    extended = sign_extend(value, 16)
+    assert extended & 0xFFFF == value
+    assert -(2**15) <= extended < 2**15
+
+
+# ---------------------------------------------------------------------------
+# ISA encode/decode
+# ---------------------------------------------------------------------------
+
+@given(
+    st.sampled_from(list(Opcode)),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+@settings(max_examples=100)
+def test_encode_decode_roundtrip(opcode, rd, rs1, rs2, imm):
+    instruction = Instruction(opcode, rd, rs1, rs2, imm)
+    assert decode(encode(instruction)) == instruction
+
+
+def test_decode_rejects_bad_input():
+    with pytest.raises(ValueError):
+        decode(b"\x00" * 7)
+    with pytest.raises(ValueError):
+        decode(bytes([255, 0, 0, 0, 0, 0, 0, 0]))
+
+
+def test_instruction_validates_registers_and_imm():
+    with pytest.raises(ValueError):
+        Instruction(Opcode.ADD, rd=16)
+    with pytest.raises(ValueError):
+        Instruction(Opcode.LI, imm=2**31)
+
+
+# ---------------------------------------------------------------------------
+# Assembler
+# ---------------------------------------------------------------------------
+
+def test_labels_and_branches():
+    image = assemble(
+        """
+start:
+    li   a0, 3
+loop:
+    addi a0, a0, -1
+    bne  a0, zero, loop
+    halt
+""",
+        base=0x1000,
+    )
+    assert image.symbol("start") == 0x1000
+    assert image.symbol("loop") == 0x1008
+    branch = decode(image.data[16:24])
+    assert branch.opcode is Opcode.BNE
+    assert branch.imm == 0x1008 - 0x1010  # pc-relative back edge
+
+
+def test_memory_operands_and_abi_names():
+    image = assemble("lw a0, 8(sp)\nsw t2, -4(gp)\n")
+    load = decode(image.data[:8])
+    store = decode(image.data[8:16])
+    assert (load.rd, load.rs1, load.imm) == (Reg.A0, Reg.SP, 8)
+    assert (store.rs2, store.rs1, store.imm) == (Reg.T2, Reg.GP, -4)
+
+
+def test_directives():
+    image = assemble(
+        """
+    .word 0xdeadbeef, 10
+    .bytes 01 ff
+    .ascii "hi"
+    .zero 4
+    .align 16
+end:
+    nop
+"""
+    )
+    assert image.data[:4] == (0xDEADBEEF).to_bytes(4, "little")
+    assert image.data[4:8] == (10).to_bytes(4, "little")
+    assert image.data[8:10] == b"\x01\xff"
+    assert image.data[10:12] == b"hi"
+    assert image.data[12:16] == bytes(4)
+    assert image.symbol("end") == 16
+
+
+def test_label_arithmetic():
+    image = assemble(
+        """
+    li a0, buffer+8
+    lw a1, buffer+4(zero)
+    halt
+buffer:
+    .zero 16
+"""
+    )
+    li = decode(image.data[:8])
+    lw = decode(image.data[8:16])
+    assert li.imm == image.symbol("buffer") + 8
+    assert lw.imm == image.symbol("buffer") + 4
+
+
+def test_numeric_arithmetic_in_operands():
+    image = assemble("li a0, 4096+64\n")
+    assert decode(image.data[:8]).imm == 4160
+
+
+def test_errors_are_reported_with_line_numbers():
+    with pytest.raises(AssemblerError, match="line 2"):
+        assemble("nop\nbogus a0, a1\n")
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("x:\nx:\n")
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add a0, a1\n")
+    with pytest.raises(AssemblerError, match="unknown register"):
+        assemble("li q9, 1\n")
+    with pytest.raises(AssemblerError):
+        assemble("lw a0, nosuchlabel(zero)\n")
+
+
+def test_crypto_mnemonic():
+    image = assemble("crypto 3\n")
+    instruction = decode(image.data[:8])
+    assert instruction.opcode is Opcode.CRYPTO
+    assert instruction.imm == 3
+
+
+def test_every_instruction_is_8_bytes():
+    image = assemble("nop\nhalt\necall\nrdcycle t0\nfence\n")
+    assert len(image.data) == 5 * INSTRUCTION_SIZE

@@ -1,0 +1,153 @@
+"""Cache models (incl. LLC partitioning) and the PMP unit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import LINE_SIZE, Cache, PartitionedLlc
+from repro.hw.pmp import PmpEntry, PmpPerm, PmpUnit, Privilege
+
+
+# ---------------------------------------------------------------------------
+# Basic cache behaviour
+# ---------------------------------------------------------------------------
+
+def test_hit_after_miss_and_costs():
+    cache = Cache(n_sets=4, n_ways=2, hit_cycles=2, miss_penalty=10)
+    assert cache.access(0x1000, domain=0) == 12  # cold miss
+    assert cache.access(0x1000, domain=0) == 2  # hit
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    cache = Cache(n_sets=4, n_ways=2, hit_cycles=2, miss_penalty=10)
+    cache.access(0x1000, 0)
+    assert cache.access(0x1000 + LINE_SIZE - 1, 0) == 2
+
+
+def test_lru_eviction_order():
+    cache = Cache(n_sets=1, n_ways=2, hit_cycles=1, miss_penalty=10)
+    cache.access(0 * LINE_SIZE, 0)  # A
+    cache.access(1 * LINE_SIZE, 0)  # B
+    cache.access(0 * LINE_SIZE, 0)  # touch A -> B is LRU
+    cache.access(2 * LINE_SIZE, 0)  # C evicts B
+    assert cache.probe(0) and not cache.probe(LINE_SIZE) and cache.probe(2 * LINE_SIZE)
+
+
+def test_cross_domain_eviction_accounting():
+    cache = Cache(n_sets=1, n_ways=1, hit_cycles=1, miss_penalty=10)
+    cache.access(0, domain=1)
+    cache.access(LINE_SIZE, domain=2)  # evicts domain 1's line
+    assert cache.stats.cross_domain_evictions == 1
+
+
+def test_flush_and_flush_domain():
+    cache = Cache(n_sets=2, n_ways=2, hit_cycles=1, miss_penalty=10)
+    cache.access(0, domain=1)
+    cache.access(LINE_SIZE, domain=2)
+    cache.flush_domain(1)
+    assert not cache.probe(0) and cache.probe(LINE_SIZE)
+    cache.flush()
+    assert not cache.probe(LINE_SIZE)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache(n_sets=0, n_ways=1, hit_cycles=1, miss_penalty=1)
+
+
+# ---------------------------------------------------------------------------
+# Partitioned LLC
+# ---------------------------------------------------------------------------
+
+def _llc(partitioned):
+    return PartitionedLlc(
+        n_sets=64,
+        n_ways=2,
+        region_size=1 << 20,
+        n_regions=4,
+        partitioned=partitioned,
+    )
+
+
+@given(st.integers(min_value=0, max_value=(1 << 22) - 1))
+@settings(max_examples=200)
+def test_partitioned_sets_stay_inside_region_slice(paddr):
+    llc = _llc(True)
+    region = (paddr // (1 << 20)) % 4
+    index = llc.set_index(paddr)
+    assert region * 16 <= index < (region + 1) * 16
+    assert llc.region_of_set(index) == region
+
+
+def test_partitioning_makes_cross_region_eviction_impossible():
+    llc = _llc(True)
+    # Saturate region 0's slice from region 0, then hammer region 1.
+    for i in range(64):
+        llc.access(i * LINE_SIZE, domain=10)
+    for i in range(256):
+        llc.access((1 << 20) + i * LINE_SIZE, domain=20)
+    assert llc.stats.cross_domain_evictions == 0
+
+
+def test_unpartitioned_allows_cross_region_eviction():
+    llc = _llc(False)
+    for i in range(64):
+        llc.access(i * LINE_SIZE, domain=10)
+    for i in range(256):
+        llc.access((1 << 20) + i * LINE_SIZE, domain=20)
+    assert llc.stats.cross_domain_evictions > 0
+    assert llc.region_of_set(0) is None
+
+
+def test_partitioned_requires_divisible_sets():
+    with pytest.raises(ValueError):
+        PartitionedLlc(n_sets=60, n_ways=2, region_size=1 << 20, n_regions=8, partitioned=True)
+
+
+# ---------------------------------------------------------------------------
+# PMP
+# ---------------------------------------------------------------------------
+
+def test_lowest_numbered_entry_wins():
+    pmp = PmpUnit()
+    pmp.set_entry(0, PmpEntry(0x1000, 0x1000, {Privilege.U: PmpPerm.R}))
+    pmp.set_entry(1, PmpEntry(0x0, 0x10000, {Privilege.U: PmpPerm.RWX}))
+    assert pmp.check(0x1800, Privilege.U, PmpPerm.R)
+    assert not pmp.check(0x1800, Privilege.U, PmpPerm.W)  # entry 0 decides
+    assert pmp.check(0x3000, Privilege.U, PmpPerm.W)  # falls to entry 1
+
+
+def test_m_mode_passes_with_no_match():
+    pmp = PmpUnit()
+    pmp.set_entry(0, PmpEntry(0x1000, 0x1000, {}))
+    assert pmp.check(0x999000, Privilege.M, PmpPerm.RWX)
+    assert not pmp.check(0x999000, Privilege.S, PmpPerm.R)
+
+
+def test_unprogrammed_unit_is_permissive_below_m():
+    pmp = PmpUnit()
+    assert pmp.check(0x1234, Privilege.U, PmpPerm.RWX)
+
+
+def test_matching_entry_denies_unlisted_modes():
+    pmp = PmpUnit()
+    pmp.set_entry(0, PmpEntry(0x0, 0x1000, {Privilege.S: PmpPerm.RW}))
+    assert pmp.check(0x10, Privilege.S, PmpPerm.RW)
+    assert not pmp.check(0x10, Privilege.U, PmpPerm.R)
+
+
+def test_clear_and_slot_validation():
+    pmp = PmpUnit(entry_slots=4)
+    pmp.set_entry(3, PmpEntry(0, 16, {}))
+    assert len(pmp.entries()) == 1
+    pmp.clear()
+    assert pmp.entries() == []
+    with pytest.raises(ValueError):
+        pmp.set_entry(4, PmpEntry(0, 16, {}))
+
+
+def test_entry_boundaries_are_half_open():
+    entry = PmpEntry(0x1000, 0x1000, {Privilege.U: PmpPerm.R})
+    assert entry.matches(0x1000) and entry.matches(0x1FFF)
+    assert not entry.matches(0xFFF) and not entry.matches(0x2000)

@@ -1,0 +1,173 @@
+"""Property tests: hardware structures vs simple reference models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import LINE_SIZE, Cache
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.paging import (
+    PTE_R,
+    PTE_W,
+    PTE_X,
+    AccessType,
+    PageFault,
+    PageTableBuilder,
+    PageTableWalker,
+)
+from repro.hw.tlb import Tlb
+from repro.hw.paging import Translation
+
+
+# ---------------------------------------------------------------------------
+# Physical memory vs a flat bytearray
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 16) - 64),
+            st.binary(min_size=1, max_size=64),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_memory_matches_bytearray_reference(writes):
+    memory = PhysicalMemory(1 << 16)
+    reference = bytearray(1 << 16)
+    for paddr, data in writes:
+        memory.write(paddr, data)
+        reference[paddr : paddr + len(data)] = data
+    assert memory.read(0, 1 << 16) == bytes(reference)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=(1 << 16) - 256),
+                  st.integers(min_value=0, max_value=256)),
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_zero_range_matches_reference(ranges):
+    memory = PhysicalMemory(1 << 16)
+    reference = bytearray(b"\xaa" * (1 << 16))
+    memory.write(0, bytes(reference))
+    for paddr, length in ranges:
+        memory.zero_range(paddr, length)
+        reference[paddr : paddr + length] = bytes(length)
+    assert memory.read(0, 1 << 16) == bytes(reference)
+
+
+# ---------------------------------------------------------------------------
+# Cache vs a reference LRU model
+# ---------------------------------------------------------------------------
+
+class _ReferenceLru:
+    """Dict-of-lists LRU cache model (obviously correct, slow)."""
+
+    def __init__(self, n_sets, n_ways):
+        self.n_sets, self.n_ways = n_sets, n_ways
+        self.sets = {i: [] for i in range(n_sets)}
+
+    def access(self, paddr):
+        tag = paddr // LINE_SIZE
+        index = tag % self.n_sets
+        lines = self.sets[index]
+        hit = tag in lines
+        if hit:
+            lines.remove(tag)
+        elif len(lines) >= self.n_ways:
+            lines.pop(0)
+        lines.append(tag)
+        return hit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 14) - 1), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_agrees_with_reference_lru(addresses):
+    cache = Cache(n_sets=8, n_ways=2, hit_cycles=1, miss_penalty=10)
+    reference = _ReferenceLru(8, 2)
+    for paddr in addresses:
+        expected_hit = reference.access(paddr)
+        cycles = cache.access(paddr, domain=0)
+        assert (cycles == 1) == expected_hit, f"divergence at {paddr:#x}"
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 14) - 1), max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_cache_stats_are_consistent(addresses):
+    cache = Cache(n_sets=4, n_ways=2, hit_cycles=1, miss_penalty=10)
+    for paddr in addresses:
+        cache.access(paddr, domain=paddr % 3)
+    assert cache.stats.hits + cache.stats.misses == len(addresses)
+    assert cache.stats.evictions <= cache.stats.misses
+    assert cache.stats.cross_domain_evictions <= cache.stats.evictions
+
+
+# ---------------------------------------------------------------------------
+# TLB vs a reference map with FIFO eviction
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=30)),
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_tlb_agrees_with_reference(operations):
+    tlb = Tlb(capacity=8)
+    reference: dict[tuple[int, int], int] = {}
+    order: list[tuple[int, int]] = []
+    for domain, vpn in operations:
+        cached = tlb.lookup(domain, vpn)
+        assert (cached is not None) == ((domain, vpn) in reference)
+        if cached is None:
+            translation = Translation(vpn, vpn + 100, True, False, False)
+            tlb.insert(domain, translation)
+            if (domain, vpn) not in reference:
+                if len(reference) >= 8:
+                    oldest = order.pop(0)
+                    del reference[oldest]
+                reference[(domain, vpn)] = vpn + 100
+                order.append((domain, vpn))
+        else:
+            assert cached.ppn == reference[(domain, vpn)]
+
+
+# ---------------------------------------------------------------------------
+# Page tables: builder + walker agree on random mappings
+# ---------------------------------------------------------------------------
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << 20) - 1),  # vpn
+        st.tuples(
+            st.integers(min_value=0x100, max_value=0xFFF),  # ppn
+            st.sampled_from([PTE_R, PTE_R | PTE_W, PTE_R | PTE_W | PTE_X]),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_walker_sees_exactly_what_builder_mapped(mappings):
+    memory = PhysicalMemory(1 << 24)
+    frames = iter(range(0x800, 0xC00))  # page-table frames, inside DRAM
+    builder = PageTableBuilder(memory, lambda: next(frames))
+    for vpn, (ppn, flags) in mappings.items():
+        builder.map_page(vpn << 12, ppn, flags)
+    walker = PageTableWalker(memory)
+    for vpn, (ppn, flags) in mappings.items():
+        translation = walker.walk(builder.root_ppn, vpn << 12, AccessType.LOAD)
+        assert translation.ppn == ppn
+        assert translation.writable == bool(flags & PTE_W)
+        assert translation.executable == bool(flags & PTE_X)
+    # A vpn we never mapped faults (pick one outside the mapping).
+    unmapped = next(v for v in range(1 << 20) if v not in mappings)
+    try:
+        walker.walk(builder.root_ppn, unmapped << 12, AccessType.LOAD)
+        assert False, "unmapped address translated"
+    except PageFault:
+        pass

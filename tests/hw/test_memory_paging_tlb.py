@@ -1,0 +1,203 @@
+"""Physical memory, page tables / walker, and the TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.paging import (
+    PTE_R,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+    AccessType,
+    PageFault,
+    PageTableBuilder,
+    PageTableWalker,
+    Translation,
+    is_leaf,
+    make_pte,
+    pte_ppn,
+    vpn_index,
+)
+from repro.hw.tlb import Tlb
+
+
+# ---------------------------------------------------------------------------
+# Physical memory
+# ---------------------------------------------------------------------------
+
+def test_read_write_roundtrip_across_frames():
+    memory = PhysicalMemory(1 << 20)
+    data = bytes(range(256)) * 20  # spans > 1 frame
+    memory.write(PAGE_SIZE - 100, data)
+    assert memory.read(PAGE_SIZE - 100, len(data)) == data
+
+
+def test_unwritten_memory_reads_zero():
+    memory = PhysicalMemory(1 << 20)
+    assert memory.read(0x1234, 16) == bytes(16)
+    assert memory.touched_frames() == []
+
+
+def test_bounds_are_enforced():
+    memory = PhysicalMemory(1 << 20)
+    with pytest.raises(HardwareError):
+        memory.read((1 << 20) - 2, 4)
+    with pytest.raises(HardwareError):
+        memory.write(-4, b"1234")
+
+
+def test_word_accessors():
+    memory = PhysicalMemory(1 << 20)
+    memory.write_u32(0x100, 0xDEADBEEF)
+    memory.write_u64(0x108, 0x1122334455667788)
+    assert memory.read_u32(0x100) == 0xDEADBEEF
+    assert memory.read_u64(0x108) == 0x1122334455667788
+
+
+def test_zero_range_scrubs_and_drops_whole_frames():
+    memory = PhysicalMemory(1 << 20)
+    memory.write(0x2000, b"\xaa" * PAGE_SIZE * 2)
+    memory.zero_range(0x2000, PAGE_SIZE * 2)
+    assert memory.read(0x2000, PAGE_SIZE * 2) == bytes(PAGE_SIZE * 2)
+    assert 2 not in memory.touched_frames()
+
+
+def test_partial_zero_range():
+    memory = PhysicalMemory(1 << 20)
+    memory.write(0x3000, b"\xbb" * 64)
+    memory.zero_range(0x3010, 16)
+    assert memory.read(0x3000, 16) == b"\xbb" * 16
+    assert memory.read(0x3010, 16) == bytes(16)
+
+
+def test_size_must_be_pow2_page_multiple():
+    with pytest.raises(ValueError):
+        PhysicalMemory(PAGE_SIZE + 1)
+    with pytest.raises(ValueError):
+        PhysicalMemory(3 * PAGE_SIZE)
+
+
+# ---------------------------------------------------------------------------
+# Page tables and the walker
+# ---------------------------------------------------------------------------
+
+def _builder(memory):
+    next_frame = iter(range(16, 4096))
+    return PageTableBuilder(memory, lambda: next(next_frame))
+
+
+def test_walker_translates_mapped_page():
+    memory = PhysicalMemory(1 << 24)
+    builder = _builder(memory)
+    builder.map_page(0x40000000 & 0xFFFFFFFF, 0x123, PTE_R | PTE_W)
+    walker = PageTableWalker(memory)
+    translation = walker.walk(builder.root_ppn, 0x40000000, AccessType.LOAD)
+    assert translation.ppn == 0x123
+    assert translation.paddr(0x40000ABC) == (0x123 << 12) | 0xABC
+
+
+def test_walker_faults_on_unmapped_and_permissions():
+    memory = PhysicalMemory(1 << 24)
+    builder = _builder(memory)
+    builder.map_page(0x5000, 0x42, PTE_R)  # read-only
+    walker = PageTableWalker(memory)
+    with pytest.raises(PageFault):
+        walker.walk(builder.root_ppn, 0x999000, AccessType.LOAD)
+    with pytest.raises(PageFault):
+        walker.walk(builder.root_ppn, 0x5000, AccessType.STORE)
+    with pytest.raises(PageFault):
+        walker.walk(builder.root_ppn, 0x5000, AccessType.FETCH)
+    assert walker.walk(builder.root_ppn, 0x5000, AccessType.LOAD).readable
+
+
+def test_walker_rejects_superpage_leaf():
+    memory = PhysicalMemory(1 << 24)
+    builder = _builder(memory)
+    # Plant an L1 leaf by hand.
+    root_base = builder.root_ppn << 12
+    memory.write_u32(root_base + 4 * vpn_index(0x400000, 1), make_pte(0x99, PTE_V | PTE_R))
+    with pytest.raises(PageFault, match="superpage"):
+        PageTableWalker(memory).walk(builder.root_ppn, 0x400000, AccessType.LOAD)
+
+
+def test_unmap_page():
+    memory = PhysicalMemory(1 << 24)
+    builder = _builder(memory)
+    builder.map_page(0x7000, 0x77, PTE_R)
+    builder.unmap_page(0x7000)
+    with pytest.raises(PageFault):
+        PageTableWalker(memory).walk(builder.root_ppn, 0x7000, AccessType.LOAD)
+    builder.unmap_page(0xABCDE000)  # unmapping the unmapped is a no-op
+
+
+def test_map_range_covers_interval():
+    memory = PhysicalMemory(1 << 24)
+    builder = _builder(memory)
+    builder.map_range(0x10000, 0x80000, 3 * PAGE_SIZE, PTE_R | PTE_W | PTE_X)
+    walker = PageTableWalker(memory)
+    for offset in (0, PAGE_SIZE, 2 * PAGE_SIZE):
+        translation = walker.walk(builder.root_ppn, 0x10000 + offset, AccessType.FETCH)
+        assert translation.paddr(0x10000 + offset) == 0x80000 + offset
+
+
+def test_pte_helpers():
+    pte = make_pte(0xABCDE, PTE_V | PTE_R | PTE_X)
+    assert pte_ppn(pte) == 0xABCDE
+    assert is_leaf(pte)
+    assert not is_leaf(make_pte(0x1, PTE_V))  # pointer, not leaf
+    assert not is_leaf(make_pte(0x1, PTE_R))  # invalid
+
+
+# ---------------------------------------------------------------------------
+# TLB
+# ---------------------------------------------------------------------------
+
+def _translation(vpn, ppn):
+    return Translation(vpn=vpn, ppn=ppn, readable=True, writable=False, executable=False)
+
+
+def test_tlb_hit_miss_accounting():
+    tlb = Tlb(capacity=4)
+    assert tlb.lookup(1, 0x10) is None
+    tlb.insert(1, _translation(0x10, 0x99))
+    assert tlb.lookup(1, 0x10).ppn == 0x99
+    assert (tlb.hits, tlb.misses) == (1, 1)
+
+
+def test_tlb_is_domain_tagged():
+    tlb = Tlb()
+    tlb.insert(1, _translation(0x10, 0x99))
+    assert tlb.lookup(2, 0x10) is None, "another domain must not hit"
+
+
+def test_tlb_eviction_at_capacity():
+    tlb = Tlb(capacity=2)
+    tlb.insert(1, _translation(1, 1))
+    tlb.insert(1, _translation(2, 2))
+    tlb.insert(1, _translation(3, 3))
+    assert len(tlb) == 2
+    assert tlb.lookup(1, 1) is None  # FIFO: oldest evicted
+
+
+def test_tlb_flushes():
+    tlb = Tlb()
+    tlb.insert(1, _translation(1, 10))
+    tlb.insert(2, _translation(2, 20))
+    tlb.flush_domain(1)
+    assert tlb.lookup(1, 1) is None and tlb.lookup(2, 2) is not None
+    tlb.flush_all()
+    assert len(tlb) == 0
+    assert tlb.shootdowns == 2
+
+
+def test_tlb_flush_by_ppn():
+    tlb = Tlb()
+    tlb.insert(1, _translation(1, 0x55))
+    tlb.insert(2, _translation(2, 0x55))
+    tlb.insert(1, _translation(3, 0x66))
+    tlb.flush_ppn(0x55)
+    assert tlb.lookup(1, 1) is None and tlb.lookup(2, 2) is None
+    assert tlb.lookup(1, 3) is not None

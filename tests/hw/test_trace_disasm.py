@@ -1,0 +1,110 @@
+"""The disassembler and the execution tracer."""
+
+from repro import image_from_assembly
+from repro.hw.asm import assemble
+from repro.hw.isa import Instruction, Opcode, decode, disassemble
+from repro.hw.trace import Tracer
+from repro.sm.events import OsEventKind
+
+
+def test_disassemble_roundtrips_through_assembler():
+    source_lines = [
+        "nop",
+        "halt",
+        "li a0, 0x2a",
+        "addi sp, sp, -16",
+        "add a2, a0, a1",
+        "lw t0, 8(sp)",
+        "sw t0, -4(gp)",
+        "lbu a3, 0(a0)",
+        "sb a3, 1(a0)",
+        "ecall",
+        "rdcycle t1",
+        "crypto 1  # ED25519_SIGN",
+        "fence",
+    ]
+    image = assemble("\n".join(source_lines))
+    for index, line in enumerate(source_lines):
+        instruction = decode(image.data[index * 8 : index * 8 + 8])
+        text = disassemble(instruction)
+        # Reassembling the disassembly yields the same encoding.
+        reassembled = assemble(text.split("#")[0])
+        assert reassembled.data[:8] == instruction.encode(), (line, text)
+
+
+def test_disassemble_branch_and_jump_render_offsets():
+    assert disassemble(Instruction(Opcode.BEQ, rs1=8, rs2=9, imm=-16)) == "beq a0, a1, pc-16"
+    assert disassemble(Instruction(Opcode.JAL, rd=1, imm=32)) == "jal ra, pc+32"
+
+
+def test_tracer_records_enclave_execution(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(
+        image_from_assembly(
+            f"entry:\n    li a2, 5\n    sw a2, {out}(zero)\n    li a0, 0\n    ecall\n"
+        )
+    )
+    tracer = Tracer(any_system.machine, domains={loaded.eid})
+    with tracer:
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert tracer.instruction_count(loaded.eid) == 4
+    texts = [r.text for r in tracer.records if not r.is_trap]
+    assert texts[0] == "li a2, 5"
+    assert texts[-1] == "ecall"
+    trap_records = tracer.traps()
+    assert len(trap_records) == 1 and "ecall_from_u" in trap_records[0].text
+
+
+def test_tracer_filtering_and_formatting(any_system):
+    kernel = any_system.kernel
+    tracer = Tracer(any_system.machine, domains={0})  # untrusted only
+    with tracer:
+        kernel.run_user_program("li a0, 1\nhalt\n")
+    assert tracer.instruction_count() == 2
+    formatted = tracer.format()
+    assert "li a0, 1" in formatted and "halt" in formatted
+
+
+def test_tracer_does_not_perturb_results(any_system):
+    """Tracing on/off: same architectural outcome, same cycle counts.
+
+    The enclave is re-loaded at the same physical placement each run
+    (LIFO region reuse) and the first run warms the shared LLC so the
+    comparison runs in steady state; any remaining difference would be
+    the tracer's doing.
+    """
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    image = image_from_assembly(
+        f"entry:\n    li a2, 9\n    sw a2, {out}(zero)\n    li a0, 0\n    ecall\n"
+    )
+    core = any_system.machine.cores[0]
+
+    def one_run(traced: bool) -> int:
+        loaded = kernel.load_enclave(image)
+        before = core.cycles
+        if traced:
+            with Tracer(any_system.machine):
+                kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        else:
+            kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        cost = core.cycles - before
+        kernel.destroy_enclave(loaded.eid)
+        return cost
+
+    one_run(traced=False)  # warm the LLC
+    untraced_cost = one_run(traced=False)
+    traced_cost = one_run(traced=True)
+    assert traced_cost == untraced_cost
+    assert any_system.machine.memory.read_u32(out) == 9
+
+
+def test_tracer_respects_record_limit(any_system):
+    kernel = any_system.kernel
+    tracer = Tracer(any_system.machine, max_records=3, disassemble=False)
+    with tracer:
+        kernel.run_user_program("nop\nnop\nnop\nnop\nnop\nhalt\n")
+    assert len(tracer.records) == 3
+    assert tracer.dropped > 0

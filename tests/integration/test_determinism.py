@@ -1,0 +1,74 @@
+"""Reproducibility: equal seeds give bit-identical systems and runs."""
+
+from repro import build_keystone_system, build_sanctum_system
+from repro.hw.machine import MachineConfig
+from repro.sdk.protocol import run_remote_attestation
+from repro.attacks.cache_probe import run_prime_probe_experiment
+from tests.conftest import small_config, trivial_enclave_image
+
+
+def test_same_seed_same_boot_artifacts():
+    a = build_sanctum_system(config=small_config())
+    b = build_sanctum_system(config=small_config())
+    assert a.boot.sm_measurement == b.boot.sm_measurement
+    assert a.boot.sm_secret_key == b.boot.sm_secret_key
+    assert a.root_public_key == b.root_public_key
+    assert a.boot.sm_certificate == b.boot.sm_certificate
+
+
+def test_same_seed_same_full_protocol_bytes():
+    a = run_remote_attestation(build_sanctum_system(config=small_config()))
+    b = run_remote_attestation(build_sanctum_system(config=small_config()))
+    assert a.report.to_bytes() == b.report.to_bytes()
+    assert a.phase_cycles == b.phase_cycles
+
+
+def test_same_seed_same_attack_observations():
+    a = run_prime_probe_experiment(
+        build_sanctum_system(llc_partitioned=False), secret=33, reference_secret=8
+    )
+    b = run_prime_probe_experiment(
+        build_sanctum_system(llc_partitioned=False), secret=33, reference_secret=8
+    )
+    assert a.measured == b.measured and a.baseline == b.baseline
+
+
+def test_different_seed_different_secrets_same_behaviour():
+    """Seeds change key material, never functional outcomes."""
+    outcomes = []
+    for seed in (11, 22):
+        system = build_keystone_system(
+            config=MachineConfig(
+                n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256, trng_seed=seed
+            )
+        )
+        out = system.kernel.alloc_buffer(1)
+        loaded = system.kernel.load_enclave(trivial_enclave_image(out, value=5))
+        system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        outcomes.append(
+            (
+                system.machine.memory.read_u32(out),
+                system.boot.sm_secret_key,
+                system.sm.enclave_measurement(loaded.eid),
+            )
+        )
+    (value_a, key_a, meas_a), (value_b, key_b, meas_b) = outcomes
+    assert value_a == value_b == 5
+    assert key_a != key_b, "different devices, different keys"
+    assert meas_a == meas_b, (
+        "measurement depends on the binary and SM build, not on device secrets"
+    )
+
+
+def test_run_twice_on_one_system_is_stable():
+    """Within one system, repeating a workload gives identical events."""
+    system = build_sanctum_system(config=small_config())
+    image = trivial_enclave_image()
+
+    def run_once():
+        loaded = system.kernel.load_enclave(image)
+        events = system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        system.kernel.destroy_enclave(loaded.eid)
+        return [(e.kind, e.cause, e.tval) for e in events]
+
+    assert run_once() == run_once()

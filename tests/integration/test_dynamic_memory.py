@@ -1,0 +1,136 @@
+"""Dynamic enclave memory (§V-B): accept at runtime, use privately.
+
+"This does not mean enclaves are static.  Instead, an enclave may
+collaborate with the OS to implement dynamic behaviors like
+re-allocation of resources" — here the full loop runs with the enclave
+side *in-VM*: the OS offers a freshly cleaned region, the running
+enclave accepts it with an ``ACCEPT_RESOURCE`` ecall, stores a secret
+into it (physically protected, addressed through identity mappings
+outside evrange), and later blocks it back for the OS to reclaim.
+"""
+
+import pytest
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.api import EnclaveEcall
+from repro.sm.events import OsEventKind
+from repro.sm.invariants import check_all
+from repro.sm.resources import ResourceState, ResourceType
+
+OS = DOMAIN_UNTRUSTED
+
+
+def _dynamic_enclave_source(shared: int) -> str:
+    accept = int(EnclaveEcall.ACCEPT_RESOURCE)
+    block = int(EnclaveEcall.BLOCK_RESOURCE)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    return f"""
+_start:
+    li   t0, phase
+    lw   t1, 0(t0)
+    bne  t1, zero, phase1
+
+phase0:                              # accept the offered region, stash a secret
+    lw   a2, {shared}(zero)          # rid from the OS
+    li   a0, {accept}
+    li   a1, 1                       # resource type: DRAM_REGION
+    ecall
+    bne  a0, zero, fail
+    lw   t2, {shared + 0x8}(zero)    # base paddr of the new region
+    li   t1, 0x5EC12E7
+    sw   t1, 0(t2)                   # secret into the accepted memory
+    li   t0, phase
+    li   t1, 1
+    sw   t1, 0(t0)
+    jal  zero, ok
+
+phase1:                              # read the secret back, return the region
+    lw   t2, {shared + 0x8}(zero)
+    lw   t1, 0(t2)
+    sw   t1, {shared + 0xC}(zero)    # prove we still see it
+    lw   a2, {shared}(zero)
+    li   a0, {block}
+    li   a1, 1
+    ecall
+    bne  a0, zero, fail
+
+ok:
+    li   t0, 1
+    sw   t0, {shared + 0x4}(zero)
+    li   a0, {exit_call}
+    ecall
+
+fail:
+    addi t0, a0, 0x100
+    sw   t0, {shared + 0x4}(zero)
+    li   a0, {exit_call}
+    ecall
+
+    .align 8
+phase:
+    .word 0
+"""
+
+
+def test_enclave_accepts_and_returns_memory_at_runtime(sanctum_system):
+    system = sanctum_system
+    sm, kernel = system.sm, system.kernel
+    shared = kernel.alloc_buffer(1)
+    image = image_from_assembly(_dynamic_enclave_source(shared), entry_symbol="_start")
+    loaded = kernel.load_enclave(image)
+
+    # OS prepares and *offers* a region to the (running) enclave.
+    rid = kernel._donatable_regions.pop(0)
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, loaded.eid) is ApiResult.OK
+    record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+    assert record.state is ResourceState.OFFERED, "a running enclave must accept"
+    base, size = system.platform.region_range(rid)
+    kernel.write_shared(shared, rid.to_bytes(4, "little"))
+    kernel.write_shared(shared + 0x8, base.to_bytes(4, "little"))
+
+    # Phase 0: accept + stash a secret.
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(shared + 4) == 1
+    assert record.owner == loaded.eid and record.state is ResourceState.OWNED
+
+    # While owned by the enclave: the OS cannot read the secret.
+    from repro.kernel.adversary import MaliciousOs
+
+    probe = MaliciousOs(kernel).probe_physical(base)
+    assert not probe.succeeded
+    check_all(sm)
+
+    # Phase 1: enclave reads its secret back and blocks the region.
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(shared + 4) == 1
+    assert kernel.machine.memory.read_u32(shared + 0xC) == 0x5EC12E7
+    assert record.state is ResourceState.BLOCKED
+
+    # OS reclaims; the cleaning scrubs the secret before reuse.
+    assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert kernel.machine.memory.read_u32(base) == 0
+    assert sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, OS) is ApiResult.OK
+    kernel._donatable_regions.insert(0, rid)
+    check_all(sm)
+
+
+def test_enclave_cannot_accept_unoffered_region(sanctum_system):
+    """ACCEPT_RESOURCE from the enclave fails unless the OS offered it."""
+    system = sanctum_system
+    kernel = system.kernel
+    shared = kernel.alloc_buffer(1)
+    image = image_from_assembly(_dynamic_enclave_source(shared), entry_symbol="_start")
+    loaded = kernel.load_enclave(image)
+    rid = kernel._donatable_regions[0]  # OS-owned, never offered
+    base, __ = system.platform.region_range(rid)
+    kernel.write_shared(shared, rid.to_bytes(4, "little"))
+    kernel.write_shared(shared + 0x8, base.to_bytes(4, "little"))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    status = kernel.machine.memory.read_u32(shared + 4)
+    assert status == 0x100 + int(ApiResult.INVALID_STATE)

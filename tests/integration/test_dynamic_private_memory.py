@@ -1,0 +1,194 @@
+"""Dynamic *private* memory: accept a region, map it into evrange, use it.
+
+The full SGX2-style loop the paper's dynamic-resources story implies:
+the enclave accepts memory (Fig. 2), maps pages of it into its own
+virtual range at runtime, computes on them privately (the dual walk now
+translates those addresses through the enclave's tables), unmaps, and
+returns the memory — while the OS stays locked out throughout.
+"""
+
+import pytest
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W
+from repro.sm.api import EnclaveEcall
+from repro.sm.events import OsEventKind
+from repro.sm.invariants import check_all
+from repro.sm.resources import ResourceState, ResourceType
+
+OS = DOMAIN_UNTRUSTED
+
+#: The enclave maps the new page at this evrange-virtual address.
+DYN_VADDR = 0x40080000
+
+
+def _dynamic_mapper_source(shared: int) -> str:
+    accept = int(EnclaveEcall.ACCEPT_RESOURCE)
+    map_page = int(EnclaveEcall.MAP_PAGE)
+    unmap = int(EnclaveEcall.UNMAP_PAGE)
+    block = int(EnclaveEcall.BLOCK_RESOURCE)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    return f"""
+_start:
+    lw   a2, {shared}(zero)            # rid offered by the OS
+    li   a0, {accept}
+    li   a1, 1
+    ecall
+    bne  a0, zero, fail
+
+    lw   a2, {shared + 0x8}(zero)      # paddr of a page in the region
+    li   a0, {map_page}                # map it at DYN_VADDR, RW
+    li   a1, {DYN_VADDR}
+    li   a3, {PTE_R | PTE_W}
+    ecall
+    bne  a0, zero, fail
+
+    li   t0, {DYN_VADDR}               # compute on the private page
+    li   t1, 0xBEEF
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    sw   t2, {shared + 0xC}(zero)      # prove the round trip
+
+    li   a0, {unmap}                   # tear down before returning it
+    li   a1, {DYN_VADDR}
+    ecall
+    bne  a0, zero, fail
+    lw   a2, {shared}(zero)
+    li   a0, {block}
+    li   a1, 1
+    ecall
+    bne  a0, zero, fail
+
+    li   t0, 1
+    sw   t0, {shared + 0x4}(zero)
+    li   a0, {exit_call}
+    ecall
+fail:
+    addi t0, a0, 0x100
+    sw   t0, {shared + 0x4}(zero)
+    li   a0, {exit_call}
+    ecall
+"""
+
+
+def _offer_region(system, eid):
+    kernel, sm = system.kernel, system.sm
+    rid = kernel._donatable_regions.pop(0)
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, eid) is ApiResult.OK
+    return rid
+
+
+def test_map_use_unmap_return_cycle(sanctum_system):
+    system = sanctum_system
+    kernel, sm = system.kernel, system.sm
+    shared = kernel.alloc_buffer(1)
+    # evrange is sized so the default L0 table covers DYN_VADDR.
+    image = image_from_assembly(
+        _dynamic_mapper_source(shared),
+        evrange_base=0x40000000,
+        evrange_size=0x100000,
+        entry_symbol="_start",
+    )
+    loaded = kernel.load_enclave(image)
+    rid = _offer_region(system, loaded.eid)
+    base, __ = system.platform.region_range(rid)
+    kernel.write_shared(shared, rid.to_bytes(4, "little"))
+    kernel.write_shared(shared + 0x8, base.to_bytes(4, "little"))
+
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(shared + 4) == 1, hex(
+        kernel.machine.memory.read_u32(shared + 4)
+    )
+    assert kernel.machine.memory.read_u32(shared + 0xC) == 0xBEEF
+
+    # Region came back blocked; OS reclaims it clean.
+    record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+    assert record.state is ResourceState.BLOCKED
+    assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert kernel.machine.memory.read_u32(base) == 0, "secret scrubbed"
+    assert sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, OS) is ApiResult.OK
+    kernel._donatable_regions.insert(0, rid)
+    check_all(sm)
+
+
+def _roomy_image():
+    """A trivial enclave with slack evrange for runtime mappings."""
+    return image_from_assembly(
+        "entry:\n    li a0, 0\n    ecall\n",
+        evrange_base=0x40000000,
+        evrange_size=0x100000,
+    )
+
+
+def test_map_page_authorization(sanctum_system):
+    """MAP_PAGE host-path checks: ownership, aliasing, table coverage."""
+    system = sanctum_system
+    kernel, sm = system.kernel, system.sm
+    loaded = kernel.load_enclave(_roomy_image())
+    eid = loaded.eid
+    rid = _offer_region(system, eid)
+    base, __ = system.platform.region_range(rid)
+    assert sm.accept_resource(eid, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+
+    # OS cannot call it.
+    assert sm.map_enclave_page(OS, 0x40004000, base, PTE_R) is ApiResult.PROHIBITED
+    # Unowned physical page refused.
+    os_frame = kernel.alloc_frame() << PAGE_SHIFT
+    assert (
+        sm.map_enclave_page(eid, 0x40004000, os_frame, PTE_R) is ApiResult.PROHIBITED
+    )
+    # Outside evrange refused.
+    assert sm.map_enclave_page(eid, 0x90000000, base, PTE_R) is ApiResult.INVALID_VALUE
+    # Aliasing an existing vaddr (the code page) refused.
+    assert (
+        sm.map_enclave_page(eid, loaded.image.evrange_base, base, PTE_R)
+        is ApiResult.INVALID_STATE
+    )
+    # A good mapping works, and the backing page was scrubbed.
+    kernel.machine.memory.write(base + 0x1000, b"stale!")
+    assert (
+        sm.map_enclave_page(eid, 0x40004000, base + 0x1000, PTE_R | PTE_W)
+        is ApiResult.OK
+    )
+    assert kernel.machine.memory.read(base + 0x1000, 6) == bytes(6)
+    # Double-mapping the same physical page refused.
+    assert (
+        sm.map_enclave_page(eid, 0x40005000, base + 0x1000, PTE_R)
+        is ApiResult.INVALID_STATE
+    )
+    check_all(sm)
+
+
+def test_block_refused_while_pages_mapped(sanctum_system):
+    """An enclave cannot relinquish a region it still maps from."""
+    system = sanctum_system
+    kernel, sm = system.kernel, system.sm
+    loaded = kernel.load_enclave(_roomy_image())
+    eid = loaded.eid
+    rid = _offer_region(system, eid)
+    base, __ = system.platform.region_range(rid)
+    assert sm.accept_resource(eid, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.map_enclave_page(eid, 0x40004000, base, PTE_R | PTE_W) is ApiResult.OK
+    assert sm.block_resource(eid, ResourceType.DRAM_REGION, rid) is ApiResult.INVALID_STATE
+    assert sm.unmap_enclave_page(eid, 0x40004000) is ApiResult.OK
+    assert sm.block_resource(eid, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    check_all(sm)
+
+
+def test_original_image_region_cannot_be_blocked_by_enclave(sanctum_system):
+    """The image-backing region always has live mappings (code!), so the
+    guard protects the enclave from cutting off its own feet."""
+    system = sanctum_system
+    from tests.conftest import trivial_enclave_image
+
+    loaded = system.kernel.load_enclave(trivial_enclave_image())
+    result = system.sm.block_resource(
+        loaded.eid, ResourceType.DRAM_REGION, loaded.rids[0]
+    )
+    assert result is ApiResult.INVALID_STATE

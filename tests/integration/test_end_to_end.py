@@ -1,0 +1,151 @@
+"""Whole-system integration: boot → load → run → attest → destroy."""
+
+import pytest
+
+from repro import build_keystone_system, build_sanctum_system, image_from_assembly
+from repro.analysis import loc_report
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.sdk.local_attestation import run_local_attestation
+from repro.sdk.protocol import run_remote_attestation
+from repro.sdk.runtime import exit_sequence, with_runtime
+from repro.sm.events import OsEventKind
+from repro.sm.invariants import check_all
+from tests.conftest import small_config, trivial_enclave_image
+
+
+def test_full_lifecycle_on_both_platforms(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(trivial_enclave_image(out, value=123))
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(out) == 123
+    check_all(any_system.sm)
+    kernel.destroy_enclave(loaded.eid)
+    check_all(any_system.sm)
+
+
+def test_enclave_computation_with_secret_data(any_system):
+    """An enclave computes over private data; only the result escapes."""
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   t0, secret_table
+    li   t1, 0
+    li   t2, 0
+sum_loop:
+    li   a4, 4
+    mul  a5, t1, a4
+    add  a5, a5, t0
+    lw   a4, 0(a5)
+    add  t2, t2, a4
+    addi t1, t1, 1
+    li   a4, 8
+    bltu t1, a4, sum_loop
+    sw   t2, {out}(zero)
+{exit_sequence()}
+    .align 8
+secret_table:
+    .word 10, 20, 30, 40, 50, 60, 70, 80
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.machine.memory.read_u32(out) == 360
+    # And the table itself is unreadable by the OS.
+    from repro.kernel.adversary import MaliciousOs
+
+    probe = MaliciousOs(kernel).probe_enclave_memory(loaded, offset=0)
+    assert not probe.succeeded
+
+
+def test_remote_attestation_then_scheduling_then_teardown(any_system):
+    outcome = run_remote_attestation(any_system)
+    assert outcome.verification.ok and outcome.channel_ok
+    check_all(any_system.sm)
+
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    worker = image_from_assembly(
+        with_runtime(
+            f"""
+main:
+    li   t0, 0
+    li   t1, 10000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    sw   t1, {out}(zero)
+{exit_sequence()}"""
+        ),
+        entry_symbol="_start",
+    )
+    loaded = kernel.load_enclave(worker)
+    scheduler = RoundRobinScheduler(kernel, slice_cycles=3000)
+    scheduler.add(loaded.eid, loaded.tids[0])
+    trace = scheduler.run()
+    assert trace.voluntary_exits == 1
+    assert kernel.machine.memory.read_u32(out) == 10000
+    check_all(any_system.sm)
+    kernel.destroy_enclave(loaded.eid)
+    kernel.destroy_enclave(outcome.client_eid)
+    kernel.destroy_enclave(outcome.signing_eid)
+    check_all(any_system.sm)
+
+
+def test_remote_then_local_attestation(any_system):
+    # Remote first: the signing enclave's measurement must be programmed
+    # before any enclave exists (the boot-time hard-coding rule).
+    remote = run_remote_attestation(any_system)
+    assert remote.verification.ok
+    local = run_local_attestation(any_system)
+    assert local.authenticated
+    check_all(any_system.sm)
+
+
+def test_reports_from_different_devices_not_interchangeable():
+    """A report from one device never verifies under another's root.
+
+    The two systems get different TRNG seeds — same-seed systems are
+    bit-identical clone devices by construction (determinism), which is
+    exactly what distinct physical devices are not.
+    """
+    from repro.hw.machine import MachineConfig
+
+    a = build_sanctum_system(config=MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256, trng_seed=1))
+    b = build_keystone_system(config=MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256, trng_seed=2))
+    outcome = run_remote_attestation(a)
+    from repro.sm.attestation import verify_attestation
+
+    crossed = verify_attestation(
+        outcome.report, b.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert not crossed.ok
+
+
+def test_many_enclaves_simultaneously(sanctum_system):
+    kernel = sanctum_system.kernel
+    outs, loaded = [], []
+    for i in range(4):
+        out = kernel.alloc_buffer(1)
+        outs.append(out)
+        loaded.append(kernel.load_enclave(trivial_enclave_image(out, value=100 + i)))
+    measurements = {sanctum_system.sm.enclave_measurement(l.eid) for l in loaded}
+    assert len(measurements) == 4, "distinct binaries, distinct measurements"
+    for enclave in loaded:
+        kernel.enter_and_run(enclave.eid, enclave.tids[0])
+    for i, out in enumerate(outs):
+        assert kernel.machine.memory.read_u32(out) == 100 + i
+    check_all(sanctum_system.sm)
+
+
+def test_loc_report_shape():
+    """The §VII-A claim: the platform-independent core is a fraction of
+    the system, and the whole monitor is small."""
+    report = loc_report()
+    assert report.sm_core > 0
+    assert report.sm_total > report.sm_core
+    assert 0.1 < report.core_fraction() < 0.9
+    assert report.total > report.sm_total, (
+        "the repository is much larger than the trusted monitor itself"
+    )

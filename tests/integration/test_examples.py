@@ -1,0 +1,36 @@
+"""Every shipped example must run clean — examples are part of the API."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "remote_attestation.py",
+        "local_attestation.py",
+        "sidechannel_defense.py",
+        "multitasking.py",
+        "sealed_counter.py",
+        "tcb_recovery.py",
+    }
+
+
+@pytest.mark.parametrize("example", ALL_EXAMPLES)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example} printed nothing"

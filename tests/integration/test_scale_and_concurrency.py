@@ -1,0 +1,147 @@
+"""Paper-scale geometry and true multi-core concurrency."""
+
+import pytest
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.hw.machine import MachineConfig
+from repro.sm.api import EnclaveEcall
+from repro.sm.events import OsEventKind
+from repro.sm.invariants import check_all
+from tests.conftest import trivial_enclave_image
+
+
+def test_paper_scale_sanctum_geometry():
+    """§VII-A: 64 DRAM regions of 32 MB (2 GB) — constructible and usable.
+
+    Physical memory is sparse, so the full geometry costs only what is
+    touched.
+    """
+    system = build_sanctum_system(
+        config=MachineConfig(n_cores=4, dram_size=2 * 1024 * 1024 * 1024, llc_sets=512),
+        n_regions=64,
+    )
+    assert system.platform.region_size == 32 * 1024 * 1024
+    assert len(system.platform.region_ids()) == 64
+    out = system.kernel.alloc_buffer(1)
+    loaded = system.kernel.load_enclave(trivial_enclave_image(out, value=64))
+    events = system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert system.machine.memory.read_u32(out) == 64
+    # The donated region really is one of the 32 MB units.
+    assert loaded.region_size == 32 * 1024 * 1024
+    check_all(system.sm)
+
+
+def test_concurrent_mail_across_cores(sanctum_system):
+    """Two enclaves on two cores exchange mail while both are running.
+
+    The producer polls ``send_mail`` until the consumer's ``accept``
+    lands; the consumer polls ``get_mail`` until delivery — a real
+    concurrent rendezvous through SM mailboxes, interleaved by the
+    machine's round-robin.
+    """
+    system = sanctum_system
+    kernel = system.kernel
+    shared = kernel.alloc_buffer(1)
+    send, get_mail, accept, exit_call = (
+        int(EnclaveEcall.SEND_MAIL),
+        int(EnclaveEcall.GET_MAIL),
+        int(EnclaveEcall.ACCEPT_MAIL),
+        int(EnclaveEcall.EXIT_ENCLAVE),
+    )
+    producer_source = f"""
+_start:
+    lw   gp, {shared}(zero)          # consumer eid
+try_send:
+    li   a0, {send}
+    add  a1, gp, zero
+    li   a2, message
+    li   a3, 12
+    ecall
+    bne  a0, zero, try_send          # retry until the consumer accepts
+    li   a0, {exit_call}
+    ecall
+    .align 8
+message:
+    .ascii "ping-pong-42"
+"""
+    consumer_source = f"""
+_start:
+    lw   gp, {shared + 4}(zero)      # producer eid
+    li   a0, {accept}
+    li   a1, 0
+    add  a2, gp, zero
+    ecall
+try_get:
+    li   a0, {get_mail}
+    li   a1, 0
+    li   a2, msg_buf
+    li   a3, sender_buf
+    ecall
+    bne  a0, zero, try_get           # poll until the mail lands
+    li   t0, 0
+export:
+    li   t1, msg_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {shared + 0x10}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 12
+    bltu t0, t1, export
+    li   a0, {exit_call}
+    ecall
+    .align 8
+msg_buf:
+    .zero 256
+sender_buf:
+    .zero 64
+"""
+    producer = kernel.load_enclave(
+        image_from_assembly(producer_source, evrange_base=0x44000000, entry_symbol="_start")
+    )
+    consumer = kernel.load_enclave(
+        image_from_assembly(consumer_source, evrange_base=0x48000000, entry_symbol="_start")
+    )
+    kernel.write_shared(shared, consumer.eid.to_bytes(4, "little"))
+    kernel.write_shared(shared + 4, producer.eid.to_bytes(4, "little"))
+
+    from repro.errors import ApiResult
+    from repro.hw.core import DOMAIN_UNTRUSTED
+
+    assert system.sm.enter_enclave(DOMAIN_UNTRUSTED, producer.eid, producer.tids[0], 0) is ApiResult.OK
+    assert system.sm.enter_enclave(DOMAIN_UNTRUSTED, consumer.eid, consumer.tids[0], 1) is ApiResult.OK
+    system.machine.run(max_steps=500_000)
+    exits = [e for c in (0, 1) for e in system.sm.os_events.drain(c)]
+    assert sorted(e.kind.value for e in exits) == ["enclave_exit", "enclave_exit"]
+    assert kernel.read_shared(shared + 0x10, 12) == b"ping-pong-42"
+    check_all(system.sm)
+
+
+def test_loader_failure_mid_load_leaves_consistent_state(sanctum_system):
+    """An image whose evrange is too small fails cleanly mid-load."""
+    from repro.kernel.loader import EnclaveImage, EnclaveSegment
+    from repro.hw.paging import PTE_R, PTE_W, PTE_X
+    from repro.kernel.os_model import OsError
+
+    # Segments fit evrange, but entry_pc points outside it -> the SM
+    # refuses create_thread after pages were already loaded.
+    bad = EnclaveImage(
+        evrange_base=0x40000000,
+        evrange_size=0x2000,
+        segments=(EnclaveSegment(0x40000000, b"\x01" * 16, PTE_R | PTE_W | PTE_X),),
+        entry_pc=0x50000000,
+        entry_sp=0x40002000,
+    )
+    with pytest.raises(OsError):
+        sanctum_system.kernel.load_enclave(bad)
+    # The aborted enclave is still LOADING; the OS deletes and reclaims.
+    eids = list(sanctum_system.sm.state.enclaves)
+    from repro.hw.core import DOMAIN_UNTRUSTED
+    from repro.errors import ApiResult
+    from repro.sm.resources import ResourceType
+
+    assert len(eids) == 1
+    assert sanctum_system.sm.delete_enclave(DOMAIN_UNTRUSTED, eids[0]) is ApiResult.OK
+    check_all(sanctum_system.sm)

@@ -1,0 +1,118 @@
+"""Preemptive scheduling (AEX exercise) and demand paging."""
+
+import pytest
+
+from repro import image_from_assembly
+from repro.kernel.paging_service import DemandPager
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.sdk.runtime import exit_sequence, with_runtime
+from repro.sm.invariants import check_all
+
+
+def _counter_image(out_addr, iterations):
+    return image_from_assembly(
+        with_runtime(
+            f"""
+main:
+    li   t0, 0
+    li   t1, {iterations}
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    sw   t1, {out_addr}(zero)
+{exit_sequence()}"""
+        ),
+        entry_symbol="_start",
+    )
+
+
+def test_scheduler_runs_one_task_to_completion(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(_counter_image(out, 20_000))
+    scheduler = RoundRobinScheduler(kernel, slice_cycles=4000)
+    scheduler.add(loaded.eid, loaded.tids[0])
+    trace = scheduler.run()
+    assert trace.voluntary_exits == 1
+    assert trace.aex_events >= 1, "the slice must have preempted at least once"
+    assert kernel.machine.memory.read_u32(out) == 20_000
+
+
+def test_scheduler_interleaves_two_tasks(any_system):
+    kernel = any_system.kernel
+    outs = [kernel.alloc_buffer(1), kernel.alloc_buffer(1)]
+    tasks = [kernel.load_enclave(_counter_image(out, 15_000)) for out in outs]
+    scheduler = RoundRobinScheduler(kernel, slice_cycles=3000)
+    for task in tasks:
+        scheduler.add(task.eid, task.tids[0])
+    trace = scheduler.run()
+    assert trace.voluntary_exits == 2
+    for task in scheduler.tasks:
+        assert task.entries >= 2, "both tasks were preempted and resumed"
+    for out in outs:
+        assert kernel.machine.memory.read_u32(out) == 15_000
+    check_all(any_system.sm)
+
+
+def test_scheduler_respects_slice_budget(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(_counter_image(out, 1_000_000))
+    scheduler = RoundRobinScheduler(kernel, slice_cycles=2000)
+    scheduler.add(loaded.eid, loaded.tids[0])
+    trace = scheduler.run(max_slices=5)
+    assert trace.time_slices == 5
+    assert not scheduler.tasks[0].finished
+
+
+def test_scheduler_validates_slice():
+    with pytest.raises(ValueError):
+        RoundRobinScheduler(None, slice_cycles=0)
+
+
+# ---------------------------------------------------------------------------
+# Demand paging of shared buffers
+# ---------------------------------------------------------------------------
+
+def _walker_image(buffer, n_pages):
+    """An enclave that touches every page of a shared window in order."""
+    body = "\n".join(
+        f"    lw   t2, {buffer + i * 4096}(zero)" for i in range(n_pages)
+    )
+    return image_from_assembly(
+        with_runtime(f"main:\n{body}\n{exit_sequence()}"),
+        entry_symbol="_start",
+    )
+
+
+def test_demand_paging_services_every_fault(any_system):
+    kernel = any_system.kernel
+    n_pages = 4
+    buffer = kernel.alloc_buffer(n_pages)
+    loaded = kernel.load_enclave(_walker_image(buffer, n_pages))
+    pager = DemandPager(kernel, buffer, n_pages)
+    trace = pager.run_with_paging(loaded.eid, loaded.tids[0])
+    assert trace.finished
+    assert trace.faults_serviced == n_pages
+    assert trace.fault_addresses == [buffer + i * 4096 for i in range(n_pages)], (
+        "shared-memory faults are visible to the OS, in access order"
+    )
+    assert trace.reentries == n_pages
+
+
+def test_demand_paging_no_refault_on_resident_pages(any_system):
+    kernel = any_system.kernel
+    buffer = kernel.alloc_buffer(2)
+    # Touch page 0 twice, page 1 once: only two faults.
+    body = (
+        f"    lw t2, {buffer}(zero)\n"
+        f"    lw t2, {buffer + 8}(zero)\n"
+        f"    lw t2, {buffer + 4096}(zero)\n"
+    )
+    image = image_from_assembly(
+        with_runtime(f"main:\n{body}\n{exit_sequence()}"), entry_symbol="_start"
+    )
+    loaded = kernel.load_enclave(image)
+    pager = DemandPager(kernel, buffer, 2)
+    trace = pager.run_with_paging(loaded.eid, loaded.tids[0])
+    assert trace.faults_serviced == 2

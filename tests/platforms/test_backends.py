@@ -1,0 +1,172 @@
+"""The Sanctum and Keystone isolation backends (§VII)."""
+
+import pytest
+
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.paging import AccessType
+from repro.hw.pmp import Privilege
+from repro.platforms.base import OWNER_FREE
+from repro.platforms.keystone import KeystonePlatform
+from repro.platforms.sanctum import SanctumPlatform
+
+
+def _machine():
+    return Machine(MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256))
+
+
+# ---------------------------------------------------------------------------
+# Sanctum
+# ---------------------------------------------------------------------------
+
+def test_sanctum_region_geometry():
+    machine = _machine()
+    platform = SanctumPlatform(machine, n_regions=8)
+    assert platform.region_size == 4 * 1024 * 1024
+    assert platform.region_ids() == list(range(8))
+    assert platform.region_of(0) == 0
+    assert platform.region_of(platform.region_size) == 1
+    assert platform.region_of(machine.config.dram_size) is None
+    assert platform.region_range(3) == (3 * platform.region_size, platform.region_size)
+    with pytest.raises(ValueError):
+        platform.region_range(8)
+
+
+def test_sanctum_rejects_bad_region_count():
+    with pytest.raises(ValueError):
+        SanctumPlatform(_machine(), n_regions=7)
+
+
+def test_sanctum_access_rules():
+    machine = _machine()
+    platform = SanctumPlatform(machine, n_regions=8)
+    platform.assign_region(0, DOMAIN_SM)
+    eid = 0x40000
+    platform.assign_region(2, eid)
+    core = machine.cores[0]
+    core.privilege = Privilege.S
+
+    def allowed(domain, paddr):
+        core.domain = domain
+        return platform.check_access(core, paddr, AccessType.LOAD)
+
+    region = platform.region_size
+    # OS memory reachable by everyone (shared buffers).
+    assert allowed(DOMAIN_UNTRUSTED, region * 1) and allowed(eid, region * 1)
+    # Enclave memory only by the enclave.
+    assert allowed(eid, region * 2) and not allowed(DOMAIN_UNTRUSTED, region * 2)
+    # SM memory by nobody below M-mode.
+    assert not allowed(DOMAIN_UNTRUSTED, 0) and not allowed(eid, 0)
+    core.privilege = Privilege.M
+    assert platform.check_access(core, 0, AccessType.STORE)
+    core.privilege = Privilege.S
+    # Free regions by nobody.
+    platform.assign_region(3, OWNER_FREE)
+    assert not allowed(DOMAIN_UNTRUSTED, region * 3) and not allowed(eid, region * 3)
+    # Off-DRAM by nobody.
+    assert not allowed(DOMAIN_UNTRUSTED, machine.config.dram_size + 4)
+
+
+def test_sanctum_clean_region_scrubs_everything():
+    machine = _machine()
+    platform = SanctumPlatform(machine, n_regions=8)
+    eid = 0x40000
+    platform.assign_region(2, eid)
+    base, size = platform.region_range(2)
+    machine.memory.write(base, b"secret!!")
+    machine.llc.access(base, eid)
+    machine.cores[0].l1.access(base, eid)
+    machine.cores[0].tlb.insert(eid, __import__("repro.hw.paging", fromlist=["Translation"]).Translation(1, 2, True, True, True))
+    platform.clean_region(2)
+    assert machine.memory.read(base, 8) == bytes(8)
+    assert not machine.llc.probe(base)
+    assert not machine.cores[0].l1.probe(base)
+    assert len(machine.cores[0].tlb) == 0
+    assert platform.region_owner(2) == OWNER_FREE
+
+
+def test_sanctum_llc_partition_flag():
+    machine = _machine()
+    SanctumPlatform(machine, n_regions=8, llc_partitioned=True)
+    assert machine.llc.partitioned
+    machine2 = _machine()
+    SanctumPlatform(machine2, n_regions=8, llc_partitioned=False)
+    assert not machine2.llc.partitioned
+
+
+# ---------------------------------------------------------------------------
+# Keystone
+# ---------------------------------------------------------------------------
+
+def test_keystone_dynamic_regions():
+    machine = _machine()
+    platform = KeystonePlatform(machine)
+    rid = platform.create_region(0x100000, 0x100000, DOMAIN_SM)
+    assert platform.region_of(0x100000) == rid
+    assert platform.region_of(0x1FFFFF) == rid
+    assert platform.region_of(0x200000) is None
+    assert platform.region_range(rid) == (0x100000, 0x100000)
+    platform.delete_region(rid)
+    assert platform.region_of(0x100000) is None
+
+
+def test_keystone_rejects_overlap_and_out_of_range():
+    machine = _machine()
+    platform = KeystonePlatform(machine)
+    platform.create_region(0x100000, 0x100000, DOMAIN_SM)
+    with pytest.raises(ValueError):
+        platform.create_region(0x180000, 0x100000, 99)
+    with pytest.raises(ValueError):
+        platform.create_region(machine.config.dram_size - 0x1000, 0x2000, 99)
+    with pytest.raises(ValueError):
+        platform.create_region(0x300000, 0, 99)
+
+
+def test_keystone_pmp_programming_per_domain():
+    machine = _machine()
+    platform = KeystonePlatform(machine)
+    platform.create_region(0, 0x100000, DOMAIN_SM)
+    eid = 0x40000
+    rid = platform.create_region(0x200000, 0x100000, eid)
+    core = machine.cores[0]
+    core.privilege = Privilege.U
+
+    # OS context: SM and enclave regions hidden, rest open.
+    core.domain = DOMAIN_UNTRUSTED
+    platform.configure_core(core)
+    assert not platform.check_access(core, 0x1000, AccessType.LOAD)
+    assert not platform.check_access(core, 0x200000, AccessType.LOAD)
+    assert platform.check_access(core, 0x500000, AccessType.LOAD)
+
+    # Enclave context: own region visible, SM still hidden, OS open.
+    core.domain = eid
+    platform.configure_core(core)
+    assert platform.check_access(core, 0x200000, AccessType.STORE)
+    assert not platform.check_access(core, 0x1000, AccessType.LOAD)
+    assert platform.check_access(core, 0x500000, AccessType.LOAD)
+
+    # Another enclave's context cannot see this region.
+    core.domain = 0x99999
+    platform.configure_core(core)
+    assert not platform.check_access(core, 0x200000, AccessType.LOAD)
+
+
+def test_keystone_llc_unpartitioned():
+    machine = _machine()
+    KeystonePlatform(machine)
+    assert not machine.llc.partitioned
+
+
+def test_keystone_assign_region_reprograms_cores():
+    machine = _machine()
+    platform = KeystonePlatform(machine)
+    eid_a, eid_b = 0x40000, 0x50000
+    rid = platform.create_region(0x300000, 0x100000, eid_a)
+    core = machine.cores[0]
+    core.privilege = Privilege.U
+    core.domain = eid_a
+    platform.configure_core(core)
+    assert platform.check_access(core, 0x300000, AccessType.LOAD)
+    platform.assign_region(rid, eid_b)
+    # Reassignment reprogrammed PMP everywhere: eid_a loses access.
+    assert not platform.check_access(core, 0x300000, AccessType.LOAD)

@@ -1,0 +1,64 @@
+"""Platform resource limits and edge geometry."""
+
+import pytest
+
+from repro.hw.core import DOMAIN_SM
+from repro.hw.machine import Machine, MachineConfig
+from repro.platforms.keystone import KeystonePlatform
+from repro.platforms.sanctum import SanctumPlatform
+
+
+def test_keystone_pmp_slot_exhaustion_is_loud():
+    """Too many live regions for the PMP is a bring-up error, not UB."""
+    machine = Machine(MachineConfig(n_cores=1, dram_size=32 * 1024 * 1024, llc_sets=256))
+    platform = KeystonePlatform(machine)
+    created = 0
+    with pytest.raises(RuntimeError, match="PMP slots"):
+        for i in range(32):
+            platform.create_region(i * 0x100000, 0x100000, DOMAIN_SM)
+            created += 1
+    # A healthy number of regions fit before the limit.
+    assert created >= 10
+
+
+def test_keystone_region_ids_never_recycle():
+    machine = Machine(MachineConfig(n_cores=1, dram_size=32 * 1024 * 1024, llc_sets=256))
+    platform = KeystonePlatform(machine)
+    first = platform.create_region(0x100000, 0x1000, 7)
+    platform.delete_region(first)
+    second = platform.create_region(0x100000, 0x1000, 7)
+    assert second != first, "stale rids must never alias a new region"
+
+
+def test_sanctum_single_region_machine():
+    """Degenerate geometry: one region spanning all DRAM still works."""
+    machine = Machine(MachineConfig(n_cores=1, dram_size=16 * 1024 * 1024, llc_sets=256))
+    platform = SanctumPlatform(machine, n_regions=1)
+    assert platform.region_of(0) == 0
+    assert platform.region_range(0) == (0, 16 * 1024 * 1024)
+
+
+def test_sanctum_llc_partition_requires_divisibility():
+    machine = Machine(MachineConfig(n_cores=1, dram_size=16 * 1024 * 1024, llc_sets=96))
+    with pytest.raises(ValueError):
+        SanctumPlatform(machine, n_regions=64)  # 96 sets / 64 regions
+
+
+def test_paper_geometry_partition_math():
+    """64 regions × 512 LLC sets: each region owns exactly 8 sets."""
+    machine = Machine(
+        MachineConfig(n_cores=1, dram_size=2 * 1024 * 1024 * 1024, llc_sets=512)
+    )
+    platform = SanctumPlatform(machine, n_regions=64)
+    llc = machine.llc
+    owners = {}
+    for region in range(64):
+        base = region * platform.region_size
+        for offset in (0, 64, 4096, platform.region_size - 64):
+            owners.setdefault(region, set()).add(llc.set_index(base + offset))
+    all_sets = set()
+    for region, sets in owners.items():
+        assert all(llc.region_of_set(s) == region for s in sets)
+        all_sets |= sets
+    # Disjointness across regions.
+    assert len(all_sets) == sum(len(s) for s in owners.values())

@@ -1,0 +1,87 @@
+"""The attested secure channel (Fig. 7 step ⑩), host and enclave sides."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CryptoError
+from repro.sdk.channel import SEALED_LEN, SealedWord, open_word, seal_word
+from repro.sdk.protocol import ProtocolError, run_channel_exchange, run_remote_attestation
+
+KEY = b"\x42" * 32
+NONCE = b"\x07" * 8
+
+
+# ---------------------------------------------------------------------------
+# Host-side scheme
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.binary(min_size=8, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_seal_open_roundtrip(value, nonce):
+    assert open_word(KEY, seal_word(KEY, nonce, value)) == value
+
+
+def test_tampering_detected_everywhere():
+    sealed = seal_word(KEY, NONCE, 1234)
+    for index in range(SEALED_LEN):
+        raw = bytearray(sealed.to_bytes())
+        raw[index] ^= 1
+        with pytest.raises(CryptoError):
+            open_word(KEY, SealedWord.from_bytes(bytes(raw)))
+
+
+def test_wrong_key_rejected():
+    sealed = seal_word(KEY, NONCE, 1234)
+    with pytest.raises(CryptoError):
+        open_word(b"\x43" * 32, sealed)
+
+
+def test_nonce_freshness_changes_wire_bytes():
+    a = seal_word(KEY, b"\x01" * 8, 55)
+    b = seal_word(KEY, b"\x02" * 8, 55)
+    assert a.ciphertext != b.ciphertext and a.mac != b.mac
+
+
+def test_parameter_validation():
+    with pytest.raises(CryptoError):
+        seal_word(b"short", NONCE, 1)
+    with pytest.raises(CryptoError):
+        seal_word(KEY, b"short", 1)
+    with pytest.raises(CryptoError):
+        SealedWord.from_bytes(b"too short")
+
+
+# ---------------------------------------------------------------------------
+# End to end against the in-VM enclave service
+# ---------------------------------------------------------------------------
+
+def test_channel_exchange_roundtrips(any_system):
+    outcome = run_remote_attestation(any_system)
+    assert outcome.channel_ok
+    assert run_channel_exchange(any_system, outcome, 41) == 42
+    # The channel stays up for further messages, each under fresh nonces.
+    assert run_channel_exchange(any_system, outcome, 42) == 43
+    assert run_channel_exchange(any_system, outcome, 0xFFFFFFFF) == 0
+
+
+def test_channel_enclave_rejects_tampered_command(any_system):
+    outcome = run_remote_attestation(any_system)
+    sealed = seal_word(outcome.session_key, NONCE, 7)
+    raw = bytearray(sealed.to_bytes())
+    raw[-1] ^= 1  # corrupt the MAC
+    any_system.kernel.write_shared(outcome.client_page + 0x160, bytes(raw))
+    events = any_system.kernel.enter_and_run(outcome.client_eid, outcome.client_tid)
+    status = any_system.machine.memory.read_u32(outcome.client_page + 0x40)
+    assert status == 2, "the enclave must refuse a forged command"
+
+
+def test_channel_needs_the_attested_key(any_system):
+    """An OS that never learned the session key cannot speak on the channel."""
+    outcome = run_remote_attestation(any_system)
+    wrong_key = b"\x13" * 32
+    sealed = seal_word(wrong_key, NONCE, 7)
+    any_system.kernel.write_shared(outcome.client_page + 0x160, sealed.to_bytes())
+    any_system.kernel.enter_and_run(outcome.client_eid, outcome.client_tid)
+    status = any_system.machine.memory.read_u32(outcome.client_page + 0x40)
+    assert status == 2

@@ -1,0 +1,92 @@
+"""Protocol robustness: hostile OS behaviour inside the Fig.-7 script.
+
+The OS relays ids and schedules enclaves; these tests let it misbehave
+at each relay point and check that the *enclaves* (not the driver)
+catch it, reporting errors through their status words rather than
+leaking or wedging.
+"""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.sdk.measure import predict_measurement
+from repro.sdk.signing_enclave import build_signing_enclave_image
+from repro.sm.events import OsEventKind
+
+
+def _boot_signing(system):
+    kernel = system.kernel
+    page = kernel.alloc_buffer(1)
+    image = build_signing_enclave_image(page)
+    system.sm.register_signing_enclave(
+        predict_measurement(image, system.boot.sm_measurement, system.platform.name)
+    )
+    return kernel.load_enclave(image), page
+
+
+def test_signer_rejects_bogus_client_eid(any_system):
+    """The OS hands the signer a garbage client id: the accept_mail
+    ecall fails and the signer reports it, without wedging."""
+    kernel = any_system.kernel
+    signing, page = _boot_signing(any_system)
+    kernel.write_shared(page, (0xDEAD00).to_bytes(4, "little"))
+    events = kernel.enter_and_run(signing.eid, signing.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    status = kernel.machine.memory.read_u32(page + 0x40)
+    assert status == 0x100 + int(ApiResult.UNKNOWN_RESOURCE)
+
+
+def test_signer_reports_empty_mailbox(any_system):
+    """Scheduling the sign phase before any client sent mail fails
+    cleanly (MAILBOX_STATE), and the signer can be rescheduled later."""
+    from tests.conftest import trivial_enclave_image
+
+    kernel = any_system.kernel
+    signing, page = _boot_signing(any_system)
+    client = kernel.load_enclave(trivial_enclave_image())
+    kernel.write_shared(page, client.eid.to_bytes(4, "little"))
+    # Phase 0 (accept) succeeds.
+    kernel.enter_and_run(signing.eid, signing.tids[0])
+    assert kernel.machine.memory.read_u32(page + 0x40) == 1
+    # Phase 1 without any mail: the GET_MAIL ecall fails.
+    kernel.enter_and_run(signing.eid, signing.tids[0])
+    status = kernel.machine.memory.read_u32(page + 0x40)
+    assert status == 0x100 + int(ApiResult.MAILBOX_STATE)
+
+
+def test_signer_key_release_is_invisible_to_os(any_system):
+    """After the signer fetched the SM key, no OS-readable memory holds it."""
+    kernel = any_system.kernel
+    signing, page = _boot_signing(any_system)
+    kernel.write_shared(page, (0xDEAD00).to_bytes(4, "little"))
+    kernel.enter_and_run(signing.eid, signing.tids[0])  # fetches the key first
+    secret = any_system.boot.sm_secret_key
+    # Scan all untrusted memory the OS can read for the key bytes.
+    from repro.hw.core import DOMAIN_UNTRUSTED
+    from repro.sm.resources import ResourceState, ResourceType
+
+    memory = kernel.machine.memory
+    for record in any_system.sm.state.resources.all_records():
+        if record.rtype is not ResourceType.DRAM_REGION:
+            continue
+        if record.owner != DOMAIN_UNTRUSTED or record.state is not ResourceState.OWNED:
+            continue
+        base, size = any_system.platform.region_range(record.rid)
+        for frame in memory.touched_frames():
+            paddr = frame << 12
+            if base <= paddr < base + size:
+                assert secret not in memory.read(paddr, 4096), (
+                    f"SM secret key visible in untrusted frame {paddr:#x}"
+                )
+
+
+def test_driver_detects_wedged_protocol(any_system):
+    """A client that never produces status=1 surfaces as ProtocolError."""
+    from repro import image_from_assembly
+    from repro.sdk.protocol import ProtocolError, run_remote_attestation
+
+    broken_client = image_from_assembly(
+        "entry:\n    li a0, 0\n    ecall\n"  # exits without doing anything
+    )
+    with pytest.raises(ProtocolError):
+        run_remote_attestation(any_system, client_image=broken_client)

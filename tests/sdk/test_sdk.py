@@ -1,0 +1,226 @@
+"""SDK: runtime wrapper, ecall stubs, and the attestation protocol."""
+
+import pytest
+
+from repro import image_from_assembly
+from repro.hw.asm import assemble
+from repro.sdk import ecall
+from repro.sdk.measure import predict_measurement
+from repro.sdk.local_attestation import run_local_attestation
+from repro.sdk.protocol import ProtocolError, run_remote_attestation
+from repro.sdk.runtime import exit_sequence, with_runtime
+from repro.sm.events import OsEventKind
+
+
+# ---------------------------------------------------------------------------
+# Runtime / ecall stubs assemble and behave
+# ---------------------------------------------------------------------------
+
+def test_with_runtime_defines_start():
+    source = with_runtime("main:\n    halt\n")
+    image = assemble(source)
+    assert image.symbol("_start") == 0
+    assert image.symbol("main") > 0
+
+
+def test_without_resume_skips_prologue():
+    source = with_runtime("main:\n    halt\n", resume_on_aex=False)
+    assert "RESUME_FROM_AEX" not in source
+
+
+def test_all_stubs_assemble():
+    source = "\n".join(
+        [
+            "start:",
+            ecall.get_random("buf", 16),
+            ecall.accept_mail(0, "0x40000"),
+            ecall.accept_mail(1, "gp"),
+            ecall.send_mail("0x40000", "buf", 16),
+            ecall.send_mail("gp", "buf", 8),
+            ecall.get_mail(0, "buf", "buf"),
+            ecall.get_field(1, "buf"),
+            ecall.get_self_measurement("buf"),
+            ecall.get_attestation_key("buf"),
+            ecall.block_resource(1, "2"),
+            ecall.accept_resource(2, "t0"),
+            ecall.fault_return(),
+            ecall.resume_from_aex(),
+            ecall.exit_enclave(),
+            "buf:",
+            "    .zero 64",
+        ]
+    )
+    assemble(source)
+
+
+def test_memcpy_generates_unique_labels():
+    source = "start:\n" + ecall.memcpy("a", "b", 8) + ecall.memcpy("a", "b", 8)
+    source += "a:\n    .zero 8\nb:\n    .zero 8\n    halt\n"
+    assemble(source)  # duplicate labels would raise
+
+
+def test_runtime_ignores_stale_aex_flag(any_system):
+    """A program built without resume restarts cleanly after AEX."""
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = with_runtime(
+        f"""
+main:
+    lw   t0, {out}(zero)
+    addi t0, t0, 1
+    sw   t0, {out}(zero)
+{exit_sequence()}""",
+        resume_on_aex=False,
+    )
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(out) == 1
+
+
+# ---------------------------------------------------------------------------
+# In-VM ecall behaviour
+# ---------------------------------------------------------------------------
+
+def test_get_random_and_self_measurement_in_vm(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   a0, 5                      # GET_RANDOM
+    li   a1, rand_buf
+    li   a2, 16
+    ecall
+    li   a0, 11                     # GET_SELF_MEASUREMENT
+    li   a1, meas_buf
+    ecall
+    li   t0, 0
+export:
+    li   t1, rand_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {out}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 80
+    bltu t0, t1, export
+    li   a0, 0
+    ecall
+    .align 8
+rand_buf:
+    .zero 16
+meas_buf:
+    .zero 64
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    random_bytes = kernel.read_shared(out, 16)
+    measurement = kernel.read_shared(out + 16, 64)
+    assert random_bytes != bytes(16)
+    assert measurement == any_system.sm.enclave_measurement(loaded.eid)
+
+
+def test_bad_ecall_number_returns_invalid(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   a0, 999
+    ecall
+    sw   a0, {out}(zero)
+    li   a0, 0
+    ecall
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    from repro.errors import ApiResult
+
+    assert kernel.machine.memory.read_u32(out) == ApiResult.INVALID_VALUE
+
+
+def test_ecall_buffer_outside_evrange_rejected(any_system):
+    """SM never dereferences OS-translated pointers for an enclave."""
+    kernel = any_system.kernel
+    shared = kernel.alloc_buffer(1)
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   a0, 5                      # GET_RANDOM into *shared* memory
+    li   a1, {shared}
+    li   a2, 8
+    ecall
+    sw   a0, {out}(zero)
+    li   a0, 0
+    ecall
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    from repro.errors import ApiResult
+
+    assert kernel.machine.memory.read_u32(out) == ApiResult.INVALID_VALUE
+    assert kernel.read_shared(shared, 8) == bytes(8)
+
+
+# ---------------------------------------------------------------------------
+# Protocols end to end
+# ---------------------------------------------------------------------------
+
+def test_local_attestation_fig6(any_system):
+    outcome = run_local_attestation(any_system, message=b"attest me")
+    assert outcome.authenticated
+    assert outcome.message_received == b"attest me"
+
+
+def test_local_attestation_detects_impostor_sender(any_system):
+    """A different sender binary yields a different recorded measurement."""
+    outcome = run_local_attestation(any_system, message=b"x" * 31)
+    # Same flow, but the expected constant belongs to another program.
+    other = run_local_attestation(any_system, message=b"y" * 32)
+    assert outcome.recorded_sender_measurement != other.recorded_sender_measurement
+
+
+def test_remote_attestation_fig7(any_system):
+    outcome = run_remote_attestation(any_system)
+    assert outcome.verification.ok, outcome.verification.reason
+    assert outcome.channel_ok
+    assert set(outcome.phase_cycles) == {
+        "signing_setup",
+        "client_request",
+        "signing_sign",
+        "client_report",
+    }
+
+
+def test_one_signer_attests_many_clients(any_system):
+    """The signing enclave's phase loop serves session after session."""
+    first = run_remote_attestation(any_system)
+    second = run_remote_attestation(any_system, reuse_signing=first)
+    third = run_remote_attestation(any_system, reuse_signing=first)
+    for outcome in (first, second, third):
+        assert outcome.verification.ok and outcome.channel_ok
+    assert second.signing_eid == first.signing_eid == third.signing_eid
+    assert len({first.client_eid, second.client_eid, third.client_eid}) == 3
+    assert len({first.session_key, second.session_key, third.session_key}) == 3
+
+
+def test_remote_attestation_rejects_stale_nonce(any_system):
+    outcome = run_remote_attestation(any_system)
+    from repro.sm.attestation import verify_attestation
+
+    result = verify_attestation(
+        outcome.report, any_system.root_public_key, expected_nonce=b"\x00" * 32
+    )
+    assert not result.ok
+
+
+def test_prediction_used_by_verifier_matches(any_system):
+    from repro.sdk.attestation_client import build_attestation_client_image
+
+    page = any_system.kernel.alloc_buffer(1)
+    image = build_attestation_client_image(page)
+    predicted = predict_measurement(
+        image, any_system.boot.sm_measurement, any_system.platform.name
+    )
+    loaded = any_system.kernel.load_enclave(image)
+    assert any_system.sm.enclave_measurement(loaded.eid) == predicted

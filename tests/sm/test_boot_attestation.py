@@ -1,0 +1,185 @@
+"""Secure boot (§IV-A) and the attestation verifier (§VI-C)."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.cert import Certificate, verify_chain
+from repro.crypto.ed25519 import ed25519_sign, ed25519_verify
+from repro.sm.attestation import (
+    AttestationReport,
+    attestation_message,
+    verify_attestation,
+)
+from repro.sm.boot import (
+    measure_sm_image,
+    provision_device,
+    secure_boot,
+    sm_image_bytes,
+)
+from repro.util.rng import DeterministicTRNG
+
+
+@pytest.fixture
+def boot_pair():
+    provisioning = provision_device(DeterministicTRNG(1))
+    return provisioning, secure_boot(provisioning, sm_image=b"the-sm-binary")
+
+
+# ---------------------------------------------------------------------------
+# Secure boot
+# ---------------------------------------------------------------------------
+
+def test_keys_deterministic_in_device_and_image(boot_pair):
+    provisioning, boot = boot_pair
+    again = secure_boot(provisioning, sm_image=b"the-sm-binary")
+    assert again.sm_secret_key == boot.sm_secret_key
+    assert again.sm_public_key == boot.sm_public_key
+
+
+def test_different_sm_image_different_keys(boot_pair):
+    provisioning, boot = boot_pair
+    patched = secure_boot(provisioning, sm_image=b"the-sm-binary-v2")
+    assert patched.sm_measurement != boot.sm_measurement
+    assert patched.sm_secret_key != boot.sm_secret_key, (
+        "a patched SM cannot impersonate the measured one"
+    )
+
+
+def test_different_device_different_keys():
+    a = secure_boot(provision_device(DeterministicTRNG(1)), sm_image=b"sm")
+    b = secure_boot(provision_device(DeterministicTRNG(2)), sm_image=b"sm")
+    assert a.sm_secret_key != b.sm_secret_key
+
+
+def test_certificate_chain_roots_in_manufacturer(boot_pair):
+    provisioning, boot = boot_pair
+    leaf = verify_chain(
+        [boot.device_certificate, boot.sm_certificate], provisioning.root_public
+    )
+    assert leaf.subject == "sm"
+    assert leaf.subject_key == boot.sm_public_key
+    assert leaf.measurement == boot.sm_measurement
+
+
+def test_sm_image_bytes_is_the_actual_source():
+    image = sm_image_bytes()
+    assert b"api.py" in image and b"class SecurityMonitor" in image
+    assert measure_sm_image(image) == measure_sm_image(sm_image_bytes())
+
+
+# ---------------------------------------------------------------------------
+# The attestation verifier
+# ---------------------------------------------------------------------------
+
+def _report(boot, nonce=b"\x07" * 32, measurement=b"\x42" * 64, signature=None):
+    if signature is None:
+        signature = ed25519_sign(
+            boot.sm_secret_key, attestation_message(nonce, measurement)
+        )
+    return AttestationReport(
+        nonce=nonce,
+        enclave_measurement=measurement,
+        signature=signature,
+        sm_certificate=boot.sm_certificate,
+        device_certificate=boot.device_certificate,
+    )
+
+
+def test_valid_report_verifies(boot_pair):
+    provisioning, boot = boot_pair
+    report = _report(boot)
+    result = verify_attestation(
+        report,
+        provisioning.root_public,
+        expected_nonce=b"\x07" * 32,
+        expected_enclave_measurement=b"\x42" * 64,
+        expected_sm_measurement=boot.sm_measurement,
+    )
+    assert result.ok, result.reason
+    assert result.sm_measurement == boot.sm_measurement
+
+
+def test_wrong_nonce_rejected(boot_pair):
+    provisioning, boot = boot_pair
+    result = verify_attestation(_report(boot), provisioning.root_public, b"\x08" * 32)
+    assert not result.ok and "nonce" in result.reason
+
+
+def test_wrong_enclave_measurement_rejected(boot_pair):
+    provisioning, boot = boot_pair
+    result = verify_attestation(
+        _report(boot),
+        provisioning.root_public,
+        b"\x07" * 32,
+        expected_enclave_measurement=b"\x43" * 64,
+    )
+    assert not result.ok and "enclave measurement" in result.reason
+
+
+def test_tampered_signature_rejected(boot_pair):
+    provisioning, boot = boot_pair
+    bad = bytearray(_report(boot).signature)
+    bad[0] ^= 1
+    result = verify_attestation(
+        _report(boot, signature=bytes(bad)), provisioning.root_public, b"\x07" * 32
+    )
+    assert not result.ok and "signature" in result.reason
+
+
+def test_wrong_root_rejected(boot_pair):
+    __, boot = boot_pair
+    other = provision_device(DeterministicTRNG(99))
+    result = verify_attestation(_report(boot), other.root_public, b"\x07" * 32)
+    assert not result.ok and "chain" in result.reason
+
+
+def test_foreign_sm_key_rejected(boot_pair):
+    """A signature by a *different* (even honestly booted) SM fails."""
+    provisioning, boot = boot_pair
+    rogue_boot = secure_boot(provisioning, sm_image=b"rogue-sm")
+    nonce, measurement = b"\x07" * 32, b"\x42" * 64
+    signature = ed25519_sign(
+        rogue_boot.sm_secret_key, attestation_message(nonce, measurement)
+    )
+    # Present the rogue signature under the genuine SM's certificate.
+    result = verify_attestation(
+        _report(boot, signature=signature), provisioning.root_public, nonce
+    )
+    assert not result.ok
+
+
+def test_sm_measurement_pinning(boot_pair):
+    """A verifier pinning a specific SM build rejects other builds."""
+    provisioning, boot = boot_pair
+    rogue_boot = secure_boot(provisioning, sm_image=b"rogue-sm")
+    report = _report(rogue_boot)
+    result = verify_attestation(
+        report,
+        provisioning.root_public,
+        b"\x07" * 32,
+        expected_sm_measurement=boot.sm_measurement,
+    )
+    assert not result.ok and "SM measurement" in result.reason
+
+
+def test_report_serialization_roundtrip(boot_pair):
+    __, boot = boot_pair
+    report = _report(boot)
+    assert AttestationReport.from_bytes(report.to_bytes()) == report
+
+
+def test_report_parsing_rejects_malformed(boot_pair):
+    __, boot = boot_pair
+    data = _report(boot).to_bytes()
+    with pytest.raises(ValueError):
+        AttestationReport.from_bytes(data[:-1])
+    with pytest.raises(ValueError):
+        AttestationReport.from_bytes(data + b"\x00")
+
+
+def test_attestation_message_validates_sizes():
+    with pytest.raises(ValueError):
+        attestation_message(b"short", b"\x00" * 64)
+    with pytest.raises(ValueError):
+        attestation_message(b"\x00" * 32, b"short")

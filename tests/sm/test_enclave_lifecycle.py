@@ -1,0 +1,243 @@
+"""Enclave lifecycle (Fig. 3) and the §VI-A loading discipline."""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.sm.enclave import EnclaveState
+from repro.sm.resources import ResourceState, ResourceType
+from tests.conftest import trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+RWX = PTE_R | PTE_W | PTE_X
+
+
+def _fresh_enclave(system, evrange=(0x40000000, 0x100000), mailboxes=1):
+    """create_enclave + one donated region; returns (eid, region_base)."""
+    sm = system.sm
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, evrange[0], evrange[1], mailboxes) is ApiResult.OK
+    base, _, _ = system.kernel.donate_memory(eid, 16 * PAGE_SIZE)
+    return eid, base
+
+
+# ---------------------------------------------------------------------------
+# create_enclave validation
+# ---------------------------------------------------------------------------
+
+def test_create_rejects_metadata_outside_sm_memory(any_system):
+    sm = any_system.sm
+    os_frame = any_system.kernel.alloc_frame() << PAGE_SHIFT
+    assert sm.create_enclave(OS, os_frame, 0x40000000, PAGE_SIZE, 1) is ApiResult.INVALID_VALUE
+
+
+def test_create_rejects_unaligned_or_empty_evrange(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, 0x40000100, PAGE_SIZE, 1) is ApiResult.INVALID_VALUE
+    assert sm.create_enclave(OS, eid, 0x40000000, 0, 1) is ApiResult.INVALID_VALUE
+    assert sm.create_enclave(OS, eid, 0x40000000, 100, 1) is ApiResult.INVALID_VALUE
+    assert sm.create_enclave(OS, eid, 0xFFFFF000, 2 * PAGE_SIZE, 1) is ApiResult.INVALID_VALUE
+
+
+def test_create_rejects_bad_mailbox_count(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(16384)
+    assert sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 0) is ApiResult.INVALID_VALUE
+    assert sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 17) is ApiResult.INVALID_VALUE
+
+
+def test_create_rejects_duplicate_eid(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 1) is ApiResult.OK
+    assert sm.create_enclave(OS, eid, 0x50000000, PAGE_SIZE, 1) is ApiResult.INVALID_VALUE
+
+
+def test_create_rejects_overlapping_metadata(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 1) is ApiResult.OK
+    assert (
+        sm.create_enclave(OS, eid + 64, 0x50000000, PAGE_SIZE, 1)
+        is ApiResult.INVALID_VALUE
+    )
+
+
+def test_only_os_may_create(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(12345, eid, 0x40000000, PAGE_SIZE, 1) is ApiResult.PROHIBITED
+
+
+# ---------------------------------------------------------------------------
+# Loading discipline (§VI-A)
+# ---------------------------------------------------------------------------
+
+def test_root_page_table_must_come_first(any_system):
+    sm = any_system.sm
+    eid, base = _fresh_enclave(any_system)
+    # level-0 before root: refused.
+    assert (
+        sm.allocate_page_table(OS, eid, 0x40000000, 0, base) is ApiResult.INVALID_STATE
+    )
+    assert sm.allocate_page_table(OS, eid, 0, 1, base) is ApiResult.OK
+    # second root: refused.
+    assert (
+        sm.allocate_page_table(OS, eid, 0, 1, base + PAGE_SIZE) is ApiResult.INVALID_STATE
+    )
+
+
+def test_pages_must_ascend_physically(any_system):
+    sm = any_system.sm
+    eid, base = _fresh_enclave(any_system)
+    assert sm.allocate_page_table(OS, eid, 0, 1, base + PAGE_SIZE) is ApiResult.OK
+    # Reusing a lower physical page violates the monotonic-load rule.
+    assert sm.allocate_page_table(OS, eid, 0x40000000, 0, base) is ApiResult.INVALID_VALUE
+
+
+def test_page_tables_before_data(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    eid, base = _fresh_enclave(any_system)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    assert sm.allocate_page_table(OS, eid, 0, 1, base) is ApiResult.OK
+    assert sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE) is ApiResult.OK
+    assert (
+        sm.load_page(OS, eid, 0x40000000, base + 2 * PAGE_SIZE, staging, RWX)
+        is ApiResult.OK
+    )
+    # Another page table after data started: refused.
+    assert (
+        sm.allocate_page_table(OS, eid, 0x40400000, 0, base + 3 * PAGE_SIZE)
+        is ApiResult.INVALID_STATE
+    )
+
+
+def test_no_virtual_aliasing(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    eid, base = _fresh_enclave(any_system)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    sm.allocate_page_table(OS, eid, 0, 1, base)
+    sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+    assert sm.load_page(OS, eid, 0x40000000, base + 2 * PAGE_SIZE, staging, RWX) is ApiResult.OK
+    # Same vaddr again (different physical page): refused.
+    assert (
+        sm.load_page(OS, eid, 0x40000000, base + 3 * PAGE_SIZE, staging, RWX)
+        is ApiResult.INVALID_STATE
+    )
+
+
+def test_load_page_requires_enclave_owned_target(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    eid, base = _fresh_enclave(any_system)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    sm.allocate_page_table(OS, eid, 0, 1, base)
+    sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+    os_frame = kernel.alloc_frame() << PAGE_SHIFT
+    assert sm.load_page(OS, eid, 0x40000000, os_frame, staging, RWX) in (
+        ApiResult.PROHIBITED,
+        ApiResult.INVALID_VALUE,
+    )
+
+
+def test_load_page_requires_untrusted_source(any_system):
+    sm = any_system.sm
+    eid, base = _fresh_enclave(any_system)
+    sm.allocate_page_table(OS, eid, 0, 1, base)
+    sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+    # Source inside the enclave's own (non-untrusted) region: refused.
+    assert (
+        sm.load_page(OS, eid, 0x40000000, base + 2 * PAGE_SIZE, base, RWX)
+        is ApiResult.INVALID_VALUE
+    )
+
+
+def test_load_page_validates_acl_and_evrange(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    eid, base = _fresh_enclave(any_system)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    sm.allocate_page_table(OS, eid, 0, 1, base)
+    sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+    target = base + 2 * PAGE_SIZE
+    assert sm.load_page(OS, eid, 0x40000000, target, staging, 0) is ApiResult.INVALID_VALUE
+    assert sm.load_page(OS, eid, 0x40000000, target, staging, 0xFF) is ApiResult.INVALID_VALUE
+    assert sm.load_page(OS, eid, 0x7000000, target, staging, RWX) is ApiResult.INVALID_VALUE
+
+
+# ---------------------------------------------------------------------------
+# init / seal / delete
+# ---------------------------------------------------------------------------
+
+def test_init_requires_root_table(any_system):
+    sm = any_system.sm
+    eid, __ = _fresh_enclave(any_system)
+    assert sm.init_enclave(OS, eid) is ApiResult.INVALID_STATE
+
+
+def test_init_seals_against_further_loading(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    eid, base = _fresh_enclave(any_system)
+    staging = kernel.alloc_frame() << PAGE_SHIFT
+    sm.allocate_page_table(OS, eid, 0, 1, base)
+    sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+    assert sm.init_enclave(OS, eid) is ApiResult.OK
+    assert sm.state.enclave(eid).state is EnclaveState.INITIALIZED
+    assert len(sm.state.enclave(eid).measurement) == 64
+    assert (
+        sm.load_page(OS, eid, 0x40001000, base + 2 * PAGE_SIZE, staging, RWX)
+        is ApiResult.INVALID_STATE
+    )
+    assert sm.init_enclave(OS, eid) is ApiResult.INVALID_STATE
+    assert (
+        sm.create_thread(OS, eid, sm.state.suggest_metadata(512), 0x40000000, 0)
+        is ApiResult.INVALID_STATE
+    )
+
+
+def test_delete_blocks_all_resources(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    assert sm.delete_enclave(OS, loaded.eid) is ApiResult.OK
+    assert sm.state.enclave(loaded.eid) is None
+    for rid in loaded.rids:
+        record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+        assert record.state is ResourceState.BLOCKED
+    # Blocked region cannot be granted without cleaning.
+    assert (
+        sm.grant_resource(OS, ResourceType.DRAM_REGION, loaded.rids[0], OS)
+        is ApiResult.INVALID_STATE
+    )
+
+
+def test_delete_refused_while_scheduled(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    # An enclave that spins forever (we never run it to completion).
+    from repro import image_from_assembly
+
+    loaded = kernel.load_enclave(image_from_assembly("loop: jal zero, loop"))
+    assert sm.enter_enclave(OS, loaded.eid, loaded.tids[0], 0) is ApiResult.OK
+    assert sm.delete_enclave(OS, loaded.eid) is ApiResult.INVALID_STATE
+    # Force it off the core via an interrupt-induced AEX; then delete.
+    kernel.machine.interrupts.send_ipi(0)
+    kernel.machine.run_core(0, 100)
+    sm.os_events.drain(0)
+    assert sm.delete_enclave(OS, loaded.eid) is ApiResult.OK
+
+
+def test_enclave_memory_scrubbed_after_clean(any_system):
+    kernel = any_system.kernel
+    sm = any_system.sm
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    base = loaded.region_base
+    assert kernel.machine.memory.read(base, PAGE_SIZE) != bytes(PAGE_SIZE)
+    kernel.destroy_enclave(loaded.eid)
+    assert kernel.machine.memory.read(base, PAGE_SIZE) == bytes(PAGE_SIZE)

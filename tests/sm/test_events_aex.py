@@ -1,0 +1,192 @@
+"""Event interposition, AEX, fault handlers (Fig. 1, §V-C)."""
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.isa import NUM_REGS, Reg
+from repro.hw.traps import TrapCause
+from repro.sdk.runtime import exit_sequence, with_runtime
+from repro.sm.events import OsEventKind
+from repro.sm.thread import ThreadState
+
+OS = DOMAIN_UNTRUSTED
+
+
+def _spin_image():
+    return image_from_assembly("entry:\nloop:\n    addi t0, t0, 1\n    jal zero, loop\n")
+
+
+def test_interrupt_forces_aex_with_clean_core(any_system):
+    kernel = any_system.kernel
+    sm = any_system.sm
+    loaded = kernel.load_enclave(_spin_image())
+    core = kernel.machine.cores[0]
+    assert sm.enter_enclave(OS, loaded.eid, loaded.tids[0], 0) is ApiResult.OK
+    kernel.machine.interrupts.arm_timer(0, core.cycles + 200)
+    kernel.machine.run_core(0, 10_000)
+    events = sm.os_events.drain(0)
+    assert events and events[0].kind is OsEventKind.AEX
+    assert events[0].cause is TrapCause.TIMER_INTERRUPT
+    # §V-C: core state is cleaned before the OS sees the core.
+    assert core.regs == [0] * NUM_REGS
+    assert core.domain == OS and core.halted
+    assert len(core.tlb) == 0
+    # The thread remembers it was interrupted.
+    thread = sm.state.thread(loaded.tids[0])
+    assert thread.aex_present and thread.state is ThreadState.ASSIGNED
+    assert thread.aex_state.regs[int(Reg.T0)] > 0, "progress was saved, not lost"
+
+
+def test_resume_from_aex_continues_computation(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = with_runtime(
+        f"""
+main:
+    li   t0, 0
+    li   t1, 30000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    sw   t1, {out}(zero)
+{exit_sequence()}"""
+    )
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    core = kernel.machine.cores[0]
+    interrupts = 0
+    finished = False
+    for _ in range(100):
+        kernel.machine.interrupts.arm_timer(0, core.cycles + 3000)
+        events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        if any(e.kind is OsEventKind.ENCLAVE_EXIT for e in events):
+            finished = True
+            break
+        interrupts += 1
+    assert finished and interrupts >= 2
+    assert kernel.machine.memory.read_u32(out) == 30000
+    kernel.machine.interrupts.clear(0)
+
+
+def test_aex_hides_private_fault_address(any_system):
+    """Controlled-channel defence: evrange fault addresses stay hidden."""
+    kernel = any_system.kernel
+    # Touch an unmapped enclave-virtual address (no fault handler).
+    loaded = kernel.load_enclave(
+        image_from_assembly("entry:\n    lw a5, 0x400F0000(zero)\n    halt\n",
+                            evrange_base=0x40000000, evrange_size=0x10000000)
+    )
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.AEX
+    assert events[0].cause is TrapCause.PAGE_FAULT_LOAD
+    assert events[0].tval == 0, "fault address inside evrange must be withheld"
+
+
+def test_aex_reveals_shared_fault_address(any_system):
+    """Faults on OS-managed memory carry the address (OS must page it)."""
+    kernel = any_system.kernel
+    probe = kernel.alloc_buffer(1)
+    kernel.page_tables.unmap_page(probe)
+    for core in kernel.machine.cores:
+        core.tlb.flush_all()
+    loaded = kernel.load_enclave(
+        image_from_assembly(f"entry:\n    lw a5, {probe}(zero)\n    halt\n")
+    )
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.AEX
+    assert events[0].tval == probe
+
+
+def test_enclave_fault_handler_receives_private_faults(any_system):
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    lw   a5, 0x40F00000(zero)       # unmapped, inside evrange
+    halt
+handler:
+    sw   a1, {out}(zero)            # export the fault address we saw
+    li   a0, 0                      # then exit cleanly
+    ecall
+"""
+    loaded = kernel.load_enclave(
+        image_from_assembly(
+            source,
+            evrange_base=0x40000000,
+            evrange_size=0x10000000,
+            fault_symbol="handler",
+        )
+    )
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT, (
+        "the fault went to the enclave's handler, never to the OS"
+    )
+    assert kernel.machine.memory.read_u32(out) == 0x40F00000
+
+
+def test_fault_return_restores_state_and_reexecutes(any_system):
+    """FAULT_RETURN restores the interrupted registers and re-runs the access.
+
+    The handler records the register file it observes (which must be the
+    faulting context's, untouched), then FAULT_RETURNs.  The re-executed
+    load faults again; a private flag makes the handler exit the second
+    time — proving both re-execution and state restoration.
+    """
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   t2, 1234
+    lw   a5, 0x40F00000(zero)
+    halt
+handler:
+    li   t0, flag
+    lw   t1, 0(t0)
+    bne  t1, zero, give_up
+    li   t1, 1
+    sw   t1, 0(t0)
+    sw   t2, {out}(zero)            # t2 must still be the faulter's 1234
+    li   a0, 10                     # FAULT_RETURN: restore + re-execute
+    ecall
+    halt
+give_up:
+    li   a0, 0                      # second fault: exit cleanly
+    ecall
+    .align 8
+flag:
+    .word 0
+"""
+    loaded = kernel.load_enclave(
+        image_from_assembly(
+            source,
+            evrange_base=0x40000000,
+            evrange_size=0x10000000,
+            fault_symbol="handler",
+        )
+    )
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0], max_steps=2000)
+    assert events and events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert kernel.machine.memory.read_u32(out) == 1234
+
+
+def test_untrusted_ecall_is_delegated_as_syscall(any_system):
+    kernel = any_system.kernel
+    core, events = kernel.run_user_program("li a0, 77\necall\nhalt\n")
+    assert events and events[0].kind is OsEventKind.SYSCALL
+    assert core.read_reg(Reg.A0) == 77, "registers are preserved for the OS"
+
+
+def test_untrusted_fault_is_delegated_with_address(any_system):
+    kernel = any_system.kernel
+    target = any_system.sm.state.metadata_arenas[0].base
+    __, events = kernel.run_user_program(f"lw a0, {target}(zero)\nhalt\n")
+    assert events[0].kind is OsEventKind.FAULT
+    assert events[0].cause is TrapCause.ACCESS_FAULT_LOAD
+    assert events[0].tval == target
+
+
+def test_exit_enclave_event_identifies_thread(any_system):
+    kernel = any_system.kernel
+    loaded = kernel.load_enclave(image_from_assembly("entry:\n    li a0, 0\n    ecall\n"))
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    assert events[0].eid == loaded.eid and events[0].tid == loaded.tids[0]

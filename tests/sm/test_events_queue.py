@@ -1,0 +1,56 @@
+"""The delegated-event queue and trap-classification helpers."""
+
+from repro.hw.traps import Trap, TrapCause
+from repro.sm.events import (
+    OsEvent,
+    OsEventKind,
+    OsEventQueue,
+    fault_is_enclave_handled,
+)
+
+
+def test_queue_fifo_per_core():
+    queue = OsEventQueue(2)
+    queue.post(OsEvent(0, OsEventKind.AEX))
+    queue.post(OsEvent(0, OsEventKind.ENCLAVE_EXIT))
+    queue.post(OsEvent(1, OsEventKind.SYSCALL))
+    assert queue.pending(0) == 2 and queue.pending(1) == 1
+    assert queue.take(0).kind is OsEventKind.AEX
+    assert queue.take(0).kind is OsEventKind.ENCLAVE_EXIT
+    assert queue.take(0) is None
+    assert queue.take(1).kind is OsEventKind.SYSCALL
+
+
+def test_queue_drain():
+    queue = OsEventQueue(1)
+    for __ in range(3):
+        queue.post(OsEvent(0, OsEventKind.INTERRUPT))
+    drained = queue.drain(0)
+    assert len(drained) == 3 and queue.pending(0) == 0
+
+
+def test_fault_routing_decision_table():
+    evrange = (0x40000000, 0x1000)
+    inside = Trap(TrapCause.PAGE_FAULT_LOAD, tval=0x40000800)
+    outside = Trap(TrapCause.PAGE_FAULT_LOAD, tval=0x100)
+    interrupt = Trap(TrapCause.TIMER_INTERRUPT)
+    access = Trap(TrapCause.ACCESS_FAULT_LOAD, tval=0x40000800)
+
+    # Enclave-handled: page fault, inside evrange, handler installed.
+    assert fault_is_enclave_handled(inside, evrange, has_handler=True)
+    # No handler -> AEX.
+    assert not fault_is_enclave_handled(inside, evrange, has_handler=False)
+    # Outside evrange -> OS business.
+    assert not fault_is_enclave_handled(outside, evrange, has_handler=True)
+    # Non-page-fault causes always delegate.
+    assert not fault_is_enclave_handled(interrupt, evrange, has_handler=True)
+    assert not fault_is_enclave_handled(access, evrange, has_handler=True)
+
+
+def test_trap_cause_taxonomy():
+    assert TrapCause.TIMER_INTERRUPT.is_interrupt
+    assert not TrapCause.ECALL_FROM_U.is_interrupt
+    assert TrapCause.ECALL_FROM_U.is_ecall and TrapCause.ECALL_FROM_S.is_ecall
+    assert TrapCause.PAGE_FAULT_STORE.is_page_fault
+    assert not TrapCause.ACCESS_FAULT_STORE.is_page_fault
+    assert "page_fault_store" in str(Trap(TrapCause.PAGE_FAULT_STORE, tval=4, pc=8))

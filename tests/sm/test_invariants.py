@@ -1,0 +1,92 @@
+"""The invariant checker: holds on healthy systems, trips on corruption."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
+from repro.sm.invariants import (
+    check_all,
+    check_dma_exclusion,
+    check_enclave_page_injectivity,
+    check_lock_quiescence,
+    check_measurement_discipline,
+    check_metadata_in_sm_memory,
+    check_region_ownership,
+    check_scheduling_consistency,
+)
+from tests.conftest import trivial_enclave_image
+
+
+def test_fresh_system_satisfies_all(any_system):
+    check_all(any_system.sm)
+
+
+def test_loaded_system_satisfies_all(any_system):
+    any_system.kernel.load_enclave(trivial_enclave_image())
+    check_all(any_system.sm)
+
+
+def test_detects_hardware_map_divergence(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    # Corrupt: hardware says the OS owns the enclave's region.
+    any_system.platform.assign_region(loaded.rids[0], DOMAIN_UNTRUSTED)
+    with pytest.raises(InvariantViolation, match="region_ownership"):
+        check_region_ownership(any_system.sm)
+
+
+def test_detects_page_aliasing(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    enclave = any_system.sm.state.enclave(loaded.eid)
+    vpns = sorted(enclave.vpn_to_ppn)
+    enclave.vpn_to_ppn[vpns[0]] = enclave.vpn_to_ppn[vpns[1]]
+    with pytest.raises(InvariantViolation, match="page_injectivity"):
+        check_enclave_page_injectivity(any_system.sm)
+
+
+def test_detects_unowned_enclave_page(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    enclave = any_system.sm.state.enclave(loaded.eid)
+    os_frame = any_system.kernel.alloc_frame()
+    enclave.vpn_to_ppn[0x99999] = os_frame
+    with pytest.raises(InvariantViolation, match="page_injectivity"):
+        check_enclave_page_injectivity(any_system.sm)
+
+
+def test_detects_missing_measurement(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    any_system.sm.state.enclave(loaded.eid).measurement = b""
+    with pytest.raises(InvariantViolation, match="measurement_discipline"):
+        check_measurement_discipline(any_system.sm)
+
+
+def test_detects_scheduling_skew(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    any_system.sm.state.enclave(loaded.eid).scheduled_threads = 3
+    with pytest.raises(InvariantViolation, match="scheduling"):
+        check_scheduling_consistency(any_system.sm)
+
+
+def test_detects_dma_hole(any_system):
+    from repro.hw.dma import DmaRange
+
+    any_system.kernel.load_enclave(trivial_enclave_image())
+    any_system.machine.dma_filter.set_ranges(
+        [DmaRange(0, any_system.machine.config.dram_size)]
+    )
+    with pytest.raises(InvariantViolation, match="dma_exclusion"):
+        check_dma_exclusion(any_system.sm)
+
+
+def test_detects_metadata_overlap(any_system):
+    arena = any_system.sm.state.metadata_arenas[0]
+    arena.claims[arena.base] = 256
+    arena.claims[arena.base + 128] = 256
+    with pytest.raises(InvariantViolation, match="metadata_in_sm_memory"):
+        check_metadata_in_sm_memory(any_system.sm)
+
+
+def test_detects_stuck_lock(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    any_system.sm.state.enclave(loaded.eid).lock.acquire("stuck")
+    with pytest.raises(InvariantViolation, match="lock_quiescence"):
+        check_lock_quiescence(any_system.sm)

@@ -1,0 +1,88 @@
+"""Large enclaves: multiple level-0 tables, multi-region spans."""
+
+import pytest
+
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.kernel.loader import EnclaveImage, EnclaveSegment, L0_SPAN
+from repro.sm.events import OsEventKind
+from repro.sm.invariants import check_all
+from repro.sdk.measure import predict_measurement
+
+RWX = PTE_R | PTE_W | PTE_X
+
+
+def _spanning_image():
+    """Code in one 4 MB block, data in the next — two L0 tables."""
+    base = 0x40000000
+    data_vaddr = base + L0_SPAN  # next level-0 block
+    code = f"""
+entry:
+    li   t0, {data_vaddr}
+    lw   t1, 0(t0)                  # read the far data page
+    li   t2, 0x40404040
+    bne  t1, t2, bad
+    li   a0, 0
+    ecall
+bad:
+    halt
+"""
+    from repro.hw.asm import assemble
+
+    assembled = assemble(code, base=base)
+    return EnclaveImage(
+        evrange_base=base,
+        evrange_size=2 * L0_SPAN,
+        segments=(
+            EnclaveSegment(base, assembled.data, RWX),
+            EnclaveSegment(data_vaddr, b"\x40" * 16, PTE_R | PTE_W),
+        ),
+        entry_pc=base,
+        entry_sp=0,
+    )
+
+
+def test_enclave_spanning_two_l0_blocks(any_system):
+    image = _spanning_image()
+    assert len(image.l0_blocks()) == 2
+    loaded = any_system.kernel.load_enclave(image)
+    events = any_system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT, (
+        "the far load must hit the second-level table, not fault"
+    )
+    check_all(any_system.sm)
+
+
+def test_spanning_measurement_predicted(any_system):
+    image = _spanning_image()
+    predicted = predict_measurement(
+        image, any_system.boot.sm_measurement, any_system.platform.name
+    )
+    loaded = any_system.kernel.load_enclave(image)
+    assert any_system.sm.enclave_measurement(loaded.eid) == predicted
+
+
+def test_multi_region_enclave_on_sanctum(sanctum_system):
+    """An enclave bigger than one 4 MB region gets several regions."""
+    big_data = EnclaveSegment(0x40001000, bytes(5 * 1024 * 1024), PTE_R | PTE_W)
+    code = EnclaveSegment(
+        0x40000000,
+        # li a0,0; ecall
+        bytes([2, 8, 0, 0, 0, 0, 0, 0, 29, 0, 0, 0, 0, 0, 0, 0]),
+        RWX,
+    )
+    image = EnclaveImage(
+        evrange_base=0x40000000,
+        evrange_size=8 * 1024 * 1024,
+        segments=(code, big_data),
+        entry_pc=0x40000000,
+        entry_sp=0,
+    )
+    loaded = sanctum_system.kernel.load_enclave(image)
+    assert len(loaded.rids) >= 2, "needs more than one 4 MiB region"
+    events = sanctum_system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events[0].kind is OsEventKind.ENCLAVE_EXIT
+    check_all(sanctum_system.sm)
+    # Full teardown of a multi-region enclave.
+    sanctum_system.kernel.destroy_enclave(loaded.eid)
+    check_all(sanctum_system.sm)

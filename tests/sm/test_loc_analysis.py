@@ -1,0 +1,76 @@
+"""The LOC counter: counting discipline and report shape."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.loc import CATEGORY_PACKAGES, count_loc, loc_report
+
+
+def _count(tmp_path: pathlib.Path, source: str) -> int:
+    path = tmp_path / "sample.py"
+    path.write_text(textwrap.dedent(source))
+    return count_loc(path)
+
+
+def test_blank_lines_and_comments_not_counted(tmp_path):
+    assert _count(
+        tmp_path,
+        """
+        # a comment
+
+        x = 1
+        # another
+        y = 2  # trailing comment still counts the line
+        """,
+    ) == 2
+
+
+def test_docstrings_not_counted(tmp_path):
+    assert _count(
+        tmp_path,
+        '''
+        """Module docstring
+        spanning lines."""
+
+        def f():
+            """Function docstring."""
+            return 1
+        ''',
+    ) == 2  # def line + return line
+
+
+def test_string_expressions_mid_function_count(tmp_path):
+    # A string used as a value is code, not a docstring.
+    assert _count(
+        tmp_path,
+        """
+        def f():
+            x = "not a docstring"
+            return x
+        """,
+    ) == 3
+
+
+def test_multiline_statement_counts_every_line(tmp_path):
+    assert _count(
+        tmp_path,
+        """
+        value = (1 +
+                 2 +
+                 3)
+        """,
+    ) == 3
+
+
+def test_report_covers_every_source_package():
+    report = loc_report()
+    categorized = {pkg for pkgs in CATEGORY_PACKAGES.values() for pkg in pkgs}
+    for package in categorized:
+        assert report.per_package.get(package, 0) > 0, f"{package} vanished"
+    assert report.total == sum(report.per_package.values())
+    assert report.sm_total == (
+        report.per_category["sm_core"]
+        + report.per_category["crypto_and_support"]
+        + report.per_category["platform_specific"]
+    )
+    assert 0 < report.core_fraction() < 1

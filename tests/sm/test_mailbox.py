@@ -1,0 +1,154 @@
+"""Mailboxes and local attestation (Fig. 5, §VI-B)."""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.api import UNTRUSTED_MEASUREMENT
+from repro.sm.mailbox import MAILBOX_SIZE, Mailbox, MailboxState
+from tests.conftest import trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+
+
+# ---------------------------------------------------------------------------
+# The state machine in isolation
+# ---------------------------------------------------------------------------
+
+def test_fig5_happy_path():
+    box = Mailbox(0)
+    assert box.accept(sender=7) is ApiResult.OK
+    assert box.state is MailboxState.EXPECTING
+    assert box.deliver(7, b"M" * 64, b"hello") is ApiResult.OK
+    assert box.state is MailboxState.FULL
+    result, message, measurement = box.fetch()
+    assert result is ApiResult.OK and message == b"hello" and measurement == b"M" * 64
+    assert box.state is MailboxState.CLOSED
+
+
+def test_unaccepted_sender_cannot_deliver():
+    box = Mailbox(0)
+    assert box.deliver(7, b"M" * 64, b"x") is ApiResult.MAILBOX_STATE
+    box.accept(sender=8)
+    assert box.deliver(7, b"M" * 64, b"x") is ApiResult.PROHIBITED, (
+        "the DoS defence: only the accepted sender may fill the box"
+    )
+
+
+def test_full_box_rejects_more_mail_and_reaccept():
+    box = Mailbox(0)
+    box.accept(7)
+    box.deliver(7, b"M" * 64, b"first")
+    assert box.deliver(7, b"M" * 64, b"second") is ApiResult.MAILBOX_STATE
+    assert box.accept(7) is ApiResult.MAILBOX_STATE, "cannot drop pending mail"
+
+
+def test_recipient_may_change_expected_sender_before_delivery():
+    box = Mailbox(0)
+    box.accept(7)
+    assert box.accept(9) is ApiResult.OK
+    assert box.deliver(7, b"M" * 64, b"x") is ApiResult.PROHIBITED
+    assert box.deliver(9, b"M" * 64, b"x") is ApiResult.OK
+
+
+def test_fetch_empty_fails():
+    box = Mailbox(0)
+    result, message, measurement = box.fetch()
+    assert result is ApiResult.MAILBOX_STATE and message == b"" and measurement == b""
+
+
+def test_oversized_message_rejected():
+    box = Mailbox(0)
+    box.accept(7)
+    assert box.deliver(7, b"M" * 64, b"x" * (MAILBOX_SIZE + 1)) is ApiResult.INVALID_VALUE
+
+
+# ---------------------------------------------------------------------------
+# Through the SM API
+# ---------------------------------------------------------------------------
+
+def _two_enclaves(system):
+    a = system.kernel.load_enclave(trivial_enclave_image())
+    b = system.kernel.load_enclave(trivial_enclave_image(value=7))
+    return a, b
+
+
+def test_sm_records_sender_measurement(any_system):
+    sm = any_system.sm
+    a, b = _two_enclaves(any_system)
+    assert sm.accept_mail(b.eid, 0, a.eid) is ApiResult.OK
+    assert sm.send_mail(a.eid, b.eid, b"ping") is ApiResult.OK
+    result, message, measurement = sm.get_mail(b.eid, 0)
+    assert result is ApiResult.OK
+    assert message == b"ping"
+    assert measurement == sm.enclave_measurement(a.eid), (
+        "the SM, not the sender, vouches for the sender's identity"
+    )
+
+
+def test_os_mail_carries_untrusted_measurement(any_system):
+    sm = any_system.sm
+    a, __ = _two_enclaves(any_system)
+    assert sm.accept_mail(a.eid, 0, OS) is ApiResult.OK
+    assert sm.send_mail(OS, a.eid, b"from-os") is ApiResult.OK
+    __, __, measurement = sm.get_mail(a.eid, 0)
+    assert measurement == UNTRUSTED_MEASUREMENT
+
+
+def test_send_without_accept_fails(any_system):
+    sm = any_system.sm
+    a, b = _two_enclaves(any_system)
+    assert sm.send_mail(a.eid, b.eid, b"x") is ApiResult.MAILBOX_STATE
+
+
+def test_send_to_unknown_recipient(any_system):
+    sm = any_system.sm
+    a, __ = _two_enclaves(any_system)
+    assert sm.send_mail(a.eid, 0xDEAD00, b"x") is ApiResult.UNKNOWN_RESOURCE
+
+
+def test_uninitialized_enclave_cannot_send(any_system):
+    sm = any_system.sm
+    a, __ = _two_enclaves(any_system)
+    eid = sm.state.suggest_metadata(4096)
+    sm.create_enclave(OS, eid, 0x40000000, 4096, 1)
+    assert sm.accept_mail(a.eid, 0, eid) is ApiResult.OK
+    assert sm.send_mail(eid, a.eid, b"x") is ApiResult.PROHIBITED, (
+        "a LOADING enclave has no measurement to vouch for"
+    )
+
+
+def test_os_has_no_mailboxes(any_system):
+    sm = any_system.sm
+    assert sm.accept_mail(OS, 0, OS) is ApiResult.PROHIBITED
+    result, __, __ = sm.get_mail(OS, 0)
+    assert result is ApiResult.PROHIBITED
+
+
+def test_mailbox_index_validated(any_system):
+    sm = any_system.sm
+    a, b = _two_enclaves(any_system)
+    assert sm.accept_mail(a.eid, 5, b.eid) is ApiResult.INVALID_VALUE
+    result, __, __ = sm.get_mail(a.eid, 5)
+    assert result is ApiResult.INVALID_VALUE
+
+
+def test_multiple_mailboxes_independent(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    receiver = kernel.load_enclave(trivial_enclave_image(value=9))
+    # receiver has 1 mailbox by default; build one with 2.
+    from repro import image_from_assembly
+
+    two_box = kernel.load_enclave(
+        image_from_assembly("entry:\n    li a0, 0\n    ecall\n", num_mailboxes=2)
+    )
+    a, b = _two_enclaves(any_system)
+    assert sm.accept_mail(two_box.eid, 0, a.eid) is ApiResult.OK
+    assert sm.accept_mail(two_box.eid, 1, b.eid) is ApiResult.OK
+    assert sm.send_mail(b.eid, two_box.eid, b"from-b") is ApiResult.OK
+    assert sm.send_mail(a.eid, two_box.eid, b"from-a") is ApiResult.OK
+    __, message0, meas0 = sm.get_mail(two_box.eid, 0)
+    __, message1, meas1 = sm.get_mail(two_box.eid, 1)
+    assert message0 == b"from-a" and meas0 == sm.enclave_measurement(a.eid)
+    assert message1 == b"from-b" and meas1 == sm.enclave_measurement(b.eid)

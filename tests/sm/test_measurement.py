@@ -1,0 +1,128 @@
+"""Enclave measurement properties (§VI-A)."""
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.sdk.measure import predict_measurement
+from tests.conftest import small_config
+
+OS = DOMAIN_UNTRUSTED
+RWX = PTE_R | PTE_W | PTE_X
+
+
+def _image(body="entry:\n    li a0, 0\n    ecall\n", **kwargs):
+    return image_from_assembly(body, **kwargs)
+
+
+def test_equivalent_enclaves_equal_measurements(any_system):
+    image = _image()
+    a = any_system.kernel.load_enclave(image)
+    b = any_system.kernel.load_enclave(image)
+    assert any_system.sm.enclave_measurement(a.eid) == any_system.sm.enclave_measurement(b.eid)
+
+
+def test_physical_placement_not_measured(any_system):
+    """The same image at *different* physical addresses measures equal."""
+    image = _image()
+    a = any_system.kernel.load_enclave(image)
+    b = any_system.kernel.load_enclave(image)
+    assert a.region_base != b.region_base
+    assert any_system.sm.enclave_measurement(a.eid) == any_system.sm.enclave_measurement(b.eid)
+
+
+def test_code_change_changes_measurement(any_system):
+    a = any_system.kernel.load_enclave(_image())
+    b = any_system.kernel.load_enclave(
+        _image("entry:\n    nop\n    li a0, 0\n    ecall\n")
+    )
+    assert any_system.sm.enclave_measurement(a.eid) != any_system.sm.enclave_measurement(b.eid)
+
+
+def test_evrange_is_measured(any_system):
+    a = any_system.kernel.load_enclave(_image(evrange_base=0x40000000))
+    b = any_system.kernel.load_enclave(_image(evrange_base=0x50000000))
+    assert any_system.sm.enclave_measurement(a.eid) != any_system.sm.enclave_measurement(b.eid)
+
+
+def test_mailbox_count_is_measured(any_system):
+    a = any_system.kernel.load_enclave(_image(num_mailboxes=1))
+    b = any_system.kernel.load_enclave(_image(num_mailboxes=2))
+    assert any_system.sm.enclave_measurement(a.eid) != any_system.sm.enclave_measurement(b.eid)
+
+
+def test_thread_configuration_is_measured(any_system):
+    body = "entry:\n    nop\nalso:\n    li a0, 0\n    ecall\n"
+    a = any_system.kernel.load_enclave(_image(body, entry_symbol="entry"))
+    b = any_system.kernel.load_enclave(_image(body, entry_symbol="also"))
+    assert any_system.sm.enclave_measurement(a.eid) != any_system.sm.enclave_measurement(b.eid)
+
+
+def test_acl_is_measured(any_system):
+    """Same bytes loaded with different permissions measure differently."""
+    sm = any_system.sm
+    kernel = any_system.kernel
+    measurements = []
+    for acl in (PTE_R | PTE_X, RWX):
+        eid = sm.state.suggest_metadata(4096)
+        assert sm.create_enclave(OS, eid, 0x40000000, 0x10000, 1) is ApiResult.OK
+        base, _, _ = kernel.donate_memory(eid, 8 * PAGE_SIZE)
+        staging = kernel.alloc_frame() << PAGE_SHIFT
+        sm.allocate_page_table(OS, eid, 0, 1, base)
+        sm.allocate_page_table(OS, eid, 0x40000000, 0, base + PAGE_SIZE)
+        assert sm.load_page(OS, eid, 0x40000000, base + 2 * PAGE_SIZE, staging, acl) is ApiResult.OK
+        assert sm.init_enclave(OS, eid) is ApiResult.OK
+        measurements.append(sm.enclave_measurement(eid))
+    assert measurements[0] != measurements[1]
+
+
+def test_measurement_binds_sm_identity():
+    """Different SM images yield different enclave measurements."""
+    image = _image()
+    a = build_sanctum_system(config=small_config(), sm_image=b"SM-v1")
+    b = build_sanctum_system(config=small_config(), sm_image=b"SM-v2")
+    ea = a.kernel.load_enclave(image)
+    eb = b.kernel.load_enclave(image)
+    assert a.sm.enclave_measurement(ea.eid) != b.sm.enclave_measurement(eb.eid)
+
+
+def test_measurement_binds_platform(sanctum_system, keystone_system):
+    image = _image()
+    a = sanctum_system.kernel.load_enclave(image)
+    b = keystone_system.kernel.load_enclave(image)
+    assert (
+        sanctum_system.sm.enclave_measurement(a.eid)
+        != keystone_system.sm.enclave_measurement(b.eid)
+    )
+
+
+def test_offline_prediction_matches_sm(any_system):
+    image = _image(
+        "entry:\nhandler:\n    li a0, 0\n    ecall\n",
+        entry_symbol="entry",
+        fault_symbol="handler",
+        num_mailboxes=3,
+    )
+    predicted = predict_measurement(
+        image, any_system.boot.sm_measurement, any_system.platform.name
+    )
+    loaded = any_system.kernel.load_enclave(image)
+    assert any_system.sm.enclave_measurement(loaded.eid) == predicted
+
+
+def test_offline_prediction_with_extra_threads(any_system):
+    image = _image()
+    predicted = predict_measurement(
+        image, any_system.boot.sm_measurement, any_system.platform.name, extra_threads=2
+    )
+    loaded = any_system.kernel.load_enclave(image, extra_threads=2)
+    assert any_system.sm.enclave_measurement(loaded.eid) == predicted
+    assert len(loaded.tids) == 3
+
+
+def test_measurement_unavailable_before_init(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    sm.create_enclave(OS, eid, 0x40000000, PAGE_SIZE, 1)
+    assert sm.enclave_measurement(eid) is None

@@ -1,0 +1,108 @@
+"""Metadata regions (§VII-A) and metadata exhaustion behaviour.
+
+"SM for Sanctum straightforwardly stores dynamic arrays in 'metadata
+regions': SM-owned regions granted to it by the OS."  When the boot
+arena fills up, the OS donates another region to the SM and loading
+continues.
+"""
+
+import pytest
+
+from repro import build_sanctum_system
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
+from repro.hw.machine import MachineConfig
+from repro.kernel.os_model import OsError
+from repro.sm.invariants import check_all
+from repro.sm.resources import ResourceType
+from tests.conftest import trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+
+
+@pytest.fixture
+def tiny_arena_system():
+    """A system whose boot metadata arena fits only a couple of enclaves."""
+    system = build_sanctum_system(
+        config=MachineConfig(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256),
+        n_regions=8,
+    )
+    # Shrink the boot arena to ~4 KB: room for 2 enclaves + threads.
+    arena = system.sm.state.metadata_arenas[0]
+    arena.size = 4096
+    return system
+
+
+def test_metadata_exhaustion_then_donated_region(tiny_arena_system):
+    system = tiny_arena_system
+    sm, kernel = system.sm, system.kernel
+    image = trivial_enclave_image()
+
+    loaded = []
+    with pytest.raises(OsError, match="metadata"):
+        for __ in range(50):
+            loaded.append(kernel.load_enclave(image))
+    assert 1 <= len(loaded) < 50
+
+    # The OS grants a fresh region to the SM as a metadata region.
+    rid = kernel._donatable_regions.pop(0)
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.clean_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    assert sm.create_metadata_region(OS, rid) is ApiResult.OK
+    assert system.platform.region_owner(rid) == DOMAIN_SM
+    assert len(sm.state.metadata_arenas) == 2
+
+    # Loading works again, with metadata landing in the new arena.
+    more = kernel.load_enclave(image)
+    new_arena = sm.state.metadata_arenas[1]
+    assert new_arena.contains(more.eid)
+    events = kernel.enter_and_run(more.eid, more.tids[0])
+    assert events
+    check_all(sm)
+
+
+def test_create_metadata_region_requires_free(tiny_arena_system):
+    sm = tiny_arena_system.sm
+    kernel = tiny_arena_system.kernel
+    rid = kernel._donatable_regions[0]  # OWNED by the OS, not FREE
+    assert sm.create_metadata_region(OS, rid) is ApiResult.INVALID_STATE
+    assert sm.create_metadata_region(OS, 99) is ApiResult.UNKNOWN_RESOURCE
+    assert sm.create_metadata_region(0x1234, rid) is ApiResult.PROHIBITED
+
+
+def test_metadata_region_unreachable_by_os(tiny_arena_system):
+    """Once donated, the metadata region is SM memory like any other."""
+    system = tiny_arena_system
+    sm, kernel = system.sm, system.kernel
+    rid = kernel._donatable_regions.pop(0)
+    sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
+    sm.clean_resource(OS, ResourceType.DRAM_REGION, rid)
+    assert sm.create_metadata_region(OS, rid) is ApiResult.OK
+    base, __ = system.platform.region_range(rid)
+    from repro.kernel.adversary import MaliciousOs
+
+    assert not MaliciousOs(kernel).probe_physical(base).succeeded
+
+
+def test_recovery_after_exhaustion_by_destroying(tiny_arena_system):
+    """Destroying enclaves releases their metadata claims for reuse."""
+    system = tiny_arena_system
+    kernel = system.kernel
+    image = trivial_enclave_image()
+    loaded = []
+    try:
+        for __ in range(50):
+            loaded.append(kernel.load_enclave(image))
+    except OsError:
+        pass
+    # Clean up the half-created enclave the failed load left behind.
+    leftover = set(system.sm.state.enclaves) - {l.eid for l in loaded}
+    for eid in leftover:
+        system.sm.delete_enclave(OS, eid)
+    # Thread metadata persists by design (threads are reusable Fig.-4
+    # resources), so reclaim every enclave's struct before reloading.
+    for enclave in loaded:
+        kernel.destroy_enclave(enclave.eid)
+    replacement = kernel.load_enclave(image)
+    assert replacement.eid is not None
+    check_all(system.sm)

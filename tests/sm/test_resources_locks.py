@@ -1,0 +1,152 @@
+"""Fig.-2 resource state machine and the transactional lock discipline."""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.sm.locks import LockConflict, SmLock, Transaction
+from repro.sm.resources import ResourceMap, ResourceState, ResourceType
+
+
+def _map_with_region(owner=0, state=ResourceState.OWNED):
+    resources = ResourceMap()
+    resources.register(ResourceType.DRAM_REGION, 0, owner, state)
+    return resources
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 transitions
+# ---------------------------------------------------------------------------
+
+def test_full_lifecycle_owned_blocked_free_owned():
+    resources = _map_with_region(owner=7)
+    assert resources.block(ResourceType.DRAM_REGION, 0, caller=7) is ApiResult.OK
+    assert resources.get(ResourceType.DRAM_REGION, 0).state is ResourceState.BLOCKED
+    assert resources.clean(ResourceType.DRAM_REGION, 0) is ApiResult.OK
+    record = resources.get(ResourceType.DRAM_REGION, 0)
+    assert record.state is ResourceState.FREE and record.owner == -1
+    assert resources.offer(ResourceType.DRAM_REGION, 0, new_owner=9) is ApiResult.OK
+    assert resources.accept(ResourceType.DRAM_REGION, 0, caller=9) is ApiResult.OK
+    record = resources.get(ResourceType.DRAM_REGION, 0)
+    assert record.owner == 9 and record.state is ResourceState.OWNED
+
+
+def test_only_owner_may_block():
+    resources = _map_with_region(owner=7)
+    assert resources.block(ResourceType.DRAM_REGION, 0, caller=8) is ApiResult.PROHIBITED
+
+
+def test_clean_requires_blocked():
+    resources = _map_with_region(owner=7)
+    assert resources.clean(ResourceType.DRAM_REGION, 0) is ApiResult.INVALID_STATE
+
+
+def test_offer_requires_free():
+    resources = _map_with_region(owner=7)
+    assert resources.offer(ResourceType.DRAM_REGION, 0, 9) is ApiResult.INVALID_STATE
+
+
+def test_accept_requires_matching_recipient():
+    resources = _map_with_region(owner=7, state=ResourceState.FREE)
+    resources.get(ResourceType.DRAM_REGION, 0).owner = -1
+    resources.offer(ResourceType.DRAM_REGION, 0, new_owner=9)
+    assert resources.accept(ResourceType.DRAM_REGION, 0, caller=8) is ApiResult.PROHIBITED
+    assert resources.accept(ResourceType.DRAM_REGION, 0, caller=9) is ApiResult.OK
+
+
+def test_unknown_resource_everywhere():
+    resources = ResourceMap()
+    for fn in (
+        lambda: resources.block(ResourceType.CORE, 5, 0),
+        lambda: resources.clean(ResourceType.CORE, 5),
+        lambda: resources.offer(ResourceType.CORE, 5, 1),
+        lambda: resources.accept(ResourceType.CORE, 5, 1),
+    ):
+        assert fn() is ApiResult.UNKNOWN_RESOURCE
+
+
+def test_block_requires_owned_state():
+    resources = _map_with_region(owner=7)
+    resources.block(ResourceType.DRAM_REGION, 0, 7)
+    assert resources.block(ResourceType.DRAM_REGION, 0, 7) is ApiResult.INVALID_STATE
+
+
+def test_double_registration_rejected():
+    resources = _map_with_region()
+    with pytest.raises(ValueError):
+        resources.register(ResourceType.DRAM_REGION, 0, 0, ResourceState.OWNED)
+
+
+def test_owned_by_filters():
+    resources = ResourceMap()
+    resources.register(ResourceType.DRAM_REGION, 0, 7, ResourceState.OWNED)
+    resources.register(ResourceType.DRAM_REGION, 1, 7, ResourceState.BLOCKED)
+    resources.register(ResourceType.CORE, 0, 7, ResourceState.OWNED)
+    owned = resources.owned_by(7)
+    assert len(owned) == 2  # blocked records are not "owned"
+    assert len(resources.owned_by(7, ResourceType.CORE)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Locks / transactions
+# ---------------------------------------------------------------------------
+
+def test_transaction_acquires_and_releases():
+    a, b = SmLock("a"), SmLock("b")
+    with Transaction() as txn:
+        txn.take(a, b)
+        assert a.held and b.held
+    assert not a.held and not b.held
+
+
+def test_transaction_conflict_rolls_back():
+    a, b = SmLock("a"), SmLock("b")
+    b.acquire("other")
+    with pytest.raises(LockConflict):
+        with Transaction() as txn:
+            txn.take(a, b)
+    assert not a.held, "locks taken before the conflict must be released"
+    assert b.held_by == "other"
+    b.release()
+
+
+def test_transaction_releases_on_exception():
+    a = SmLock("a")
+    with pytest.raises(RuntimeError):
+        with Transaction() as txn:
+            txn.take(a)
+            raise RuntimeError("body failed")
+    assert not a.held
+
+
+def test_taking_same_lock_twice_is_idempotent():
+    a = SmLock("a")
+    with Transaction() as txn:
+        txn.take(a)
+        txn.take(a)
+        assert a.held
+    assert not a.held
+
+
+def test_canonical_order_prevents_deadlock_shape():
+    # Whatever order locks are requested in, acquisition follows ordinals.
+    a, b = SmLock("a"), SmLock("b")
+    acquired = []
+    original_acquire = SmLock.acquire
+
+    def spying_acquire(self, holder="sm"):
+        acquired.append(self.name)
+        return original_acquire(self, holder)
+
+    SmLock.acquire = spying_acquire
+    try:
+        with Transaction() as txn:
+            txn.take(b, a)
+    finally:
+        SmLock.acquire = original_acquire
+    assert acquired == ["a", "b"]
+
+
+def test_release_unheld_lock_is_a_bug():
+    a = SmLock("a")
+    with pytest.raises(RuntimeError):
+        a.release()

@@ -1,0 +1,101 @@
+"""Sealing keys: stable per (device, SM, enclave binary), else distinct."""
+
+from repro import build_sanctum_system, image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.api import EnclaveEcall
+from tests.conftest import small_config, trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+
+
+def _key_for(system, image):
+    loaded = system.kernel.load_enclave(image)
+    result, key = system.sm.get_sealing_key(loaded.eid)
+    assert result is ApiResult.OK and len(key) == 32
+    system.kernel.destroy_enclave(loaded.eid)
+    return key
+
+
+def test_key_stable_across_reloads(any_system):
+    image = trivial_enclave_image()
+    assert _key_for(any_system, image) == _key_for(any_system, image)
+
+
+def test_key_differs_per_binary(any_system):
+    a = _key_for(any_system, trivial_enclave_image(value=1))
+    b = _key_for(any_system, trivial_enclave_image(value=2))
+    assert a != b
+
+
+def test_key_differs_per_sm_build():
+    image = trivial_enclave_image()
+    a = build_sanctum_system(config=small_config(), sm_image=b"SM-v1")
+    b = build_sanctum_system(config=small_config(), sm_image=b"SM-v2")
+    assert _key_for(a, image) != _key_for(b, image)
+
+
+def test_key_differs_per_device():
+    from repro.hw.machine import MachineConfig
+
+    image = trivial_enclave_image()
+    a = build_sanctum_system(config=MachineConfig(dram_size=32 * 1024 * 1024, llc_sets=256, trng_seed=1))
+    b = build_sanctum_system(config=MachineConfig(dram_size=32 * 1024 * 1024, llc_sets=256, trng_seed=2))
+    assert _key_for(a, image) != _key_for(b, image)
+
+
+def test_key_stable_across_reboot_of_same_device():
+    """Reboot = rebuild the system with the same seed: sealed data survives."""
+    image = trivial_enclave_image()
+    first_boot = build_sanctum_system(config=small_config())
+    second_boot = build_sanctum_system(config=small_config())
+    assert _key_for(first_boot, image) == _key_for(second_boot, image)
+
+
+def test_unsealed_callers_refused(any_system):
+    sm = any_system.sm
+    result, key = sm.get_sealing_key(OS)
+    assert result is ApiResult.PROHIBITED and key == b""
+    eid = sm.state.suggest_metadata(4096)
+    sm.create_enclave(OS, eid, 0x40000000, 4096, 1)
+    result, key = sm.get_sealing_key(eid)  # still LOADING
+    assert result is ApiResult.PROHIBITED
+
+
+def test_in_vm_sealing_key_matches_host_view(any_system):
+    """The GET_SEALING_KEY ecall delivers the same bytes the host API derives.
+
+    (The enclave deliberately exports its key to shared memory here —
+    its choice; the test only checks consistency.)
+    """
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    source = f"""
+entry:
+    li   a0, {int(EnclaveEcall.GET_SEALING_KEY)}
+    li   a1, key_buf
+    ecall
+    bne  a0, zero, done
+    li   t0, 0
+export:
+    li   t1, key_buf
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    li   t1, {out}
+    add  t1, t1, t0
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    li   t1, 32
+    bltu t0, t1, export
+done:
+    li   a0, 0
+    ecall
+    .align 8
+key_buf:
+    .zero 32
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    exported = kernel.read_shared(out, 32)
+    __, expected = any_system.sm.get_sealing_key(loaded.eid)
+    assert exported == expected

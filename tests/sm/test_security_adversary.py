@@ -1,0 +1,149 @@
+"""The threat-model test-suite: every §IV attack must fail."""
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.hw.dma import DmaDevice
+from repro.hw.traps import TrapCause
+from repro.kernel.adversary import MaliciousOs
+from repro.sm.invariants import check_all
+from tests.conftest import trivial_enclave_image
+
+
+@pytest.fixture
+def victim_setup(any_system):
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    return any_system, MaliciousOs(any_system.kernel), loaded
+
+
+def test_os_cannot_read_enclave_memory(victim_setup):
+    system, adversary, loaded = victim_setup
+    result = adversary.probe_enclave_memory(loaded)
+    assert not result.succeeded
+    assert result.fault is TrapCause.ACCESS_FAULT_LOAD
+
+
+def test_os_cannot_read_enclave_memory_via_fresh_mapping(victim_setup):
+    system, adversary, loaded = victim_setup
+    result = adversary.map_enclave_page_into_os_tables(loaded)
+    assert not result.succeeded, (
+        "remapping is the OS's right; the access must still fault in hardware"
+    )
+
+
+def test_os_cannot_read_sm_metadata(victim_setup):
+    system, adversary, __ = victim_setup
+    assert not adversary.probe_sm_metadata().succeeded
+
+
+def test_dma_cannot_reach_enclave_or_sm(victim_setup):
+    system, adversary, loaded = victim_setup
+    device = DmaDevice("nic", system.machine.memory, system.machine.dma_filter)
+    assert adversary.dma_attack(device, loaded.region_base)
+    assert adversary.dma_attack(device, system.sm.state.metadata_arenas[0].base)
+    # Sanity: DMA into plain OS memory still works.
+    buffer = system.kernel.alloc_buffer(1)
+    device.write_to_memory(buffer, b"legit")
+    assert system.machine.memory.read(buffer, 5) == b"legit"
+
+
+def test_os_cannot_tamper_after_init(victim_setup):
+    __, adversary, loaded = victim_setup
+    assert adversary.tamper_after_init(loaded) is ApiResult.INVALID_STATE
+
+
+def test_os_cannot_steal_enclave_region(victim_setup):
+    __, adversary, loaded = victim_setup
+    assert adversary.steal_enclave_region(loaded) is ApiResult.PROHIBITED
+
+
+def test_blocked_region_needs_cleaning_before_reuse(victim_setup):
+    system, adversary, loaded = victim_setup
+    assert adversary.reclaim_without_cleaning(loaded) is ApiResult.INVALID_STATE
+    # And the enclave's secrets are still unreachable while blocked.
+    probe = adversary.probe_physical(loaded.region_base)
+    assert not probe.succeeded
+
+
+def test_forged_and_dangling_eids_rejected(victim_setup):
+    system, adversary, loaded = victim_setup
+    assert adversary.forge_eid(0x123456) is ApiResult.UNKNOWN_RESOURCE
+    system.kernel.destroy_enclave(loaded.eid)
+    assert adversary.forge_eid(loaded.eid) is ApiResult.UNKNOWN_RESOURCE
+
+
+def test_metadata_cannot_live_in_os_memory(victim_setup):
+    __, adversary, __ = victim_setup
+    assert adversary.create_enclave_outside_sm_memory() is ApiResult.INVALID_VALUE
+
+
+def test_metadata_cannot_overlap(victim_setup):
+    __, adversary, loaded = victim_setup
+    assert adversary.overlap_metadata(loaded) is ApiResult.INVALID_VALUE
+
+
+def test_thread_cannot_run_twice(victim_setup):
+    __, adversary, loaded = victim_setup
+    assert adversary.double_entry(loaded) is ApiResult.INVALID_STATE
+
+
+def test_impostor_signing_enclave_gets_no_key(any_system):
+    from repro.sdk.measure import predict_measurement
+    from repro.sdk.signing_enclave import build_signing_enclave_image
+
+    kernel = any_system.kernel
+    page = kernel.alloc_buffer(1)
+    genuine = build_signing_enclave_image(page)
+    any_system.sm.register_signing_enclave(
+        predict_measurement(genuine, any_system.boot.sm_measurement, any_system.platform.name)
+    )
+    adversary = MaliciousOs(kernel)
+    assert adversary.impersonate_signing_enclave(page) is ApiResult.PROHIBITED
+
+
+def test_signing_registration_is_once_only(any_system):
+    any_system.sm.register_signing_enclave(b"\x11" * 64)
+    with pytest.raises(RuntimeError):
+        any_system.sm.register_signing_enclave(b"\x22" * 64)
+
+
+def test_signing_registration_blocked_after_enclaves_exist(any_system):
+    any_system.kernel.load_enclave(trivial_enclave_image())
+    with pytest.raises(RuntimeError):
+        any_system.sm.register_signing_enclave(b"\x33" * 64)
+
+
+def test_get_attestation_key_requires_exact_measurement(victim_setup):
+    system, __, loaded = victim_setup
+    result, key = system.sm.get_attestation_key(loaded.eid)
+    assert result is ApiResult.PROHIBITED and key == b""
+
+
+def test_dma_fenced_out_of_blocked_regions(any_system):
+    """Regression (found by stateful fuzzing): a region becomes
+    DMA-unreachable the moment it is *blocked*, not only when cleaned —
+    otherwise a device could scribble into memory in transit between
+    protection domains."""
+    from repro.hw.core import DOMAIN_UNTRUSTED
+    from repro.sm.resources import ResourceType
+
+    sm = any_system.sm
+    kernel = any_system.kernel
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    rid = loaded.rids[0]
+    base, __ = any_system.platform.region_range(rid)
+    assert sm.delete_enclave(DOMAIN_UNTRUSTED, loaded.eid) is ApiResult.OK
+    device = DmaDevice("nic", any_system.machine.memory, any_system.machine.dma_filter)
+    assert MaliciousOs(kernel).dma_attack(device, base), (
+        "DMA into a blocked (not yet cleaned) region must be denied"
+    )
+
+
+def test_invariants_hold_after_adversarial_session(victim_setup):
+    system, adversary, loaded = victim_setup
+    adversary.probe_enclave_memory(loaded)
+    adversary.tamper_after_init(loaded)
+    adversary.steal_enclave_region(loaded)
+    adversary.overlap_metadata(loaded)
+    adversary.double_entry(loaded)
+    check_all(system.sm)

@@ -1,0 +1,139 @@
+"""Thread lifecycle (Fig. 4) and enter/exit scheduling rules."""
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.resources import ResourceState, ResourceType
+from repro.sm.thread import ThreadState
+from tests.conftest import trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+
+
+def test_enter_requires_initialized_enclave(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    sm.create_enclave(OS, eid, 0x40000000, 4096, 1)
+    tid = sm.state.suggest_metadata(512)
+    assert sm.create_thread(OS, eid, tid, 0x40000000, 0) is ApiResult.OK
+    assert sm.enter_enclave(OS, eid, tid, 0) is ApiResult.INVALID_STATE
+
+
+def test_enter_validates_identifiers(any_system):
+    sm = any_system.sm
+    loaded = any_system.kernel.load_enclave(trivial_enclave_image())
+    assert sm.enter_enclave(OS, 0xBAD, loaded.tids[0], 0) is ApiResult.UNKNOWN_RESOURCE
+    assert sm.enter_enclave(OS, loaded.eid, 0xBAD, 0) is ApiResult.UNKNOWN_RESOURCE
+    assert sm.enter_enclave(OS, loaded.eid, loaded.tids[0], 99) is ApiResult.INVALID_VALUE
+
+
+def test_enter_rejects_foreign_thread(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    a = kernel.load_enclave(trivial_enclave_image())
+    b = kernel.load_enclave(trivial_enclave_image(value=7))
+    assert sm.enter_enclave(OS, a.eid, b.tids[0], 0) is ApiResult.INVALID_STATE
+
+
+def test_enter_rejects_busy_core(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    spinner = kernel.load_enclave(image_from_assembly("entry:\nloop: jal zero, loop"))
+    other = kernel.load_enclave(trivial_enclave_image())
+    assert sm.enter_enclave(OS, spinner.eid, spinner.tids[0], 0) is ApiResult.OK
+    assert sm.enter_enclave(OS, other.eid, other.tids[0], 0) is ApiResult.INVALID_STATE
+    # Clean up: interrupt the spinner.
+    kernel.machine.interrupts.send_ipi(0)
+    kernel.machine.run_core(0, 100)
+    sm.os_events.drain(0)
+
+
+def test_thread_create_validates_entry_point(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(4096)
+    sm.create_enclave(OS, eid, 0x40000000, 0x10000, 1)
+    tid = sm.state.suggest_metadata(512)
+    assert sm.create_thread(OS, eid, tid, 0x90000000, 0) is ApiResult.INVALID_VALUE
+    assert (
+        sm.create_thread(OS, eid, tid, 0x40000000, 0, fault_pc=0x90000000)
+        is ApiResult.INVALID_VALUE
+    )
+
+
+def test_thread_block_clean_regrant_cycle(any_system):
+    """Fig. 4: a thread moves between enclaves through block/clean/grant."""
+    sm = any_system.sm
+    kernel = any_system.kernel
+    a = kernel.load_enclave(trivial_enclave_image())
+    b = kernel.load_enclave(trivial_enclave_image(value=9))
+    tid = a.tids[0]
+    # The owner (enclave a) blocks its thread — simulate via caller=a.eid.
+    assert sm.block_resource(a.eid, ResourceType.THREAD, tid) is ApiResult.OK
+    assert sm.state.thread(tid).state is ThreadState.BLOCKED
+    assert sm.clean_resource(OS, ResourceType.THREAD, tid) is ApiResult.OK
+    assert sm.state.thread(tid).state is ThreadState.FREE
+    # Grant to the (initialized) enclave b: goes through OFFERED.
+    assert sm.grant_resource(OS, ResourceType.THREAD, tid, b.eid) is ApiResult.OK
+    record = sm.state.resources.get(ResourceType.THREAD, tid)
+    assert record.state is ResourceState.OFFERED
+    # b accepts (paper: accept_thread(tid)).
+    assert sm.accept_thread(b.eid, tid) is ApiResult.OK
+    thread = sm.state.thread(tid)
+    assert thread.owner_eid == b.eid and thread.state is ThreadState.ASSIGNED
+    assert tid in sm.state.enclave(b.eid).thread_tids
+
+
+def test_cleaned_thread_has_no_residual_state(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    spinner = kernel.load_enclave(image_from_assembly("entry:\nloop: jal zero, loop"))
+    tid = spinner.tids[0]
+    sm.enter_enclave(OS, spinner.eid, tid, 0)
+    kernel.machine.interrupts.send_ipi(0)
+    kernel.machine.run_core(0, 100)
+    sm.os_events.drain(0)
+    thread = sm.state.thread(tid)
+    assert thread.aex_present, "AEX dump exists before cleaning"
+    assert sm.block_resource(spinner.eid, ResourceType.THREAD, tid) is ApiResult.OK
+    assert sm.clean_resource(OS, ResourceType.THREAD, tid) is ApiResult.OK
+    assert not thread.aex_present
+    assert thread.aex_state.regs == [0] * 16
+
+
+def test_scheduled_thread_cannot_be_blocked(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    spinner = kernel.load_enclave(image_from_assembly("entry:\nloop: jal zero, loop"))
+    tid = spinner.tids[0]
+    sm.enter_enclave(OS, spinner.eid, tid, 0)
+    assert sm.block_resource(spinner.eid, ResourceType.THREAD, tid) is ApiResult.INVALID_STATE
+    kernel.machine.interrupts.send_ipi(0)
+    kernel.machine.run_core(0, 100)
+    sm.os_events.drain(0)
+
+
+def test_two_threads_on_two_cores(any_system):
+    sm = any_system.sm
+    kernel = any_system.kernel
+    out = kernel.alloc_buffer(1)
+    image = image_from_assembly(
+        f"""
+entry:
+    lw   t0, {out}(zero)
+    addi t0, t0, 1
+    sw   t0, {out}(zero)
+    li   a0, 0
+    ecall
+"""
+    )
+    loaded = kernel.load_enclave(image, extra_threads=1)
+    assert sm.enter_enclave(OS, loaded.eid, loaded.tids[0], 0) is ApiResult.OK
+    assert sm.enter_enclave(OS, loaded.eid, loaded.tids[1], 1) is ApiResult.OK
+    assert sm.state.enclave(loaded.eid).scheduled_threads == 2
+    kernel.machine.run()
+    # The increment is not atomic, so the interleaving may lose one
+    # update — but both threads ran and exited.
+    assert kernel.machine.memory.read_u32(out) in (1, 2)
+    assert sm.state.enclave(loaded.eid).scheduled_threads == 0
+    exits = [e for c in (0, 1) for e in sm.os_events.drain(c)]
+    assert len(exits) == 2

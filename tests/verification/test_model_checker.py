@@ -1,0 +1,232 @@
+"""The abstract model, its properties, and the bounded checker."""
+
+import dataclasses
+
+import pytest
+
+from repro.verification.checker import BoundedChecker
+from repro.verification.model import (
+    OS,
+    AbstractSm,
+    Action,
+    Lifecycle,
+    ModelConfig,
+    Region,
+    RState,
+    TState,
+)
+from repro.verification.properties import (
+    ALL_PROPERTIES,
+    exclusive_region_ownership,
+    no_stale_data_across_domains,
+)
+
+
+# ---------------------------------------------------------------------------
+# Model transitions
+# ---------------------------------------------------------------------------
+
+def test_enclave_lifecycle_path():
+    model = AbstractSm()
+    state = model.initial_state()
+    state = model.apply(state, Action("create_enclave", (100,)))
+    assert state.enclave(100) is Lifecycle.LOADING
+    assert model.apply(state, Action("create_enclave", (100,))) is None
+    state = model.apply(state, Action("init_enclave", (100,)))
+    assert state.enclave(100) is Lifecycle.INITIALIZED
+    assert model.apply(state, Action("init_enclave", (100,))) is None
+
+
+def test_region_donation_path():
+    model = AbstractSm()
+    state = model.initial_state()
+    state = model.apply(state, Action("create_enclave", (100,)))
+    state = model.apply(state, Action("block_region", (OS, 0)))
+    assert model.apply(state, Action("grant_region", (0, 100))) is None, (
+        "blocked regions cannot be granted before cleaning"
+    )
+    state = model.apply(state, Action("clean_region", (0,)))
+    state = model.apply(state, Action("grant_region", (0, 100)))
+    assert state.regions[0].owner == 100
+    assert state.regions[0].taint == 100
+
+
+def test_offer_accept_for_running_enclave():
+    model = AbstractSm()
+    state = model.initial_state()
+    state = model.apply(state, Action("create_enclave", (100,)))
+    state = model.apply(state, Action("init_enclave", (100,)))
+    state = model.apply(state, Action("block_region", (OS, 0)))
+    state = model.apply(state, Action("clean_region", (0,)))
+    state = model.apply(state, Action("grant_region", (0, 100)))
+    assert state.regions[0].state is RState.OFFERED
+    assert model.apply(state, Action("accept_region", (101, 0))) is None
+    state = model.apply(state, Action("accept_region", (100, 0)))
+    assert state.regions[0].owner == 100
+
+
+def test_delete_blocks_resources_and_gates_on_scheduling():
+    model = AbstractSm()
+    state = model.initial_state()
+    for action in [
+        Action("create_enclave", (100,)),
+        Action("create_thread", (100, 200)),
+        Action("block_region", (OS, 0)),
+        Action("clean_region", (0,)),
+        Action("grant_region", (0, 100)),
+        Action("init_enclave", (100,)),
+        Action("enter_enclave", (100, 200)),
+    ]:
+        state = model.apply(state, action)
+        assert state is not None, action
+    assert model.apply(state, Action("delete_enclave", (100,))) is None
+    state = model.apply(state, Action("exit_enclave", (100, 200)))
+    state = model.apply(state, Action("delete_enclave", (100,)))
+    assert state.enclave(100) is None
+    assert state.regions[0].state is RState.BLOCKED
+    assert state.thread(200).state is TState.BLOCKED
+
+
+# ---------------------------------------------------------------------------
+# Properties catch crafted violations
+# ---------------------------------------------------------------------------
+
+def test_property_catches_dead_owner():
+    model = AbstractSm()
+    state = model.initial_state().with_region(
+        0, Region(owner=100, state=RState.OWNED, taint=100)
+    )
+    assert exclusive_region_ownership(state) is not None
+
+
+def test_property_catches_stale_taint():
+    model = AbstractSm()
+    state = model.initial_state()
+    state = model.apply(state, Action("create_enclave", (100,)))
+    bad = state.with_region(0, Region(owner=OS, state=RState.OWNED, taint=100))
+    assert no_stale_data_across_domains(bad) is not None
+
+
+# ---------------------------------------------------------------------------
+# The bounded checker
+# ---------------------------------------------------------------------------
+
+def test_model_satisfies_properties_to_depth_7():
+    outcome = BoundedChecker().run(max_depth=7)
+    assert outcome.ok, f"{outcome.violation}\ntrace: {outcome.counterexample}"
+    assert outcome.states_explored > 300
+
+
+def test_checker_finds_injected_bug():
+    """Mutation test: remove the clean-before-grant rule; checker objects."""
+
+    class BuggySm(AbstractSm):
+        def _do_grant_region(self, state, rid, recipient):
+            region = state.regions[rid]
+            # BUG: accepts BLOCKED regions, skipping the cleaning step.
+            if region.state not in (RState.FREE, RState.BLOCKED):
+                return None
+            if recipient == OS:
+                return state.with_region(rid, Region(OS, RState.OWNED, region.taint))
+            if state.enclave(recipient) is None:
+                return None
+            return state.with_region(
+                rid, Region(recipient, RState.OWNED, region.taint)
+            )
+
+    outcome = BoundedChecker(BuggySm()).run(max_depth=6)
+    assert not outcome.ok
+    assert "taint" in outcome.violation or "stale" in outcome.violation
+    assert outcome.counterexample, "a counterexample trace is reported"
+
+
+def test_checker_finds_mailbox_bug():
+    """Mutation test: drop the accept-gating on mail delivery."""
+    from repro.verification.model import Mailbox, MState
+
+    class BuggySm(AbstractSm):
+        def _do_send_mail(self, state, sender, recipient):
+            if sender != OS and state.enclave(sender) is not Lifecycle.INITIALIZED:
+                return None
+            box = state.mailbox(recipient)
+            if box is None or box.state is MState.FULL:
+                return None
+            # BUG: delivers without checking box.expected == sender.
+            return state.with_mailbox(
+                recipient,
+                Mailbox(state=MState.FULL, expected=box.expected, filled_by=sender),
+            )
+
+    outcome = BoundedChecker(BuggySm()).run(max_depth=5)
+    assert not outcome.ok
+    assert "mailbox" in outcome.violation
+
+
+def test_checker_finds_lifecycle_bug():
+    """Mutation test: allow scheduling threads of LOADING enclaves."""
+
+    class BuggySm(AbstractSm):
+        def _do_enter_enclave(self, state, eid, tid):
+            thread = state.thread(tid)
+            if state.enclave(eid) is None:  # BUG: no INITIALIZED check
+                return None
+            if thread is None or thread.owner != eid or thread.state is not TState.ASSIGNED:
+                return None
+            return state.with_thread(
+                tid, dataclasses.replace(thread, state=TState.SCHEDULED)
+            )
+
+    outcome = BoundedChecker(BuggySm()).run(max_depth=5)
+    assert not outcome.ok
+    assert "scheduled" in outcome.violation
+
+
+# ---------------------------------------------------------------------------
+# Differential: the abstract model agrees with the real SM
+# ---------------------------------------------------------------------------
+
+def test_model_agrees_with_real_sm_on_region_traces(sanctum_system):
+    """Replay model-legal region action sequences against the real API."""
+    from repro.errors import ApiResult
+    from repro.sm.resources import ResourceType
+
+    sm = sanctum_system.sm
+    kernel = sanctum_system.kernel
+    # Map abstract eid 100 to a real LOADING enclave; region 0 to a real
+    # donatable region.
+    eid = sm.state.suggest_metadata(4096)
+    assert sm.create_enclave(OS, eid, 0x40000000, 4096, 1) is ApiResult.OK
+    rid = kernel._donatable_regions[0]
+    mapping = {100: eid}
+
+    model = AbstractSm(ModelConfig(n_regions=1, eids=(100,), tids=()))
+    state = model.initial_state()
+    state = state.with_enclave(100, Lifecycle.LOADING)
+
+    trace = [
+        Action("block_region", (OS, 0)),
+        Action("clean_region", (0,)),
+        Action("grant_region", (0, 100)),
+        Action("block_region", (100, 0)),
+        Action("clean_region", (0,)),
+        Action("grant_region", (0, OS)),
+        Action("block_region", (OS, 0)),
+        Action("grant_region", (0, 100)),  # illegal: blocked, not cleaned
+        Action("clean_region", (0,)),
+    ]
+    for action in trace:
+        expected = model.apply(state, action)
+        name, args = action.name, action.args
+        if name == "block_region":
+            caller = mapping.get(args[0], args[0])
+            real = sm.block_resource(caller, ResourceType.DRAM_REGION, rid)
+        elif name == "clean_region":
+            real = sm.clean_resource(OS, ResourceType.DRAM_REGION, rid)
+        else:
+            recipient = mapping.get(args[1], args[1])
+            real = sm.grant_resource(OS, ResourceType.DRAM_REGION, rid, recipient)
+        if expected is None:
+            assert real is not ApiResult.OK, f"real SM accepted illegal {action}"
+        else:
+            assert real is ApiResult.OK, f"real SM refused legal {action}: {real.name}"
+            state = expected

@@ -1,0 +1,179 @@
+"""Hypothesis stateful testing: the real SM against the abstract model.
+
+A rule-based state machine drives the *real* monitor (on a live Sanctum
+system) and the abstract model with the same action stream; after every
+action both must agree on accept/reject, and the real system must keep
+satisfying its runtime invariants.  Hypothesis explores interleavings a
+hand-written test never would, and shrinks divergences to minimal
+traces.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro import build_sanctum_system
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.machine import MachineConfig
+from repro.sm.invariants import check_all
+from repro.sm.resources import ResourceType
+from repro.verification.model import (
+    OS,
+    AbstractSm,
+    Action,
+    Lifecycle,
+    ModelConfig,
+)
+
+#: Two abstract enclaves and two donatable regions.
+ABSTRACT_EIDS = (100, 101)
+
+
+class SmVsModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = build_sanctum_system(
+            config=MachineConfig(n_cores=2, dram_size=16 * 1024 * 1024, llc_sets=256),
+            n_regions=4,
+        )
+        self.sm = self.system.sm
+        # Two real donatable regions stand for abstract regions 0 and 1.
+        self.rids = self.system.kernel._donatable_regions[:2]
+        self.model = AbstractSm(ModelConfig(n_regions=2, eids=ABSTRACT_EIDS, tids=()))
+        self.state = self.model.initial_state()
+        #: abstract eid -> real eid.
+        self.eid_map: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _apply_both(self, action: Action, real_call):
+        expected = self.model.apply(self.state, action)
+        result = real_call()
+        if expected is None:
+            assert result is not ApiResult.OK, (
+                f"real SM accepted what the model forbids: {action} -> {result.name}"
+            )
+        else:
+            assert result is ApiResult.OK, (
+                f"real SM refused what the model allows: {action} -> {result.name}"
+            )
+            self.state = expected
+
+    def _real_domain(self, abstract: int) -> int:
+        if abstract == OS:
+            return DOMAIN_UNTRUSTED
+        return self.eid_map.get(abstract, 0xDEAD000 + abstract)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(eid=st.sampled_from(ABSTRACT_EIDS))
+    def create_enclave(self, eid):
+        def call():
+            if eid in self.eid_map:
+                # Real ids are fresh per enclave; re-creating the *same*
+                # abstract enclave maps to re-using its real id.
+                return self.sm.create_enclave(
+                    DOMAIN_UNTRUSTED, self.eid_map[eid], 0x40000000, 4096, 1
+                )
+            real = self.sm.state.suggest_metadata(4096)
+            result = self.sm.create_enclave(DOMAIN_UNTRUSTED, real, 0x40000000, 4096, 1)
+            if result is ApiResult.OK:
+                self.eid_map[eid] = real
+            return result
+
+        self._apply_both(Action("create_enclave", (eid,)), call)
+
+    @rule(eid=st.sampled_from(ABSTRACT_EIDS))
+    def delete_enclave(self, eid):
+        def call():
+            result = self.sm.delete_enclave(DOMAIN_UNTRUSTED, self._real_domain(eid))
+            if result is ApiResult.OK:
+                self.eid_map.pop(eid, None)
+            return result
+
+        self._apply_both(Action("delete_enclave", (eid,)), call)
+
+    @rule(region=st.sampled_from([0, 1]), owner=st.sampled_from([OS] + list(ABSTRACT_EIDS)))
+    def block_region(self, region, owner):
+        self._apply_both(
+            Action("block_region", (owner, region)),
+            lambda: self.sm.block_resource(
+                self._real_domain(owner), ResourceType.DRAM_REGION, self.rids[region]
+            ),
+        )
+
+    @rule(region=st.sampled_from([0, 1]))
+    def clean_region(self, region):
+        self._apply_both(
+            Action("clean_region", (region,)),
+            lambda: self.sm.clean_resource(
+                DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, self.rids[region]
+            ),
+        )
+
+    @rule(region=st.sampled_from([0, 1]), recipient=st.sampled_from([OS] + list(ABSTRACT_EIDS)))
+    def grant_region(self, region, recipient):
+        self._apply_both(
+            Action("grant_region", (region, recipient)),
+            lambda: self.sm.grant_resource(
+                DOMAIN_UNTRUSTED,
+                ResourceType.DRAM_REGION,
+                self.rids[region],
+                self._real_domain(recipient),
+            ),
+        )
+
+    @rule(region=st.sampled_from([0, 1]), caller=st.sampled_from(list(ABSTRACT_EIDS)))
+    def accept_region(self, region, caller):
+        self._apply_both(
+            Action("accept_region", (caller, region)),
+            lambda: self.sm.accept_resource(
+                self._real_domain(caller), ResourceType.DRAM_REGION, self.rids[region]
+            ),
+        )
+
+    @rule(eid=st.sampled_from(ABSTRACT_EIDS))
+    def init_enclave(self, eid):
+        # The abstract model has no loading discipline, so only attempt
+        # init when the model says LOADING *and* give the real enclave a
+        # root table first (the real precondition).
+        expected = self.model.apply(self.state, Action("init_enclave", (eid,)))
+        real_eid = self.eid_map.get(eid)
+        if expected is None or real_eid is None:
+            if real_eid is not None:
+                # Either already initialized or never created: the real
+                # SM must also refuse a bare re-init.
+                if self.state.enclave(eid) is Lifecycle.INITIALIZED:
+                    assert (
+                        self.sm.init_enclave(DOMAIN_UNTRUSTED, real_eid)
+                        is not ApiResult.OK
+                    )
+            return
+        enclave = self.sm.state.enclave(real_eid)
+        if enclave.page_table_root_ppn is None:
+            record = self.sm.state.resources.owned_by(real_eid, ResourceType.DRAM_REGION)
+            if not record:
+                return  # cannot satisfy the real precondition; skip
+            base, __ = self.system.platform.region_range(record[0].rid)
+            assert (
+                self.sm.allocate_page_table(DOMAIN_UNTRUSTED, real_eid, 0, 1, base)
+                is ApiResult.OK
+            )
+        assert self.sm.init_enclave(DOMAIN_UNTRUSTED, real_eid) is ApiResult.OK
+        self.state = expected
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def runtime_invariants_hold(self):
+        check_all(self.sm)
+
+
+TestSmVsModel = SmVsModel.TestCase
+TestSmVsModel.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
