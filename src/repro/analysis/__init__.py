@@ -1,5 +1,12 @@
-"""Analysis tooling: the LOC inventory of §VII-A."""
+"""Analysis tooling: the LOC inventory of §VII-A and the sim-speed bench."""
 
 from repro.analysis.loc import LocReport, count_loc, loc_report
+from repro.analysis.simbench import format_bench, run_sim_speed_bench
 
-__all__ = ["LocReport", "count_loc", "loc_report"]
+__all__ = [
+    "LocReport",
+    "count_loc",
+    "loc_report",
+    "format_bench",
+    "run_sim_speed_bench",
+]

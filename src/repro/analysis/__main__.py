@@ -1,12 +1,29 @@
-"""Command-line LOC inventory: ``python -m repro.analysis``.
+"""Analysis command line: ``python -m repro.analysis <command>``.
 
-Prints the §VII-A-style table for the installed build.
+Commands:
+
+* ``loc`` (default) — the §VII-A-style lines-of-code inventory.
+* ``perf`` — boot a Sanctum system, run a demo enclave workload, and
+  print the machine-wide performance-counter report
+  (:meth:`repro.hw.perf.PerfMonitor.format_report`).
+* ``bench`` — the simulator-speed benchmark (decode cache off vs on);
+  writes ``BENCH_sim_speed.json``.
 """
 
+from __future__ import annotations
+
+import argparse
+
 from repro.analysis.loc import loc_report
+from repro.analysis.simbench import (
+    DEFAULT_ITERATIONS,
+    DEFAULT_OUT_PATH,
+    format_bench,
+    run_sim_speed_bench,
+)
 
 
-def main() -> None:
+def cmd_loc(_args: argparse.Namespace) -> int:
     report = loc_report()
     print("Sanctorum reproduction — lines-of-code inventory (§VII-A style)\n")
     width = max(len(name) for name, _ in report.rows())
@@ -18,7 +35,61 @@ def main() -> None:
     print("\nper package:")
     for package, value in sorted(report.per_package.items()):
         print(f"  {package.ljust(width)}  {value:6d}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    # Imported here so `loc` stays importable without the full stack.
+    from repro.kernel.loader import image_from_assembly
+    from repro.system import build_sanctum_system
+
+    system = build_sanctum_system()
+    kernel = system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(
+        image_from_assembly(
+            f"""
+entry:
+    li   t0, 0
+    li   t1, {args.iterations}
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    sw   t1, {out}(zero)
+    li   a0, 0
+    ecall
+"""
+        )
+    )
+    kernel.enter_and_run(loaded.eid, loaded.tids[0], max_steps=args.iterations * 4 + 100_000)
+    kernel.destroy_enclave(loaded.eid)
+    print(system.machine.perf.format_report())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    result = run_sim_speed_bench(iterations=args.iterations, out_path=args.out)
+    print(format_bench(result))
+    print(f"  wrote {args.out}")
+    return 0 if result["architecturally_identical"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("loc", help="lines-of-code inventory (default)")
+    perf = sub.add_parser("perf", help="run a demo workload, print perf counters")
+    perf.add_argument("--iterations", type=int, default=20_000,
+                      help="loop iterations of the demo workload")
+    bench = sub.add_parser("bench", help="sim-speed benchmark (decode cache off vs on)")
+    bench.add_argument("--iterations", type=int, default=DEFAULT_ITERATIONS,
+                       help="loop iterations of the benchmark workload")
+    bench.add_argument("--out", default=DEFAULT_OUT_PATH,
+                       help="where to write the JSON result")
+    args = parser.parse_args(argv)
+    handler = {"perf": cmd_perf, "bench": cmd_bench}.get(args.command, cmd_loc)
+    return handler(args)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Simulator-speed benchmark: the decoded-instruction fast path.
+
+Runs one loop-heavy enclave workload twice, on two identically seeded
+Sanctum systems — once on the reference interpreter path
+(``decode_cache_enabled=False``) and once with the decode cache and
+translation memo on — then:
+
+* asserts the two runs are **architecturally identical** (per-core
+  cycle counts, retired-instruction counts, enclave measurement, and
+  the value the enclave stored to shared memory), which is the decode
+  cache's correctness contract, and
+* reports host-side **instructions per second** for both paths and
+  their ratio, which is the fast path's reason to exist.
+
+``python -m repro.analysis bench`` runs this and writes the result to
+``BENCH_sim_speed.json`` (see docs/SIMULATOR.md for the format).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.hw.machine import MachineConfig
+from repro.kernel.loader import image_from_assembly
+from repro.system import build_sanctum_system
+
+#: Loop iterations of the default workload (~3 instructions each).
+DEFAULT_ITERATIONS = 60_000
+
+#: Where ``python -m repro.analysis bench`` writes its result.
+DEFAULT_OUT_PATH = "BENCH_sim_speed.json"
+
+#: Fields of a single run that must be bit-identical with the decode
+#: cache on and off.
+_ARCHITECTURAL_FIELDS = (
+    "result",
+    "cycles",
+    "instructions_retired",
+    "measurement",
+    "global_steps",
+)
+
+
+def _workload(iterations: int, out: int) -> str:
+    """A tight counted loop that ends by publishing its counter."""
+    return f"""
+entry:
+    li   t0, 0
+    li   t1, {iterations}
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    sw   t1, {out}(zero)
+    li   a0, 0
+    ecall
+"""
+
+
+def _run_once(iterations: int, decode_cache_enabled: bool) -> dict:
+    """Boot a fresh system, run the workload, return timing + state."""
+    config = MachineConfig(
+        n_cores=2,
+        dram_size=32 * 1024 * 1024,
+        llc_sets=256,
+        decode_cache_enabled=decode_cache_enabled,
+    )
+    system = build_sanctum_system(config=config, n_regions=8)
+    kernel = system.kernel
+    out = kernel.alloc_buffer(1)
+    loaded = kernel.load_enclave(image_from_assembly(_workload(iterations, out)))
+    machine = system.machine
+    retired_before = sum(core.instructions_retired for core in machine.cores)
+    start = time.perf_counter()
+    kernel.enter_and_run(
+        loaded.eid, loaded.tids[0], max_steps=iterations * 4 + 100_000
+    )
+    elapsed = time.perf_counter() - start
+    instructions = sum(core.instructions_retired for core in machine.cores) - retired_before
+    measurement = system.sm.enclave_measurement(loaded.eid)
+    return {
+        "decode_cache_enabled": decode_cache_enabled,
+        "instructions": instructions,
+        "elapsed_s": elapsed,
+        "ips": instructions / elapsed if elapsed > 0 else 0.0,
+        # Architectural state that must not depend on the fast path:
+        "result": machine.memory.read_u32(out),
+        "cycles": [core.cycles for core in machine.cores],
+        "instructions_retired": [core.instructions_retired for core in machine.cores],
+        "measurement": measurement.hex() if measurement else None,
+        "global_steps": machine.global_steps,
+        "perf": machine.perf.snapshot(),
+    }
+
+
+def run_sim_speed_bench(
+    iterations: int = DEFAULT_ITERATIONS, out_path: str | None = None
+) -> dict:
+    """Run the off/on comparison; optionally write BENCH_sim_speed.json."""
+    off = _run_once(iterations, decode_cache_enabled=False)
+    on = _run_once(iterations, decode_cache_enabled=True)
+    mismatched = [
+        field for field in _ARCHITECTURAL_FIELDS if off[field] != on[field]
+    ]
+    result = {
+        "bench": "sim_speed",
+        "iterations": iterations,
+        "workload_instructions": on["instructions"],
+        "expected_result": iterations,
+        "result": on["result"],
+        "architecturally_identical": not mismatched,
+        "mismatched_fields": mismatched,
+        "elapsed_s_off": round(off["elapsed_s"], 4),
+        "elapsed_s_on": round(on["elapsed_s"], 4),
+        "ips_off": round(off["ips"], 1),
+        "ips_on": round(on["ips"], 1),
+        "speedup": round(on["ips"] / off["ips"], 3) if off["ips"] else 0.0,
+        "simulated_cycles": on["cycles"],
+        "instructions_retired": on["instructions_retired"],
+        "enclave_measurement": on["measurement"],
+        "decode_cache": on["perf"]["cores"][0]["decode_cache"],
+        "perf": on["perf"],
+    }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+def format_bench(result: dict) -> str:
+    """One-paragraph human rendering of a bench result."""
+    lines = [
+        f"sim-speed bench: {result['workload_instructions']} workload instructions",
+        f"  reference path : {result['ips_off']:>12,.0f} insn/s"
+        f"  ({result['elapsed_s_off']:.3f}s)",
+        f"  fast path      : {result['ips_on']:>12,.0f} insn/s"
+        f"  ({result['elapsed_s_on']:.3f}s)",
+        f"  speedup        : {result['speedup']:.2f}x",
+        f"  architecturally identical: {result['architecturally_identical']}",
+    ]
+    if result["mismatched_fields"]:
+        lines.append(f"  MISMATCHED: {', '.join(result['mismatched_fields'])}")
+    return "\n".join(lines)

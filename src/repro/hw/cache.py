@@ -37,8 +37,9 @@ class CacheStats:
     #: domain than the requester — the raw signal behind prime+probe.
     cross_domain_evictions: int = 0
     flushes: int = 0
-    #: Whether the most recent access hit; lets the next cache level
-    #: decide whether the request propagates to it.
+    #: Whether the most recent access hit.  Purely informational:
+    #: :meth:`Cache.access` returns ``(cycles, hit)`` directly, so no
+    #: caller needs this side channel to route a request.
     last_was_hit: bool = False
 
     def reset(self) -> None:
@@ -47,6 +48,12 @@ class CacheStats:
         self.evictions = 0
         self.cross_domain_evictions = 0
         self.flushes = 0
+        self.last_was_hit = False
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when never accessed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 @dataclasses.dataclass
@@ -81,13 +88,15 @@ class Cache:
         """Map a physical address to a set; subclasses override."""
         return (paddr // LINE_SIZE) % self.n_sets
 
-    def access(self, paddr: int, domain: int) -> int:
-        """Access the line containing ``paddr``; returns cycles consumed.
+    def access(self, paddr: int, domain: int) -> tuple[int, bool]:
+        """Access the line containing ``paddr``; returns ``(cycles, hit)``.
 
-        Returns only this level's cost contribution: ``hit_cycles`` on a
-        hit, ``hit_cycles + miss_penalty`` on a miss (the caller adds
-        lower-level costs if it models them explicitly; our machine
-        folds DRAM latency into the LLC's ``miss_penalty``).
+        ``cycles`` is only this level's cost contribution: ``hit_cycles``
+        on a hit, ``hit_cycles + miss_penalty`` on a miss (the caller
+        adds lower-level costs if it models them explicitly; our machine
+        folds DRAM latency into the LLC's ``miss_penalty``).  ``hit``
+        tells the caller whether the request propagates to the next
+        level, replacing the old ``stats.last_was_hit`` side channel.
         """
         tag = paddr // LINE_SIZE
         index = self.set_index(paddr)
@@ -98,7 +107,7 @@ class Cache:
                 lines.append(lines.pop(position))
                 self.stats.hits += 1
                 self.stats.last_was_hit = True
-                return self.hit_cycles
+                return self.hit_cycles, True
         self.stats.misses += 1
         self.stats.last_was_hit = False
         if len(lines) >= self.n_ways:
@@ -107,7 +116,7 @@ class Cache:
             if victim.domain != domain:
                 self.stats.cross_domain_evictions += 1
         lines.append(_Line(tag, domain))
-        return self.hit_cycles + self.miss_penalty
+        return self.hit_cycles + self.miss_penalty, False
 
     def probe(self, paddr: int) -> bool:
         """Return True when the line holding ``paddr`` is resident.
@@ -124,10 +133,19 @@ class Cache:
         self.stats.flushes += 1
 
     def flush_domain(self, domain: int) -> None:
-        """Invalidate all lines owned by one domain (selective clean)."""
+        """Invalidate all lines owned by one domain (selective clean).
+
+        Counted as a flush only when it actually invalidated something,
+        so flush counters measure work done, not calls made.
+        """
+        dropped = False
         for lines in self._sets:
-            lines[:] = [line for line in lines if line.domain != domain]
-        self.stats.flushes += 1
+            kept = [line for line in lines if line.domain != domain]
+            if len(kept) != len(lines):
+                lines[:] = kept
+                dropped = True
+        if dropped:
+            self.stats.flushes += 1
 
     def resident_domains(self, index: int) -> list[int]:
         """Domains currently occupying a set (diagnostics for leak tests)."""

@@ -52,6 +52,108 @@ _ACCESS_TO_PMP_PERM = {
     AccessType.LOAD: PmpPerm.R,
     AccessType.STORE: PmpPerm.W,
 }
+#: Permission bitmask per access type, used by the translation memo
+#: (mirrors Translation.readable/writable/executable).
+_PERM_R, _PERM_W, _PERM_X = 1, 2, 4
+_ACCESS_TO_PERM_BIT = {
+    AccessType.FETCH: _PERM_X,
+    AccessType.LOAD: _PERM_R,
+    AccessType.STORE: _PERM_W,
+}
+
+
+class DecodeCache:
+    """Decoded-instruction cache keyed by physical address.
+
+    The interpreter's hot path is fetch → decode: without this cache
+    every step re-reads 8 bytes from DRAM frames and re-constructs an
+    :class:`~repro.hw.isa.Instruction` (enum conversion + validated
+    dataclass), which dominates host time.  Decoded instructions are a
+    pure function of memory bytes, so caching them by physical address
+    is architecturally invisible — simulated cycle counts never change.
+
+    Invalidation rules (see docs/SIMULATOR.md):
+
+    * any write to a physical page holding cached entries (core stores,
+      SM page loads/scrubs, DMA) drops that page's entries;
+    * an L1 flush (SM core clean) drops everything on that core, and an
+      L1 domain flush drops the flushed domain's entries;
+    * DRAM-region reassignment and cleaning drop the region's range on
+      every core.
+
+    Entries are tagged with the protection domain that fetched them so
+    domain flushes can be selective.
+    """
+
+    __slots__ = ("entries", "pages", "hits", "misses", "invalidations")
+
+    def __init__(self) -> None:
+        #: paddr -> (decoded instruction, fetching domain)
+        self.entries: dict[int, tuple["Instruction", int]] = {}  # noqa: F821
+        #: physical page number -> set of cached paddrs on that page.
+        self.pages: dict[int, set[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, paddr: int):
+        """Return the cached decoded instruction, or None."""
+        entry = self.entries.get(paddr)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[0]
+
+    def insert(self, paddr: int, instruction, domain: int) -> None:
+        """Cache one decoded instruction."""
+        self.entries[paddr] = (instruction, domain)
+        self.pages.setdefault(paddr >> 12, set()).add(paddr)
+
+    def invalidate_page(self, ppn: int) -> None:
+        """Drop every entry on one physical page (a write landed there)."""
+        paddrs = self.pages.pop(ppn, None)
+        if not paddrs:
+            return
+        for paddr in paddrs:
+            del self.entries[paddr]
+        self.invalidations += 1
+
+    def invalidate_range(self, base: int, size: int) -> None:
+        """Drop entries in a physical interval (region reassignment)."""
+        if not self.pages:
+            return
+        first, last = base >> 12, (base + size - 1) >> 12
+        if last - first > len(self.pages):
+            stale = [ppn for ppn in self.pages if first <= ppn <= last]
+        else:
+            stale = [ppn for ppn in range(first, last + 1) if ppn in self.pages]
+        for ppn in stale:
+            self.invalidate_page(ppn)
+
+    def flush(self) -> None:
+        """Drop everything (the SM's core clean)."""
+        if self.entries:
+            self.entries.clear()
+            self.pages.clear()
+            self.invalidations += 1
+
+    def flush_domain(self, domain: int) -> None:
+        """Drop all entries fetched by one protection domain."""
+        stale = [p for p, (_, d) in self.entries.items() if d == domain]
+        if not stale:
+            return
+        for paddr in stale:
+            del self.entries[paddr]
+            page = self.pages.get(paddr >> 12)
+            if page is not None:
+                page.discard(paddr)
+                if not page:
+                    del self.pages[paddr >> 12]
+        self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 @dataclasses.dataclass
@@ -103,6 +205,18 @@ class Core:
         self.tlb = Tlb(capacity=machine.config.tlb_entries)
         self.pmp = PmpUnit()
         self._walker = PageTableWalker(machine.memory, self._walker_read_u32)
+        #: Host-speed fast path (decode cache + translation memo).
+        #: Architecturally invisible; gated so the reference interpreter
+        #: path stays runnable for determinism regressions.
+        self.fast_path_enabled = getattr(machine.config, "decode_cache_enabled", True)
+        self.decode_cache = DecodeCache()
+        #: Translation memo riding the TLB: (tlb_domain, vpn) ->
+        #: (paddr_base, perm_bits).  Valid only while the TLB generation
+        #: is unchanged, i.e. while every memoized entry is still
+        #: TLB-resident — so a memo hit is exactly a TLB hit and the
+        #: cycle model is untouched.
+        self._xlate_memo: dict[tuple[int, int], tuple[int, int]] = {}
+        self._xlate_generation = -1
 
     # ------------------------------------------------------------------
     # Register file
@@ -127,6 +241,9 @@ class Core:
         self.regs = [0] * NUM_REGS
         self.l1.flush()
         self.tlb.flush_all()
+        self.decode_cache.flush()
+        self._xlate_memo.clear()
+        self._xlate_generation = -1
 
     # ------------------------------------------------------------------
     # Memory access path
@@ -153,22 +270,52 @@ class Core:
         if not self.context.paging_enabled:
             return vaddr
         use_enclave_root = self.context.in_evrange(vaddr)
-        root_ppn = (
-            self.context.enclave_root_ppn if use_enclave_root else self.context.os_root_ppn
-        )
         # TLB entries are tagged by the domain whose tables produced them.
         tlb_domain = self.domain if use_enclave_root else DOMAIN_UNTRUSTED
         vpn = vaddr >> 12
-        cached = self.tlb.lookup(tlb_domain, vpn)
+        tlb = self.tlb
+        if self.fast_path_enabled:
+            if self._xlate_generation == tlb.generation:
+                memo = self._xlate_memo.get((tlb_domain, vpn))
+                if memo is not None and memo[1] & _ACCESS_TO_PERM_BIT[access]:
+                    # The memoized entry is still TLB-resident, so the
+                    # slow path would have been a TLB hit: count it as
+                    # one to keep stats identical, charge no cycles.
+                    tlb.hits += 1
+                    return memo[0] | (vaddr & 0xFFF)
+            else:
+                self._xlate_memo.clear()
+                self._xlate_generation = tlb.generation
+        cached = tlb.lookup(tlb_domain, vpn)
         if cached is not None and cached.permits(access):
+            if self.fast_path_enabled:
+                self._memoize(tlb_domain, vpn, cached)
             return cached.paddr(vaddr)
+        root_ppn = (
+            self.context.enclave_root_ppn if use_enclave_root else self.context.os_root_ppn
+        )
         try:
             translation = self._walker.walk(root_ppn, vaddr, access)
         except PageFault as fault:
             raise Trap(_ACCESS_TO_PAGE_FAULT[access], tval=fault.vaddr, pc=self.pc) from fault
         self.cycles += self.WALK_CYCLES_PER_LEVEL * 2
-        self.tlb.insert(tlb_domain, translation)
+        tlb.insert(tlb_domain, translation)
+        if self.fast_path_enabled:
+            # The insert may have evicted an entry (generation bump);
+            # resync before memoizing the fresh, definitely-resident one.
+            if self._xlate_generation != tlb.generation:
+                self._xlate_memo.clear()
+                self._xlate_generation = tlb.generation
+            self._memoize(tlb_domain, vpn, translation)
         return translation.paddr(vaddr)
+
+    def _memoize(self, tlb_domain: int, vpn: int, translation: Translation) -> None:
+        perms = (
+            (_PERM_R if translation.readable else 0)
+            | (_PERM_W if translation.writable else 0)
+            | (_PERM_X if translation.executable else 0)
+        )
+        self._xlate_memo[(tlb_domain, vpn)] = (translation.ppn << 12, perms)
 
     def _checked_physical(self, paddr: int, access: AccessType) -> None:
         """Isolation check + cache timing for one physical access."""
@@ -214,11 +361,20 @@ class Core:
         at the faulting instruction and no architectural state from the
         faulting instruction has been committed.
         """
-        raw = self.fetch(self.pc)
-        try:
-            instruction = decode(raw)
-        except ValueError:
-            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=self.pc, pc=self.pc) from None
+        pc = self.pc
+        if pc % INSTRUCTION_SIZE:
+            raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=pc, pc=pc)
+        paddr = self.translate(pc, AccessType.FETCH)
+        self._checked_physical(paddr, AccessType.FETCH)
+        instruction = self.decode_cache.lookup(paddr) if self.fast_path_enabled else None
+        if instruction is None:
+            raw = self.machine.memory.read(paddr, INSTRUCTION_SIZE)
+            try:
+                instruction = decode(raw)
+            except ValueError:
+                raise Trap(TrapCause.ILLEGAL_INSTRUCTION, tval=pc, pc=pc) from None
+            if self.fast_path_enabled:
+                self.decode_cache.insert(paddr, instruction, self.domain)
         self.cycles += 1
         self._execute(instruction)
         self.instructions_retired += 1
@@ -234,8 +390,11 @@ class Core:
         elif op is Opcode.FENCE:
             # Address-translation fence: drops this domain's TLB entries
             # (how an enclave managing its own page tables makes PTE
-            # edits visible, cf. RISC-V's sfence.vma).
+            # edits visible, cf. RISC-V's sfence.vma).  Also acts as an
+            # instruction fence for the host-speed decode cache
+            # (cf. fence.i), though stores already invalidate it.
             self.tlb.flush_domain(self.domain)
+            self.decode_cache.flush_domain(self.domain)
         elif op is Opcode.HALT:
             self.halted = True
         elif op is Opcode.LI:

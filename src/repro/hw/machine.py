@@ -28,8 +28,9 @@ from repro.hw.cache import PartitionedLlc
 from repro.hw.core import Core
 from repro.hw.dma import DmaFilter
 from repro.hw.interrupts import InterruptController
-from repro.hw.memory import PhysicalMemory
+from repro.hw.memory import PAGE_SHIFT, PhysicalMemory
 from repro.hw.paging import AccessType
+from repro.hw.perf import PerfMonitor
 from repro.hw.traps import Trap
 from repro.util.rng import DeterministicTRNG
 
@@ -59,6 +60,11 @@ class MachineConfig:
     llc_miss_penalty: int = 100
     tlb_entries: int = 64
     trng_seed: int = 2019
+    #: Host-speed fast path: decoded-instruction cache + translation
+    #: memo.  Architecturally invisible (identical simulated cycles,
+    #: measurements, and register state); disable to run the reference
+    #: interpreter path, e.g. for determinism regressions.
+    decode_cache_enabled: bool = True
 
 
 class Machine:
@@ -81,7 +87,37 @@ class Machine:
         #: Optional trap observer, called before the handler.
         self._trap_observer: Callable[[Core, Trap], None] | None = None
         #: Monotonic global step counter used for fair interleaving.
+        #: Counts every productive core step, including interrupt and
+        #: trap deliveries.
         self.global_steps = 0
+        #: Machine-wide performance counters (see repro.hw.perf).
+        self.perf = PerfMonitor(self)
+        # Keep the decode caches coherent with DRAM: any write (core
+        # store, SM page load/scrub, DMA) to a page holding cached
+        # decoded instructions drops that page's entries.
+        if self.config.decode_cache_enabled:
+            self.memory.set_write_observer(self._on_memory_write)
+
+    def _on_memory_write(self, paddr: int, length: int) -> None:
+        """Invalidate decoded instructions on written code pages."""
+        first = paddr >> PAGE_SHIFT
+        last = (paddr + length - 1) >> PAGE_SHIFT
+        for core in self.cores:
+            pages = core.decode_cache.pages
+            if not pages:
+                continue
+            for ppn in range(first, last + 1):
+                if ppn in pages:
+                    core.decode_cache.invalidate_page(ppn)
+
+    def invalidate_decode_range(self, base: int, size: int) -> None:
+        """Drop decoded instructions in a physical interval on all cores.
+
+        Called on DRAM-region reassignment and cleaning — the
+        page-reassignment invalidation rule of the decode cache.
+        """
+        for core in self.cores:
+            core.decode_cache.invalidate_range(base, size)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -132,9 +168,10 @@ class Machine:
         the shared LLC (when installed), which adds its hit latency or
         its DRAM miss penalty.
         """
-        cycles = core.l1.access(paddr, core.domain)
-        if not core.l1.stats.last_was_hit and self.llc is not None:
-            cycles += self.llc.access(paddr, core.domain)
+        cycles, hit = core.l1.access(paddr, core.domain)
+        if not hit and self.llc is not None:
+            llc_cycles, _ = self.llc.access(paddr, core.domain)
+            cycles += llc_cycles
         return cycles
 
     # ------------------------------------------------------------------
@@ -145,6 +182,7 @@ class Machine:
         """Route a trap to the SM (the registered handler)."""
         if self._trap_handler is None:
             raise RuntimeError(f"trap with no handler installed: {trap}")
+        self.perf.record_trap(core.core_id, trap.cause)
         if self._trap_observer is not None:
             self._trap_observer(core, trap)
         self._trap_handler(core, trap)
@@ -153,6 +191,9 @@ class Machine:
         """Advance one core by one instruction (or one trap delivery).
 
         Returns True when the core did any work (was not halted).
+        Every productive step — instruction, trap, or interrupt
+        delivery — advances ``global_steps``, so the fair-interleaving
+        counter never undercounts interrupt-heavy workloads.
         """
         core = self.cores[core_id]
         if core.halted:
@@ -160,6 +201,7 @@ class Machine:
         interrupt = self.interrupts.poll(core_id, core.cycles)
         if interrupt is not None:
             self.deliver_trap(core, dataclasses.replace(interrupt, pc=core.pc))
+            self.global_steps += 1
             return True
         if self._trace_hook is not None:
             self._trace_hook(core)

@@ -27,6 +27,14 @@ class PhysicalMemory:
             raise ValueError(f"memory size must be a power of two, got {size:#x}")
         self.size = size
         self._frames: dict[int, bytearray] = {}
+        #: Optional (paddr, length) callback fired on every mutation
+        #: (write or zero) — the machine uses it to keep decoded-
+        #: instruction caches coherent with DRAM contents.
+        self._write_observer = None
+
+    def set_write_observer(self, observer) -> None:
+        """Install (or clear, with None) the mutation observer."""
+        self._write_observer = observer
 
     @property
     def num_frames(self) -> int:
@@ -66,6 +74,8 @@ class PhysicalMemory:
     def write(self, paddr: int, data: bytes) -> None:
         """Write ``data`` starting at ``paddr``."""
         self._check_range(paddr, len(data))
+        if self._write_observer is not None and data:
+            self._write_observer(paddr, len(data))
         offset_in_data = 0
         remaining = len(data)
         while remaining > 0:
@@ -97,6 +107,8 @@ class PhysicalMemory:
     def zero_range(self, paddr: int, length: int) -> None:
         """Zero ``length`` bytes — the SM's resource-cleaning primitive."""
         self._check_range(paddr, length)
+        if self._write_observer is not None and length:
+            self._write_observer(paddr, length)
         while length > 0:
             frame_number, offset = divmod(paddr, PAGE_SIZE)
             take = min(length, PAGE_SIZE - offset)

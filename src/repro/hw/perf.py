@@ -1,0 +1,259 @@
+"""Machine-wide performance counters and SM API latency histograms.
+
+The paper's headline claim is that the security monitor is
+*lightweight*; this module is where the reproduction keeps the numbers
+that back (or break) that claim.  Two kinds of measurement live here:
+
+* **Simulated counters** — instructions, cycles, IPC, TLB/L1/LLC hit
+  rates, traps by cause.  These are read out of the architectural and
+  microarchitectural state the simulator already maintains, so they are
+  deterministic and free.
+* **Host-side latencies** — wall-clock time spent inside each SM API
+  entry point (``sm.api`` wraps its methods with
+  :func:`repro.sm.api.timed_api`), bucketed into log-scale histograms.
+  These measure the *reproduction's* speed, not the modelled hardware's,
+  and are the currency of BENCH_sim_speed.json.
+
+:class:`PerfMonitor` hangs off every :class:`~repro.hw.machine.Machine`
+as ``machine.perf``; ``python -m repro.analysis perf`` renders
+:meth:`PerfMonitor.format_report` after a demo workload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine imports us)
+    from repro.hw.machine import Machine
+
+#: Histogram bucket upper bounds, in nanoseconds (log-ish scale).  The
+#: final implicit bucket is "everything above the last bound".
+LATENCY_BUCKETS_NS = (
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+)
+
+
+class LatencyHistogram:
+    """Fixed log-scale histogram of nanosecond latencies."""
+
+    __slots__ = ("counts", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKETS_NS) + 1)
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: int | None = None
+        self.max_ns = 0
+
+    def record(self, ns: int) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total_ns += ns
+        if self.min_ns is None or ns < self.min_ns:
+            self.min_ns = ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+        for index, bound in enumerate(LATENCY_BUCKETS_NS):
+            if ns <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def percentile_ns(self, q: float) -> int:
+        """Upper bucket bound below which a fraction ``q`` of samples fall.
+
+        Bucket-resolution approximation; exact min/max are tracked
+        separately.  Returns 0 with no samples.
+        """
+        if not self.count:
+            return 0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(LATENCY_BUCKETS_NS):
+                    return LATENCY_BUCKETS_NS[index]
+                return self.max_ns
+        return self.max_ns
+
+    def summary(self) -> dict:
+        """JSON-ready summary (times in microseconds for readability)."""
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_ns / 1000, 3),
+            "min_us": round((self.min_ns or 0) / 1000, 3),
+            "p50_us": round(self.percentile_ns(0.50) / 1000, 3),
+            "p99_us": round(self.percentile_ns(0.99) / 1000, 3),
+            "max_us": round(self.max_ns / 1000, 3),
+            "total_ms": round(self.total_ns / 1e6, 3),
+        }
+
+
+class PerfMonitor:
+    """Aggregates per-core, cache, trap, and SM-API measurements.
+
+    The monitor owns only what no other structure records: trap counts
+    by cause and API latency histograms.  Everything else (instruction
+    and cycle counters, TLB/cache stats, decode-cache stats) is read
+    live from the machine at snapshot time, so the hot path pays zero
+    extra cost for it.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+        #: Per-core: trap-cause name -> count.
+        self.traps_by_cause: list[dict[str, int]] = [
+            {} for _ in range(machine.config.n_cores)
+        ]
+        #: SM API entry point name -> latency histogram.
+        self.api_latencies: dict[str, LatencyHistogram] = {}
+
+    # -- recording hooks ---------------------------------------------------
+
+    def record_trap(self, core_id: int, cause) -> None:
+        """Count one trap delivery (called by ``Machine.deliver_trap``)."""
+        by_cause = self.traps_by_cause[core_id]
+        name = cause.name
+        by_cause[name] = by_cause.get(name, 0) + 1
+
+    def record_api(self, name: str, ns: int) -> None:
+        """Record one SM API call's host-side latency."""
+        histogram = self.api_latencies.get(name)
+        if histogram is None:
+            histogram = self.api_latencies[name] = LatencyHistogram()
+        histogram.record(ns)
+
+    def reset(self) -> None:
+        """Zero the monitor's own counters (not the machine's)."""
+        for by_cause in self.traps_by_cause:
+            by_cause.clear()
+        self.api_latencies.clear()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def core_counters(self, core_id: int) -> dict:
+        """One core's counters, JSON-ready."""
+        core = self._machine.cores[core_id]
+        tlb = core.tlb
+        tlb_total = tlb.hits + tlb.misses
+        decode = core.decode_cache
+        decode_total = decode.hits + decode.misses
+        return {
+            "core": core_id,
+            "instructions": core.instructions_retired,
+            "cycles": core.cycles,
+            "ipc": round(core.instructions_retired / core.cycles, 4)
+            if core.cycles
+            else 0.0,
+            "tlb": {
+                "hits": tlb.hits,
+                "misses": tlb.misses,
+                "hit_rate": round(tlb.hits / tlb_total, 4) if tlb_total else 0.0,
+                "shootdowns": tlb.shootdowns,
+            },
+            "l1": {
+                "hits": core.l1.stats.hits,
+                "misses": core.l1.stats.misses,
+                "hit_rate": round(core.l1.stats.hit_rate(), 4),
+                "evictions": core.l1.stats.evictions,
+                "flushes": core.l1.stats.flushes,
+            },
+            "decode_cache": {
+                "entries": len(decode),
+                "hits": decode.hits,
+                "misses": decode.misses,
+                "hit_rate": round(decode.hits / decode_total, 4)
+                if decode_total
+                else 0.0,
+                "invalidations": decode.invalidations,
+            },
+            "traps": dict(sorted(self.traps_by_cause[core_id].items())),
+        }
+
+    def snapshot(self) -> dict:
+        """Machine-wide counters, JSON-ready."""
+        machine = self._machine
+        llc = machine.llc
+        out = {
+            "global_steps": machine.global_steps,
+            "instructions": sum(c.instructions_retired for c in machine.cores),
+            "cycles": sum(c.cycles for c in machine.cores),
+            "cores": [self.core_counters(i) for i in range(len(machine.cores))],
+            "llc": None,
+            "api": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.api_latencies.items())
+            },
+        }
+        if llc is not None:
+            out["llc"] = {
+                "hits": llc.stats.hits,
+                "misses": llc.stats.misses,
+                "hit_rate": round(llc.stats.hit_rate(), 4),
+                "evictions": llc.stats.evictions,
+                "cross_domain_evictions": llc.stats.cross_domain_evictions,
+                "partitioned": getattr(llc, "partitioned", None),
+            }
+        return out
+
+    def format_report(self) -> str:
+        """Human-readable rendering of :meth:`snapshot`."""
+        snap = self.snapshot()
+        lines = [
+            f"machine: {snap['instructions']} instructions, "
+            f"{snap['cycles']} cycles, {snap['global_steps']} global steps",
+            "",
+            "per core:",
+        ]
+        for core in snap["cores"]:
+            lines.append(
+                f"  core {core['core']}: {core['instructions']:>10} insns  "
+                f"{core['cycles']:>12} cycles  ipc {core['ipc']:.3f}  "
+                f"tlb {core['tlb']['hit_rate']:.2%}  "
+                f"l1 {core['l1']['hit_rate']:.2%}  "
+                f"decode {core['decode_cache']['hit_rate']:.2%}"
+            )
+            if core["traps"]:
+                traps = ", ".join(f"{k}={v}" for k, v in core["traps"].items())
+                lines.append(f"    traps: {traps}")
+        if snap["llc"] is not None:
+            llc = snap["llc"]
+            lines.append(
+                f"llc: {llc['hit_rate']:.2%} hit rate "
+                f"({llc['hits']} hits / {llc['misses']} misses), "
+                f"{llc['cross_domain_evictions']} cross-domain evictions"
+            )
+        if snap["api"]:
+            lines.append("")
+            lines.append("SM API latencies (host-side):")
+            width = max(len(name) for name in snap["api"])
+            lines.append(
+                f"  {'call'.ljust(width)}  {'count':>7}  {'mean':>10}  "
+                f"{'p99':>10}  {'max':>10}"
+            )
+            for name, summary in snap["api"].items():
+                lines.append(
+                    f"  {name.ljust(width)}  {summary['count']:>7}  "
+                    f"{summary['mean_us']:>8.1f}us  {summary['p99_us']:>8.1f}us  "
+                    f"{summary['max_us']:>8.1f}us"
+                )
+        return "\n".join(lines)

@@ -29,6 +29,12 @@ class Tlb:
         self.hits = 0
         self.misses = 0
         self.shootdowns = 0
+        #: Bumped whenever any entry is *removed* (flush or capacity
+        #: eviction).  Anything memoizing on top of the TLB (the core's
+        #: translation memo) compares generations: an unchanged
+        #: generation guarantees every previously resident entry is
+        #: still resident, so a memo hit implies a TLB hit.
+        self.generation = 0
 
     def lookup(self, domain: int, vpn: int) -> Translation | None:
         """Return the cached translation for (domain, vpn), if any."""
@@ -45,11 +51,14 @@ class Tlb:
         if key not in self._entries and len(self._entries) >= self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            self.generation += 1
         self._entries[key] = translation
 
     def flush_all(self) -> None:
         """Drop every entry (global shootdown on this core)."""
-        self._entries.clear()
+        if self._entries:
+            self._entries.clear()
+            self.generation += 1
         self.shootdowns += 1
 
     def flush_domain(self, domain: int) -> None:
@@ -59,16 +68,21 @@ class Tlb:
             del self._entries[key]
         if stale:
             self.shootdowns += 1
+            self.generation += 1
 
     def flush_ppn(self, ppn: int) -> None:
         """Drop every entry mapping to physical page ``ppn``.
 
         Used when a single page changes hands (demand paging) without a
-        full region reassignment.
+        full region reassignment.  Counts as a shootdown only when it
+        actually dropped entries, consistent with ``flush_domain``.
         """
         stale = [key for key, entry in self._entries.items() if entry.ppn == ppn]
         for key in stale:
             del self._entries[key]
+        if stale:
+            self.shootdowns += 1
+            self.generation += 1
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -92,6 +92,8 @@ class IsolationPlatform(abc.ABC):
             self.machine.llc.flush_domain(old_owner)
         for core in self.machine.cores:
             core.l1.flush_domain(old_owner)
+            core.decode_cache.flush_domain(old_owner)
+        self.machine.invalidate_decode_range(base, size)
         self.tlb_shootdown()
         self.assign_region(rid, OWNER_FREE)
 

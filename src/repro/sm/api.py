@@ -24,6 +24,8 @@ it owns the SM state, installs itself as the machine's trap handler
 from __future__ import annotations
 
 import enum
+import functools
+import time
 
 from repro.errors import ApiResult
 from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
@@ -101,6 +103,28 @@ _ECALL_RESOURCE_TYPES = {
     1: ResourceType.DRAM_REGION,
     2: ResourceType.THREAD,
 }
+
+
+def timed_api(method):
+    """Record host-side latency of one SM API entry point.
+
+    Every call lands in the machine's latency histograms
+    (``machine.perf.api_latencies[name]`` — see :mod:`repro.hw.perf`),
+    which is how the reproduction quantifies the paper's "lightweight"
+    claim per API call.  Observational only: no simulated state is
+    touched, so determinism is unaffected.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        start = time.perf_counter_ns()
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            self.machine.perf.record_api(name, time.perf_counter_ns() - start)
+
+    return wrapper
 
 
 class SecurityMonitor:
@@ -188,6 +212,7 @@ class SecurityMonitor:
     # OS-callable API
     # ==================================================================
 
+    @timed_api
     def create_metadata_region(self, caller: int, rid: int) -> ApiResult:
         """OS grants a FREE region to the SM as a metadata region (§VII-A)."""
         if caller != DOMAIN_UNTRUSTED:
@@ -209,6 +234,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def create_enclave(
         self,
         caller: int,
@@ -248,6 +274,7 @@ class SecurityMonitor:
         )
         return ApiResult.OK
 
+    @timed_api
     def create_enclave_region(
         self, caller: int, eid: int, base: int, size: int
     ) -> ApiResult:
@@ -281,6 +308,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def allocate_page_table(
         self, caller: int, eid: int, vaddr: int, level: int, paddr: int
     ) -> ApiResult:
@@ -332,6 +360,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def load_page(
         self, caller: int, eid: int, vaddr: int, paddr: int, src_paddr: int, acl: int
     ) -> ApiResult:
@@ -380,6 +409,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def create_thread(
         self,
         caller: int,
@@ -427,6 +457,7 @@ class SecurityMonitor:
             self.state.release_metadata(tid)
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def init_enclave(self, caller: int, eid: int) -> ApiResult:
         """Seal the enclave: finalize measurement, enable scheduling."""
         if caller != DOMAIN_UNTRUSTED:
@@ -447,6 +478,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def enter_enclave(self, caller: int, eid: int, tid: int, core_id: int) -> ApiResult:
         """Schedule an enclave thread onto a core (§V-C).
 
@@ -493,6 +525,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def delete_enclave(self, caller: int, eid: int) -> ApiResult:
         """Destroy an enclave wholesale (Fig. 3): block all its resources.
 
@@ -531,6 +564,7 @@ class SecurityMonitor:
 
     # -- Fig.-2 generic resource transitions -----------------------------
 
+    @timed_api
     def block_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """Owner relinquishes a resource: OWNED -> BLOCKED."""
         record = self.state.resources.get(rtype, rid)
@@ -572,6 +606,7 @@ class SecurityMonitor:
                 return True
         return False
 
+    @timed_api
     def clean_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """OS reclaims a blocked resource: BLOCKED -> FREE, after scrub.
 
@@ -607,6 +642,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def grant_resource(
         self, caller: int, rtype: ResourceType, rid: int, recipient: int
     ) -> ApiResult:
@@ -643,6 +679,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def accept_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """Recipient domain completes an offered transfer: OFFERED -> OWNED."""
         record = self.state.resources.get(rtype, rid)
@@ -664,6 +701,7 @@ class SecurityMonitor:
 
     # -- mail (local attestation, §VI-B) ------------------------------------
 
+    @timed_api
     def accept_mail(self, caller: int, mailbox_index: int, sender_id: int) -> ApiResult:
         """Recipient enclave opens a mailbox for a specific sender."""
         enclave = self.state.enclave(caller)
@@ -680,6 +718,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def send_mail(self, caller: int, recipient_eid: int, message: bytes) -> ApiResult:
         """Deliver mail (by any enclave or the OS) to an expecting mailbox."""
         if len(message) > MAILBOX_SIZE:
@@ -705,6 +744,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def get_mail(self, caller: int, mailbox_index: int) -> tuple[ApiResult, bytes, bytes]:
         """Recipient fetches (message, sender measurement) from a mailbox."""
         enclave = self.state.enclave(caller)
@@ -721,16 +761,19 @@ class SecurityMonitor:
 
     # -- public fields and randomness ----------------------------------------
 
+    @timed_api
     def get_field(self, caller: int, field_id: int) -> tuple[ApiResult, bytes]:
         """Public SM information (certificates, measurement — §VI-C)."""
         return self.state.get_field(field_id)
 
+    @timed_api
     def get_random(self, caller: int, n: int) -> tuple[ApiResult, bytes]:
         """Conditioned entropy for any caller (§IV-B4)."""
         if n < 0 or n > 4096:
             return ApiResult.INVALID_VALUE, b""
         return ApiResult.OK, self.state.drbg.generate(n)
 
+    @timed_api
     def get_attestation_key(self, caller: int) -> tuple[ApiResult, bytes]:
         """Release the SM signing key — to the signing enclave only (§VI-C)."""
         enclave = self.state.enclave(caller)
@@ -740,6 +783,7 @@ class SecurityMonitor:
             return ApiResult.PROHIBITED, b""
         return ApiResult.OK, self.state.sm_secret_key
 
+    @timed_api
     def map_enclave_page(self, caller: int, vaddr: int, paddr: int, acl: int) -> ApiResult:
         """Map a page into a running enclave's private range (§V-C).
 
@@ -796,6 +840,7 @@ class SecurityMonitor:
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
 
+    @timed_api
     def unmap_enclave_page(self, caller: int, vaddr: int) -> ApiResult:
         """Remove a runtime-private mapping (prerequisite for blocking
         the backing region)."""
@@ -828,6 +873,7 @@ class SecurityMonitor:
         for core in self.machine.cores:
             core.tlb.flush_domain(domain)
 
+    @timed_api
     def get_sealing_key(self, caller: int) -> tuple[ApiResult, bytes]:
         """Derive the caller's sealing key (§IV-B4's "seed cryptographic
         keys", as realized by Sanctum's and Keystone's sealing API).
@@ -851,6 +897,7 @@ class SecurityMonitor:
     # Event interposition (Fig. 1)
     # ==================================================================
 
+    @timed_api
     def handle_trap(self, core: Core, trap: Trap) -> None:
         """The machine's sole trap handler: every event lands here first."""
         if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
@@ -1105,6 +1152,11 @@ class SecurityMonitor:
         """Hardware-side effects of an ownership change."""
         if rtype is ResourceType.DRAM_REGION:
             self.platform.assign_region(rid, owner)
+            # Page reassignment drops any decoded instructions cached
+            # from the region — stale code must not survive an
+            # ownership change even if DRAM bytes do.
+            base, size = self.platform.region_range(rid)
+            self.machine.invalidate_decode_range(base, size)
             self._recompute_dma_filter()
         elif rtype is ResourceType.THREAD:
             thread = self.state.threads[rid]

@@ -59,9 +59,21 @@ class OsEventQueue:
 
     def __init__(self, n_cores: int) -> None:
         self._queues: list[list[OsEvent]] = [[] for _ in range(n_cores)]
+        #: Lifetime count of every event ever posted (drains don't reset).
+        self.posted = 0
+        #: Lifetime counts broken down by :class:`OsEventKind`.
+        self.posted_by_kind: dict[OsEventKind, int] = {}
 
     def post(self, event: OsEvent) -> None:
+        self.posted += 1
+        self.posted_by_kind[event.kind] = self.posted_by_kind.get(event.kind, 0) + 1
         self._queues[event.core_id].append(event)
+
+    def counters(self) -> dict[str, int]:
+        """Posted-event totals by kind (for the perf report)."""
+        return {kind.value: count for kind, count in sorted(
+            self.posted_by_kind.items(), key=lambda item: item[0].value
+        )}
 
     def take(self, core_id: int) -> OsEvent | None:
         """Pop the oldest delegated event for a core (None if empty)."""

@@ -14,15 +14,15 @@ from repro.hw.pmp import PmpEntry, PmpPerm, PmpUnit, Privilege
 
 def test_hit_after_miss_and_costs():
     cache = Cache(n_sets=4, n_ways=2, hit_cycles=2, miss_penalty=10)
-    assert cache.access(0x1000, domain=0) == 12  # cold miss
-    assert cache.access(0x1000, domain=0) == 2  # hit
+    assert cache.access(0x1000, domain=0) == (12, False)  # cold miss
+    assert cache.access(0x1000, domain=0) == (2, True)  # hit
     assert cache.stats.hits == 1 and cache.stats.misses == 1
 
 
 def test_same_line_different_offsets_hit():
     cache = Cache(n_sets=4, n_ways=2, hit_cycles=2, miss_penalty=10)
     cache.access(0x1000, 0)
-    assert cache.access(0x1000 + LINE_SIZE - 1, 0) == 2
+    assert cache.access(0x1000 + LINE_SIZE - 1, 0) == (2, True)
 
 
 def test_lru_eviction_order():

@@ -1,0 +1,293 @@
+"""The decoded-instruction fast path, perf counters, and step accounting.
+
+Regression tests for the simulator's host-speed machinery: the decode
+cache must be architecturally invisible (every invalidation rule of
+docs/SIMULATOR.md is exercised here), interrupt delivery must advance
+``global_steps``, and the stats fixes (shootdown/flush counting,
+``CacheStats.reset``) must hold.
+"""
+
+import pytest
+
+from repro.hw.asm import assemble
+from repro.hw.cache import LINE_SIZE, Cache, CacheStats
+from repro.hw.isa import Reg
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.paging import Translation
+from repro.hw.perf import LATENCY_BUCKETS_NS, LatencyHistogram
+from repro.hw.tlb import Tlb
+from repro.hw.traps import TrapCause
+
+
+def _machine(n_cores=1, **overrides):
+    config = MachineConfig(n_cores=n_cores, dram_size=1 << 20, **overrides)
+    return Machine(config)
+
+
+def _run_at(machine, source, base=0x1000):
+    machine.set_trap_handler(lambda core, trap: setattr(core, "halted", True))
+    image = assemble(source, base=base)
+    machine.memory.write(base, image.data)
+    core = machine.cores[0]
+    core.pc = base
+    core.halted = False
+    machine.run()
+    return core
+
+
+# ---------------------------------------------------------------------------
+# Decode-cache invalidation rules
+# ---------------------------------------------------------------------------
+
+def test_decode_cache_populates_and_hits_on_loops():
+    machine = _machine()
+    core = _run_at(
+        machine,
+        """
+entry:
+    li   t0, 0
+    li   t1, 50
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    halt
+""",
+    )
+    assert core.read_reg(Reg.T0) == 50
+    assert len(core.decode_cache) == 5
+    # Every loop iteration after the first hits the cache.
+    assert core.decode_cache.hits > 90
+    assert core.decode_cache.misses == 5
+
+
+def test_host_write_to_code_page_invalidates_decode_cache():
+    machine = _machine()
+    core = _run_at(machine, "li a0, 1\nhalt")
+    assert core.read_reg(Reg.A0) == 1
+    # Re-load different code at the same physical address (what a DMA
+    # device or the OS loader does) and re-run it.
+    patched = assemble("li a0, 2\nhalt", base=0x1000)
+    machine.memory.write(0x1000, patched.data)
+    core.pc = 0x1000
+    core.halted = False
+    machine.run()
+    assert core.read_reg(Reg.A0) == 2, "stale decoded instruction executed"
+
+
+def test_guest_store_to_code_invalidates_decode_cache():
+    """Self-modifying code: the second pass must see the patched insn."""
+    # 8-byte encoding of the replacement instruction `li a0, 7`.
+    patch_bytes = assemble("li a0, 7", base=0).data.hex(" ", 1)
+    machine = _machine()
+    core = _run_at(
+        machine,
+        f"""
+entry:
+    li   t0, 0
+    li   a3, target
+    li   a4, patch
+    lw   t1, 0(a4)
+    lw   t2, 4(a4)
+again:
+    addi t0, t0, 1
+target:
+    li   a0, 9
+    li   a5, 2
+    beq  t0, a5, done
+    sw   t1, 0(a3)
+    sw   t2, 4(a3)
+    jal  zero, again
+done:
+    halt
+patch:
+    .bytes {patch_bytes}
+""",
+    )
+    # Pass 1 executed (and cached) `li a0, 9`, then overwrote it; pass 2
+    # must fetch the patched `li a0, 7`.
+    assert core.read_reg(Reg.T0) == 2
+    assert core.read_reg(Reg.A0) == 7, "decode cache served stale code"
+
+
+def test_core_clean_flushes_decode_cache():
+    machine = _machine()
+    core = _run_at(machine, "li a0, 1\nhalt")
+    assert len(core.decode_cache) > 0
+    core.clean_architectural_state()
+    assert len(core.decode_cache) == 0
+
+
+def test_region_reassignment_invalidates_decode_range_on_all_cores():
+    machine = _machine(n_cores=2)
+    core = _run_at(machine, "li a0, 1\nhalt", base=0x1000)
+    assert len(core.decode_cache) > 0
+    invalidations_before = core.decode_cache.invalidations
+    machine.invalidate_decode_range(0x1000, 0x2000)
+    assert len(core.decode_cache) == 0
+    assert core.decode_cache.invalidations == invalidations_before + 1
+    # Untouched pages elsewhere survive a disjoint invalidation.
+    core2 = machine.cores[0]
+    machine.invalidate_decode_range(0x10000, 0x1000)
+    assert core2.decode_cache.invalidations == invalidations_before + 1
+
+
+def test_fence_flushes_current_domain_decode_entries():
+    machine = _machine()
+    core = _run_at(machine, "li a0, 1\nfence\nhalt")
+    # fence dropped the entries its own domain had cached up to that
+    # point; only instructions fetched after it remain.
+    assert core.read_reg(Reg.A0) == 1
+    assert core.decode_cache.invalidations >= 1
+
+
+def test_decode_cache_disabled_runs_reference_path():
+    machine = _machine(decode_cache_enabled=False)
+    core = _run_at(
+        machine,
+        """
+entry:
+    li   t0, 0
+    li   t1, 10
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    halt
+""",
+    )
+    assert core.read_reg(Reg.T0) == 10
+    assert len(core.decode_cache) == 0
+    assert core.decode_cache.hits == 0 and core.decode_cache.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# global_steps accounting (interrupt-delivery regression)
+# ---------------------------------------------------------------------------
+
+def test_interrupt_delivery_advances_global_steps():
+    machine = _machine()
+    delivered = []
+
+    def handler(core, trap):
+        delivered.append(trap.cause)
+        core.halted = True
+
+    machine.set_trap_handler(handler)
+    core = machine.cores[0]
+    core.halted = False
+    machine.interrupts.send_ipi(0)
+    before = machine.global_steps
+    assert machine.step_core(0) is True
+    assert machine.global_steps == before + 1
+    assert delivered == [TrapCause.SOFTWARE_INTERRUPT]
+
+
+def test_interrupt_storm_counts_every_step():
+    """An interrupt-heavy run keeps global_steps == executed steps."""
+    machine = _machine()
+    machine.set_trap_handler(lambda core, trap: None)
+    core = machine.cores[0]
+    core.halted = False
+    for _ in range(8):
+        machine.interrupts.send_ipi(0)
+    executed = machine.run(max_steps=5)
+    assert executed == 5
+    assert machine.global_steps == 5
+
+
+# ---------------------------------------------------------------------------
+# Stats-counting fixes
+# ---------------------------------------------------------------------------
+
+def test_cache_stats_reset_clears_last_was_hit():
+    stats = CacheStats()
+    stats.last_was_hit = True
+    stats.hits = 3
+    stats.reset()
+    assert stats.last_was_hit is False
+    assert stats.hits == 0
+
+
+def test_cache_flush_domain_only_counts_real_flushes():
+    cache = Cache(n_sets=2, n_ways=2, hit_cycles=1, miss_penalty=10)
+    cache.access(0, domain=1)
+    cache.flush_domain(2)  # nothing cached for domain 2
+    assert cache.stats.flushes == 0
+    cache.flush_domain(1)
+    assert cache.stats.flushes == 1
+    assert not cache.probe(0)
+
+
+def _translation(vpn, ppn):
+    return Translation(vpn=vpn, ppn=ppn, readable=True, writable=True, executable=False)
+
+
+def test_tlb_flush_ppn_only_counts_real_shootdowns():
+    tlb = Tlb(capacity=4)
+    tlb.insert(0, _translation(vpn=1, ppn=0x10))
+    tlb.insert(0, _translation(vpn=2, ppn=0x20))
+    tlb.flush_ppn(0x99)  # maps nothing
+    assert tlb.shootdowns == 0
+    assert len(tlb) == 2
+    tlb.flush_ppn(0x10)
+    assert tlb.shootdowns == 1
+    assert len(tlb) == 1
+    assert tlb.lookup(0, 2) is not None
+
+
+def test_tlb_generation_tracks_every_entry_removal():
+    tlb = Tlb(capacity=2)
+    start = tlb.generation
+    tlb.insert(0, _translation(vpn=1, ppn=1))
+    tlb.insert(0, _translation(vpn=2, ppn=2))
+    assert tlb.generation == start  # inserts without eviction don't bump
+    tlb.insert(0, _translation(vpn=3, ppn=3))  # evicts the oldest
+    assert tlb.generation == start + 1
+    tlb.flush_ppn(3)
+    assert tlb.generation == start + 2
+    tlb.flush_all()
+    assert tlb.generation == start + 3
+
+
+# ---------------------------------------------------------------------------
+# Perf counters and latency histograms
+# ---------------------------------------------------------------------------
+
+def test_latency_histogram_summary_and_percentiles():
+    histogram = LatencyHistogram()
+    assert histogram.summary()["count"] == 0
+    assert histogram.percentile_ns(0.99) == 0
+    for ns in (500, 1_500, 4_000, 90_000, 2 * LATENCY_BUCKETS_NS[-1]):
+        histogram.record(ns)
+    summary = histogram.summary()
+    assert summary["count"] == 5
+    assert summary["min_us"] == 0.5
+    assert summary["max_us"] == 2 * LATENCY_BUCKETS_NS[-1] / 1000
+    assert histogram.percentile_ns(0.2) == 1_000
+    assert histogram.percentile_ns(1.0) == histogram.max_ns
+    assert histogram.mean_ns == pytest.approx(sum((500, 1_500, 4_000, 90_000, 2 * LATENCY_BUCKETS_NS[-1])) / 5)
+
+
+def test_perf_monitor_counts_traps_and_renders_report():
+    machine = _machine()
+    machine.set_trap_handler(lambda core, trap: setattr(core, "halted", True))
+    _run_at(machine, "ecall")
+    snap = machine.perf.snapshot()
+    assert snap["cores"][0]["traps"] == {"ECALL_FROM_U": 1}
+    assert snap["cores"][0]["instructions"] == 0  # trapped, not retired
+    report = machine.perf.format_report()
+    assert "per core:" in report
+    machine.perf.reset()
+    assert machine.perf.snapshot()["cores"][0]["traps"] == {}
+
+
+def test_perf_snapshot_structure_on_bare_machine():
+    machine = _machine()
+    _run_at(machine, "li a0, 1\nhalt")
+    snap = machine.perf.snapshot()
+    assert snap["instructions"] == 2
+    core = snap["cores"][0]
+    assert core["ipc"] > 0
+    assert set(core["decode_cache"]) == {
+        "entries", "hits", "misses", "hit_rate", "invalidations",
+    }
+    assert core["l1"]["hits"] + core["l1"]["misses"] > 0

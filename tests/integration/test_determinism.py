@@ -60,6 +60,81 @@ def test_different_seed_different_secrets_same_behaviour():
     )
 
 
+def _architectural_state(system, loaded, out):
+    """Everything the decode-cache fast path must not perturb."""
+    machine = system.machine
+    return {
+        "regs": [list(core.regs) for core in machine.cores],
+        "pc": [core.pc for core in machine.cores],
+        "cycles": [core.cycles for core in machine.cores],
+        "retired": [core.instructions_retired for core in machine.cores],
+        "global_steps": machine.global_steps,
+        "tlb": [(c.tlb.hits, c.tlb.misses, c.tlb.shootdowns) for c in machine.cores],
+        "l1": [(c.l1.stats.hits, c.l1.stats.misses) for c in machine.cores],
+        "measurement": system.sm.enclave_measurement(loaded.eid),
+        "result": machine.memory.read_u32(out),
+    }
+
+
+def test_decode_cache_is_architecturally_invisible():
+    """Same run with and without the fast path: bit-identical state.
+
+    The decoded-instruction cache and translation memo are host-speed
+    optimizations only; register state, cycle counts, cache/TLB stats,
+    and enclave measurements must not depend on them.
+    """
+    def run(decode_cache_enabled):
+        config = small_config()
+        config.decode_cache_enabled = decode_cache_enabled
+        system = build_sanctum_system(config=config)
+        out = system.kernel.alloc_buffer(1)
+        loaded = system.kernel.load_enclave(trivial_enclave_image(out, value=7))
+        system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        return _architectural_state(system, loaded, out)
+
+    assert run(False) == run(True)
+
+
+def test_decode_cache_invisible_under_tlb_pressure():
+    """The translation memo stays exact even across TLB evictions.
+
+    A loop touching more pages than the TLB holds forces capacity
+    evictions, exercising the memo's generation-resync path; cycles and
+    TLB hit/miss counts must still match the reference interpreter.
+    """
+    def run(decode_cache_enabled):
+        config = small_config()
+        config.tlb_entries = 8
+        config.decode_cache_enabled = decode_cache_enabled
+        system = build_sanctum_system(config=config)
+        base = system.kernel.alloc_buffer(24)
+        core, _events = system.kernel.run_user_program(
+            f"""
+entry:
+    li   t0, {base}
+    li   t1, {base + 24 * 4096}
+    li   t2, 4096
+loop:
+    sw   t2, 0(t0)
+    lw   a1, 0(t0)
+    add  t0, t0, t2
+    bne  t0, t1, loop
+    ecall
+"""
+        )
+        machine = system.machine
+        return {
+            "regs": list(core.regs),
+            "cycles": [c.cycles for c in machine.cores],
+            "retired": [c.instructions_retired for c in machine.cores],
+            "tlb": [(c.tlb.hits, c.tlb.misses) for c in machine.cores],
+            "l1": [(c.l1.stats.hits, c.l1.stats.misses) for c in machine.cores],
+            "global_steps": machine.global_steps,
+        }
+
+    assert run(False) == run(True)
+
+
 def test_run_twice_on_one_system_is_stable():
     """Within one system, repeating a workload gives identical events."""
     system = build_sanctum_system(config=small_config())

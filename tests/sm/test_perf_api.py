@@ -1,0 +1,36 @@
+"""SM API latency histograms and delegated-event counters."""
+
+from repro.sm.events import OsEventKind
+
+from tests.conftest import trivial_enclave_image
+
+
+def test_sm_api_calls_land_in_latency_histograms(sanctum_system):
+    kernel = sanctum_system.kernel
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    latencies = sanctum_system.machine.perf.api_latencies
+    # The loader drives these entry points; each must have been timed.
+    for name in ("create_enclave", "load_page", "init_enclave", "enter_enclave"):
+        assert name in latencies, f"{name} not timed"
+        assert latencies[name].count >= 1
+        assert latencies[name].total_ns > 0
+    assert latencies["load_page"].summary()["count"] == latencies["load_page"].count
+    # The run itself traps (enclave ecall): handle_trap is timed too.
+    assert latencies["handle_trap"].count >= 1
+    # And the report renders them.
+    assert "SM API latencies" in sanctum_system.machine.perf.format_report()
+
+
+def test_os_event_queue_counts_posted_events(sanctum_system):
+    kernel = sanctum_system.kernel
+    queue = sanctum_system.sm.os_events
+    assert queue.posted == 0
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    events = kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert events, "expected at least the voluntary exit event"
+    assert queue.posted == len(events)
+    assert queue.posted_by_kind[OsEventKind.ENCLAVE_EXIT] == 1
+    assert queue.counters()["enclave_exit"] == 1
+    # Draining does not reset the lifetime counters.
+    assert queue.pending(0) == 0 and queue.posted == len(events)
