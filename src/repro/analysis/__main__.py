@@ -8,6 +8,9 @@ Commands:
   (:meth:`repro.hw.perf.PerfMonitor.format_report`).
 * ``bench`` — the simulator-speed benchmark (decode cache off vs on);
   writes ``BENCH_sim_speed.json``.
+* ``fuzz`` — the fault-injecting API fuzzer (:mod:`repro.faults`);
+  on violation, shrinks the trace and writes a replayable JSON
+  counterexample.  ``fuzz --replay <trace.json>`` re-executes one.
 """
 
 from __future__ import annotations
@@ -74,6 +77,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result["architecturally_identical"] else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults import load_trace, replay_trace, run_fuzz, save_trace
+    from repro.faults.trace import trace_to_actions
+    from repro.verification.checker import format_trace
+
+    if args.replay:
+        trace = load_trace(args.replay)
+        print(f"replaying {args.replay} ({len(trace['steps'])} steps, "
+              f"platform {trace.get('platform', 'sanctum')})")
+        violation = replay_trace(trace)
+        if violation is None:
+            print("no violation reproduced")
+            return 0
+        print(f"violation reproduced at step {violation.step_index}: "
+              f"[{violation.kind}] {violation.detail}")
+        return 1
+
+    report = run_fuzz(seed=args.seed, steps=args.steps, platform=args.platform,
+                      inject=not args.no_inject)
+    print(f"fuzz: seed={report.seed} platform={report.platform} "
+          f"steps={report.steps_executed} calls_checked={report.calls_checked} "
+          f"errors_verified={report.errors_verified} "
+          f"injections={report.injections_fired}")
+    if report.violation is None:
+        print("no violations")
+        return 0
+    violation = report.violation
+    print(f"\nVIOLATION at step {violation.step_index}: "
+          f"[{violation.kind}] {violation.detail}")
+    print(f"shrunk to {len(report.shrunk_steps)} steps "
+          f"(from {len(report.trace)}):")
+    print(format_trace(trace_to_actions(report.shrunk_steps)))
+    save_trace(args.out, report.to_trace())
+    print(f"\nwrote counterexample to {args.out}")
+    print(f"replay with: python -m repro.analysis fuzz --replay {args.out}")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.analysis")
     sub = parser.add_subparsers(dest="command")
@@ -86,8 +127,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="loop iterations of the benchmark workload")
     bench.add_argument("--out", default=DEFAULT_OUT_PATH,
                        help="where to write the JSON result")
+    fuzz = sub.add_parser("fuzz", help="fault-injecting API fuzzer")
+    fuzz.add_argument("--seed", type=int, default=0, help="RNG seed")
+    fuzz.add_argument("--steps", type=int, default=500, help="fuzz steps")
+    fuzz.add_argument("--platform", default="sanctum",
+                      choices=("sanctum", "keystone"), help="platform to fuzz")
+    fuzz.add_argument("--out", default="fuzz_counterexample.json",
+                      help="where to write a shrunk counterexample")
+    fuzz.add_argument("--no-inject", action="store_true",
+                      help="disable yield-point fault injection")
+    fuzz.add_argument("--replay", metavar="TRACE",
+                      help="re-execute a saved counterexample trace")
     args = parser.parse_args(argv)
-    handler = {"perf": cmd_perf, "bench": cmd_bench}.get(args.command, cmd_loc)
+    handler = {"perf": cmd_perf, "bench": cmd_bench,
+               "fuzz": cmd_fuzz}.get(args.command, cmd_loc)
     return handler(args)
 
 

@@ -68,3 +68,14 @@ class InvariantViolation(SanctorumError):
     state no longer satisfies its own security invariants; this always
     indicates a bug in the monitor, never legal adversary behaviour.
     """
+
+
+class AtomicityViolation(SanctorumError):
+    """An error-returning SM API call left observable side effects.
+
+    §V-A requires failed transactions to be side-effect free; the
+    crash-atomicity checker in :mod:`repro.faults` raises this when a
+    call that returned a non-``OK`` :class:`ApiResult` changed SM
+    state, platform state, or physical memory.  Like
+    :class:`InvariantViolation`, this always indicates an SM bug.
+    """

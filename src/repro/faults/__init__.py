@@ -1,0 +1,57 @@
+"""Deterministic fault injection and crash-atomicity checking.
+
+§V-A requires every SM API call to acquire all the locks it needs or
+fail with ``LOCK_CONFLICT`` *without observable side effects*.  This
+package verifies that claim mechanically:
+
+* :mod:`repro.faults.snapshot` — deep, plain-data snapshots of SM +
+  platform + hardware state, with a recursive differ.
+* :mod:`repro.faults.inject` — deterministic fault injectors: forced
+  lock conflicts (via the :func:`repro.sm.locks.set_acquire_hook`
+  hook), and interrupts / DMA probes / hostile re-entrant API calls
+  fired at the yield points instrumented inside :mod:`repro.sm.api`.
+* :mod:`repro.faults.atomicity` — the crash-atomicity checker: wraps
+  one API call in snapshot + memory journal and raises
+  :class:`~repro.errors.AtomicityViolation` when an error-returning
+  call changed anything.
+* :mod:`repro.faults.fuzzer` — the seeded multi-caller API fuzzer
+  driving OS- and enclave-side call sequences with injections, running
+  :func:`repro.sm.invariants.check_all` after every step, and shrinking
+  violations into replayable JSON traces.
+* :mod:`repro.faults.trace` — the counterexample trace format
+  (round-trips through JSON; renders via the shared
+  :func:`repro.verification.checker.format_trace`).
+
+Everything is seed-deterministic: the same seed and step count
+reproduce the same sequence of calls, injections, and outcomes.
+"""
+
+from repro.faults.atomicity import AtomicityChecker, MemoryJournal
+from repro.faults.inject import (
+    InjectionEngine,
+    LockConflictInjector,
+    ScriptedInjector,
+    forced_lock_conflict,
+)
+from repro.faults.snapshot import diff_snapshots, snapshot_system
+from repro.faults.fuzzer import FuzzReport, Violation, run_fuzz, replay_trace, shrink_trace
+from repro.faults.trace import load_trace, save_trace, trace_to_actions
+
+__all__ = [
+    "AtomicityChecker",
+    "MemoryJournal",
+    "InjectionEngine",
+    "LockConflictInjector",
+    "ScriptedInjector",
+    "forced_lock_conflict",
+    "diff_snapshots",
+    "snapshot_system",
+    "FuzzReport",
+    "Violation",
+    "run_fuzz",
+    "replay_trace",
+    "shrink_trace",
+    "load_trace",
+    "save_trace",
+    "trace_to_actions",
+]

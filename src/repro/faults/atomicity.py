@@ -1,0 +1,140 @@
+"""Crash-atomicity checking for SM API calls.
+
+§V-A: a call that cannot acquire every lock it needs "fails
+transactions in case of a concurrent operation" — and a failed
+transaction must leave no observable side effects.  The checker proves
+that per call: snapshot before, run the call (optionally under fault
+injection), and if the call returned an error :class:`ApiResult`,
+assert the post-state is identical to the pre-state.
+
+Physical memory is covered by :class:`MemoryJournal`, which interposes
+on the two mutating entry points of
+:class:`~repro.hw.memory.PhysicalMemory` (``write`` and ``zero_range``
+— ``write_u32``/``write_u64`` route through ``write``) and captures a
+page-granular pre-image at first touch.  Interposition is by instance
+attribute, so the class methods — and the decode-cache write observer
+they drive — keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ApiResult, AtomicityViolation
+from repro.faults.snapshot import diff_snapshots, snapshot_system
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+
+class MemoryJournal:
+    """Page-granular pre-image journal over one scope of execution."""
+
+    def __init__(self, memory: PhysicalMemory) -> None:
+        self.memory = memory
+        self._preimages: dict[int, bytes] = {}
+        self._original_write: Callable | None = None
+        self._original_zero: Callable | None = None
+
+    def __enter__(self) -> "MemoryJournal":
+        self._original_write = self.memory.write
+        self._original_zero = self.memory.zero_range
+
+        def journaled_write(paddr: int, data: bytes) -> None:
+            self._touch(paddr, len(data))
+            self._original_write(paddr, data)
+
+        def journaled_zero(paddr: int, length: int) -> None:
+            self._touch(paddr, length)
+            self._original_zero(paddr, length)
+
+        self.memory.write = journaled_write
+        self.memory.zero_range = journaled_zero
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Deleting the instance attributes restores the class methods.
+        del self.memory.write
+        del self.memory.zero_range
+        return False
+
+    def _touch(self, paddr: int, length: int) -> None:
+        if length <= 0:
+            return
+        first = paddr >> PAGE_SHIFT
+        last = (paddr + length - 1) >> PAGE_SHIFT
+        for ppn in range(first, last + 1):
+            if ppn not in self._preimages:
+                self._preimages[ppn] = self.memory.read(ppn << PAGE_SHIFT, PAGE_SIZE)
+
+    def rebaseline(self) -> None:
+        """Forget pre-images: current memory becomes the new baseline."""
+        self._preimages.clear()
+
+    def changed_pages(self) -> list[int]:
+        """Journaled pages whose bytes differ from their pre-image."""
+        return [
+            ppn
+            for ppn, preimage in sorted(self._preimages.items())
+            if self.memory.read(ppn << PAGE_SHIFT, PAGE_SIZE) != preimage
+        ]
+
+
+def _primary_result(result: Any) -> ApiResult | None:
+    """Extract the ApiResult from a call's return value, if any."""
+    if isinstance(result, tuple):
+        result = result[0] if result else None
+    return result if isinstance(result, ApiResult) else None
+
+
+class AtomicityChecker:
+    """Snapshot/diff harness proving error returns are side-effect free."""
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        #: Calls checked, and how many returned errors (so proven atomic).
+        self.calls_checked = 0
+        self.errors_verified = 0
+
+    def checked_call(self, call: Callable[[], Any], label: str = "",
+                     engine=None) -> Any:
+        """Run one API call; raise AtomicityViolation on a dirty error.
+
+        ``engine`` is an optional
+        :class:`~repro.faults.inject.InjectionEngine` whose mid-call
+        injections may *legitimately* mutate state; the checker
+        registers a rebaseline callback so the final comparison is
+        against the post-injection state.  Yield points fire before the
+        outer call mutates anything, so rebaselining never absorbs the
+        outer call's own effects.
+        """
+        self.calls_checked += 1
+        before = snapshot_system(self.sm)
+        with MemoryJournal(self.sm.machine.memory) as journal:
+            previous_cb = engine.on_mutation if engine is not None else None
+
+            def rebaseline() -> None:
+                nonlocal before
+                before = snapshot_system(self.sm)
+                journal.rebaseline()
+
+            if engine is not None:
+                engine.on_mutation = rebaseline
+            try:
+                result = call()
+            finally:
+                if engine is not None:
+                    engine.on_mutation = previous_cb
+            primary = _primary_result(result)
+            if primary is None or primary is ApiResult.OK:
+                return result
+            diffs = diff_snapshots(before, snapshot_system(self.sm))
+            dirty_pages = journal.changed_pages()
+        if diffs or dirty_pages:
+            details = list(diffs) + [
+                f"memory page {ppn:#x} modified" for ppn in dirty_pages
+            ]
+            raise AtomicityViolation(
+                f"{label or 'call'} returned {primary.name} but mutated state: "
+                + "; ".join(details[:10])
+            )
+        self.errors_verified += 1
+        return result

@@ -1,0 +1,460 @@
+"""Seeded multi-caller API fuzzer with shrinking and replay.
+
+The fuzzer drives a freshly booted system through a random—but fully
+deterministic—sequence of SM API calls from both OS- and enclave-side
+callers, interleaved with enclave lifecycles, core execution, forced
+lock conflicts, and yield-point fault injections.  After every step it
+runs :func:`repro.sm.invariants.check_all`; every call it makes goes
+through the :class:`~repro.faults.atomicity.AtomicityChecker`, so each
+error-returning call is proven side-effect free as a side product of
+fuzzing.
+
+Every step is recorded with concrete arguments and the concrete faults
+injected during it, which makes traces self-contained: replay rebuilds
+the same deterministic system and re-executes the steps without
+consulting any RNG.  That property is what makes shrinking sound —
+removing a step never changes how the remaining steps execute, only
+which of them still succeed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import ApiResult, AtomicityViolation, InvariantViolation
+from repro.faults.atomicity import AtomicityChecker
+from repro.faults.inject import InjectionEngine, ScriptedInjector, forced_lock_conflict
+from repro.faults.trace import TRACE_VERSION, decode_arg, encode_arg
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.kernel.loader import L0_SPAN
+from repro.sm.enclave import (
+    ENCLAVE_METADATA_BASE_SIZE,
+    ENCLAVE_METADATA_PER_MAILBOX,
+    EnclaveState,
+)
+from repro.sm.invariants import check_all
+from repro.sm.resources import ResourceType
+from repro.sm.thread import THREAD_METADATA_SIZE
+from repro.system import build_system
+from repro.util.rng import DeterministicTRNG
+
+#: API ops whose second argument is a ResourceType name.
+_RESOURCE_OPS = frozenset(
+    {"block_resource", "clean_resource", "grant_resource", "accept_resource"}
+)
+
+#: Evrange used by fuzzer-built enclaves.
+_EV_BASE = 0x40000000
+_EV_SIZE = 0x10000
+
+#: Step budget for run_core pseudo-steps (bounds runaway enclave code).
+_RUN_BUDGET = 300
+
+
+@dataclasses.dataclass
+class Violation:
+    """One observed robustness failure."""
+
+    kind: str  # "atomicity" | "invariant" | "dma-security" | "crash"
+    detail: str
+    step_index: int
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run."""
+
+    seed: int
+    platform: str
+    steps_executed: int
+    calls_checked: int
+    errors_verified: int
+    injections_fired: int
+    violation: Violation | None
+    #: The full recorded trace (concrete, replayable steps).
+    trace: list[dict[str, Any]]
+    #: On violation: the shrunk counterexample steps.
+    shrunk_steps: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    def to_trace(self) -> dict[str, Any]:
+        """The JSON counterexample document for ``--replay``."""
+        steps = self.shrunk_steps if self.violation is not None else self.trace
+        document = {
+            "version": TRACE_VERSION,
+            "platform": self.platform,
+            "seed": self.seed,
+            "steps": steps,
+        }
+        if self.violation is not None:
+            document["violation"] = {
+                "kind": self.violation.kind,
+                "detail": self.violation.detail,
+                "step": self.violation.step_index,
+            }
+        return document
+
+
+class _Session:
+    """One live system under fuzz, with its checker and injector."""
+
+    def __init__(self, platform: str, engine_rng: DeterministicTRNG | None) -> None:
+        self.system = build_system(platform)
+        self.platform_name = platform
+        self.sm = self.system.sm
+        self.machine = self.system.machine
+        self.checker = AtomicityChecker(self.sm)
+        self.engine = InjectionEngine(
+            self.system, engine_rng or DeterministicTRNG(0)
+        )
+        if engine_rng is not None:
+            # Live mode: randomized injections at every yield point.
+            self.sm.set_fault_hook(self.engine.fire)
+        #: World model for the generator (also maintained during replay,
+        #: where it is simply unused).
+        self.eids: list[int] = []
+        self.tids: list[int] = []
+        self.free_regions = list(self.system.kernel._donatable_regions)
+        self.carve_cursor = self.machine.config.dram_size
+        self.staging = self.system.kernel.alloc_buffer(1)
+
+    def initialized_enclaves(self) -> list[int]:
+        return [
+            eid
+            for eid in self.eids
+            if self.sm.state.enclave(eid) is not None
+            and self.sm.state.enclave(eid).state is EnclaveState.INITIALIZED
+        ]
+
+
+def _invoke(session: _Session, op: str, args: list[Any]) -> Any:
+    call_args = list(args)
+    if op in _RESOURCE_OPS:
+        call_args[1] = ResourceType[call_args[1]]
+    return getattr(session.sm, op)(*call_args)
+
+
+def _run_step(session: _Session, step: dict[str, Any], index: int,
+              live: bool) -> Violation | None:
+    """Execute one step; returns the violation it surfaced, if any."""
+    op = step["op"]
+    args = [decode_arg(a) for a in step.get("args", [])]
+    scripted = None
+    if not live:
+        scripted = ScriptedInjector(session.engine, step.get("inject", []))
+        session.sm.set_fault_hook(scripted.fire)
+    try:
+        if op == "run_core":
+            session.machine.run_core(args[0], args[1])
+            session.sm.os_events.drain(args[0])
+        elif op == "write_mem":
+            session.machine.memory.write(args[0], args[1])
+        else:
+            call = lambda: _invoke(session, op, args)  # noqa: E731
+            force = step.get("force_conflict")
+            if force:
+                with forced_lock_conflict(force):
+                    session.checker.checked_call(
+                        call, label=op, engine=session.engine
+                    )
+            else:
+                session.checker.checked_call(call, label=op, engine=session.engine)
+        check_all(session.sm)
+        if session.engine.security_failures:
+            detail = "; ".join(session.engine.security_failures)
+            session.engine.security_failures.clear()
+            return Violation("dma-security", detail, index)
+        return None
+    except AtomicityViolation as exc:
+        return Violation("atomicity", str(exc), index)
+    except InvariantViolation as exc:
+        return Violation("invariant", str(exc), index)
+    except Exception as exc:  # noqa: BLE001 - any escape is a robustness bug
+        return Violation("crash", f"{type(exc).__name__}: {exc}", index)
+    finally:
+        if live:
+            injected = session.engine.drain_record()
+            if injected:
+                step["inject"] = injected
+        elif scripted is not None:
+            session.sm.set_fault_hook(None)
+
+
+def _make_step(op: str, args: list[Any], force_conflict: int | None = None) -> dict[str, Any]:
+    step: dict[str, Any] = {"op": op, "args": [encode_arg(a) for a in args]}
+    if force_conflict:
+        step["force_conflict"] = force_conflict
+    return step
+
+
+class _Generator:
+    """Deterministic step generator over a live session's world model.
+
+    Steps that depend on evolving SM state (metadata-address
+    suggestions) are produced as thunks evaluated at execution time, so
+    the concrete recorded arguments always match the state the step
+    actually ran against.
+    """
+
+    def __init__(self, session: _Session, rng: DeterministicTRNG) -> None:
+        self.session = session
+        self.rng = rng
+        #: Pending thunks from an in-flight lifecycle macro.
+        self._pending: list[Any] = []
+
+    def next_step(self) -> dict[str, Any] | None:
+        while self._pending:
+            step = self._pending.pop(0)()
+            if step is not None:
+                return step
+        if not self.session.initialized_enclaves() or self.rng.randint(0, 9) == 0:
+            if self._queue_lifecycle():
+                return self.next_step()
+        return self._random_step()
+
+    # -- the enclave lifecycle macro ------------------------------------
+
+    def _queue_lifecycle(self) -> bool:
+        s = self.session
+        sm = s.sm
+        if s.platform_name == "sanctum":
+            if not s.free_regions:
+                return False
+            rid = s.free_regions.pop(0)
+            base = sm.platform.region_range(rid)[0]
+            donation = [
+                lambda: _make_step("block_resource", [0, "DRAM_REGION", rid]),
+                lambda: _make_step("clean_resource", [0, "DRAM_REGION", rid]),
+                lambda: _make_step(
+                    "grant_resource", [0, "DRAM_REGION", rid, box["eid"]]
+                ),
+            ]
+        else:
+            size = 4 * PAGE_SIZE
+            base = s.carve_cursor - size
+            s.carve_cursor = base
+            donation = [
+                lambda: _make_step(
+                    "create_enclave_region", [0, box["eid"], base, size]
+                ),
+            ]
+        box: dict[str, int] = {}
+        meta_size = ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX
+        scribble = self.rng.read(16)
+        core_id = self.rng.randint(0, s.machine.config.n_cores - 1)
+
+        def maybe_force() -> int | None:
+            # Lifecycle steps are conflict-eligible too: forced
+            # conflicts *inside* a lifecycle reach the acquisition
+            # sites of calls whose preconditions random steps rarely
+            # satisfy (e.g. create_thread on a LOADING enclave).
+            if self.rng.randint(0, 7) == 0:
+                return self.rng.randint(1, 3)
+            return None
+
+        def create() -> dict[str, Any] | None:
+            eid = sm.state.suggest_metadata(meta_size)
+            if eid is None:
+                self._pending.clear()
+                return None
+            box["eid"] = eid
+            s.eids.append(eid)
+            return _make_step("create_enclave", [0, eid, _EV_BASE, _EV_SIZE, 1])
+
+        forces = [maybe_force() for _ in range(6)]
+
+        def create_thread() -> dict[str, Any] | None:
+            tid = sm.state.suggest_metadata(THREAD_METADATA_SIZE)
+            if tid is None:
+                self._pending.clear()
+                return None
+            box["tid"] = tid
+            s.tids.append(tid)
+            return _make_step(
+                "create_thread",
+                [0, box["eid"], tid, _EV_BASE, _EV_BASE + 0x2000, 0, 0],
+                force_conflict=forces[3],
+            )
+
+        self._pending = [
+            create,
+            *donation,
+            lambda: _make_step(
+                "allocate_page_table", [0, box["eid"], 0, 1, base],
+                force_conflict=forces[0],
+            ),
+            lambda: _make_step(
+                "allocate_page_table",
+                [0, box["eid"], (_EV_BASE // L0_SPAN) * L0_SPAN, 0, base + PAGE_SIZE],
+                force_conflict=forces[1],
+            ),
+            lambda: _make_step("write_mem", [s.staging, scribble]),
+            lambda: _make_step(
+                "load_page",
+                [0, box["eid"], _EV_BASE, base + 2 * PAGE_SIZE, s.staging,
+                 PTE_R | PTE_W | PTE_X],
+                force_conflict=forces[2],
+            ),
+            create_thread,
+            lambda: _make_step(
+                "init_enclave", [0, box["eid"]], force_conflict=forces[4]
+            ),
+            lambda: _make_step(
+                "enter_enclave", [0, box["eid"], box["tid"], core_id],
+                force_conflict=forces[5],
+            ),
+            lambda: _make_step("run_core", [core_id, _RUN_BUDGET]),
+        ]
+        return True
+
+    # -- random single steps --------------------------------------------
+
+    def _pick(self, values: list[Any]) -> Any:
+        return values[self.rng.randint(0, len(values) - 1)]
+
+    def _random_step(self) -> dict[str, Any]:
+        r = self.rng
+        s = self.session
+        eids = s.eids or [0xDEAD000]
+        tids = s.tids or [0xDEAD100]
+        caller = self._pick([DOMAIN_UNTRUSTED, DOMAIN_UNTRUSTED, *eids])
+        eid = self._pick([*eids, 0xDEAD000, r.randint(0, 1 << 28)])
+        tid = self._pick([*tids, 0xDEAD100])
+        rid = r.randint(0, len(list(s.sm.platform.region_ids())) + 2)
+        rtype = self._pick(["CORE", "DRAM_REGION", "THREAD"])
+        vaddr = (_EV_BASE + r.randint(0, 31) * PAGE_SIZE
+                 if r.randint(0, 3) else r.randint(0, 1 << 30))
+        paddr = r.randint(0, (s.machine.config.dram_size // PAGE_SIZE) - 1) * PAGE_SIZE
+        candidates = [
+            ("create_metadata_region", [caller, rid]),
+            ("create_enclave",
+             [caller, r.randint(0, 1 << 28), vaddr, r.randint(0, 1 << 17),
+              r.randint(0, 20)]),
+            ("allocate_page_table", [caller, eid, vaddr, r.randint(0, 1), paddr]),
+            ("load_page",
+             [caller, eid, vaddr, paddr, s.staging, r.randint(0, 7)]),
+            ("create_thread",
+             [caller, eid, r.randint(0, 1 << 28), vaddr, vaddr + 0x100, 0, 0]),
+            ("init_enclave", [caller, eid]),
+            ("enter_enclave",
+             [caller, eid, tid, r.randint(0, s.machine.config.n_cores - 1)]),
+            ("delete_enclave", [caller, eid]),
+            ("block_resource", [caller, rtype, rid]),
+            ("clean_resource", [caller, rtype, rid]),
+            ("grant_resource", [caller, rtype, rid, self._pick([0, eid])]),
+            ("accept_resource", [caller, rtype, rid]),
+            ("accept_mail", [caller, r.randint(0, 2), self._pick([0, eid])]),
+            ("send_mail", [caller, eid, r.read(r.randint(0, 32))]),
+            ("get_mail", [caller, r.randint(0, 2)]),
+            ("get_field", [caller, r.randint(0, 7)]),
+            ("get_random", [caller, r.randint(0, 128)]),
+            ("get_attestation_key", [caller]),
+            ("get_sealing_key", [caller]),
+            ("map_enclave_page", [caller, vaddr, paddr, r.randint(0, 7)]),
+            ("unmap_enclave_page", [caller, vaddr]),
+            ("run_core",
+             [r.randint(0, s.machine.config.n_cores - 1), _RUN_BUDGET]),
+        ]
+        op, args = self._pick(candidates)
+        force = r.randint(1, 3) if op != "run_core" and r.randint(0, 7) == 0 else None
+        return _make_step(op, args, force_conflict=force)
+
+
+def run_fuzz(
+    seed: int = 0,
+    steps: int = 500,
+    platform: str = "sanctum",
+    inject: bool = True,
+) -> FuzzReport:
+    """Fuzz a fresh system for ``steps`` steps; shrink any violation."""
+    root = DeterministicTRNG(seed)
+    session = _Session(platform, root.fork("inject") if inject else None)
+    generator = _Generator(session, root.fork("gen"))
+    trace: list[dict[str, Any]] = []
+    violation = None
+    for index in range(steps):
+        step = generator.next_step()
+        if step is None:
+            break
+        trace.append(step)
+        violation = _run_step(session, step, index, live=True)
+        if violation is not None:
+            break
+    shrunk: list[dict[str, Any]] = []
+    if violation is not None:
+        shrunk = shrink_trace(trace, platform, violation.kind)
+    return FuzzReport(
+        seed=seed,
+        platform=platform,
+        steps_executed=len(trace),
+        calls_checked=session.checker.calls_checked,
+        errors_verified=session.checker.errors_verified,
+        injections_fired=session.engine.injections_fired,
+        violation=violation,
+        trace=trace,
+        shrunk_steps=shrunk,
+    )
+
+
+def _execute_steps(steps: list[dict[str, Any]], platform: str) -> Violation | None:
+    """Replay concrete steps on a fresh system; first violation wins."""
+    session = _Session(platform, engine_rng=None)
+    for index, step in enumerate(steps):
+        violation = _run_step(session, step, index, live=False)
+        if violation is not None:
+            return violation
+    return None
+
+
+def replay_trace(trace: dict[str, Any]) -> Violation | None:
+    """Re-execute a saved counterexample trace document."""
+    return _execute_steps(trace["steps"], trace.get("platform", "sanctum"))
+
+
+def shrink_trace(
+    steps: list[dict[str, Any]],
+    platform: str,
+    target_kind: str,
+    max_replays: int = 400,
+) -> list[dict[str, Any]]:
+    """Chunked delta-debugging: drop every step not needed to reproduce.
+
+    Classic ddmin granularity schedule: try removing large chunks
+    first, halving the chunk size until single-step removals reach a
+    fixpoint.  Each candidate re-executes on a fresh system; a removal
+    is kept when a violation of the same kind still reproduces.  The
+    violating step is last (fuzzing stops at the first violation), so
+    chunks are scanned from the end, where removals are cheapest to
+    disprove.
+    """
+    replays = 0
+
+    def reproduces(candidate: list[dict[str, Any]]) -> bool:
+        nonlocal replays
+        replays += 1
+        violation = _execute_steps(candidate, platform)
+        return violation is not None and violation.kind == target_kind
+
+    if not reproduces(steps):
+        # Non-deterministic repro would make shrinking unsound; keep
+        # the full trace as the counterexample.
+        return list(steps)
+    current = list(steps)
+    chunk = max(1, len(current) // 2)
+    while replays < max_replays:
+        removed = False
+        index = len(current) - chunk
+        while index >= 0 and replays < max_replays:
+            candidate = current[:index] + current[index + chunk:]
+            if reproduces(candidate):
+                current = candidate
+                removed = True
+            index -= chunk
+        if chunk == 1:
+            if not removed:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    return current

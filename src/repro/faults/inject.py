@@ -1,0 +1,212 @@
+"""Deterministic fault injectors.
+
+Three fault classes, matching what real hardware concurrency exposes an
+SM to mid-call:
+
+* **Forced lock conflicts** — :class:`LockConflictInjector` rides the
+  :func:`repro.sm.locks.set_acquire_hook` hook and makes the N-th lock
+  acquisition of a call fail, exactly as if a concurrent transaction
+  held the lock.  The call must come back ``LOCK_CONFLICT`` with no
+  side effects.
+* **Yield-point events** — :class:`InjectionEngine` fires interrupts,
+  DMA probes, and hostile re-entrant API calls (the
+  :meth:`repro.kernel.adversary.MaliciousOs.mid_call_attacks`
+  catalogue) at the ``_yield_point`` sites instrumented inside
+  :mod:`repro.sm.api`.
+* **Scripted replay** — :class:`ScriptedInjector` re-fires a recorded
+  injection list at matching sites, so shrunk counterexample traces
+  replay bit-identically.
+
+Every injection performed is recorded as a plain-data dict so the
+fuzzer can embed it in the step trace; replay never consults the RNG.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator
+
+from repro.hw.dma import DmaDenied
+from repro.hw.traps import TrapCause
+from repro.sm.locks import set_acquire_hook
+from repro.sm.resources import ResourceState, ResourceType
+
+#: Interrupt causes the engine may inject.
+_INTERRUPT_CAUSES = (
+    TrapCause.TIMER_INTERRUPT,
+    TrapCause.SOFTWARE_INTERRUPT,
+    TrapCause.EXTERNAL_INTERRUPT,
+)
+
+
+class LockConflictInjector:
+    """Force the N-th lock acquisition (1-based) to fail.
+
+    Installed via :func:`repro.sm.locks.set_acquire_hook`; counts every
+    acquisition it observes and fires once.  ``fired`` reports whether
+    the target acquisition was reached (a call taking fewer locks never
+    trips the injector).
+    """
+
+    def __init__(self, at_acquisition: int) -> None:
+        self.at_acquisition = at_acquisition
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, lock, holder: str) -> bool:
+        self.seen += 1
+        if self.seen == self.at_acquisition:
+            self.fired = True
+            return True
+        return False
+
+
+@contextlib.contextmanager
+def forced_lock_conflict(at_acquisition: int = 1) -> Iterator[LockConflictInjector]:
+    """Scope within which one lock acquisition is forced to fail."""
+    injector = LockConflictInjector(at_acquisition)
+    set_acquire_hook(injector)
+    try:
+        yield injector
+    finally:
+        set_acquire_hook(None)
+
+
+class InjectionEngine:
+    """Fires randomized faults at yield points, recording each one.
+
+    Install with ``sm.set_fault_hook(engine.fire)``.  At every yield
+    site the engine rolls its (forked, deterministic) RNG and with
+    probability 1/``rarity`` injects one of:
+
+    * an interrupt queued on a random core (delivered at the next
+      step, exercising AEX paths);
+    * a DMA write probe at a random physical address (a write landing
+      in protected memory is reported as a security violation via
+      ``security_failures``);
+    * one hostile re-entrant API call from the malicious-OS catalogue.
+
+    When an injection *legitimately* mutates state (a hostile call
+    returning ``OK``, a DMA write hitting untrusted memory), the engine
+    invokes ``on_mutation`` so the surrounding atomicity checker can
+    rebaseline its snapshot.
+    """
+
+    def __init__(self, system, rng, rarity: int = 8) -> None:
+        from repro.kernel.adversary import MaliciousOs
+
+        self.system = system
+        self.rng = rng
+        self.rarity = max(1, rarity)
+        self.adversary = MaliciousOs(system.kernel)
+        self.device = system.machine.dma_device("fault-injector")
+        #: Callback invoked when an injection legitimately mutated state.
+        self.on_mutation: Callable[[], None] | None = None
+        #: Injections performed since the last :meth:`drain_record`.
+        self._recorded: list[dict[str, Any]] = []
+        #: DMA writes that landed in protected memory (security bugs).
+        self.security_failures: list[str] = []
+        self.injections_fired = 0
+
+    # -- recording -------------------------------------------------------
+
+    def drain_record(self) -> list[dict[str, Any]]:
+        """Return and clear the injections performed since last drain."""
+        recorded, self._recorded = self._recorded, []
+        return recorded
+
+    # -- the yield-point hook -------------------------------------------
+
+    def fire(self, site: str) -> None:
+        if self.rng.randint(0, self.rarity - 1) != 0:
+            return
+        kind = ("interrupt", "dma", "api")[self.rng.randint(0, 2)]
+        if kind == "interrupt":
+            core_id = self.rng.randint(0, self.system.machine.config.n_cores - 1)
+            cause = _INTERRUPT_CAUSES[self.rng.randint(0, len(_INTERRUPT_CAUSES) - 1)]
+            self.inject_interrupt(site, core_id, cause.name)
+        elif kind == "dma":
+            dram = self.system.machine.config.dram_size
+            paddr = self.rng.randint(0, (dram // 4) - 1) * 4
+            self.inject_dma(site, paddr)
+        else:
+            attacks = self.adversary.mid_call_attacks()
+            index = self.rng.randint(0, len(attacks) - 1)
+            self.inject_api(site, index)
+
+    # -- the injection primitives (shared by live runs and replay) -------
+
+    def inject_interrupt(self, site: str, core_id: int, cause_name: str) -> None:
+        self.system.machine.interrupts.inject(core_id, TrapCause[cause_name])
+        self._record(site, "interrupt", core_id=core_id, cause=cause_name)
+
+    def inject_dma(self, site: str, paddr: int) -> None:
+        protected = self._paddr_is_protected(paddr)
+        try:
+            self.device.write_to_memory(paddr, b"\xfa\x17")
+        except DmaDenied:
+            self._record(site, "dma", paddr=paddr, denied=True)
+            return
+        if protected:
+            self.security_failures.append(
+                f"DMA write reached protected paddr {paddr:#x} at {site}"
+            )
+        elif self.on_mutation is not None:
+            self.on_mutation()
+        self._record(site, "dma", paddr=paddr, denied=False)
+
+    def inject_api(self, site: str, attack_index: int) -> None:
+        attacks = self.adversary.mid_call_attacks()
+        name, thunk = attacks[attack_index % len(attacks)]
+        result = thunk()
+        primary = result[0] if isinstance(result, tuple) else result
+        if primary == 0 and self.on_mutation is not None:
+            # The hostile call succeeded as any concurrent caller might
+            # have; the outer call's baseline is stale.
+            self.on_mutation()
+        self._record(site, "api", attack=attack_index, name=name, result=int(primary))
+
+    # -- helpers ---------------------------------------------------------
+
+    def _record(self, site: str, kind: str, **params: Any) -> None:
+        self.injections_fired += 1
+        self._recorded.append({"site": site, "kind": kind, **params})
+
+    def _paddr_is_protected(self, paddr: int) -> bool:
+        """Whether the SM's own resource map calls this address protected."""
+        sm = self.system.sm
+        rid = sm.platform.region_of(paddr)
+        if rid is None:
+            return False
+        record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
+        if record is None:
+            return False
+        owner_untrusted = record.owner == 0  # DOMAIN_UNTRUSTED
+        return not (owner_untrusted and record.state is ResourceState.OWNED)
+
+
+class ScriptedInjector:
+    """Replay a recorded injection list at matching yield sites.
+
+    Injections are matched by site name in order: when the hook fires
+    for a site and the next pending injection names that site, it is
+    executed through the same :class:`InjectionEngine` primitives the
+    live run used.  Unmatched sites are passed over silently (a shrunk
+    trace may visit sites the original never injected at).
+    """
+
+    def __init__(self, engine: InjectionEngine, injections: list[dict[str, Any]]) -> None:
+        self.engine = engine
+        self.pending = list(injections)
+
+    def fire(self, site: str) -> None:
+        if not self.pending or self.pending[0].get("site") != site:
+            return
+        injection = self.pending.pop(0)
+        kind = injection["kind"]
+        if kind == "interrupt":
+            self.engine.inject_interrupt(site, injection["core_id"], injection["cause"])
+        elif kind == "dma":
+            self.engine.inject_dma(site, injection["paddr"])
+        elif kind == "api":
+            self.engine.inject_api(site, injection["attack"])

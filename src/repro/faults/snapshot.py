@@ -1,0 +1,164 @@
+"""Plain-data snapshots of observable system state, with a differ.
+
+The crash-atomicity checker compares the state an error-returning API
+call *should not have changed*: the SM's own metadata (resources,
+enclaves, threads, arenas, DRBG), the platform's region assignments,
+the DMA filter programming, the cores' architectural state, and the
+delegated-event queues.  Physical memory is covered separately by
+:class:`repro.faults.atomicity.MemoryJournal` (snapshotting all of DRAM
+per call would be prohibitive); lock hold-state is deliberately
+excluded — transactions legitimately hold locks at yield points, and
+lock leakage is already caught by
+:func:`repro.sm.invariants.check_lock_quiescence`.
+
+Snapshots are nested dicts/lists/scalars only, so the differ is a
+simple structural recursion producing dotted paths like
+``enclaves.0x80000000.state: LOADING != INITIALIZED``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sm.api import SecurityMonitor
+
+
+def _mailbox_state(mailbox) -> dict[str, Any]:
+    return {
+        "state": mailbox.state.name,
+        "expected_sender": mailbox.expected_sender,
+        "message": mailbox.message.hex(),
+        "sender_measurement": mailbox.sender_measurement.hex(),
+    }
+
+
+def _saved_core_state(present: bool, saved) -> dict[str, Any]:
+    if not present:
+        return {"present": False}
+    return {"present": True, "regs": list(saved.regs), "pc": saved.pc}
+
+
+def _enclave_state(enclave) -> dict[str, Any]:
+    return {
+        "state": enclave.state.name,
+        "evrange": (enclave.evrange_base, enclave.evrange_size),
+        "measurement": enclave.measurement.hex(),
+        # The accumulator's operation count is a cheap mutation
+        # fingerprint: every extend_* bumps it, and re-digesting the
+        # pure-python SHA3 sponge per snapshot would dominate runtime.
+        "measurement_ops": enclave.measurement_accumulator.operation_count,
+        "mailboxes": [_mailbox_state(m) for m in enclave.mailboxes],
+        "page_table_root_ppn": enclave.page_table_root_ppn,
+        "page_table_pages": {
+            f"{block}:{level}": ppn
+            for (block, level), ppn in sorted(enclave.page_table_pages.items())
+        },
+        "vpn_to_ppn": dict(sorted(enclave.vpn_to_ppn.items())),
+        "thread_tids": list(enclave.thread_tids),
+        "last_loaded_ppn": enclave.last_loaded_ppn,
+        "data_loading_started": enclave.data_loading_started,
+        "scheduled_threads": enclave.scheduled_threads,
+    }
+
+
+def _thread_state(thread) -> dict[str, Any]:
+    return {
+        "owner_eid": thread.owner_eid,
+        "state": thread.state.name,
+        "entry": (thread.entry_pc, thread.entry_sp),
+        "fault": (thread.fault_pc, thread.fault_sp),
+        "core_id": thread.core_id,
+        "aex": _saved_core_state(thread.aex_present, thread.aex_state),
+        "fault_dump": _saved_core_state(thread.fault_present, thread.fault_state),
+    }
+
+
+def _core_state(core) -> dict[str, Any]:
+    return {
+        "regs": list(core.regs),
+        "pc": core.pc,
+        "privilege": int(core.privilege),
+        "halted": core.halted,
+        "domain": core.domain,
+        "context": {
+            "paging_enabled": core.context.paging_enabled,
+            "os_root_ppn": core.context.os_root_ppn,
+            "enclave_root_ppn": core.context.enclave_root_ppn,
+            "evrange": core.context.evrange,
+        },
+    }
+
+
+def snapshot_system(sm: SecurityMonitor) -> dict[str, Any]:
+    """Capture everything an aborted API call must leave untouched."""
+    state = sm.state
+    drbg = state.drbg
+    return {
+        "resources": {
+            f"{record.rtype.name}:{record.rid}": {
+                "owner": record.owner,
+                "state": record.state.name,
+                "offered_to": record.offered_to,
+            }
+            for record in state.resources.all_records()
+        },
+        "enclaves": {
+            f"{eid:#x}": _enclave_state(enclave)
+            for eid, enclave in sorted(state.enclaves.items())
+        },
+        "threads": {
+            f"{tid:#x}": _thread_state(thread)
+            for tid, thread in sorted(state.threads.items())
+        },
+        "arenas": [
+            {"base": arena.base, "size": arena.size, "claims": dict(sorted(arena.claims.items()))}
+            for arena in state.metadata_arenas
+        ],
+        "drbg": None
+        if drbg is None
+        else {
+            "state": drbg._state.hex(),
+            "reseed_counter": drbg._reseed_counter,
+            "generates_since_reseed": drbg._generates_since_reseed,
+        },
+        "core_thread": dict(sorted(sm._core_thread.items())),
+        "cores": [_core_state(core) for core in sm.machine.cores],
+        "platform_regions": {
+            rid: sm.platform.region_owner(rid) for rid in sm.platform.region_ids()
+        },
+        "dma_ranges": [(r.base, r.size) for r in sm.machine.dma_filter.ranges()],
+        "os_events": {
+            "posted": sm.os_events.posted,
+            "queues": [
+                [repr(event) for event in sm.os_events._queues[core_id]]
+                for core_id in range(len(sm.machine.cores))
+            ],
+        },
+    }
+
+
+def diff_snapshots(before: Any, after: Any, path: str = "") -> list[str]:
+    """Structural diff; returns dotted-path descriptions of changes."""
+    if type(before) is not type(after):
+        return [f"{path or '<root>'}: type {type(before).__name__} != {type(after).__name__}"]
+    if isinstance(before, dict):
+        diffs: list[str] = []
+        for key in sorted(set(before) | set(after), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in before:
+                diffs.append(f"{sub}: added {after[key]!r}")
+            elif key not in after:
+                diffs.append(f"{sub}: removed {before[key]!r}")
+            else:
+                diffs.extend(diff_snapshots(before[key], after[key], sub))
+        return diffs
+    if isinstance(before, (list, tuple)):
+        if len(before) != len(after):
+            return [f"{path or '<root>'}: length {len(before)} != {len(after)}"]
+        diffs = []
+        for index, (a, b) in enumerate(zip(before, after)):
+            diffs.extend(diff_snapshots(a, b, f"{path}[{index}]"))
+        return diffs
+    if before != after:
+        return [f"{path or '<root>'}: {before!r} != {after!r}"]
+    return []

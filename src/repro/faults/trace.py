@@ -1,0 +1,96 @@
+"""Replayable counterexample traces (JSON).
+
+A trace is the complete recipe for reproducing a violation from a
+fresh, deterministically built system: the platform, the originating
+seed, and a list of steps.  Each step is one SM API call (or a
+``run_core`` pseudo-step) with fully concrete arguments, plus the
+faults injected during that call — recorded, not re-randomized, so
+replay and shrinking never depend on RNG state.
+
+Format::
+
+    {
+      "version": 1,
+      "platform": "sanctum",
+      "seed": 0,
+      "violation": {"kind": "atomicity", "detail": "...", "step": 7},
+      "steps": [
+        {"op": "create_enclave", "args": [0, 134217728, 1073741824, 65536, 1],
+         "force_conflict": 1,
+         "inject": [{"site": "create_thread.locked", "kind": "dma", ...}]},
+        ...
+      ]
+    }
+
+``args`` are JSON-safe: ints stay ints, ``bytes`` arguments are encoded
+as ``{"hex": "..."}`` objects.  Traces render for humans through the
+shared :func:`repro.verification.checker.format_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.verification.model import Action
+
+TRACE_VERSION = 1
+
+
+def encode_arg(value: Any) -> Any:
+    """JSON-encode one call argument (bytes become hex objects)."""
+    if isinstance(value, bytes):
+        return {"hex": value.hex()}
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    raise TypeError(f"unsupported trace argument type: {type(value).__name__}")
+
+
+def decode_arg(value: Any) -> Any:
+    """Invert :func:`encode_arg`."""
+    if isinstance(value, dict) and set(value) == {"hex"}:
+        return bytes.fromhex(value["hex"])
+    return value
+
+
+def save_trace(path: str, trace: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=2)
+        handle.write("\n")
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    version = trace.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {version!r}")
+    return trace
+
+
+def trace_to_actions(steps: list[dict[str, Any]]) -> list[Action]:
+    """Project trace steps onto the verification Action format.
+
+    Injections are surfaced as pseudo-actions (``inject:<kind>``) in
+    sequence with the calls they interleave, so the rendered trace
+    reads as the actual event order.
+    """
+    actions: list[Action] = []
+    for step in steps:
+        if step.get("force_conflict"):
+            actions.append(
+                Action("inject:lock_conflict", (step["force_conflict"],))
+            )
+        args = tuple(
+            arg.hex() if isinstance(arg, bytes) else arg
+            for arg in (decode_arg(a) for a in step.get("args", []))
+        )
+        actions.append(Action(step["op"], args))
+        for injection in step.get("inject", []):
+            detail = tuple(
+                f"{key}={value}"
+                for key, value in injection.items()
+                if key not in ("kind",)
+            )
+            actions.append(Action(f"inject:{injection['kind']}", detail))
+    return actions

@@ -46,6 +46,18 @@ class InterruptController:
         self._check_core(core_id)
         self._pending[core_id].append(TrapCause.EXTERNAL_INTERRUPT)
 
+    def inject(self, core_id: int, cause: TrapCause) -> None:
+        """Fault-injection hook: post an arbitrary interrupt cause.
+
+        Used by :mod:`repro.faults` to model interrupts arriving at
+        adversarially chosen instants; equivalent to the device-side
+        entry points above but parameterized on the cause.
+        """
+        self._check_core(core_id)
+        if not cause.is_interrupt:
+            raise ValueError(f"{cause} is not an interrupt cause")
+        self._pending[core_id].append(cause)
+
     def poll(self, core_id: int, current_cycle: int) -> Trap | None:
         """Return the next deliverable interrupt for a core, if any.
 

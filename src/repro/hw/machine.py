@@ -123,6 +123,17 @@ class Machine:
     # Wiring
     # ------------------------------------------------------------------
 
+    def dma_device(self, name: str) -> "DmaDevice":
+        """A DMA-capable device attached behind the machine's DMA filter.
+
+        Convenience constructor used by adversarial drivers and the
+        fault-injection harness: every transfer the device attempts is
+        policed by the SM-programmed filter.
+        """
+        from repro.hw.dma import DmaDevice
+
+        return DmaDevice(name, self.memory, self.dma_filter)
+
     def install_isolation(self, platform: IsolationCheck) -> None:
         """Attach the isolation platform (Sanctum regions or PMP)."""
         self._isolation = platform

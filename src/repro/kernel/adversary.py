@@ -174,6 +174,38 @@ class MaliciousOs:
         """Operate on a made-up enclave id."""
         return self.sm.init_enclave(DOMAIN_UNTRUSTED, fake_eid)
 
+    def mid_call_attacks(self) -> list[tuple[str, "Callable[[], object]"]]:
+        """Hostile re-entrant API calls safe to fire *inside* an SM call.
+
+        The fault-injection harness (:mod:`repro.faults`) fires these at
+        yield points to model a concurrent malicious OS racing the call
+        in progress.  Every entry is a pure API call — no core
+        execution — so firing one mid-transaction models exactly what a
+        second core could attempt concurrently.  Calls that target
+        objects locked by the outer transaction must come back
+        ``LOCK_CONFLICT``; the rest either fail validation or succeed
+        as they would for any concurrent caller.
+        """
+        sm = self.sm
+        known_eids = list(sm.state.enclaves)
+        victim = known_eids[0] if known_eids else 0xDEAD000
+        return [
+            ("forge_init", lambda: sm.init_enclave(DOMAIN_UNTRUSTED, 0xDEAD000)),
+            ("race_init", lambda: sm.init_enclave(DOMAIN_UNTRUSTED, victim)),
+            ("race_delete", lambda: sm.delete_enclave(DOMAIN_UNTRUSTED, victim)),
+            ("race_block_core", lambda: sm.block_resource(
+                DOMAIN_UNTRUSTED, ResourceType.CORE, 0)),
+            ("race_block_region", lambda: sm.block_resource(
+                DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, 0)),
+            ("race_clean_region", lambda: sm.clean_resource(
+                DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, 0)),
+            ("race_grant", lambda: sm.grant_resource(
+                DOMAIN_UNTRUSTED, ResourceType.DRAM_REGION, 0, victim)),
+            ("mail_spam", lambda: sm.send_mail(DOMAIN_UNTRUSTED, victim, b"spam")),
+            ("drain_entropy", lambda: sm.get_random(DOMAIN_UNTRUSTED, 64)),
+            ("field_probe", lambda: sm.get_field(DOMAIN_UNTRUSTED, 0)),
+        ]
+
     def create_enclave_outside_sm_memory(self) -> ApiResult:
         """Place enclave metadata in OS memory (SM must refuse).
 

@@ -103,10 +103,32 @@ class KeystonePlatform(IsolationPlatform):
                 raise ValueError(
                     f"region [{base:#x}, +{size:#x}) overlaps region {region.rid}"
                 )
+        # Admission control for PMP capacity: every core needs one
+        # entry per region (a deny, or the owner's exposure entry which
+        # shadows it) plus the untrusted catch-all.  Checking here —
+        # rather than blowing up in ``configure_core`` at some later
+        # ``enter_enclave`` — keeps capacity exhaustion a clean,
+        # caller-attributable error at the call that caused it.
+        slots = min(core.pmp.entry_slots for core in self.machine.cores)
+        if len(self._regions) + 1 > slots - 1:
+            raise ValueError(
+                f"PMP capacity exhausted: {len(self._regions)} regions "
+                f"+ catch-all already fill {slots} slots"
+            )
         rid = self._next_rid
         self._next_rid += 1
         self._regions[rid] = _DynamicRegion(rid, base, size, owner)
-        self._reprogram_all_cores()
+        try:
+            self._reprogram_all_cores()
+        except RuntimeError as exc:
+            # PMP exhaustion: roll the insertion back (restoring every
+            # core's PMP) so the failed creation has no side effects,
+            # and surface a caller-attributable error — the API maps
+            # ValueError to INVALID_VALUE instead of crashing the SM.
+            del self._regions[rid]
+            self._next_rid = rid
+            self._reprogram_all_cores()
+            raise ValueError(str(exc)) from None
         return rid
 
     def delete_region(self, rid: int) -> None:
@@ -136,6 +158,7 @@ class KeystonePlatform(IsolationPlatform):
         """
         core.pmp.clear()
         slot = 0
+        exposed: set[int] = set()
         if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
             for region in self._regions.values():
                 if region.owner == core.domain:
@@ -149,7 +172,14 @@ class KeystonePlatform(IsolationPlatform):
                         ),
                     )
                     slot += 1
+                    exposed.add(region.rid)
         for region in self._regions.values():
+            if region.rid in exposed:
+                # The exposure entry above sits in a lower slot and
+                # lowest-slot-wins: a deny here would be dead weight,
+                # and emitting it made per-core demand exceed the
+                # n-regions+1 budget ``create_region`` admits against.
+                continue
             if slot >= core.pmp.entry_slots - 1:
                 raise RuntimeError("out of PMP slots; reduce region count")
             core.pmp.set_entry(

@@ -143,6 +143,9 @@ class SecurityMonitor:
         self.os_events = OsEventQueue(machine.config.n_cores)
         #: core_id -> tid of the enclave thread it is executing.
         self._core_thread: dict[int, int] = {}
+        #: Fault-injection hook fired at instrumented yield points (see
+        #: :meth:`_yield_point`); None outside :mod:`repro.faults` runs.
+        self._fault_hook = None
 
         # Static trust state from secure boot (§IV-A).
         self.state.sm_measurement = boot.sm_measurement
@@ -170,6 +173,37 @@ class SecurityMonitor:
 
         machine.set_trap_handler(self.handle_trap)
         self._recompute_dma_filter()
+
+    # ==================================================================
+    # Fault-injection yield points (repro.faults)
+    # ==================================================================
+
+    def set_fault_hook(self, hook) -> None:
+        """Install (or clear, with None) the yield-point fault hook.
+
+        The hook is a callable ``hook(site: str)`` fired at every
+        instrumented yield point — the moments *inside* an API call
+        where a concurrent event (interrupt, DMA transfer, hostile
+        re-entrant call) could be observed on real hardware.  Sites are
+        named ``"<api>.locked"`` (all locks held, no mutation yet) or
+        ``"<api>.validated"`` for lock-free calls.
+        """
+        self._fault_hook = hook
+
+    def _yield_point(self, site: str) -> None:
+        """A simulated point where concurrent events may preempt the call.
+
+        The hook is suppressed for its own duration so re-entrant API
+        calls made *by* an injection do not recursively re-inject.
+        """
+        hook = self._fault_hook
+        if hook is None:
+            return
+        self._fault_hook = None
+        try:
+            hook(site)
+        finally:
+            self._fault_hook = hook
 
     # ==================================================================
     # Boot-time region claiming (called by platform bring-up code)
@@ -223,6 +257,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(record.lock)
+                self._yield_point("create_metadata_region.locked")
                 if record.state is not ResourceState.FREE:
                     return ApiResult.INVALID_STATE
                 self.state.resources.assign_directly(ResourceType.DRAM_REGION, rid, DOMAIN_SM)
@@ -260,6 +295,7 @@ class SecurityMonitor:
         if evrange_base + evrange_size > 2**32:
             return ApiResult.INVALID_VALUE
         size = ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX * num_mailboxes
+        self._yield_point("create_enclave.validated")
         if not self.state.claim_metadata(eid, size):
             return ApiResult.INVALID_VALUE
         measurement = EnclaveMeasurement(self.state.sm_measurement, self.platform.name)
@@ -294,6 +330,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("create_enclave_region.locked")
                 try:
                     rid = self.platform.create_region(base, size, eid)
                 except NotImplementedError:
@@ -329,6 +366,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("allocate_page_table.locked")
                 check = self._check_enclave_page(enclave, ppn)
                 if check is not ApiResult.OK:
                     return check
@@ -385,6 +423,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("load_page.locked")
                 if vpn in enclave.vpn_to_ppn:
                     # No virtual aliasing: the injectivity invariant.
                     return ApiResult.INVALID_STATE
@@ -430,11 +469,16 @@ class SecurityMonitor:
             return ApiResult.INVALID_VALUE
         if fault_pc and not enclave.in_evrange(fault_pc):
             return ApiResult.INVALID_VALUE
-        if not self.state.claim_metadata(tid, THREAD_METADATA_SIZE):
-            return ApiResult.INVALID_VALUE
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("create_thread.locked")
+                # The metadata claim happens only once every lock is
+                # held: claiming before `take` would leak the arena
+                # claim on a LOCK_CONFLICT, violating the
+                # no-side-effect transaction guarantee (§V-A).
+                if not self.state.claim_metadata(tid, THREAD_METADATA_SIZE):
+                    return ApiResult.INVALID_VALUE
                 thread = ThreadMetadata(
                     tid=tid,
                     owner_eid=eid,
@@ -454,7 +498,6 @@ class SecurityMonitor:
                 )
                 return ApiResult.OK
         except LockConflict:
-            self.state.release_metadata(tid)
             return ApiResult.LOCK_CONFLICT
 
     @timed_api
@@ -468,6 +511,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("init_enclave.locked")
                 if enclave.state is not EnclaveState.LOADING:
                     return ApiResult.INVALID_STATE
                 if enclave.page_table_root_ppn is None:
@@ -499,6 +543,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock, thread.lock, core_record.lock)
+                self._yield_point("enter_enclave.locked")
                 if enclave.state is not EnclaveState.INITIALIZED:
                     return ApiResult.INVALID_STATE
                 if thread.owner_eid != eid or thread.state is not ThreadState.ASSIGNED:
@@ -547,6 +592,7 @@ class SecurityMonitor:
                     *(r.lock for r in region_records),
                     *(r.lock for r in thread_records),
                 )
+                self._yield_point("delete_enclave.locked")
                 if enclave.scheduled_threads > 0:
                     return ApiResult.INVALID_STATE
                 for record in region_records:
@@ -573,6 +619,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(record.lock)
+                self._yield_point("block_resource.locked")
                 if rtype is ResourceType.THREAD:
                     thread = self.state.threads.get(rid)
                     if thread is not None and thread.state is ThreadState.SCHEDULED:
@@ -622,6 +669,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(record.lock)
+                self._yield_point("clean_resource.locked")
                 result = self.state.resources.clean(rtype, rid)
                 if result is not ApiResult.OK:
                     return result
@@ -665,6 +713,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(record.lock)
+                self._yield_point("grant_resource.locked")
                 if record.state is not ResourceState.FREE:
                     return ApiResult.INVALID_STATE
                 immediate = recipient == DOMAIN_UNTRUSTED or (
@@ -688,6 +737,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(record.lock)
+                self._yield_point("accept_resource.locked")
                 result = self.state.resources.accept(rtype, rid, caller)
                 if result is ApiResult.OK:
                     self._complete_resource_transfer(rtype, rid, caller)
@@ -714,6 +764,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("accept_mail.locked")
                 return enclave.mailboxes[mailbox_index].accept(sender_id)
         except LockConflict:
             return ApiResult.LOCK_CONFLICT
@@ -736,6 +787,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(recipient.lock)
+                self._yield_point("send_mail.locked")
                 for mailbox in recipient.mailboxes:
                     result = mailbox.deliver(caller, sender_measurement, message)
                     if result is ApiResult.OK:
@@ -755,6 +807,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("get_mail.locked")
                 return enclave.mailboxes[mailbox_index].fetch()
         except LockConflict:
             return ApiResult.LOCK_CONFLICT, b"", b""
@@ -811,6 +864,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("map_enclave_page.locked")
                 if vpn in enclave.vpn_to_ppn or enclave.ppn_is_mapped(ppn):
                     return ApiResult.INVALID_STATE
                 rid = self.platform.region_of(paddr)
@@ -853,6 +907,7 @@ class SecurityMonitor:
         try:
             with Transaction() as txn:
                 txn.take(enclave.lock)
+                self._yield_point("unmap_enclave_page.locked")
                 if vpn not in enclave.vpn_to_ppn:
                     return ApiResult.INVALID_STATE
                 block = vaddr >> (PAGE_SHIFT + 10)
@@ -1051,17 +1106,36 @@ class SecurityMonitor:
                     else read_result
                 )
         elif call is EnclaveEcall.GET_MAIL:
-            result, message, sender_measurement = self.get_mail(enclave.eid, a1)
-            if result is ApiResult.OK:
-                result = self._write_enclave_buffer(core, a2, message)
-            if result is ApiResult.OK:
-                result = self._write_enclave_buffer(core, a3, sender_measurement)
-            if result is ApiResult.OK:
-                core.write_reg(Reg.A1, len(message))
+            # Validate both destinations before fetch(): fetching
+            # consumes the mail, so a bad destination discovered
+            # afterwards would lose the message on an error return.
+            pending = 0
+            if 0 <= a1 < len(enclave.mailboxes):
+                pending = len(enclave.mailboxes[a1].message)
+            if not self._enclave_buffer_writable(core, a2, pending):
+                result = ApiResult.INVALID_VALUE
+            elif not self._enclave_buffer_writable(core, a3, 64):
+                result = ApiResult.INVALID_VALUE
+            else:
+                result, message, sender_measurement = self.get_mail(enclave.eid, a1)
+                if result is ApiResult.OK:
+                    result = self._write_enclave_buffer(core, a2, message)
+                if result is ApiResult.OK:
+                    result = self._write_enclave_buffer(core, a3, sender_measurement)
+                if result is ApiResult.OK:
+                    core.write_reg(Reg.A1, len(message))
         elif call is EnclaveEcall.GET_RANDOM:
-            result, data = self.get_random(enclave.eid, a2)
-            if result is ApiResult.OK:
-                result = self._write_enclave_buffer(core, a1, data)
+            # Validate the destination before generate(): the DRBG
+            # advances on generate, so a bad destination discovered
+            # afterwards would leave state mutated on an error return.
+            if not 0 <= a2 <= 4096:
+                result = ApiResult.INVALID_VALUE
+            elif not self._enclave_buffer_writable(core, a1, a2):
+                result = ApiResult.INVALID_VALUE
+            else:
+                result, data = self.get_random(enclave.eid, a2)
+                if result is ApiResult.OK:
+                    result = self._write_enclave_buffer(core, a1, data)
         elif call is EnclaveEcall.BLOCK_RESOURCE:
             rtype = _ECALL_RESOURCE_TYPES.get(a1)
             result = (
@@ -1220,6 +1294,19 @@ class SecurityMonitor:
                 return ApiResult.INVALID_VALUE
             self.machine.memory.write(paddr, bytes([value]))
         return ApiResult.OK
+
+    def _enclave_buffer_writable(self, core: Core, vaddr: int, length: int) -> bool:
+        """Whether an enclave destination buffer translates end to end.
+
+        Used to validate destinations *before* consuming state (mail,
+        DRBG output), so calls that would fail on the write fail before
+        any mutation instead.
+        """
+        enclave = self.state.enclave(core.domain)
+        return all(
+            self._enclave_vaddr_to_paddr(enclave, vaddr + offset) is not None
+            for offset in range(length)
+        )
 
     def _enclave_vaddr_to_paddr(self, enclave, vaddr: int) -> int | None:
         if enclave is None or not enclave.in_evrange(vaddr):

@@ -9,6 +9,8 @@ A violation always means an SM bug — never legal adversary behaviour.
 
 from __future__ import annotations
 
+import functools
+
 from repro.errors import InvariantViolation
 from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
 from repro.hw.memory import PAGE_SHIFT
@@ -194,3 +196,71 @@ def check_all(sm: SecurityMonitor) -> None:
     """Run every invariant check; raises InvariantViolation on failure."""
     for check in ALL_CHECKS:
         check(sm)
+
+
+#: The SM entry points the invariant guard wraps: the public API plus
+#: the trap handler (through which every enclave ecall arrives).
+GUARDED_API = (
+    "create_metadata_region",
+    "create_enclave",
+    "create_enclave_region",
+    "allocate_page_table",
+    "load_page",
+    "create_thread",
+    "init_enclave",
+    "enter_enclave",
+    "delete_enclave",
+    "block_resource",
+    "clean_resource",
+    "grant_resource",
+    "accept_resource",
+    "accept_thread",
+    "accept_mail",
+    "send_mail",
+    "get_mail",
+    "get_field",
+    "get_random",
+    "get_attestation_key",
+    "map_enclave_page",
+    "unmap_enclave_page",
+    "get_sealing_key",
+    "handle_trap",
+)
+
+
+def install_invariant_guard(sm: SecurityMonitor, check=check_all) -> SecurityMonitor:
+    """Run ``check`` after every outermost public API call on ``sm``.
+
+    Wraps each entry point in :data:`GUARDED_API` on the *instance* so
+    existing end-to-end tests exercise every invariant (including
+    :func:`check_lock_quiescence`) after every call, not only in
+    dedicated invariant tests.  A depth counter keeps nested calls
+    (``accept_thread`` -> ``accept_resource``, ecall dispatch inside
+    ``handle_trap``) from checking mid-transaction while locks are
+    legitimately held; checks are skipped when the call raises, so the
+    original exception is never masked.  Idempotent per instance.
+    """
+    if getattr(sm, "_invariant_guard_depth", None) is not None:
+        return sm
+    sm._invariant_guard_depth = 0
+
+    def wrap(method):
+        @functools.wraps(method)
+        def guarded(*args, **kwargs):
+            sm._invariant_guard_depth += 1
+            try:
+                result = method(*args, **kwargs)
+            finally:
+                sm._invariant_guard_depth -= 1
+            if sm._invariant_guard_depth == 0:
+                check(sm)
+            return result
+
+        return guarded
+
+    for name in GUARDED_API:
+        setattr(sm, name, wrap(getattr(sm, name)))
+    # The machine captured the unwrapped bound handler at SM
+    # construction; re-register so trap-path calls are guarded too.
+    sm.machine.set_trap_handler(sm.handle_trap)
+    return sm

@@ -18,10 +18,25 @@ deadlock-free by construction.
 from __future__ import annotations
 
 import itertools
+from typing import Callable
 
 from repro.errors import ApiResult
 
 _ordinals = itertools.count()
+
+#: Fault-injection hook consulted on every lock acquisition.  When set
+#: (see :func:`set_acquire_hook`), it receives the lock and the would-be
+#: holder and returns True to force the acquisition to fail exactly as
+#: if a concurrent transaction already held the lock.  This is how
+#: :mod:`repro.faults` forces a ``LOCK_CONFLICT`` at any acquisition
+#: site to verify the no-side-effect transaction guarantee.
+_acquire_hook: Callable[["SmLock", str], bool] | None = None
+
+
+def set_acquire_hook(hook: Callable[["SmLock", str], bool] | None) -> None:
+    """Install (or clear, with None) the global acquisition-fault hook."""
+    global _acquire_hook
+    _acquire_hook = hook
 
 
 class SmLock:
@@ -39,6 +54,8 @@ class SmLock:
     def acquire(self, holder: str = "sm") -> bool:
         """Try to take the lock; returns False when already held."""
         if self.held_by is not None:
+            return False
+        if _acquire_hook is not None and _acquire_hook(self, holder):
             return False
         self.held_by = holder
         return True

@@ -23,6 +23,21 @@ from repro.verification.properties import ALL_PROPERTIES
 Property = Callable[[ModelState], "str | None"]
 
 
+def format_trace(actions: Sequence[Action]) -> str:
+    """Render an action trace one call per line, for humans.
+
+    Shared counterexample formatting between the bounded checker and
+    the fault-injection fuzzer (:mod:`repro.faults`), which both report
+    violations as :class:`~repro.verification.model.Action` sequences.
+    """
+    if not actions:
+        return "  (empty trace)"
+    return "\n".join(
+        f"  {i:3d}. {action.name}({', '.join(map(repr, action.args))})"
+        for i, action in enumerate(actions)
+    )
+
+
 @dataclasses.dataclass
 class CheckOutcome:
     """Result of one bounded-checking run."""

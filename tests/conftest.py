@@ -6,6 +6,7 @@ import pytest
 
 from repro import build_keystone_system, build_sanctum_system, image_from_assembly
 from repro.hw.machine import MachineConfig
+from repro.sm.invariants import install_invariant_guard
 
 
 def small_config() -> MachineConfig:
@@ -15,22 +16,34 @@ def small_config() -> MachineConfig:
 
 @pytest.fixture
 def sanctum_system():
-    """A freshly booted Sanctum system (8 regions, partitioned LLC)."""
-    return build_sanctum_system(config=small_config(), n_regions=8)
+    """A freshly booted Sanctum system (8 regions, partitioned LLC).
+
+    Every public SM API call made through this fixture re-checks
+    ``repro.sm.invariants.check_all`` (including lock quiescence) on
+    return, so any test driving the system doubles as an invariant test.
+    """
+    system = build_sanctum_system(config=small_config(), n_regions=8)
+    install_invariant_guard(system.sm)
+    return system
 
 
 @pytest.fixture
 def keystone_system():
     """A freshly booted Keystone system (PMP, unpartitioned LLC)."""
-    return build_keystone_system(config=small_config())
+    system = build_keystone_system(config=small_config())
+    install_invariant_guard(system.sm)
+    return system
 
 
 @pytest.fixture(params=["sanctum", "keystone"])
 def any_system(request):
     """Parametrized over both platform backends."""
     if request.param == "sanctum":
-        return build_sanctum_system(config=small_config(), n_regions=8)
-    return build_keystone_system(config=small_config())
+        system = build_sanctum_system(config=small_config(), n_regions=8)
+    else:
+        system = build_keystone_system(config=small_config())
+    install_invariant_guard(system.sm)
+    return system
 
 
 def trivial_enclave_image(result_addr: int | None = None, value: int = 42):

@@ -1,0 +1,209 @@
+"""Fault injectors and the crash-atomicity checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ApiResult, AtomicityViolation
+from repro.faults import (
+    AtomicityChecker,
+    InjectionEngine,
+    LockConflictInjector,
+    ScriptedInjector,
+    forced_lock_conflict,
+)
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.resources import ResourceType
+from repro.util.rng import DeterministicTRNG
+
+OS = DOMAIN_UNTRUSTED
+
+
+# ---------------------------------------------------------------------------
+# Forced lock conflicts
+# ---------------------------------------------------------------------------
+
+def test_forced_conflict_turns_any_call_into_lock_conflict(sanctum_system):
+    sm = sanctum_system.sm
+    rid = sanctum_system.kernel._donatable_regions[0]
+    with forced_lock_conflict(at_acquisition=1) as injector:
+        result = sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
+    assert injector.fired
+    assert result is ApiResult.LOCK_CONFLICT
+    # Without the injector the same call goes through.
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+
+
+def test_injector_counts_acquisitions_and_may_never_fire():
+    injector = LockConflictInjector(at_acquisition=3)
+    assert injector(None, "sm") is False
+    assert injector(None, "sm") is False
+    assert injector(None, "sm") is True
+    assert injector.fired
+    late = LockConflictInjector(at_acquisition=5)
+    assert late(None, "sm") is False
+    assert not late.fired, "a call taking fewer locks never trips the injector"
+
+
+def test_forced_conflict_is_proven_side_effect_free(sanctum_system):
+    sm = sanctum_system.sm
+    checker = AtomicityChecker(sm)
+    rid = sanctum_system.kernel._donatable_regions[0]
+    with forced_lock_conflict(at_acquisition=1):
+        result = checker.checked_call(
+            lambda: sm.block_resource(OS, ResourceType.DRAM_REGION, rid),
+            label="block_resource",
+        )
+    assert result is ApiResult.LOCK_CONFLICT
+    assert checker.errors_verified == 1
+
+
+# ---------------------------------------------------------------------------
+# The atomicity checker itself
+# ---------------------------------------------------------------------------
+
+def test_checker_flags_metadata_mutation_on_error_return(any_system):
+    sm = any_system.sm
+    checker = AtomicityChecker(sm)
+
+    def dirty_error():
+        sm.state.claim_metadata(sm.state.suggest_metadata(64), 64)
+        return ApiResult.INVALID_VALUE
+
+    with pytest.raises(AtomicityViolation, match="arenas"):
+        checker.checked_call(dirty_error, label="dirty")
+
+
+def test_checker_flags_memory_write_on_error_return(any_system):
+    sm = any_system.sm
+    checker = AtomicityChecker(sm)
+
+    def dirty_memory():
+        sm.machine.memory.write(0x6000, b"\xff\xff")
+        return ApiResult.PROHIBITED
+
+    with pytest.raises(AtomicityViolation, match="memory page"):
+        checker.checked_call(dirty_memory, label="dirty-memory")
+
+
+def test_checker_permits_mutation_on_ok_and_nonresult_returns(any_system):
+    sm = any_system.sm
+    checker = AtomicityChecker(sm)
+
+    def ok_mutation():
+        sm.state.claim_metadata(sm.state.suggest_metadata(64), 64)
+        return ApiResult.OK
+
+    assert checker.checked_call(ok_mutation) is ApiResult.OK
+
+    def no_result():
+        sm.machine.memory.write(0x6000, b"\x01")
+        return 1234
+
+    assert checker.checked_call(no_result) == 1234
+    assert checker.calls_checked == 2 and checker.errors_verified == 0
+
+
+def test_checker_handles_tuple_results(any_system):
+    sm = any_system.sm
+    checker = AtomicityChecker(sm)
+    result, data = checker.checked_call(lambda: sm.get_random(OS, 8))
+    assert result is ApiResult.OK and len(data) == 8
+    # An error tuple from a clean call verifies fine.
+    result, data = checker.checked_call(lambda: sm.get_random(OS, 9999))
+    assert result is ApiResult.INVALID_VALUE
+    assert checker.errors_verified == 1
+
+
+# ---------------------------------------------------------------------------
+# The injection engine
+# ---------------------------------------------------------------------------
+
+def test_interrupt_injection_queues_on_the_target_core(sanctum_system):
+    engine = InjectionEngine(sanctum_system, DeterministicTRNG(0))
+    engine.inject_interrupt("site.locked", 0, "TIMER_INTERRUPT")
+    assert sanctum_system.machine.interrupts._pending[0], "interrupt not queued"
+    [record] = engine.drain_record()
+    assert record == {
+        "site": "site.locked",
+        "kind": "interrupt",
+        "core_id": 0,
+        "cause": "TIMER_INTERRUPT",
+    }
+    assert engine.drain_record() == []
+
+
+def test_dma_probe_into_protected_memory_is_denied(sanctum_system):
+    engine = InjectionEngine(sanctum_system, DeterministicTRNG(0))
+    protected = sanctum_system.sm.state.metadata_arenas[0].base
+    engine.inject_dma("site.locked", protected)
+    [record] = engine.drain_record()
+    assert record["denied"] is True
+    assert engine.security_failures == [], (
+        "a denied probe is the hardware doing its job, not a violation"
+    )
+
+
+def test_dma_write_to_untrusted_memory_triggers_rebaseline(sanctum_system):
+    engine = InjectionEngine(sanctum_system, DeterministicTRNG(0))
+    calls = []
+    engine.on_mutation = lambda: calls.append(True)
+    buffer = sanctum_system.kernel.alloc_buffer(1)
+    engine.inject_dma("site.locked", buffer)
+    [record] = engine.drain_record()
+    assert record["denied"] is False
+    assert calls == [True], "a successful untrusted write must rebaseline"
+    assert engine.security_failures == []
+
+
+def test_hostile_api_injection_runs_and_records(sanctum_system):
+    engine = InjectionEngine(sanctum_system, DeterministicTRNG(0))
+    attacks = engine.adversary.mid_call_attacks()
+    index = next(i for i, (name, _) in enumerate(attacks) if name == "forge_init")
+    engine.inject_api("site.locked", index)
+    [record] = engine.drain_record()
+    assert record["kind"] == "api" and record["name"] == "forge_init"
+    assert record["result"] != int(ApiResult.OK)
+
+
+def test_yield_points_fire_inside_api_calls(sanctum_system):
+    sm = sanctum_system.sm
+    sites = []
+    sm.set_fault_hook(sites.append)
+    rid = sanctum_system.kernel._donatable_regions[0]
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    sm.set_fault_hook(None)
+    assert sites == ["block_resource.locked"]
+
+
+def test_yield_point_hook_is_suppressed_during_injection(sanctum_system):
+    sm = sanctum_system.sm
+    rid = sanctum_system.kernel._donatable_regions[0]
+    sites = []
+
+    def reentrant_hook(site):
+        sites.append(site)
+        # A hostile re-entrant call from inside the hook must not
+        # re-trigger the hook (else injection would recurse forever).
+        sm.init_enclave(OS, 0xDEAD000)
+
+    sm.set_fault_hook(reentrant_hook)
+    sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
+    sm.set_fault_hook(None)
+    assert sites == ["block_resource.locked"]
+
+
+def test_scripted_injector_matches_sites_in_order(sanctum_system):
+    engine = InjectionEngine(sanctum_system, DeterministicTRNG(0))
+    scripted = ScriptedInjector(
+        engine,
+        [{"site": "a.locked", "kind": "interrupt",
+          "core_id": 1, "cause": "SOFTWARE_INTERRUPT"}],
+    )
+    scripted.fire("b.locked")  # not the recorded site: passed over
+    assert engine.injections_fired == 0
+    scripted.fire("a.locked")
+    assert engine.injections_fired == 1
+    assert sanctum_system.machine.interrupts._pending[1]
+    scripted.fire("a.locked")  # script exhausted: no-op
+    assert engine.injections_fired == 1

@@ -1,0 +1,192 @@
+"""Regression tests: error-returning calls leave no side effects (§V-A).
+
+Each test pins one mutation-before-validation bug found by auditing the
+API/ecall paths against the transaction discipline:
+
+* ``GET_MAIL`` consumed the pending message before validating the
+  destination buffers — a bad pointer *lost the mail* on an error
+  return.
+* ``GET_RANDOM`` advanced the DRBG before validating the destination —
+  a bad pointer left the generator state mutated on an error return.
+* ``create_thread`` claimed the thread-metadata arena range before
+  taking the enclave lock — a lock conflict leaked the claim.
+* Keystone ``create_enclave_region`` registered the region before
+  reprogramming PMPs — slot exhaustion escaped as a ``RuntimeError``
+  crash and left the region table mutated (found by the fuzzer,
+  seed 0 on keystone).
+"""
+
+from __future__ import annotations
+
+from repro import image_from_assembly
+from repro.errors import ApiResult
+from repro.faults.inject import forced_lock_conflict
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.api import EnclaveEcall
+from repro.sm.enclave import (
+    ENCLAVE_METADATA_BASE_SIZE,
+    ENCLAVE_METADATA_PER_MAILBOX,
+)
+from repro.sm.mailbox import MailboxState
+from repro.sm.thread import THREAD_METADATA_SIZE
+
+OS = DOMAIN_UNTRUSTED
+
+#: In-evrange but never mapped: translation fails, so it is an invalid
+#: destination for SM writes into the enclave.
+BAD_DEST = 0x40000000 + 0xF000
+
+
+def _drbg_fingerprint(sm):
+    drbg = sm.state.drbg
+    return (drbg._state, drbg._reseed_counter, drbg._generates_since_reseed)
+
+
+def test_get_mail_bad_destination_does_not_consume_mail(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    get_mail, exit_call = int(EnclaveEcall.GET_MAIL), int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {get_mail}
+    li   a1, 0
+    li   a2, {BAD_DEST}          # unmapped message destination
+    li   a3, sender_buf
+    ecall
+    sw   a0, {out}(zero)         # expect INVALID_VALUE
+    li   a0, {get_mail}
+    li   a1, 0
+    li   a2, msg_buf
+    li   a3, sender_buf
+    ecall
+    sw   a0, {out + 4}(zero)     # expect OK: the mail must still be there
+    li   t1, msg_buf
+    lw   t2, 0(t1)
+    sw   t2, {out + 8}(zero)
+    li   a0, {exit_call}
+    ecall
+    .align 8
+msg_buf:
+    .zero 256
+sender_buf:
+    .zero 64
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    assert sm.accept_mail(loaded.eid, 0, OS) is ApiResult.OK
+    assert sm.send_mail(OS, loaded.eid, b"keep") is ApiResult.OK
+    enclave = sm.state.enclave(loaded.eid)
+    assert enclave.mailboxes[0].state is MailboxState.FULL
+
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_VALUE).to_bytes(4, "little")
+    assert kernel.read_shared(out + 4, 4) == int(ApiResult.OK).to_bytes(4, "little")
+    assert kernel.read_shared(out + 8, 4) == b"keep", (
+        "the failed GET_MAIL must not have consumed the message"
+    )
+
+
+def test_get_random_bad_destination_leaves_drbg_untouched(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    get_random, exit_call = int(EnclaveEcall.GET_RANDOM), int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {get_random}
+    li   a1, {BAD_DEST}          # unmapped destination
+    li   a2, 64
+    ecall
+    sw   a0, {out}(zero)         # expect INVALID_VALUE
+    li   a0, {exit_call}
+    ecall
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    before = _drbg_fingerprint(sm)
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_VALUE).to_bytes(4, "little")
+    assert _drbg_fingerprint(sm) == before, (
+        "the failed GET_RANDOM must not have advanced the DRBG"
+    )
+
+
+def test_get_random_oversized_length_rejected_without_generate(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    get_random, exit_call = int(EnclaveEcall.GET_RANDOM), int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {get_random}
+    li   a1, dst
+    li   a2, 8192                # > 4096: rejected before translation
+    ecall
+    sw   a0, {out}(zero)
+    li   a0, {exit_call}
+    ecall
+    .align 8
+dst:
+    .zero 8
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    before = _drbg_fingerprint(sm)
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_VALUE).to_bytes(4, "little")
+    assert _drbg_fingerprint(sm) == before
+
+
+def test_create_thread_lock_conflict_leaks_no_metadata_claim(any_system):
+    sm = any_system.sm
+    eid = sm.state.suggest_metadata(
+        ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX
+    )
+    assert sm.create_enclave(OS, eid, 0x40000000, 0x10000, 1) is ApiResult.OK
+    tid = sm.state.suggest_metadata(THREAD_METADATA_SIZE)
+    claims_before = [dict(arena.claims) for arena in sm.state.metadata_arenas]
+
+    with forced_lock_conflict(at_acquisition=1) as injector:
+        result = sm.create_thread(OS, eid, tid, 0x40000000, 0x40001000)
+    assert injector.fired
+    assert result is ApiResult.LOCK_CONFLICT
+    assert [dict(a.claims) for a in sm.state.metadata_arenas] == claims_before, (
+        "LOCK_CONFLICT leaked a thread-metadata arena claim"
+    )
+
+    # The identical retry must succeed — nothing of the failed attempt
+    # may linger.
+    assert sm.create_thread(OS, eid, tid, 0x40000000, 0x40001000) is ApiResult.OK
+
+
+def test_pmp_slot_exhaustion_is_an_error_not_a_crash(keystone_system):
+    sm = keystone_system.sm
+    eid = sm.state.suggest_metadata(
+        ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX
+    )
+    assert sm.create_enclave(OS, eid, 0x40000000, 0x10000, 1) is ApiResult.OK
+
+    # Carve single-page regions from the top of DRAM until the PMP
+    # runs out of slots: the SM must answer INVALID_VALUE, not raise.
+    base = keystone_system.machine.config.dram_size
+    results = []
+    for _ in range(64):
+        base -= 0x1000
+        results.append(sm.create_enclave_region(OS, eid, base, 0x1000))
+        if results[-1] is not ApiResult.OK:
+            break
+    assert results[-1] is ApiResult.INVALID_VALUE, (
+        "PMP exhaustion escaped as something other than an API error"
+    )
+    assert ApiResult.OK in results, "expected some regions to fit first"
+
+    # And the failed creation left nothing behind: the region table is
+    # unchanged and a later attempt fails identically (no half-created
+    # region, no burned region id).
+    region_ids = sm.platform.region_ids()
+    assert sm.create_enclave_region(OS, eid, base - 0x2000, 0x1000) is (
+        ApiResult.INVALID_VALUE
+    )
+    assert sm.platform.region_ids() == region_ids

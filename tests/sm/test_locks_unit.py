@@ -1,0 +1,92 @@
+"""Unit tests for the transactional lock machinery (§V-A).
+
+Edge cases of :mod:`repro.sm.locks` that the integration suite only
+exercises implicitly: partial-batch rollback, idempotent re-take,
+release discipline, and the canonical-ordinal acquisition order that
+makes nested transactions deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sm.locks import LockConflict, SmLock, Transaction, set_acquire_hook
+
+
+def test_second_batch_conflict_releases_first_batch_on_exit():
+    a, b, c = SmLock("a"), SmLock("b"), SmLock("c")
+    c.acquire("concurrent-caller")
+    with pytest.raises(LockConflict):
+        with Transaction() as txn:
+            txn.take(a)
+            txn.take(b, c)  # b acquires, c conflicts
+            raise AssertionError("unreachable: take must raise")
+    assert not a.held, "first-batch lock leaked across a failed transaction"
+    assert not b.held, "partial second batch leaked"
+    assert c.held_by == "concurrent-caller", "the conflicting holder keeps its lock"
+
+
+def test_double_take_is_idempotent():
+    a, b = SmLock("a"), SmLock("b")
+    with Transaction() as txn:
+        txn.take(a)
+        txn.take(a, b)  # a again in a later batch: skipped, not re-acquired
+        txn.take(a)
+        assert a.held and b.held
+    # One release each on exit; a double-release would raise RuntimeError.
+    assert not a.held and not b.held
+
+
+def test_release_on_unheld_lock_raises():
+    lock = SmLock("never-held")
+    with pytest.raises(RuntimeError, match="never-held"):
+        lock.release()
+
+
+def test_acquisitions_follow_global_ordinal_order():
+    a, b, c = SmLock("a"), SmLock("b"), SmLock("c")  # ordinals ascend
+    observed: list[str] = []
+
+    def hook(lock: SmLock, holder: str) -> bool:
+        observed.append(lock.name)
+        return False
+
+    set_acquire_hook(hook)
+    try:
+        with Transaction() as txn:
+            txn.take(c, a, b)  # scrambled argument order
+    finally:
+        set_acquire_hook(None)
+    assert observed == ["a", "b", "c"]
+
+
+def test_ordinal_order_keeps_nested_transactions_deadlock_free():
+    """A nested transaction never holds-and-waits.
+
+    t1 holds ``a``.  t2 wants ``{b, a}``; canonical ordering makes it
+    try ``a`` *first*, so it conflicts immediately — before acquiring
+    ``b`` — and rolls back holding nothing.  Hold-and-wait (the
+    deadlock ingredient) is structurally impossible.
+    """
+    a, b = SmLock("a"), SmLock("b")
+    with Transaction("t1") as t1:
+        t1.take(a)
+        with pytest.raises(LockConflict):
+            with Transaction("t2") as t2:
+                t2.take(b, a)
+        assert not b.held, "t2 held b while blocked on a (hold-and-wait)"
+        assert a.held_by == "t1"
+    assert not a.held
+
+
+def test_acquire_hook_forces_conflict_and_clears():
+    lock = SmLock("target")
+    set_acquire_hook(lambda l, holder: True)
+    try:
+        assert not lock.acquire()
+        assert not lock.held
+    finally:
+        set_acquire_hook(None)
+    assert lock.acquire()
+    assert lock.held
+    lock.release()
