@@ -35,6 +35,10 @@ def cmd_loc(_args: argparse.Namespace) -> int:
     print(f"\n  platform-independent core fraction of the monitor: "
           f"{report.core_fraction():.2f}")
     print("  (paper: 1011 / 5785 = 0.17 for the C99 implementation)")
+    print("\ndispatch layers (docs/SM_API.md):")
+    layer_width = max(len(name) for name in report.per_layer)
+    for layer, value in report.per_layer.items():
+        print(f"  {layer.ljust(layer_width)}  {value:6d}")
     print("\nper package:")
     for package, value in sorted(report.per_package.items()):
         print(f"  {package.ljust(width)}  {value:6d}")

@@ -13,7 +13,8 @@ package verifies that claim mechanically:
 * :mod:`repro.faults.atomicity` — the crash-atomicity checker: wraps
   one API call in snapshot + memory journal and raises
   :class:`~repro.errors.AtomicityViolation` when an error-returning
-  call changed anything.
+  call changed anything; :class:`AtomicityInterceptor` installs it on
+  the SM's dispatch pipeline so every outermost call is checked.
 * :mod:`repro.faults.fuzzer` — the seeded multi-caller API fuzzer
   driving OS- and enclave-side call sequences with injections, running
   :func:`repro.sm.invariants.check_all` after every step, and shrinking
@@ -26,7 +27,7 @@ Everything is seed-deterministic: the same seed and step count
 reproduce the same sequence of calls, injections, and outcomes.
 """
 
-from repro.faults.atomicity import AtomicityChecker, MemoryJournal
+from repro.faults.atomicity import AtomicityChecker, AtomicityInterceptor, MemoryJournal
 from repro.faults.inject import (
     InjectionEngine,
     LockConflictInjector,
@@ -34,11 +35,19 @@ from repro.faults.inject import (
     forced_lock_conflict,
 )
 from repro.faults.snapshot import diff_snapshots, snapshot_system
-from repro.faults.fuzzer import FuzzReport, Violation, run_fuzz, replay_trace, shrink_trace
+from repro.faults.fuzzer import (
+    FuzzReport,
+    Violation,
+    replay_trace,
+    replay_with_results,
+    run_fuzz,
+    shrink_trace,
+)
 from repro.faults.trace import load_trace, save_trace, trace_to_actions
 
 __all__ = [
     "AtomicityChecker",
+    "AtomicityInterceptor",
     "MemoryJournal",
     "InjectionEngine",
     "LockConflictInjector",
@@ -50,6 +59,7 @@ __all__ = [
     "Violation",
     "run_fuzz",
     "replay_trace",
+    "replay_with_results",
     "shrink_trace",
     "load_trace",
     "save_trace",

@@ -138,3 +138,29 @@ class AtomicityChecker:
             )
         self.errors_verified += 1
         return result
+
+
+class AtomicityInterceptor:
+    """Pipeline interceptor: atomicity-check every outermost API call.
+
+    Installed outside the monitor's dispatch pipeline (fuzzing runs do
+    this in :mod:`repro.faults.fuzzer`), it routes each outermost,
+    checkable dispatch through :meth:`AtomicityChecker.checked_call`.
+    Nested dispatches (``accept_thread`` -> ``accept_resource``, ecall
+    dispatch inside ``handle_trap``, re-entrant calls made by an
+    injection) are left alone — :class:`MemoryJournal` interposition
+    does not nest, and the outermost journal already covers them.
+    Specs marked ``checked=False`` (the trap handler, whose legal job
+    is mutating core state) are skipped.
+    """
+
+    def __init__(self, checker: AtomicityChecker, engine=None) -> None:
+        self.checker = checker
+        self.engine = engine
+
+    def intercept(self, ctx, proceed):
+        if ctx.pipeline.depth != 1 or not ctx.spec.checked:
+            return proceed()
+        return self.checker.checked_call(
+            proceed, label=ctx.spec.name, engine=self.engine
+        )

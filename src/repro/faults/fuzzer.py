@@ -4,10 +4,14 @@ The fuzzer drives a freshly booted system through a random—but fully
 deterministic—sequence of SM API calls from both OS- and enclave-side
 callers, interleaved with enclave lifecycles, core execution, forced
 lock conflicts, and yield-point fault injections.  After every step it
-runs :func:`repro.sm.invariants.check_all`; every call it makes goes
-through the :class:`~repro.faults.atomicity.AtomicityChecker`, so each
+runs :func:`repro.sm.invariants.check_all`; an
+:class:`~repro.faults.atomicity.AtomicityInterceptor` installed on the
+monitor's dispatch pipeline routes every outermost call through the
+:class:`~repro.faults.atomicity.AtomicityChecker`, so each
 error-returning call is proven side-effect free as a side product of
-fuzzing.
+fuzzing.  The op table is derived from the ABI registry
+(:func:`repro.sm.abi.fuzzable_specs`): a newly registered API call is
+fuzzed automatically, with arguments generated from its typed specs.
 
 Every step is recorded with concrete arguments and the concrete faults
 injected during it, which makes traces self-contained: replay rebuilds
@@ -23,13 +27,18 @@ import dataclasses
 from typing import Any
 
 from repro.errors import ApiResult, AtomicityViolation, InvariantViolation
-from repro.faults.atomicity import AtomicityChecker
+from repro.faults.atomicity import (
+    AtomicityChecker,
+    AtomicityInterceptor,
+    _primary_result,
+)
 from repro.faults.inject import InjectionEngine, ScriptedInjector, forced_lock_conflict
 from repro.faults.trace import TRACE_VERSION, decode_arg, encode_arg
 from repro.hw.core import DOMAIN_UNTRUSTED
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.paging import PTE_R, PTE_W, PTE_X
 from repro.kernel.loader import L0_SPAN
+from repro.sm.abi import ArgKind, fuzzable_specs
 from repro.sm.enclave import (
     ENCLAVE_METADATA_BASE_SIZE,
     ENCLAVE_METADATA_PER_MAILBOX,
@@ -109,6 +118,8 @@ class _Session:
         self.engine = InjectionEngine(
             self.system, engine_rng or DeterministicTRNG(0)
         )
+        # Every outermost API dispatch is atomicity-checked in passing.
+        self.sm.pipeline.install(AtomicityInterceptor(self.checker, self.engine))
         if engine_rng is not None:
             # Live mode: randomized injections at every yield point.
             self.sm.set_fault_hook(self.engine.fire)
@@ -137,8 +148,14 @@ def _invoke(session: _Session, op: str, args: list[Any]) -> Any:
 
 
 def _run_step(session: _Session, step: dict[str, Any], index: int,
-              live: bool) -> Violation | None:
-    """Execute one step; returns the violation it surfaced, if any."""
+              live: bool, results: list[int | None] | None = None) -> Violation | None:
+    """Execute one step; returns the violation it surfaced, if any.
+
+    When ``results`` is given, the primary :class:`ApiResult` code of
+    each API step (``None`` for pseudo-steps) is appended to it — the
+    per-step record used by :func:`replay_with_results` for
+    bit-identity regression fixtures.
+    """
     op = step["op"]
     args = [decode_arg(a) for a in step.get("args", [])]
     scripted = None
@@ -149,18 +166,26 @@ def _run_step(session: _Session, step: dict[str, Any], index: int,
         if op == "run_core":
             session.machine.run_core(args[0], args[1])
             session.sm.os_events.drain(args[0])
+            if results is not None:
+                results.append(None)
         elif op == "write_mem":
             session.machine.memory.write(args[0], args[1])
+            if results is not None:
+                results.append(None)
         else:
-            call = lambda: _invoke(session, op, args)  # noqa: E731
+            # The session's AtomicityInterceptor checks the call from
+            # inside the dispatch pipeline; nothing to wrap here.
             force = step.get("force_conflict")
             if force:
                 with forced_lock_conflict(force):
-                    session.checker.checked_call(
-                        call, label=op, engine=session.engine
-                    )
+                    value = _invoke(session, op, args)
             else:
-                session.checker.checked_call(call, label=op, engine=session.engine)
+                value = _invoke(session, op, args)
+            if results is not None:
+                primary = _primary_result(value)
+                results.append(
+                    int(primary) if isinstance(primary, ApiResult) else None
+                )
         check_all(session.sm)
         if session.engine.security_failures:
             detail = "; ".join(session.engine.security_failures)
@@ -315,6 +340,13 @@ class _Generator:
         return values[self.rng.randint(0, len(values) - 1)]
 
     def _random_step(self) -> dict[str, Any]:
+        """One random op, drawn from the ABI registry's fuzzable specs.
+
+        Arguments are generated per :class:`~repro.sm.abi.ArgKind`,
+        biased toward the session's live world model (real eids/tids,
+        region-map-sized rids, evrange-shaped vaddrs) so calls land on
+        both legal and boundary states.
+        """
         r = self.rng
         s = self.session
         eids = s.eids or [0xDEAD000]
@@ -322,42 +354,55 @@ class _Generator:
         caller = self._pick([DOMAIN_UNTRUSTED, DOMAIN_UNTRUSTED, *eids])
         eid = self._pick([*eids, 0xDEAD000, r.randint(0, 1 << 28)])
         tid = self._pick([*tids, 0xDEAD100])
-        rid = r.randint(0, len(list(s.sm.platform.region_ids())) + 2)
-        rtype = self._pick(["CORE", "DRAM_REGION", "THREAD"])
-        vaddr = (_EV_BASE + r.randint(0, 31) * PAGE_SIZE
-                 if r.randint(0, 3) else r.randint(0, 1 << 30))
-        paddr = r.randint(0, (s.machine.config.dram_size // PAGE_SIZE) - 1) * PAGE_SIZE
-        candidates = [
-            ("create_metadata_region", [caller, rid]),
-            ("create_enclave",
-             [caller, r.randint(0, 1 << 28), vaddr, r.randint(0, 1 << 17),
-              r.randint(0, 20)]),
-            ("allocate_page_table", [caller, eid, vaddr, r.randint(0, 1), paddr]),
-            ("load_page",
-             [caller, eid, vaddr, paddr, s.staging, r.randint(0, 7)]),
-            ("create_thread",
-             [caller, eid, r.randint(0, 1 << 28), vaddr, vaddr + 0x100, 0, 0]),
-            ("init_enclave", [caller, eid]),
-            ("enter_enclave",
-             [caller, eid, tid, r.randint(0, s.machine.config.n_cores - 1)]),
-            ("delete_enclave", [caller, eid]),
-            ("block_resource", [caller, rtype, rid]),
-            ("clean_resource", [caller, rtype, rid]),
-            ("grant_resource", [caller, rtype, rid, self._pick([0, eid])]),
-            ("accept_resource", [caller, rtype, rid]),
-            ("accept_mail", [caller, r.randint(0, 2), self._pick([0, eid])]),
-            ("send_mail", [caller, eid, r.read(r.randint(0, 32))]),
-            ("get_mail", [caller, r.randint(0, 2)]),
-            ("get_field", [caller, r.randint(0, 7)]),
-            ("get_random", [caller, r.randint(0, 128)]),
-            ("get_attestation_key", [caller]),
-            ("get_sealing_key", [caller]),
-            ("map_enclave_page", [caller, vaddr, paddr, r.randint(0, 7)]),
-            ("unmap_enclave_page", [caller, vaddr]),
-            ("run_core",
-             [r.randint(0, s.machine.config.n_cores - 1), _RUN_BUDGET]),
-        ]
-        op, args = self._pick(candidates)
+        n_regions = len(list(s.sm.platform.region_ids()))
+
+        def vaddr() -> int:
+            return (_EV_BASE + r.randint(0, 31) * PAGE_SIZE
+                    if r.randint(0, 3) else r.randint(0, 1 << 30))
+
+        def paddr() -> int:
+            return (
+                r.randint(0, (s.machine.config.dram_size // PAGE_SIZE) - 1)
+                * PAGE_SIZE
+            )
+
+        generate = {
+            ArgKind.DOMAIN: lambda a: self._pick([0, eid]),
+            ArgKind.ENCLAVE_ID: lambda a: eid,
+            ArgKind.THREAD_ID: lambda a: tid,
+            ArgKind.METADATA_ADDR: lambda a: r.randint(0, 1 << 28),
+            ArgKind.RESOURCE_TYPE: lambda a: self._pick(
+                ["CORE", "DRAM_REGION", "THREAD"]
+            ),
+            ArgKind.RESOURCE_ID: lambda a: r.randint(0, n_regions + 2),
+            ArgKind.CORE_ID: lambda a: r.randint(
+                0, s.machine.config.n_cores - 1
+            ),
+            ArgKind.VADDR: lambda a: vaddr(),
+            # src_paddr points at real OS-staged bytes so load_page can
+            # succeed; other paddrs roam all of DRAM.
+            ArgKind.PADDR: lambda a: (
+                s.staging if a.name == "src_paddr" else paddr()
+            ),
+            ArgKind.LENGTH: lambda a: r.randint(
+                0, a.max if a.max is not None else 1 << 17
+            ),
+            ArgKind.COUNT: lambda a: r.randint(0, 20),
+            ArgKind.INDEX: lambda a: r.randint(0, 2),
+            ArgKind.FIELD_ID: lambda a: r.randint(0, 7),
+            ArgKind.LEVEL: lambda a: r.randint(0, 1),
+            ArgKind.ACL: lambda a: r.randint(0, 7),
+            ArgKind.BYTES: lambda a: r.read(r.randint(0, 32)),
+        }
+        spec = self._pick([*fuzzable_specs(), None])  # None -> run_core
+        if spec is None:
+            op = "run_core"
+            args: list[Any] = [
+                r.randint(0, s.machine.config.n_cores - 1), _RUN_BUDGET
+            ]
+        else:
+            op = spec.name
+            args = [caller, *(generate[a.kind](a) for a in spec.args)]
         force = r.randint(1, 3) if op != "run_core" and r.randint(0, 7) == 0 else None
         return _make_step(op, args, force_conflict=force)
 
@@ -411,6 +456,39 @@ def _execute_steps(steps: list[dict[str, Any]], platform: str) -> Violation | No
 def replay_trace(trace: dict[str, Any]) -> Violation | None:
     """Re-execute a saved counterexample trace document."""
     return _execute_steps(trace["steps"], trace.get("platform", "sanctum"))
+
+
+def replay_with_results(trace: dict[str, Any]) -> dict[str, Any]:
+    """Replay a trace, capturing per-step results and a machine fingerprint.
+
+    The returned document pins down observable behaviour end to end:
+    the primary :class:`ApiResult` code of every API step (``None`` for
+    ``run_core``/``write_mem`` pseudo-steps) plus the machine's final
+    cycle accounting.  Refactors of the SM call path must leave this
+    bit-identical — ``tests/faults/test_replay_regression.py`` compares
+    it against fixtures recorded before the refactor.
+    """
+    platform = trace.get("platform", "sanctum")
+    session = _Session(platform, engine_rng=None)
+    results: list[int | None] = []
+    violation = None
+    for index, step in enumerate(trace["steps"]):
+        violation = _run_step(session, step, index, live=False, results=results)
+        if violation is not None:
+            break
+    cores = session.machine.cores
+    return {
+        "results": results,
+        "violation": None if violation is None else dataclasses.asdict(violation),
+        "fingerprint": {
+            "global_steps": session.machine.global_steps,
+            "cycles": [core.cycles for core in cores],
+            "instructions": [core.instructions_retired for core in cores],
+            "calls_checked": session.checker.calls_checked,
+            "errors_verified": session.checker.errors_verified,
+            "events_posted": session.sm.os_events.posted,
+        },
+    }
 
 
 def shrink_trace(

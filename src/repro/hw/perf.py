@@ -9,8 +9,9 @@ that back (or break) that claim.  Two kinds of measurement live here:
   microarchitectural state the simulator already maintains, so they are
   deterministic and free.
 * **Host-side latencies** — wall-clock time spent inside each SM API
-  entry point (``sm.api`` wraps its methods with
-  :func:`repro.sm.api.timed_api`), bucketed into log-scale histograms.
+  entry point (recorded by the
+  :class:`repro.sm.pipeline.PerfInterceptor` installed innermost on the
+  monitor's dispatch pipeline), bucketed into log-scale histograms.
   These measure the *reproduction's* speed, not the modelled hardware's,
   and are the currency of BENCH_sim_speed.json.
 

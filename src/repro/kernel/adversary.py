@@ -184,7 +184,14 @@ class MaliciousOs:
         second core could attempt concurrently.  Calls that target
         objects locked by the outer transaction must come back
         ``LOCK_CONFLICT``; the rest either fail validation or succeed
-        as they would for any concurrent caller.
+        as they would for any concurrent caller.  Fired at both
+        registry yield sites (``<api>.validated`` runs *before* the
+        victim's locks are taken — see ``docs/SM_API.md``), so entries
+        like ``delete_enclave`` genuinely race the victim's commit.
+
+        The list order is part of recorded fuzz traces (injections name
+        an attack by index): do not reorder or remove entries, only
+        append, or the replay-baseline fixtures stop being bit-exact.
         """
         sm = self.sm
         known_eids = list(sm.state.enclaves)

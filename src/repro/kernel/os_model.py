@@ -21,6 +21,7 @@ from repro.hw.paging import PTE_R, PTE_W, PTE_X, PageTableBuilder
 from repro.hw.pmp import Privilege
 from repro.kernel.loader import EnclaveImage, L0_SPAN
 from repro.platforms.base import IsolationPlatform
+from repro.sm.abi import arg_errors
 from repro.sm.api import SecurityMonitor
 from repro.sm.enclave import (
     ENCLAVE_METADATA_BASE_SIZE,
@@ -355,4 +356,13 @@ class OsKernel:
     def _sm_ok(self, api_call, *args) -> None:
         result = api_call(DOMAIN_UNTRUSTED, *args)
         if result is not ApiResult.OK:
-            raise OsError(f"{api_call.__name__}{args!r} failed: {result.name}")
+            # The ABI registry's generic argument checks double as the
+            # kernel's diagnostics: when a call fails, explain which
+            # declared constraint the arguments violated (if any) —
+            # the same spec-checking the SM handlers run, not a
+            # parallel reimplementation.
+            detail = "; ".join(arg_errors(api_call.__name__, args))
+            raise OsError(
+                f"{api_call.__name__}{args!r} failed: {result.name}"
+                + (f" ({detail})" if detail else "")
+            )

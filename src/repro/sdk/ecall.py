@@ -1,15 +1,29 @@
 """Assembler stubs for the enclave -> SM ecall interface.
 
 Each helper returns SVM-32 assembler text implementing one call of
-:class:`repro.sm.api.EnclaveEcall` with the documented register ABI
+:class:`repro.sm.abi.EnclaveEcall` with the documented register ABI
 (call number in ``a0``, arguments in ``a1``..``a3``, result code back
 in ``a0``).  They are plain string templates — the "header file" of the
 enclave SDK.
+
+The stub functions themselves are *generated* from
+:data:`repro.sm.abi.ECALL_STUBS`, the registry's register-level ABI
+table: one function per ecall, parameters in operand order, with
+``reg_or_imm`` operands accepting either a register name (moved with
+``add``) or an immediate/label (materialized with ``li``).  Registering
+a new ecall in the ABI table makes its SDK stub appear here with no
+further code.
 """
 
 from __future__ import annotations
 
-from repro.sm.api import EnclaveEcall
+from repro.sm.abi import ECALL_STUBS, EcallStub, EnclaveEcall
+
+_REGISTERS = frozenset(
+    [f"r{i}" for i in range(16)]
+    + ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2"]
+    + [f"a{i}" for i in range(8)]
+)
 
 
 def _call(number: EnclaveEcall, *setup: str) -> str:
@@ -19,106 +33,35 @@ def _call(number: EnclaveEcall, *setup: str) -> str:
     return "\n".join(lines) + "\n"
 
 
-def exit_enclave() -> str:
-    """Voluntarily exit the enclave; does not return."""
-    return _call(EnclaveEcall.EXIT_ENCLAVE)
+def _make_stub(stub: EcallStub):
+    def fn(*values) -> str:
+        if len(values) != len(stub.operands):
+            names = ", ".join(op.name for op in stub.operands)
+            raise TypeError(
+                f"{stub.name}({names}) takes {len(stub.operands)} "
+                f"argument(s), got {len(values)}"
+            )
+        setup = []
+        for operand, value in zip(stub.operands, values):
+            if operand.reg_or_imm and value in _REGISTERS:
+                setup.append(f"    add  {operand.reg}, {value}, zero")
+            else:
+                setup.append(f"    li   {operand.reg}, {value}")
+        return _call(stub.number, *setup)
+
+    fn.__name__ = stub.name
+    fn.__qualname__ = stub.name
+    fn.__doc__ = stub.doc
+    return fn
 
 
-def get_attestation_key(dst: str) -> str:
-    """Fetch the SM signing key to ``dst`` (signing enclave only)."""
-    return _call(EnclaveEcall.GET_ATTESTATION_KEY, f"    li   a1, {dst}")
+for _stub in ECALL_STUBS:
+    globals()[_stub.name] = _make_stub(_stub)
+del _stub
 
-
-def accept_mail(mailbox_index: int, sender_reg_or_imm: str) -> str:
-    """Open ``mailbox_index`` for a sender (register name or immediate)."""
-    if sender_reg_or_imm in _REGISTERS:
-        move = f"    add  a2, {sender_reg_or_imm}, zero"
-    else:
-        move = f"    li   a2, {sender_reg_or_imm}"
-    return _call(
-        EnclaveEcall.ACCEPT_MAIL, f"    li   a1, {mailbox_index}", move
-    )
-
-
-def send_mail(recipient_reg_or_imm: str, msg: str, length: int) -> str:
-    """Send ``length`` bytes at label/address ``msg`` to a recipient."""
-    if recipient_reg_or_imm in _REGISTERS:
-        move = f"    add  a1, {recipient_reg_or_imm}, zero"
-    else:
-        move = f"    li   a1, {recipient_reg_or_imm}"
-    return _call(
-        EnclaveEcall.SEND_MAIL,
-        move,
-        f"    li   a2, {msg}",
-        f"    li   a3, {length}",
-    )
-
-
-def get_mail(mailbox_index: int, msg_dst: str, sender_dst: str) -> str:
-    """Fetch mail: message to ``msg_dst``, sender measurement to ``sender_dst``.
-
-    On success ``a0`` is 0 and ``a1`` holds the message length.
-    """
-    return _call(
-        EnclaveEcall.GET_MAIL,
-        f"    li   a1, {mailbox_index}",
-        f"    li   a2, {msg_dst}",
-        f"    li   a3, {sender_dst}",
-    )
-
-
-def get_random(dst: str, length: int) -> str:
-    """Fill ``length`` bytes at ``dst`` with SM-conditioned entropy."""
-    return _call(
-        EnclaveEcall.GET_RANDOM, f"    li   a1, {dst}", f"    li   a2, {length}"
-    )
-
-
-def get_field(field_id: int, dst: str) -> str:
-    """Copy a public SM field to ``dst``; length returned in ``a1``."""
-    return _call(
-        EnclaveEcall.GET_FIELD, f"    li   a1, {field_id}", f"    li   a2, {dst}"
-    )
-
-
-def get_self_measurement(dst: str) -> str:
-    """Copy this enclave's own 64-byte measurement to ``dst``."""
-    return _call(EnclaveEcall.GET_SELF_MEASUREMENT, f"    li   a1, {dst}")
-
-
-def resume_from_aex() -> str:
-    """Resume from the saved AEX state; does not return on success."""
-    return _call(EnclaveEcall.RESUME_FROM_AEX)
-
-
-def fault_return() -> str:
-    """Return from an enclave fault handler; does not return on success."""
-    return _call(EnclaveEcall.FAULT_RETURN)
-
-
-def block_resource(type_code: int, rid_reg_or_imm: str) -> str:
-    """Block an owned resource (0=core, 1=region, 2=thread)."""
-    if rid_reg_or_imm in _REGISTERS:
-        move = f"    add  a2, {rid_reg_or_imm}, zero"
-    else:
-        move = f"    li   a2, {rid_reg_or_imm}"
-    return _call(EnclaveEcall.BLOCK_RESOURCE, f"    li   a1, {type_code}", move)
-
-
-def accept_resource(type_code: int, rid_reg_or_imm: str) -> str:
-    """Accept an offered resource (completes a Fig.-2 transfer)."""
-    if rid_reg_or_imm in _REGISTERS:
-        move = f"    add  a2, {rid_reg_or_imm}, zero"
-    else:
-        move = f"    li   a2, {rid_reg_or_imm}"
-    return _call(EnclaveEcall.ACCEPT_RESOURCE, f"    li   a1, {type_code}", move)
-
-
-_REGISTERS = frozenset(
-    [f"r{i}" for i in range(16)]
-    + ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2"]
-    + [f"a{i}" for i in range(8)]
-)
+__all__ = ["EnclaveEcall", "memcpy", "id_suffix"] + [
+    s.name for s in ECALL_STUBS
+]
 
 
 def memcpy(dst: str, src: str, length: int, scratch: str = "t0") -> str:

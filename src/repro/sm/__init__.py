@@ -23,23 +23,42 @@ Layout mirrors the paper's structure:
   (Fig. 7, §VI-C).
 * :mod:`repro.sm.events` — trap interposition and asynchronous enclave
   exit (Fig. 1, §V-A/V-C).
+* :mod:`repro.sm.abi` — the declarative registry of that surface: one
+  entry per call with typed argument specs, caller class, lock set,
+  and yield sites (plus the register-level ecall stub table).
+* :mod:`repro.sm.pipeline` — the interceptor stack and two-phase
+  (validate/commit) executor every public call dispatches through.
 * :mod:`repro.sm.api` — the narrow API surface through which the OS
-  and enclaves drive all of the above (§V-A).
+  and enclaves drive all of the above (§V-A); one handler per
+  registry entry.
 * :mod:`repro.sm.invariants` — executable statements of the SM's
   security invariants, checked on demand by tests and experiments.
+
+See ``docs/SM_API.md`` for the registry schema, interceptor ordering,
+and the validate/commit handler contract.
 """
 
+from repro.sm.abi import ABI, API_SPECS, ApiSpec, EnclaveEcall, fuzzable_specs
 from repro.sm.api import SecurityMonitor
 from repro.sm.boot import SecureBootResult, secure_boot
 from repro.sm.enclave import EnclaveState
+from repro.sm.pipeline import EcallPipeline, PerfInterceptor, Plan
 from repro.sm.resources import ResourceState, ResourceType
 from repro.sm.thread import ThreadState
 
 __all__ = [
+    "ABI",
+    "API_SPECS",
+    "ApiSpec",
+    "EnclaveEcall",
+    "fuzzable_specs",
     "SecurityMonitor",
     "SecureBootResult",
     "secure_boot",
     "EnclaveState",
+    "EcallPipeline",
+    "PerfInterceptor",
+    "Plan",
     "ResourceState",
     "ResourceType",
     "ThreadState",

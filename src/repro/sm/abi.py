@@ -1,0 +1,608 @@
+"""Declarative ABI registry for the SM call surface.
+
+One table entry per API entry point: call number (for the enclave
+ecall interface), name, typed argument specs, required caller class,
+canonical lock set, and the yield-point sites the dispatch pipeline
+instruments.  Everything that used to be maintained as parallel lists
+is *derived* from this table:
+
+* :mod:`repro.sm.pipeline` drives caller authorization, argument
+  shaping, and yield-site instrumentation from each
+  :class:`ApiSpec`;
+* :mod:`repro.sdk.ecall` generates its assembler stubs from
+  :data:`ECALL_STUBS`;
+* :mod:`repro.faults.fuzzer` generates its op table from
+  :func:`fuzzable_specs` (a newly registered call is fuzzed
+  automatically);
+* :func:`arg_errors` is the one shared implementation of the generic
+  argument checks (alignment, bounds, ACL shape) used both by the SM
+  handlers (:func:`check_args`) and by the OS model's diagnostics
+  (``kernel/os_model.py:_sm_ok``).
+
+The registry is purely declarative — it holds no state and performs no
+dispatch itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ApiResult
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.sm.mailbox import MAILBOX_SIZE
+from repro.sm.resources import ResourceType
+
+#: Maximum mailboxes per enclave (a fixed SM structure bound).
+MAX_MAILBOXES = 16
+
+#: ACL bits accepted by load_page / map_enclave_page.
+ACL_MASK = PTE_R | PTE_W | PTE_X
+
+
+class EnclaveEcall(enum.IntEnum):
+    """Call numbers (in ``a0``) for the enclave -> SM ecall interface."""
+
+    EXIT_ENCLAVE = 0
+    #: a1 = destination vaddr for the 32-byte key (signing enclave only).
+    GET_ATTESTATION_KEY = 1
+    #: a1 = mailbox index, a2 = sender id (eid or 0 for the OS).
+    ACCEPT_MAIL = 2
+    #: a1 = recipient eid, a2 = message vaddr, a3 = length.
+    SEND_MAIL = 3
+    #: a1 = mailbox index, a2 = message dst vaddr, a3 = sender-measurement
+    #: dst vaddr; returns message length in a1.
+    GET_MAIL = 4
+    #: a1 = dst vaddr, a2 = length.
+    GET_RANDOM = 5
+    #: a1 = resource type code, a2 = rid.
+    BLOCK_RESOURCE = 6
+    #: a1 = resource type code, a2 = rid.
+    ACCEPT_RESOURCE = 7
+    #: a1 = field id, a2 = dst vaddr; returns field length in a1.
+    GET_FIELD = 8
+    RESUME_FROM_AEX = 9
+    FAULT_RETURN = 10
+    #: a1 = destination vaddr for this enclave's own 64-byte measurement.
+    GET_SELF_MEASUREMENT = 11
+    #: a1 = destination vaddr for this enclave's 32-byte sealing key.
+    GET_SEALING_KEY = 12
+    #: a1 = vaddr (in evrange), a2 = paddr (in enclave-owned memory),
+    #: a3 = acl.  Maps a page into the enclave's private range at
+    #: runtime — how an enclave uses memory it accepted via Fig. 2
+    #: ("enclaves manage their own private memory, as needed", §V-C).
+    MAP_PAGE = 13
+    #: a1 = vaddr.  Removes a runtime-private mapping.
+    UNMAP_PAGE = 14
+
+
+#: Resource type codes used on the ecall interface.
+ECALL_RESOURCE_TYPES = {
+    0: ResourceType.CORE,
+    1: ResourceType.DRAM_REGION,
+    2: ResourceType.THREAD,
+}
+
+
+class CallerKind(enum.Enum):
+    """Who may invoke an API entry point."""
+
+    #: Only the untrusted OS (``caller == DOMAIN_UNTRUSTED``); enforced
+    #: uniformly by the dispatch pipeline, returning ``PROHIBITED``.
+    OS = "os"
+    #: Only an enclave; the exact authorization (existence, state)
+    #: varies per call and is enforced in its validate phase.
+    ENCLAVE = "enclave"
+    #: Any domain; the validate phase branches on the caller.
+    ANY = "any"
+    #: Not a software caller at all (the hardware trap path).
+    HARDWARE = "hardware"
+
+
+class ArgKind(enum.Enum):
+    """Semantic type of one API argument (drives fuzz generation)."""
+
+    DOMAIN = "domain"              # an owner/recipient: eid or DOMAIN_UNTRUSTED
+    ENCLAVE_ID = "enclave_id"      # metadata address naming an enclave
+    THREAD_ID = "thread_id"        # metadata address naming a thread
+    METADATA_ADDR = "metadata_addr"  # OS-chosen address for new metadata
+    RESOURCE_TYPE = "resource_type"  # a ResourceType value
+    RESOURCE_ID = "resource_id"    # rid within a resource type
+    CORE_ID = "core_id"
+    VADDR = "vaddr"                # enclave-virtual address
+    PADDR = "paddr"                # physical address
+    LENGTH = "length"              # byte count
+    COUNT = "count"                # small structural count
+    INDEX = "index"                # mailbox index
+    FIELD_ID = "field_id"
+    LEVEL = "level"                # page-table level
+    ACL = "acl"                    # PTE permission bits
+    BYTES = "bytes"                # message payload
+
+
+@dataclasses.dataclass(frozen=True)
+class ArgSpec:
+    """One typed argument, with its generic (state-free) constraints."""
+
+    name: str
+    kind: ArgKind
+    align: int | None = None
+    min: int | None = None
+    max: int | None = None
+    max_len: int | None = None
+
+    def errors(self, value) -> list[str]:
+        """Human-readable generic-constraint violations for ``value``."""
+        out: list[str] = []
+        if self.kind is ArgKind.ACL:
+            if value & ~ACL_MASK or not value & PTE_R:
+                out.append(
+                    f"{self.name}={value:#x} must be R|W|X bits including R"
+                )
+            return out
+        if self.max_len is not None and len(value) > self.max_len:
+            out.append(f"{self.name} is {len(value)} bytes, max {self.max_len}")
+            return out
+        if self.align is not None and value % self.align:
+            out.append(f"{self.name}={value:#x} is not {self.align}-byte aligned")
+        if self.min is not None and value < self.min:
+            out.append(f"{self.name}={value} is below the minimum {self.min}")
+        if self.max is not None and value > self.max:
+            out.append(f"{self.name}={value} exceeds the maximum {self.max}")
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class ApiSpec:
+    """One declarative registry entry for a public SM entry point."""
+
+    name: str
+    caller: CallerKind
+    args: tuple[ArgSpec, ...] = ()
+    #: Canonical lock set, as a human-readable descriptor ("" = lock
+    #: free).  The concrete :class:`~repro.sm.locks.SmLock` objects are
+    #: resolved by the call's validate phase (they live on the objects
+    #: the arguments name); this field documents the set and tells the
+    #: pipeline whether a ``<name>.locked`` yield site exists.
+    locks: str = ""
+    #: Default payload values appended to an error ApiResult so every
+    #: return path has the call's documented shape.
+    payload: tuple = ()
+    #: The ecall number reaching this entry point (None = OS-only).
+    ecall: EnclaveEcall | None = None
+    #: Raw entry points bypass the validate/commit split (the trap
+    #: handler, pure aliases); they have no yield sites of their own.
+    raw: bool = False
+    #: Whether a top-level call may be wrapped by the atomicity checker
+    #: (the trap handler is excluded: it returns no ApiResult and its
+    #: ecall dispatch nests real API calls).
+    checked: bool = True
+    #: Whether the fuzzer should generate this op directly.
+    fuzz: bool = True
+
+    @property
+    def yield_sites(self) -> tuple[str, ...]:
+        """Yield-point sites the pipeline fires for this call, in order."""
+        if self.raw:
+            return ()
+        sites = (f"{self.name}.validated",)
+        if self.locks:
+            sites += (f"{self.name}.locked",)
+        return sites
+
+    def shape_error(self, result: ApiResult):
+        """Give an error result the call's documented return shape."""
+        if not self.payload:
+            return result
+        return (result, *self.payload)
+
+
+def _spec(name, caller, args=(), **kwargs) -> ApiSpec:
+    return ApiSpec(name=name, caller=caller, args=tuple(args), **kwargs)
+
+
+#: The public API registry, in the order the handlers appear in
+#: :mod:`repro.sm.api`.  ``repro.sm.pipeline`` dispatches exactly this
+#: surface; a public method missing here fails
+#: ``tests/sm/test_abi_registry.py``.
+API_SPECS: tuple[ApiSpec, ...] = (
+    _spec(
+        "create_metadata_region",
+        CallerKind.OS,
+        [ArgSpec("rid", ArgKind.RESOURCE_ID)],
+        locks="region",
+    ),
+    _spec(
+        "create_enclave",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.METADATA_ADDR),
+            ArgSpec("evrange_base", ArgKind.VADDR, align=PAGE_SIZE),
+            ArgSpec("evrange_size", ArgKind.LENGTH, align=PAGE_SIZE, min=1),
+            ArgSpec("num_mailboxes", ArgKind.COUNT, min=1, max=MAX_MAILBOXES),
+        ],
+    ),
+    _spec(
+        "create_enclave_region",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("base", ArgKind.PADDR),
+            ArgSpec("size", ArgKind.LENGTH),
+        ],
+        locks="enclave",
+    ),
+    _spec(
+        "allocate_page_table",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("vaddr", ArgKind.VADDR),
+            ArgSpec("level", ArgKind.LEVEL, min=0, max=1),
+            ArgSpec("paddr", ArgKind.PADDR, align=PAGE_SIZE),
+        ],
+        locks="enclave",
+    ),
+    _spec(
+        "load_page",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("vaddr", ArgKind.VADDR, align=PAGE_SIZE),
+            ArgSpec("paddr", ArgKind.PADDR, align=PAGE_SIZE),
+            ArgSpec("src_paddr", ArgKind.PADDR, align=PAGE_SIZE),
+            ArgSpec("acl", ArgKind.ACL),
+        ],
+        locks="enclave",
+    ),
+    _spec(
+        "create_thread",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("tid", ArgKind.METADATA_ADDR),
+            ArgSpec("entry_pc", ArgKind.VADDR),
+            ArgSpec("entry_sp", ArgKind.VADDR),
+            ArgSpec("fault_pc", ArgKind.VADDR),
+            ArgSpec("fault_sp", ArgKind.VADDR),
+        ],
+        locks="enclave",
+    ),
+    _spec(
+        "init_enclave",
+        CallerKind.OS,
+        [ArgSpec("eid", ArgKind.ENCLAVE_ID)],
+        locks="enclave",
+    ),
+    _spec(
+        "enter_enclave",
+        CallerKind.OS,
+        [
+            ArgSpec("eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("tid", ArgKind.THREAD_ID),
+            ArgSpec("core_id", ArgKind.CORE_ID),
+        ],
+        locks="enclave+thread+core",
+    ),
+    _spec(
+        "delete_enclave",
+        CallerKind.OS,
+        [ArgSpec("eid", ArgKind.ENCLAVE_ID)],
+        locks="enclave+regions+threads",
+    ),
+    _spec(
+        "block_resource",
+        CallerKind.ANY,
+        [
+            ArgSpec("rtype", ArgKind.RESOURCE_TYPE),
+            ArgSpec("rid", ArgKind.RESOURCE_ID),
+        ],
+        locks="resource",
+        ecall=EnclaveEcall.BLOCK_RESOURCE,
+    ),
+    _spec(
+        "clean_resource",
+        CallerKind.OS,
+        [
+            ArgSpec("rtype", ArgKind.RESOURCE_TYPE),
+            ArgSpec("rid", ArgKind.RESOURCE_ID),
+        ],
+        locks="resource",
+    ),
+    _spec(
+        "grant_resource",
+        CallerKind.OS,
+        [
+            ArgSpec("rtype", ArgKind.RESOURCE_TYPE),
+            ArgSpec("rid", ArgKind.RESOURCE_ID),
+            ArgSpec("recipient", ArgKind.DOMAIN),
+        ],
+        locks="resource",
+    ),
+    _spec(
+        "accept_resource",
+        CallerKind.ANY,
+        [
+            ArgSpec("rtype", ArgKind.RESOURCE_TYPE),
+            ArgSpec("rid", ArgKind.RESOURCE_ID),
+        ],
+        locks="resource",
+        ecall=EnclaveEcall.ACCEPT_RESOURCE,
+    ),
+    _spec(
+        "accept_thread",
+        CallerKind.ANY,
+        [ArgSpec("tid", ArgKind.THREAD_ID)],
+        raw=True,  # pure alias for accept_resource(THREAD, tid)
+    ),
+    _spec(
+        "accept_mail",
+        CallerKind.ENCLAVE,
+        [
+            ArgSpec("mailbox_index", ArgKind.INDEX),
+            ArgSpec("sender_id", ArgKind.DOMAIN),
+        ],
+        locks="enclave",
+        ecall=EnclaveEcall.ACCEPT_MAIL,
+    ),
+    _spec(
+        "send_mail",
+        CallerKind.ANY,
+        [
+            ArgSpec("recipient_eid", ArgKind.ENCLAVE_ID),
+            ArgSpec("message", ArgKind.BYTES, max_len=MAILBOX_SIZE),
+        ],
+        locks="recipient",
+        ecall=EnclaveEcall.SEND_MAIL,
+    ),
+    _spec(
+        "get_mail",
+        CallerKind.ENCLAVE,
+        [ArgSpec("mailbox_index", ArgKind.INDEX)],
+        locks="enclave",
+        payload=(b"", b""),
+        ecall=EnclaveEcall.GET_MAIL,
+    ),
+    _spec(
+        "get_field",
+        CallerKind.ANY,
+        [ArgSpec("field_id", ArgKind.FIELD_ID)],
+        payload=(b"",),
+        ecall=EnclaveEcall.GET_FIELD,
+    ),
+    _spec(
+        "get_random",
+        CallerKind.ANY,
+        [ArgSpec("n", ArgKind.LENGTH, min=0, max=4096)],
+        payload=(b"",),
+        ecall=EnclaveEcall.GET_RANDOM,
+    ),
+    _spec(
+        "get_attestation_key",
+        CallerKind.ENCLAVE,
+        payload=(b"",),
+        ecall=EnclaveEcall.GET_ATTESTATION_KEY,
+    ),
+    _spec(
+        "map_enclave_page",
+        CallerKind.ENCLAVE,
+        [
+            ArgSpec("vaddr", ArgKind.VADDR, align=PAGE_SIZE),
+            ArgSpec("paddr", ArgKind.PADDR, align=PAGE_SIZE),
+            ArgSpec("acl", ArgKind.ACL),
+        ],
+        locks="enclave",
+        ecall=EnclaveEcall.MAP_PAGE,
+    ),
+    _spec(
+        "unmap_enclave_page",
+        CallerKind.ENCLAVE,
+        [ArgSpec("vaddr", ArgKind.VADDR, align=PAGE_SIZE)],
+        locks="enclave",
+        ecall=EnclaveEcall.UNMAP_PAGE,
+    ),
+    _spec(
+        "get_sealing_key",
+        CallerKind.ENCLAVE,
+        payload=(b"",),
+        ecall=EnclaveEcall.GET_SEALING_KEY,
+    ),
+)
+
+#: Name -> spec, the primary lookup used by the pipeline and helpers.
+ABI: dict[str, ApiSpec] = {s.name: s for s in API_SPECS}
+
+#: The hardware trap entry point: dispatched through the same pipeline
+#: (perf timing, invariant guarding) but not part of the software ABI.
+TRAP_SPEC = ApiSpec(
+    name="handle_trap",
+    caller=CallerKind.HARDWARE,
+    raw=True,
+    checked=False,
+    fuzz=False,
+)
+
+
+def spec(name: str) -> ApiSpec:
+    """The registry entry for one public API method."""
+    return ABI[name]
+
+
+def fuzzable_specs() -> tuple[ApiSpec, ...]:
+    """Specs the fuzzer generates ops for (new entries fuzz automatically)."""
+    return tuple(s for s in API_SPECS if s.fuzz)
+
+
+def arg_errors(name: str, args) -> list[str]:
+    """Generic-constraint violations for a call's arguments.
+
+    ``args`` excludes the leading ``caller``.  Extra or missing
+    trailing arguments (defaulted parameters) are tolerated — only the
+    pairs present are checked.  This is the single spec-checking
+    implementation shared by the SM handlers (via :func:`check_args`)
+    and the OS model's failure diagnostics.
+    """
+    entry = ABI.get(name)
+    if entry is None:
+        return []
+    out: list[str] = []
+    for arg_spec, value in zip(entry.args, args):
+        try:
+            out.extend(arg_spec.errors(value))
+        except TypeError:
+            out.append(f"{arg_spec.name}={value!r} has the wrong type")
+    return out
+
+
+def check_args(name: str, args) -> ApiResult | None:
+    """The API-visible outcome of the generic argument checks.
+
+    Returns ``INVALID_VALUE`` when any spec constraint is violated,
+    else None (every generic constraint violation maps to
+    ``INVALID_VALUE`` across the API).
+    """
+    return ApiResult.INVALID_VALUE if arg_errors(name, args) else None
+
+
+# ----------------------------------------------------------------------
+# The enclave-side register ABI (drives repro.sdk.ecall stub generation)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class EcallOperand:
+    """One stub parameter bound to an argument register."""
+
+    name: str
+    reg: str
+    #: Accepts either a register name or an immediate/label; plain
+    #: operands are always materialized with ``li``.
+    reg_or_imm: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class EcallStub:
+    """Register-level description of one ecall, for SDK stub generation."""
+
+    number: EnclaveEcall
+    operands: tuple[EcallOperand, ...]
+    doc: str
+    #: Backing ApiSpec name (None for pure control ecalls).
+    api: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.number.name.lower()
+
+
+ECALL_STUBS: tuple[EcallStub, ...] = (
+    EcallStub(
+        EnclaveEcall.EXIT_ENCLAVE,
+        (),
+        "Voluntarily exit the enclave; does not return.",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_ATTESTATION_KEY,
+        (EcallOperand("dst", "a1"),),
+        "Fetch the SM signing key to ``dst`` (signing enclave only).",
+        api="get_attestation_key",
+    ),
+    EcallStub(
+        EnclaveEcall.ACCEPT_MAIL,
+        (
+            EcallOperand("mailbox_index", "a1"),
+            EcallOperand("sender", "a2", reg_or_imm=True),
+        ),
+        "Open ``mailbox_index`` for a sender (register name or immediate).",
+        api="accept_mail",
+    ),
+    EcallStub(
+        EnclaveEcall.SEND_MAIL,
+        (
+            EcallOperand("recipient", "a1", reg_or_imm=True),
+            EcallOperand("msg", "a2"),
+            EcallOperand("length", "a3"),
+        ),
+        "Send ``length`` bytes at label/address ``msg`` to a recipient.",
+        api="send_mail",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_MAIL,
+        (
+            EcallOperand("mailbox_index", "a1"),
+            EcallOperand("msg_dst", "a2"),
+            EcallOperand("sender_dst", "a3"),
+        ),
+        "Fetch mail: message to ``msg_dst``, sender measurement to "
+        "``sender_dst``.\n\n    On success ``a0`` is 0 and ``a1`` holds "
+        "the message length.",
+        api="get_mail",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_RANDOM,
+        (EcallOperand("dst", "a1"), EcallOperand("length", "a2")),
+        "Fill ``length`` bytes at ``dst`` with SM-conditioned entropy.",
+        api="get_random",
+    ),
+    EcallStub(
+        EnclaveEcall.BLOCK_RESOURCE,
+        (
+            EcallOperand("type_code", "a1"),
+            EcallOperand("rid", "a2", reg_or_imm=True),
+        ),
+        "Block an owned resource (0=core, 1=region, 2=thread).",
+        api="block_resource",
+    ),
+    EcallStub(
+        EnclaveEcall.ACCEPT_RESOURCE,
+        (
+            EcallOperand("type_code", "a1"),
+            EcallOperand("rid", "a2", reg_or_imm=True),
+        ),
+        "Accept an offered resource (completes a Fig.-2 transfer).",
+        api="accept_resource",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_FIELD,
+        (EcallOperand("field_id", "a1"), EcallOperand("dst", "a2")),
+        "Copy a public SM field to ``dst``; length returned in ``a1``.",
+        api="get_field",
+    ),
+    EcallStub(
+        EnclaveEcall.RESUME_FROM_AEX,
+        (),
+        "Resume from the saved AEX state; does not return on success.",
+    ),
+    EcallStub(
+        EnclaveEcall.FAULT_RETURN,
+        (),
+        "Return from an enclave fault handler; does not return on success.",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_SELF_MEASUREMENT,
+        (EcallOperand("dst", "a1"),),
+        "Copy this enclave's own 64-byte measurement to ``dst``.",
+    ),
+    EcallStub(
+        EnclaveEcall.GET_SEALING_KEY,
+        (EcallOperand("dst", "a1"),),
+        "Derive this enclave's 32-byte sealing key to ``dst``.",
+        api="get_sealing_key",
+    ),
+    EcallStub(
+        EnclaveEcall.MAP_PAGE,
+        (
+            EcallOperand("vaddr", "a1"),
+            EcallOperand("paddr", "a2"),
+            EcallOperand("acl", "a3"),
+        ),
+        "Map an owned page into the enclave's private range at runtime.",
+        api="map_enclave_page",
+    ),
+    EcallStub(
+        EnclaveEcall.UNMAP_PAGE,
+        (EcallOperand("vaddr", "a1"),),
+        "Remove a runtime-private mapping.",
+        api="unmap_enclave_page",
+    ),
+)

@@ -16,16 +16,21 @@ it owns the SM state, installs itself as the machine's trap handler
   resource transitions, ``enter_enclave``, ``get_field``, mail) as
   methods taking an explicit ``caller`` domain, and
 * the **enclave-callable API** as an ecall dispatcher
-  (:class:`EnclaveEcall`) reached only through a real ``ecall``
-  instruction executed by enclave code on a core — the caller identity
-  is taken from the core's hardware state and cannot be forged.
+  (:class:`~repro.sm.abi.EnclaveEcall`) reached only through a real
+  ``ecall`` instruction executed by enclave code on a core — the caller
+  identity is taken from the core's hardware state and cannot be
+  forged.
+
+Every public entry point is one thin wrapper dispatching through the
+monitor's :class:`~repro.sm.pipeline.EcallPipeline` against its
+:mod:`repro.sm.abi` registry entry.  The handlers below follow the
+two-phase contract (see ``docs/SM_API.md``): ``_validate_<name>`` is
+read-only and returns either an error result or a
+:class:`~repro.sm.pipeline.Plan`; the plan's ``commit`` runs only once
+the pipeline holds every planned lock.
 """
 
 from __future__ import annotations
-
-import enum
-import functools
-import time
 
 from repro.errors import ApiResult
 from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
@@ -33,10 +38,18 @@ from repro.hw.dma import DmaRange
 from repro.hw.isa import INSTRUCTION_SIZE, Reg
 from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
-from repro.hw.paging import PTE_R, PTE_V, PTE_W, PTE_X, make_pte, vpn_index
+from repro.hw.paging import PTE_V, make_pte, vpn_index
 from repro.hw.pmp import Privilege
 from repro.hw.traps import Trap, TrapCause
 from repro.platforms.base import IsolationPlatform
+from repro.sm.abi import (
+    ABI,
+    ECALL_RESOURCE_TYPES,
+    MAX_MAILBOXES,
+    TRAP_SPEC,
+    EnclaveEcall,
+    check_args,
+)
 from repro.sm.boot import SecureBootResult, make_boot_drbg
 from repro.sm.enclave import (
     ENCLAVE_METADATA_BASE_SIZE,
@@ -45,86 +58,17 @@ from repro.sm.enclave import (
     EnclaveState,
 )
 from repro.sm.events import OsEvent, OsEventKind, OsEventQueue, fault_is_enclave_handled
-from repro.sm.locks import LockConflict, Transaction
 from repro.sm.mailbox import MAILBOX_SIZE, Mailbox
 from repro.sm.measurement import EnclaveMeasurement
+from repro.sm.pipeline import EcallPipeline, PerfInterceptor, Plan
 from repro.sm.resources import ResourceState, ResourceType
 from repro.sm.state import SmState
 from repro.sm.thread import THREAD_METADATA_SIZE, ThreadMetadata, ThreadState
 
+__all__ = ["SecurityMonitor", "EnclaveEcall", "MAX_MAILBOXES", "UNTRUSTED_MEASUREMENT"]
+
 #: Measurement reported for mail sent by the untrusted OS.
 UNTRUSTED_MEASUREMENT = bytes(64)
-
-#: Maximum mailboxes per enclave (a fixed SM structure bound).
-MAX_MAILBOXES = 16
-
-#: ACL bits accepted by load_page.
-_ACL_MASK = PTE_R | PTE_W | PTE_X
-
-
-class EnclaveEcall(enum.IntEnum):
-    """Call numbers (in ``a0``) for the enclave -> SM ecall interface."""
-
-    EXIT_ENCLAVE = 0
-    #: a1 = destination vaddr for the 32-byte key (signing enclave only).
-    GET_ATTESTATION_KEY = 1
-    #: a1 = mailbox index, a2 = sender id (eid or 0 for the OS).
-    ACCEPT_MAIL = 2
-    #: a1 = recipient eid, a2 = message vaddr, a3 = length.
-    SEND_MAIL = 3
-    #: a1 = mailbox index, a2 = message dst vaddr, a3 = sender-measurement
-    #: dst vaddr; returns message length in a1.
-    GET_MAIL = 4
-    #: a1 = dst vaddr, a2 = length.
-    GET_RANDOM = 5
-    #: a1 = resource type code, a2 = rid.
-    BLOCK_RESOURCE = 6
-    #: a1 = resource type code, a2 = rid.
-    ACCEPT_RESOURCE = 7
-    #: a1 = field id, a2 = dst vaddr; returns field length in a1.
-    GET_FIELD = 8
-    RESUME_FROM_AEX = 9
-    FAULT_RETURN = 10
-    #: a1 = destination vaddr for this enclave's own 64-byte measurement.
-    GET_SELF_MEASUREMENT = 11
-    #: a1 = destination vaddr for this enclave's 32-byte sealing key.
-    GET_SEALING_KEY = 12
-    #: a1 = vaddr (in evrange), a2 = paddr (in enclave-owned memory),
-    #: a3 = acl.  Maps a page into the enclave's private range at
-    #: runtime — how an enclave uses memory it accepted via Fig. 2
-    #: ("enclaves manage their own private memory, as needed", §V-C).
-    MAP_PAGE = 13
-    #: a1 = vaddr.  Removes a runtime-private mapping.
-    UNMAP_PAGE = 14
-
-#: Resource type codes used on the ecall interface.
-_ECALL_RESOURCE_TYPES = {
-    0: ResourceType.CORE,
-    1: ResourceType.DRAM_REGION,
-    2: ResourceType.THREAD,
-}
-
-
-def timed_api(method):
-    """Record host-side latency of one SM API entry point.
-
-    Every call lands in the machine's latency histograms
-    (``machine.perf.api_latencies[name]`` — see :mod:`repro.hw.perf`),
-    which is how the reproduction quantifies the paper's "lightweight"
-    claim per API call.  Observational only: no simulated state is
-    touched, so determinism is unaffected.
-    """
-    name = method.__name__
-
-    @functools.wraps(method)
-    def wrapper(self, *args, **kwargs):
-        start = time.perf_counter_ns()
-        try:
-            return method(self, *args, **kwargs)
-        finally:
-            self.machine.perf.record_api(name, time.perf_counter_ns() - start)
-
-    return wrapper
 
 
 class SecurityMonitor:
@@ -146,6 +90,12 @@ class SecurityMonitor:
         #: Fault-injection hook fired at instrumented yield points (see
         #: :meth:`_yield_point`); None outside :mod:`repro.faults` runs.
         self._fault_hook = None
+        #: The dispatch pipeline every public entry point runs through.
+        #: Perf timing is the innermost interceptor; depth-sensitive
+        #: interceptors (invariant guard, atomicity journal) install
+        #: outside it on demand.
+        self.pipeline = EcallPipeline(self)
+        self.pipeline.install(PerfInterceptor(machine.perf))
 
         # Static trust state from secure boot (§IV-A).
         self.state.sm_measurement = boot.sm_measurement
@@ -174,6 +124,9 @@ class SecurityMonitor:
         machine.set_trap_handler(self.handle_trap)
         self._recompute_dma_filter()
 
+    def _dispatch(self, name: str, *args):
+        return self.pipeline.dispatch(ABI[name], args)
+
     # ==================================================================
     # Fault-injection yield points (repro.faults)
     # ==================================================================
@@ -184,9 +137,10 @@ class SecurityMonitor:
         The hook is a callable ``hook(site: str)`` fired at every
         instrumented yield point — the moments *inside* an API call
         where a concurrent event (interrupt, DMA transfer, hostile
-        re-entrant call) could be observed on real hardware.  Sites are
-        named ``"<api>.locked"`` (all locks held, no mutation yet) or
-        ``"<api>.validated"`` for lock-free calls.
+        re-entrant call) could be observed on real hardware.  The
+        pipeline fires the sites declared by each call's registry
+        entry: ``"<api>.validated"`` after a successful validate phase
+        and ``"<api>.locked"`` once every planned lock is held.
         """
         self._fault_hook = hook
 
@@ -243,33 +197,30 @@ class SecurityMonitor:
         self.state.signing_enclave_measurement = measurement
 
     # ==================================================================
-    # OS-callable API
+    # OS-callable API (thin wrappers over the registry dispatch)
     # ==================================================================
 
-    @timed_api
     def create_metadata_region(self, caller: int, rid: int) -> ApiResult:
         """OS grants a FREE region to the SM as a metadata region (§VII-A)."""
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("create_metadata_region", caller, rid)
+
+    def _validate_create_metadata_region(self, caller: int, rid: int):
         record = self.state.resources.get(ResourceType.DRAM_REGION, rid)
         if record is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(record.lock)
-                self._yield_point("create_metadata_region.locked")
-                if record.state is not ResourceState.FREE:
-                    return ApiResult.INVALID_STATE
-                self.state.resources.assign_directly(ResourceType.DRAM_REGION, rid, DOMAIN_SM)
-                self.platform.assign_region(rid, DOMAIN_SM)
-                base, size = self.platform.region_range(rid)
-                self.state.add_metadata_arena(base, size)
-                self._recompute_dma_filter()
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if record.state is not ResourceState.FREE:
+                return ApiResult.INVALID_STATE
+            self.state.resources.assign_directly(ResourceType.DRAM_REGION, rid, DOMAIN_SM)
+            self.platform.assign_region(rid, DOMAIN_SM)
+            base, size = self.platform.region_range(rid)
+            self.state.add_metadata_arena(base, size)
+            self._recompute_dma_filter()
+            return ApiResult.OK
+
+        return Plan(commit, locks=(record.lock,))
+
     def create_enclave(
         self,
         caller: int,
@@ -284,33 +235,42 @@ class SecurityMonitor:
         space and overlaps nothing; the evrange is page-aligned and
         non-empty; the mailbox count fits the fixed structure bound.
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch(
+            "create_enclave", caller, eid, evrange_base, evrange_size, num_mailboxes
+        )
+
+    def _validate_create_enclave(
+        self, caller: int, eid: int, evrange_base: int, evrange_size: int,
+        num_mailboxes: int,
+    ):
         if eid in self.state.enclaves or eid in self.state.threads:
             return ApiResult.INVALID_VALUE
-        if not 0 < num_mailboxes <= MAX_MAILBOXES:
-            return ApiResult.INVALID_VALUE
-        if evrange_size <= 0 or evrange_base % PAGE_SIZE or evrange_size % PAGE_SIZE:
-            return ApiResult.INVALID_VALUE
+        bad = check_args(
+            "create_enclave", (eid, evrange_base, evrange_size, num_mailboxes)
+        )
+        if bad is not None:
+            return bad
         if evrange_base + evrange_size > 2**32:
             return ApiResult.INVALID_VALUE
         size = ENCLAVE_METADATA_BASE_SIZE + ENCLAVE_METADATA_PER_MAILBOX * num_mailboxes
-        self._yield_point("create_enclave.validated")
-        if not self.state.claim_metadata(eid, size):
-            return ApiResult.INVALID_VALUE
-        measurement = EnclaveMeasurement(self.state.sm_measurement, self.platform.name)
-        measurement.extend_create(evrange_base, evrange_size, num_mailboxes)
-        self.state.enclaves[eid] = EnclaveMetadata(
-            eid=eid,
-            evrange_base=evrange_base,
-            evrange_size=evrange_size,
-            state=EnclaveState.LOADING,
-            measurement_accumulator=measurement,
-            mailboxes=[Mailbox(i) for i in range(num_mailboxes)],
-        )
-        return ApiResult.OK
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if not self.state.claim_metadata(eid, size):
+                return ApiResult.INVALID_VALUE
+            measurement = EnclaveMeasurement(self.state.sm_measurement, self.platform.name)
+            measurement.extend_create(evrange_base, evrange_size, num_mailboxes)
+            self.state.enclaves[eid] = EnclaveMetadata(
+                eid=eid,
+                evrange_base=evrange_base,
+                evrange_size=evrange_size,
+                state=EnclaveState.LOADING,
+                measurement_accumulator=measurement,
+                mailboxes=[Mailbox(i) for i in range(num_mailboxes)],
+            )
+            return ApiResult.OK
+
+        return Plan(commit)
+
     def create_enclave_region(
         self, caller: int, eid: int, base: int, size: int
     ) -> ApiResult:
@@ -320,32 +280,36 @@ class SecurityMonitor:
         Sanctum backend rejects it (its regions are static — use
         ``grant_resource`` after block/clean instead).
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("create_enclave_region", caller, eid, base, size)
+
+    def _validate_create_enclave_region(self, caller: int, eid: int, base: int, size: int):
         enclave = self.state.enclave(eid)
         if enclave is None:
             return ApiResult.UNKNOWN_RESOURCE
         if enclave.state is not EnclaveState.LOADING:
             return ApiResult.INVALID_STATE
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("create_enclave_region.locked")
-                try:
-                    rid = self.platform.create_region(base, size, eid)
-                except NotImplementedError:
-                    return ApiResult.PROHIBITED
-                except ValueError:
-                    return ApiResult.INVALID_VALUE
-                self.state.resources.register(
-                    ResourceType.DRAM_REGION, rid, eid, ResourceState.OWNED
-                )
-                self._recompute_dma_filter()
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if self.state.enclave(eid) is not enclave:
+                # A concurrent event at the pre-lock yield site deleted
+                # the enclave; registering the region would orphan it.
+                return ApiResult.UNKNOWN_RESOURCE
+            if enclave.state is not EnclaveState.LOADING:
+                return ApiResult.INVALID_STATE
+            try:
+                rid = self.platform.create_region(base, size, eid)
+            except NotImplementedError:
+                return ApiResult.PROHIBITED
+            except ValueError:
+                return ApiResult.INVALID_VALUE
+            self.state.resources.register(
+                ResourceType.DRAM_REGION, rid, eid, ResourceState.OWNED
+            )
+            self._recompute_dma_filter()
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def allocate_page_table(
         self, caller: int, eid: int, vaddr: int, level: int, paddr: int
     ) -> ApiResult:
@@ -355,50 +319,53 @@ class SecurityMonitor:
         space (before any data page), loads happen in ascending
         physical order, and the root (level 1) comes first.
         """
+        return self._dispatch("allocate_page_table", caller, eid, vaddr, level, paddr)
+
+    def _validate_allocate_page_table(
+        self, caller: int, eid: int, vaddr: int, level: int, paddr: int
+    ):
         enclave, result = self._loading_enclave_for(caller, eid)
         if enclave is None:
             return result
-        if level not in (0, 1) or paddr % PAGE_SIZE:
-            return ApiResult.INVALID_VALUE
+        bad = check_args("allocate_page_table", (eid, vaddr, level, paddr))
+        if bad is not None:
+            return bad
         if enclave.data_loading_started:
             return ApiResult.INVALID_STATE
         ppn = paddr >> PAGE_SHIFT
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("allocate_page_table.locked")
-                check = self._check_enclave_page(enclave, ppn)
-                if check is not ApiResult.OK:
-                    return check
-                if level == 1:
-                    if enclave.page_table_root_ppn is not None:
-                        return ApiResult.INVALID_STATE
-                    enclave.page_table_root_ppn = ppn
-                    table_key = (0, 1)
-                else:
-                    if enclave.page_table_root_ppn is None:
-                        return ApiResult.INVALID_STATE
-                    if not enclave.in_evrange(vaddr):
-                        return ApiResult.INVALID_VALUE
-                    block = vaddr >> (PAGE_SHIFT + 10)
-                    table_key = (block, 0)
-                    if table_key in enclave.page_table_pages:
-                        return ApiResult.INVALID_STATE
-                    root_base = enclave.page_table_root_ppn << PAGE_SHIFT
-                    self.machine.memory.write_u32(
-                        root_base + 4 * vpn_index(vaddr, 1), make_pte(ppn, PTE_V)
-                    )
-                self.machine.memory.zero_range(paddr, PAGE_SIZE)
-                enclave.page_table_pages[table_key] = ppn
-                enclave.last_loaded_ppn = ppn
-                enclave.measurement_accumulator.extend_page_table(
-                    vaddr if level == 0 else 0, level
-                )
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            check = self._check_enclave_page(enclave, ppn)
+            if check is not ApiResult.OK:
+                return check
+            if level == 1:
+                if enclave.page_table_root_ppn is not None:
+                    return ApiResult.INVALID_STATE
+                enclave.page_table_root_ppn = ppn
+                table_key = (0, 1)
+            else:
+                if enclave.page_table_root_ppn is None:
+                    return ApiResult.INVALID_STATE
+                if not enclave.in_evrange(vaddr):
+                    return ApiResult.INVALID_VALUE
+                block = vaddr >> (PAGE_SHIFT + 10)
+                table_key = (block, 0)
+                if table_key in enclave.page_table_pages:
+                    return ApiResult.INVALID_STATE
+                root_base = enclave.page_table_root_ppn << PAGE_SHIFT
+                self.machine.memory.write_u32(
+                    root_base + 4 * vpn_index(vaddr, 1), make_pte(ppn, PTE_V)
+                )
+            self.machine.memory.zero_range(paddr, PAGE_SIZE)
+            enclave.page_table_pages[table_key] = ppn
+            enclave.last_loaded_ppn = ppn
+            enclave.measurement_accumulator.extend_page_table(
+                vaddr if level == 0 else 0, level
+            )
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def load_page(
         self, caller: int, eid: int, vaddr: int, paddr: int, src_paddr: int, acl: int
     ) -> ApiResult:
@@ -407,48 +374,49 @@ class SecurityMonitor:
         The measurement covers (vaddr, acl, page bytes) — not the
         physical placement (§VI-A).
         """
+        return self._dispatch("load_page", caller, eid, vaddr, paddr, src_paddr, acl)
+
+    def _validate_load_page(
+        self, caller: int, eid: int, vaddr: int, paddr: int, src_paddr: int, acl: int
+    ):
         enclave, result = self._loading_enclave_for(caller, eid)
         if enclave is None:
             return result
-        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE or src_paddr % PAGE_SIZE:
-            return ApiResult.INVALID_VALUE
-        if acl & ~_ACL_MASK or not acl & PTE_R:
-            return ApiResult.INVALID_VALUE
+        bad = check_args("load_page", (eid, vaddr, paddr, src_paddr, acl))
+        if bad is not None:
+            return bad
         if not enclave.in_evrange(vaddr):
             return ApiResult.INVALID_VALUE
         if not self._paddr_is_untrusted(src_paddr, PAGE_SIZE):
             return ApiResult.INVALID_VALUE
         ppn = paddr >> PAGE_SHIFT
         vpn = vaddr >> PAGE_SHIFT
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("load_page.locked")
-                if vpn in enclave.vpn_to_ppn:
-                    # No virtual aliasing: the injectivity invariant.
-                    return ApiResult.INVALID_STATE
-                check = self._check_enclave_page(enclave, ppn)
-                if check is not ApiResult.OK:
-                    return check
-                block = vaddr >> (PAGE_SHIFT + 10)
-                table_ppn = enclave.page_table_pages.get((block, 0))
-                if table_ppn is None:
-                    return ApiResult.INVALID_STATE
-                data = self.machine.memory.read(src_paddr, PAGE_SIZE)
-                self.machine.memory.write(paddr, data)
-                self.machine.memory.write_u32(
-                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
-                    make_pte(ppn, acl | PTE_V),
-                )
-                enclave.vpn_to_ppn[vpn] = ppn
-                enclave.last_loaded_ppn = ppn
-                enclave.data_loading_started = True
-                enclave.measurement_accumulator.extend_load_page(vaddr, acl, data)
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if vpn in enclave.vpn_to_ppn:
+                # No virtual aliasing: the injectivity invariant.
+                return ApiResult.INVALID_STATE
+            check = self._check_enclave_page(enclave, ppn)
+            if check is not ApiResult.OK:
+                return check
+            block = vaddr >> (PAGE_SHIFT + 10)
+            table_ppn = enclave.page_table_pages.get((block, 0))
+            if table_ppn is None:
+                return ApiResult.INVALID_STATE
+            data = self.machine.memory.read(src_paddr, PAGE_SIZE)
+            self.machine.memory.write(paddr, data)
+            self.machine.memory.write_u32(
+                (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
+                make_pte(ppn, acl | PTE_V),
+            )
+            enclave.vpn_to_ppn[vpn] = ppn
+            enclave.last_loaded_ppn = ppn
+            enclave.data_loading_started = True
+            enclave.measurement_accumulator.extend_load_page(vaddr, acl, data)
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def create_thread(
         self,
         caller: int,
@@ -460,6 +428,14 @@ class SecurityMonitor:
         fault_sp: int = 0,
     ) -> ApiResult:
         """Create a thread metadata structure at OS-chosen address ``tid``."""
+        return self._dispatch(
+            "create_thread", caller, eid, tid, entry_pc, entry_sp, fault_pc, fault_sp
+        )
+
+    def _validate_create_thread(
+        self, caller: int, eid: int, tid: int, entry_pc: int, entry_sp: int,
+        fault_pc: int, fault_sp: int,
+    ):
         enclave, result = self._loading_enclave_for(caller, eid)
         if enclave is None:
             return result
@@ -469,60 +445,63 @@ class SecurityMonitor:
             return ApiResult.INVALID_VALUE
         if fault_pc and not enclave.in_evrange(fault_pc):
             return ApiResult.INVALID_VALUE
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("create_thread.locked")
-                # The metadata claim happens only once every lock is
-                # held: claiming before `take` would leak the arena
-                # claim on a LOCK_CONFLICT, violating the
-                # no-side-effect transaction guarantee (§V-A).
-                if not self.state.claim_metadata(tid, THREAD_METADATA_SIZE):
-                    return ApiResult.INVALID_VALUE
-                thread = ThreadMetadata(
-                    tid=tid,
-                    owner_eid=eid,
-                    state=ThreadState.ASSIGNED,
-                    entry_pc=entry_pc,
-                    entry_sp=entry_sp,
-                    fault_pc=fault_pc,
-                    fault_sp=fault_sp,
-                )
-                self.state.threads[tid] = thread
-                self.state.resources.register(
-                    ResourceType.THREAD, tid, eid, ResourceState.OWNED
-                )
-                enclave.thread_tids.append(tid)
-                enclave.measurement_accumulator.extend_thread(
-                    entry_pc, entry_sp, fault_pc, fault_sp
-                )
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if self.state.enclave(eid) is not enclave:
+                # Deleted by a concurrent event at the pre-lock yield
+                # site; a new thread must not be chained to it.
+                return ApiResult.UNKNOWN_RESOURCE
+            # The metadata claim happens only once every lock is held:
+            # claiming before the transaction's `take` would leak the
+            # arena claim on a LOCK_CONFLICT, violating the
+            # no-side-effect transaction guarantee (§V-A).
+            if not self.state.claim_metadata(tid, THREAD_METADATA_SIZE):
+                return ApiResult.INVALID_VALUE
+            thread = ThreadMetadata(
+                tid=tid,
+                owner_eid=eid,
+                state=ThreadState.ASSIGNED,
+                entry_pc=entry_pc,
+                entry_sp=entry_sp,
+                fault_pc=fault_pc,
+                fault_sp=fault_sp,
+            )
+            self.state.threads[tid] = thread
+            self.state.resources.register(
+                ResourceType.THREAD, tid, eid, ResourceState.OWNED
+            )
+            enclave.thread_tids.append(tid)
+            enclave.measurement_accumulator.extend_thread(
+                entry_pc, entry_sp, fault_pc, fault_sp
+            )
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def init_enclave(self, caller: int, eid: int) -> ApiResult:
         """Seal the enclave: finalize measurement, enable scheduling."""
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("init_enclave", caller, eid)
+
+    def _validate_init_enclave(self, caller: int, eid: int):
         enclave = self.state.enclave(eid)
         if enclave is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("init_enclave.locked")
-                if enclave.state is not EnclaveState.LOADING:
-                    return ApiResult.INVALID_STATE
-                if enclave.page_table_root_ppn is None:
-                    return ApiResult.INVALID_STATE
-                enclave.measurement = enclave.measurement_accumulator.finalize()
-                enclave.state = EnclaveState.INITIALIZED
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if self.state.enclave(eid) is not enclave:
+                # Deleted by a concurrent event at the pre-lock yield
+                # site; do not seal an orphaned metadata object.
+                return ApiResult.UNKNOWN_RESOURCE
+            if enclave.state is not EnclaveState.LOADING:
+                return ApiResult.INVALID_STATE
+            if enclave.page_table_root_ppn is None:
+                return ApiResult.INVALID_STATE
+            enclave.measurement = enclave.measurement_accumulator.finalize()
+            enclave.state = EnclaveState.INITIALIZED
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def enter_enclave(self, caller: int, eid: int, tid: int, core_id: int) -> ApiResult:
         """Schedule an enclave thread onto a core (§V-C).
 
@@ -530,8 +509,9 @@ class SecurityMonitor:
         in), the translation context is programmed for the dual walk,
         and ``a1`` tells the enclave whether an AEX dump is pending.
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("enter_enclave", caller, eid, tid, core_id)
+
+    def _validate_enter_enclave(self, caller: int, eid: int, tid: int, core_id: int):
         enclave = self.state.enclave(eid)
         thread = self.state.thread(tid)
         if enclave is None or thread is None:
@@ -540,37 +520,34 @@ class SecurityMonitor:
             return ApiResult.INVALID_VALUE
         core = self.machine.cores[core_id]
         core_record = self.state.resources.get(ResourceType.CORE, core_id)
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock, thread.lock, core_record.lock)
-                self._yield_point("enter_enclave.locked")
-                if enclave.state is not EnclaveState.INITIALIZED:
-                    return ApiResult.INVALID_STATE
-                if thread.owner_eid != eid or thread.state is not ThreadState.ASSIGNED:
-                    return ApiResult.INVALID_STATE
-                if not core.halted or core.domain != DOMAIN_UNTRUSTED:
-                    return ApiResult.INVALID_STATE
-                aex_pending = thread.aex_present
-                core.clean_architectural_state()
-                core.domain = eid
-                core.privilege = Privilege.U
-                core.context.paging_enabled = True
-                core.context.enclave_root_ppn = enclave.page_table_root_ppn
-                core.context.evrange = (enclave.evrange_base, enclave.evrange_size)
-                core.pc = thread.entry_pc
-                core.write_reg(Reg.SP, thread.entry_sp)
-                core.write_reg(Reg.A1, 1 if aex_pending else 0)
-                self.platform.configure_core(core)
-                core.halted = False
-                thread.state = ThreadState.SCHEDULED
-                thread.core_id = core_id
-                enclave.scheduled_threads += 1
-                self._core_thread[core_id] = tid
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if enclave.state is not EnclaveState.INITIALIZED:
+                return ApiResult.INVALID_STATE
+            if thread.owner_eid != eid or thread.state is not ThreadState.ASSIGNED:
+                return ApiResult.INVALID_STATE
+            if not core.halted or core.domain != DOMAIN_UNTRUSTED:
+                return ApiResult.INVALID_STATE
+            aex_pending = thread.aex_present
+            core.clean_architectural_state()
+            core.domain = eid
+            core.privilege = Privilege.U
+            core.context.paging_enabled = True
+            core.context.enclave_root_ppn = enclave.page_table_root_ppn
+            core.context.evrange = (enclave.evrange_base, enclave.evrange_size)
+            core.pc = thread.entry_pc
+            core.write_reg(Reg.SP, thread.entry_sp)
+            core.write_reg(Reg.A1, 1 if aex_pending else 0)
+            self.platform.configure_core(core)
+            core.halted = False
+            thread.state = ThreadState.SCHEDULED
+            thread.core_id = core_id
+            enclave.scheduled_threads += 1
+            self._core_thread[core_id] = tid
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock, thread.lock, core_record.lock))
+
     def delete_enclave(self, caller: int, eid: int) -> ApiResult:
         """Destroy an enclave wholesale (Fig. 3): block all its resources.
 
@@ -578,82 +555,78 @@ class SecurityMonitor:
         regions and threads become BLOCKED and must be cleaned before
         reuse (§V-B) — their contents stay inaccessible meanwhile.
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("delete_enclave", caller, eid)
+
+    def _validate_delete_enclave(self, caller: int, eid: int):
         enclave = self.state.enclave(eid)
         if enclave is None:
             return ApiResult.UNKNOWN_RESOURCE
         region_records = self.state.resources.owned_by(eid, ResourceType.DRAM_REGION)
         thread_records = self.state.resources.owned_by(eid, ResourceType.THREAD)
-        try:
-            with Transaction() as txn:
-                txn.take(
-                    enclave.lock,
-                    *(r.lock for r in region_records),
-                    *(r.lock for r in thread_records),
-                )
-                self._yield_point("delete_enclave.locked")
-                if enclave.scheduled_threads > 0:
-                    return ApiResult.INVALID_STATE
-                for record in region_records:
-                    record.state = ResourceState.BLOCKED
-                for record in thread_records:
-                    record.state = ResourceState.BLOCKED
-                    thread = self.state.threads[record.rid]
-                    thread.state = ThreadState.BLOCKED
-                del self.state.enclaves[eid]
-                self.state.release_metadata(eid)
-                self._recompute_dma_filter()
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
+
+        def commit(txn) -> ApiResult:
+            if self.state.enclave(eid) is not enclave:
+                # A concurrent event at the pre-lock yield site already
+                # deleted (or replaced) this enclave.
+                return ApiResult.UNKNOWN_RESOURCE
+            if enclave.scheduled_threads > 0:
+                return ApiResult.INVALID_STATE
+            for record in region_records:
+                record.state = ResourceState.BLOCKED
+            for record in thread_records:
+                record.state = ResourceState.BLOCKED
+                thread = self.state.threads[record.rid]
+                thread.state = ThreadState.BLOCKED
+            del self.state.enclaves[eid]
+            self.state.release_metadata(eid)
+            self._recompute_dma_filter()
+            return ApiResult.OK
+
+        return Plan(
+            commit,
+            locks=(
+                enclave.lock,
+                *(r.lock for r in region_records),
+                *(r.lock for r in thread_records),
+            ),
+        )
 
     # -- Fig.-2 generic resource transitions -----------------------------
 
-    @timed_api
     def block_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """Owner relinquishes a resource: OWNED -> BLOCKED."""
+        return self._dispatch("block_resource", caller, rtype, rid)
+
+    def _validate_block_resource(self, caller: int, rtype: ResourceType, rid: int):
         record = self.state.resources.get(rtype, rid)
         if record is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(record.lock)
-                self._yield_point("block_resource.locked")
-                if rtype is ResourceType.THREAD:
-                    thread = self.state.threads.get(rid)
-                    if thread is not None and thread.state is ThreadState.SCHEDULED:
-                        return ApiResult.INVALID_STATE
-                if rtype is ResourceType.DRAM_REGION:
-                    # An enclave must unmap its pages from a region
-                    # before relinquishing it — otherwise cleaning would
-                    # strand live mappings.
-                    enclave = self.state.enclave(caller)
-                    if enclave is not None and self._enclave_maps_into_region(
-                        enclave, rid
-                    ):
-                        return ApiResult.INVALID_STATE
-                result = self.state.resources.block(rtype, rid, caller)
-                if result is ApiResult.OK and rtype is ResourceType.THREAD:
-                    self.state.threads[rid].state = ThreadState.BLOCKED
-                if result is ApiResult.OK and rtype is ResourceType.DRAM_REGION:
-                    # A blocked region is in transit between domains:
-                    # fence DMA out of it immediately, not at cleaning.
-                    self._recompute_dma_filter()
-                return result
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    def _enclave_maps_into_region(self, enclave, rid: int) -> bool:
-        base, size = self.platform.region_range(rid)
-        for ppn in list(enclave.vpn_to_ppn.values()) + list(
-            enclave.page_table_pages.values()
-        ):
-            if base <= (ppn << PAGE_SHIFT) < base + size:
-                return True
-        return False
+        def commit(txn) -> ApiResult:
+            if rtype is ResourceType.THREAD:
+                thread = self.state.threads.get(rid)
+                if thread is not None and thread.state is ThreadState.SCHEDULED:
+                    return ApiResult.INVALID_STATE
+            if rtype is ResourceType.DRAM_REGION:
+                # An enclave must unmap its pages from a region before
+                # relinquishing it — otherwise cleaning would strand
+                # live mappings.
+                enclave = self.state.enclave(caller)
+                if enclave is not None and self._enclave_maps_into_region(
+                    enclave, rid
+                ):
+                    return ApiResult.INVALID_STATE
+            result = self.state.resources.block(rtype, rid, caller)
+            if result is ApiResult.OK and rtype is ResourceType.THREAD:
+                self.state.threads[rid].state = ThreadState.BLOCKED
+            if result is ApiResult.OK and rtype is ResourceType.DRAM_REGION:
+                # A blocked region is in transit between domains: fence
+                # DMA out of it immediately, not at cleaning.
+                self._recompute_dma_filter()
+            return result
 
-    @timed_api
+        return Plan(commit, locks=(record.lock,))
+
     def clean_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """OS reclaims a blocked resource: BLOCKED -> FREE, after scrub.
 
@@ -661,36 +634,34 @@ class SecurityMonitor:
         and purged from the memory hierarchy; thread save areas are
         wiped.  Only then can the resource change protection domains.
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("clean_resource", caller, rtype, rid)
+
+    def _validate_clean_resource(self, caller: int, rtype: ResourceType, rid: int):
         record = self.state.resources.get(rtype, rid)
         if record is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(record.lock)
-                self._yield_point("clean_resource.locked")
-                result = self.state.resources.clean(rtype, rid)
-                if result is not ApiResult.OK:
-                    return result
-                if rtype is ResourceType.DRAM_REGION:
-                    self.platform.clean_region(rid)
-                    if self.platform.dynamic_regions:
-                        # A cleaned dynamic region dissolves back into
-                        # the untrusted pool (§VII-B).
-                        self.platform.delete_region(rid)
-                        self.state.resources.unregister(rtype, rid)
-                    self._recompute_dma_filter()
-                elif rtype is ResourceType.THREAD:
-                    thread = self.state.threads[rid]
-                    thread.scrub()
-                    thread.state = ThreadState.FREE
-                    thread.owner_eid = DOMAIN_UNTRUSTED
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            result = self.state.resources.clean(rtype, rid)
+            if result is not ApiResult.OK:
+                return result
+            if rtype is ResourceType.DRAM_REGION:
+                self.platform.clean_region(rid)
+                if self.platform.dynamic_regions:
+                    # A cleaned dynamic region dissolves back into the
+                    # untrusted pool (§VII-B).
+                    self.platform.delete_region(rid)
+                    self.state.resources.unregister(rtype, rid)
+                self._recompute_dma_filter()
+            elif rtype is ResourceType.THREAD:
+                thread = self.state.threads[rid]
+                thread.scrub()
+                thread.state = ThreadState.FREE
+                thread.owner_eid = DOMAIN_UNTRUSTED
+            return ApiResult.OK
+
+        return Plan(commit, locks=(record.lock,))
+
     def grant_resource(
         self, caller: int, rtype: ResourceType, rid: int, recipient: int
     ) -> ApiResult:
@@ -702,58 +673,68 @@ class SecurityMonitor:
         becomes OFFERED and the recipient completes the hand-off with
         ``accept_resource`` (§V-B).
         """
-        if caller != DOMAIN_UNTRUSTED:
-            return ApiResult.PROHIBITED
+        return self._dispatch("grant_resource", caller, rtype, rid, recipient)
+
+    def _validate_grant_resource(
+        self, caller: int, rtype: ResourceType, rid: int, recipient: int
+    ):
         record = self.state.resources.get(rtype, rid)
         if record is None:
             return ApiResult.UNKNOWN_RESOURCE
-        recipient_enclave = self.state.enclave(recipient)
-        if recipient != DOMAIN_UNTRUSTED and recipient_enclave is None:
+        if recipient != DOMAIN_UNTRUSTED and self.state.enclave(recipient) is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(record.lock)
-                self._yield_point("grant_resource.locked")
-                if record.state is not ResourceState.FREE:
-                    return ApiResult.INVALID_STATE
-                immediate = recipient == DOMAIN_UNTRUSTED or (
-                    recipient_enclave is not None
-                    and recipient_enclave.state is EnclaveState.LOADING
-                )
-                if immediate:
-                    self.state.resources.assign_directly(rtype, rid, recipient)
-                    self._complete_resource_transfer(rtype, rid, recipient)
-                    return ApiResult.OK
-                return self.state.resources.offer(rtype, rid, recipient)
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if record.state is not ResourceState.FREE:
+                return ApiResult.INVALID_STATE
+            # Re-resolve under lock: a concurrent event at the pre-lock
+            # yield site may have deleted the recipient.
+            recipient_enclave = self.state.enclave(recipient)
+            if recipient != DOMAIN_UNTRUSTED and recipient_enclave is None:
+                return ApiResult.UNKNOWN_RESOURCE
+            immediate = recipient == DOMAIN_UNTRUSTED or (
+                recipient_enclave is not None
+                and recipient_enclave.state is EnclaveState.LOADING
+            )
+            if immediate:
+                self.state.resources.assign_directly(rtype, rid, recipient)
+                self._complete_resource_transfer(rtype, rid, recipient)
+                return ApiResult.OK
+            return self.state.resources.offer(rtype, rid, recipient)
+
+        return Plan(commit, locks=(record.lock,))
+
     def accept_resource(self, caller: int, rtype: ResourceType, rid: int) -> ApiResult:
         """Recipient domain completes an offered transfer: OFFERED -> OWNED."""
+        return self._dispatch("accept_resource", caller, rtype, rid)
+
+    def _validate_accept_resource(self, caller: int, rtype: ResourceType, rid: int):
         record = self.state.resources.get(rtype, rid)
         if record is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(record.lock)
-                self._yield_point("accept_resource.locked")
-                result = self.state.resources.accept(rtype, rid, caller)
-                if result is ApiResult.OK:
-                    self._complete_resource_transfer(rtype, rid, caller)
-                return result
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
+
+        def commit(txn) -> ApiResult:
+            result = self.state.resources.accept(rtype, rid, caller)
+            if result is ApiResult.OK:
+                self._complete_resource_transfer(rtype, rid, caller)
+            return result
+
+        return Plan(commit, locks=(record.lock,))
 
     def accept_thread(self, caller: int, tid: int) -> ApiResult:
         """Paper alias: accept_thread(tid) == accept_resource(THREAD, tid)."""
+        return self._dispatch("accept_thread", caller, tid)
+
+    def _raw_accept_thread(self, caller: int, tid: int) -> ApiResult:
         return self.accept_resource(caller, ResourceType.THREAD, tid)
 
     # -- mail (local attestation, §VI-B) ------------------------------------
 
-    @timed_api
     def accept_mail(self, caller: int, mailbox_index: int, sender_id: int) -> ApiResult:
         """Recipient enclave opens a mailbox for a specific sender."""
+        return self._dispatch("accept_mail", caller, mailbox_index, sender_id)
+
+    def _validate_accept_mail(self, caller: int, mailbox_index: int, sender_id: int):
         enclave = self.state.enclave(caller)
         if enclave is None:
             return ApiResult.PROHIBITED
@@ -761,19 +742,20 @@ class SecurityMonitor:
             return ApiResult.INVALID_VALUE
         if sender_id != DOMAIN_UNTRUSTED and self.state.enclave(sender_id) is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("accept_mail.locked")
-                return enclave.mailboxes[mailbox_index].accept(sender_id)
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            return enclave.mailboxes[mailbox_index].accept(sender_id)
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def send_mail(self, caller: int, recipient_eid: int, message: bytes) -> ApiResult:
         """Deliver mail (by any enclave or the OS) to an expecting mailbox."""
-        if len(message) > MAILBOX_SIZE:
-            return ApiResult.INVALID_VALUE
+        return self._dispatch("send_mail", caller, recipient_eid, message)
+
+    def _validate_send_mail(self, caller: int, recipient_eid: int, message: bytes):
+        bad = check_args("send_mail", (recipient_eid, message))
+        if bad is not None:
+            return bad
         if caller == DOMAIN_UNTRUSTED:
             sender_measurement = UNTRUSTED_MEASUREMENT
         else:
@@ -784,59 +766,63 @@ class SecurityMonitor:
         recipient = self.state.enclave(recipient_eid)
         if recipient is None:
             return ApiResult.UNKNOWN_RESOURCE
-        try:
-            with Transaction() as txn:
-                txn.take(recipient.lock)
-                self._yield_point("send_mail.locked")
-                for mailbox in recipient.mailboxes:
-                    result = mailbox.deliver(caller, sender_measurement, message)
-                    if result is ApiResult.OK:
-                        return ApiResult.OK
-                return ApiResult.MAILBOX_STATE
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            for mailbox in recipient.mailboxes:
+                result = mailbox.deliver(caller, sender_measurement, message)
+                if result is ApiResult.OK:
+                    return ApiResult.OK
+            return ApiResult.MAILBOX_STATE
+
+        return Plan(commit, locks=(recipient.lock,))
+
     def get_mail(self, caller: int, mailbox_index: int) -> tuple[ApiResult, bytes, bytes]:
         """Recipient fetches (message, sender measurement) from a mailbox."""
+        return self._dispatch("get_mail", caller, mailbox_index)
+
+    def _validate_get_mail(self, caller: int, mailbox_index: int):
         enclave = self.state.enclave(caller)
         if enclave is None:
-            return ApiResult.PROHIBITED, b"", b""
+            return ApiResult.PROHIBITED
         if not 0 <= mailbox_index < len(enclave.mailboxes):
-            return ApiResult.INVALID_VALUE, b"", b""
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("get_mail.locked")
-                return enclave.mailboxes[mailbox_index].fetch()
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT, b"", b""
+            return ApiResult.INVALID_VALUE
+
+        def commit(txn) -> tuple[ApiResult, bytes, bytes]:
+            return enclave.mailboxes[mailbox_index].fetch()
+
+        return Plan(commit, locks=(enclave.lock,))
 
     # -- public fields and randomness ----------------------------------------
 
-    @timed_api
     def get_field(self, caller: int, field_id: int) -> tuple[ApiResult, bytes]:
         """Public SM information (certificates, measurement — §VI-C)."""
-        return self.state.get_field(field_id)
+        return self._dispatch("get_field", caller, field_id)
 
-    @timed_api
+    def _validate_get_field(self, caller: int, field_id: int):
+        return Plan(lambda txn: self.state.get_field(field_id))
+
     def get_random(self, caller: int, n: int) -> tuple[ApiResult, bytes]:
         """Conditioned entropy for any caller (§IV-B4)."""
-        if n < 0 or n > 4096:
-            return ApiResult.INVALID_VALUE, b""
-        return ApiResult.OK, self.state.drbg.generate(n)
+        return self._dispatch("get_random", caller, n)
 
-    @timed_api
+    def _validate_get_random(self, caller: int, n: int):
+        bad = check_args("get_random", (n,))
+        if bad is not None:
+            return bad
+        return Plan(lambda txn: (ApiResult.OK, self.state.drbg.generate(n)))
+
     def get_attestation_key(self, caller: int) -> tuple[ApiResult, bytes]:
         """Release the SM signing key — to the signing enclave only (§VI-C)."""
+        return self._dispatch("get_attestation_key", caller)
+
+    def _validate_get_attestation_key(self, caller: int):
         enclave = self.state.enclave(caller)
         if enclave is None or enclave.state is not EnclaveState.INITIALIZED:
-            return ApiResult.PROHIBITED, b""
+            return ApiResult.PROHIBITED
         if enclave.measurement != self.state.signing_enclave_measurement:
-            return ApiResult.PROHIBITED, b""
-        return ApiResult.OK, self.state.sm_secret_key
+            return ApiResult.PROHIBITED
+        return Plan(lambda txn: (ApiResult.OK, self.state.sm_secret_key))
 
-    @timed_api
     def map_enclave_page(self, caller: int, vaddr: int, paddr: int, acl: int) -> ApiResult:
         """Map a page into a running enclave's private range (§V-C).
 
@@ -850,85 +836,89 @@ class SecurityMonitor:
         time).  The page is scrubbed before mapping so the enclave
         never reads another domain's stale bytes.
         """
+        return self._dispatch("map_enclave_page", caller, vaddr, paddr, acl)
+
+    def _validate_map_enclave_page(self, caller: int, vaddr: int, paddr: int, acl: int):
         enclave = self.state.enclave(caller)
         if enclave is None:
             return ApiResult.PROHIBITED
         if enclave.state is not EnclaveState.INITIALIZED:
             return ApiResult.INVALID_STATE
-        if vaddr % PAGE_SIZE or paddr % PAGE_SIZE or not enclave.in_evrange(vaddr):
-            return ApiResult.INVALID_VALUE
-        if acl & ~_ACL_MASK or not acl & PTE_R:
+        bad = check_args("map_enclave_page", (vaddr, paddr, acl))
+        if bad is not None:
+            return bad
+        if not enclave.in_evrange(vaddr):
             return ApiResult.INVALID_VALUE
         ppn = paddr >> PAGE_SHIFT
         vpn = vaddr >> PAGE_SHIFT
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("map_enclave_page.locked")
-                if vpn in enclave.vpn_to_ppn or enclave.ppn_is_mapped(ppn):
-                    return ApiResult.INVALID_STATE
-                rid = self.platform.region_of(paddr)
-                record = (
-                    self.state.resources.get(ResourceType.DRAM_REGION, rid)
-                    if rid is not None
-                    else None
-                )
-                if (
-                    record is None
-                    or record.owner != caller
-                    or record.state is not ResourceState.OWNED
-                ):
-                    return ApiResult.PROHIBITED
-                block = vaddr >> (PAGE_SHIFT + 10)
-                table_ppn = enclave.page_table_pages.get((block, 0))
-                if table_ppn is None:
-                    return ApiResult.INVALID_STATE
-                self.machine.memory.zero_range(paddr, PAGE_SIZE)
-                self.machine.memory.write_u32(
-                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
-                    make_pte(ppn, acl | PTE_V),
-                )
-                enclave.vpn_to_ppn[vpn] = ppn
-                self._flush_domain_tlbs(caller)
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
 
-    @timed_api
+        def commit(txn) -> ApiResult:
+            if vpn in enclave.vpn_to_ppn or enclave.ppn_is_mapped(ppn):
+                return ApiResult.INVALID_STATE
+            rid = self.platform.region_of(paddr)
+            record = (
+                self.state.resources.get(ResourceType.DRAM_REGION, rid)
+                if rid is not None
+                else None
+            )
+            if (
+                record is None
+                or record.owner != caller
+                or record.state is not ResourceState.OWNED
+            ):
+                return ApiResult.PROHIBITED
+            block = vaddr >> (PAGE_SHIFT + 10)
+            table_ppn = enclave.page_table_pages.get((block, 0))
+            if table_ppn is None:
+                return ApiResult.INVALID_STATE
+            self.machine.memory.zero_range(paddr, PAGE_SIZE)
+            self.machine.memory.write_u32(
+                (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0),
+                make_pte(ppn, acl | PTE_V),
+            )
+            enclave.vpn_to_ppn[vpn] = ppn
+            self._flush_domain_tlbs(caller)
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
+
     def unmap_enclave_page(self, caller: int, vaddr: int) -> ApiResult:
         """Remove a runtime-private mapping (prerequisite for blocking
         the backing region)."""
+        return self._dispatch("unmap_enclave_page", caller, vaddr)
+
+    def _validate_unmap_enclave_page(self, caller: int, vaddr: int):
         enclave = self.state.enclave(caller)
         if enclave is None:
             return ApiResult.PROHIBITED
-        if vaddr % PAGE_SIZE or not enclave.in_evrange(vaddr):
+        bad = check_args("unmap_enclave_page", (vaddr,))
+        if bad is not None:
+            return bad
+        if not enclave.in_evrange(vaddr):
             return ApiResult.INVALID_VALUE
         vpn = vaddr >> PAGE_SHIFT
-        try:
-            with Transaction() as txn:
-                txn.take(enclave.lock)
-                self._yield_point("unmap_enclave_page.locked")
-                if vpn not in enclave.vpn_to_ppn:
-                    return ApiResult.INVALID_STATE
-                block = vaddr >> (PAGE_SHIFT + 10)
-                table_ppn = enclave.page_table_pages.get((block, 0))
-                if table_ppn is None:
-                    return ApiResult.INVALID_STATE
-                self.machine.memory.write_u32(
-                    (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0), 0
-                )
-                del enclave.vpn_to_ppn[vpn]
-                self._flush_domain_tlbs(caller)
-                return ApiResult.OK
-        except LockConflict:
-            return ApiResult.LOCK_CONFLICT
+
+        def commit(txn) -> ApiResult:
+            if vpn not in enclave.vpn_to_ppn:
+                return ApiResult.INVALID_STATE
+            block = vaddr >> (PAGE_SHIFT + 10)
+            table_ppn = enclave.page_table_pages.get((block, 0))
+            if table_ppn is None:
+                return ApiResult.INVALID_STATE
+            self.machine.memory.write_u32(
+                (table_ppn << PAGE_SHIFT) + 4 * vpn_index(vaddr, 0), 0
+            )
+            del enclave.vpn_to_ppn[vpn]
+            self._flush_domain_tlbs(caller)
+            return ApiResult.OK
+
+        return Plan(commit, locks=(enclave.lock,))
 
     def _flush_domain_tlbs(self, domain: int) -> None:
         """Shoot down one domain's TLB entries on every core."""
         for core in self.machine.cores:
             core.tlb.flush_domain(domain)
 
-    @timed_api
     def get_sealing_key(self, caller: int) -> tuple[ApiResult, bytes]:
         """Derive the caller's sealing key (§IV-B4's "seed cryptographic
         keys", as realized by Sanctum's and Keystone's sealing API).
@@ -938,23 +928,32 @@ class SecurityMonitor:
         unreachable by any other enclave, the OS, or a patched SM
         (whose secret differs by secure-boot key derivation).
         """
+        return self._dispatch("get_sealing_key", caller)
+
+    def _validate_get_sealing_key(self, caller: int):
         enclave = self.state.enclave(caller)
         if enclave is None or enclave.state is not EnclaveState.INITIALIZED:
-            return ApiResult.PROHIBITED, b""
-        from repro.crypto.sha3 import shake256
+            return ApiResult.PROHIBITED
 
-        key = shake256(
-            self.state.sm_secret_key + b"|sealing-key|" + enclave.measurement, 32
-        )
-        return ApiResult.OK, key
+        def commit(txn) -> tuple[ApiResult, bytes]:
+            from repro.crypto.sha3 import shake256
+
+            key = shake256(
+                self.state.sm_secret_key + b"|sealing-key|" + enclave.measurement, 32
+            )
+            return ApiResult.OK, key
+
+        return Plan(commit)
 
     # ==================================================================
     # Event interposition (Fig. 1)
     # ==================================================================
 
-    @timed_api
     def handle_trap(self, core: Core, trap: Trap) -> None:
         """The machine's sole trap handler: every event lands here first."""
+        return self.pipeline.dispatch(TRAP_SPEC, (core, trap))
+
+    def _raw_handle_trap(self, core: Core, trap: Trap) -> None:
         if core.domain not in (DOMAIN_UNTRUSTED, DOMAIN_SM):
             self._handle_enclave_trap(core, trap)
             return
@@ -1137,14 +1136,14 @@ class SecurityMonitor:
                 if result is ApiResult.OK:
                     result = self._write_enclave_buffer(core, a1, data)
         elif call is EnclaveEcall.BLOCK_RESOURCE:
-            rtype = _ECALL_RESOURCE_TYPES.get(a1)
+            rtype = ECALL_RESOURCE_TYPES.get(a1)
             result = (
                 self.block_resource(enclave.eid, rtype, a2)
                 if rtype is not None
                 else ApiResult.INVALID_VALUE
             )
         elif call is EnclaveEcall.ACCEPT_RESOURCE:
-            rtype = _ECALL_RESOURCE_TYPES.get(a1)
+            rtype = ECALL_RESOURCE_TYPES.get(a1)
             result = (
                 self.accept_resource(enclave.eid, rtype, a2)
                 if rtype is not None
@@ -1204,6 +1203,15 @@ class SecurityMonitor:
         if enclave.ppn_is_mapped(ppn):
             return ApiResult.INVALID_STATE
         return ApiResult.OK
+
+    def _enclave_maps_into_region(self, enclave, rid: int) -> bool:
+        base, size = self.platform.region_range(rid)
+        for ppn in list(enclave.vpn_to_ppn.values()) + list(
+            enclave.page_table_pages.values()
+        ):
+            if base <= (ppn << PAGE_SHIFT) < base + size:
+                return True
+        return False
 
     def _paddr_is_untrusted(self, paddr: int, size: int) -> bool:
         """Whether an interval is wholly in untrusted-owned memory."""

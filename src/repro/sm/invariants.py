@@ -9,11 +9,10 @@ A violation always means an SM bug — never legal adversary behaviour.
 
 from __future__ import annotations
 
-import functools
-
 from repro.errors import InvariantViolation
 from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED
 from repro.hw.memory import PAGE_SHIFT
+from repro.sm.abi import API_SPECS
 from repro.sm.api import SecurityMonitor
 from repro.sm.enclave import EnclaveState
 from repro.sm.resources import ResourceState, ResourceType
@@ -198,69 +197,43 @@ def check_all(sm: SecurityMonitor) -> None:
         check(sm)
 
 
-#: The SM entry points the invariant guard wraps: the public API plus
-#: the trap handler (through which every enclave ecall arrives).
-GUARDED_API = (
-    "create_metadata_region",
-    "create_enclave",
-    "create_enclave_region",
-    "allocate_page_table",
-    "load_page",
-    "create_thread",
-    "init_enclave",
-    "enter_enclave",
-    "delete_enclave",
-    "block_resource",
-    "clean_resource",
-    "grant_resource",
-    "accept_resource",
-    "accept_thread",
-    "accept_mail",
-    "send_mail",
-    "get_mail",
-    "get_field",
-    "get_random",
-    "get_attestation_key",
-    "map_enclave_page",
-    "unmap_enclave_page",
-    "get_sealing_key",
-    "handle_trap",
-)
+#: The SM entry points the invariant guard covers: the registry's
+#: public API plus the trap handler (through which every enclave ecall
+#: arrives).  Derived from the ABI registry so a newly registered call
+#: is guarded automatically.
+GUARDED_API = tuple(spec.name for spec in API_SPECS) + ("handle_trap",)
+
+
+class InvariantInterceptor:
+    """Pipeline interceptor: run the invariant suite after each call.
+
+    Only outermost dispatches check (nested calls —
+    ``accept_thread`` -> ``accept_resource``, ecall dispatch inside
+    ``handle_trap`` — would otherwise check mid-transaction); a call
+    that raises is not checked, so the original exception is never
+    masked.
+    """
+
+    def __init__(self, check=check_all) -> None:
+        self.check = check
+
+    def intercept(self, ctx, proceed):
+        result = proceed()
+        if ctx.pipeline.depth == 1:
+            self.check(ctx.sm)
+        return result
 
 
 def install_invariant_guard(sm: SecurityMonitor, check=check_all) -> SecurityMonitor:
     """Run ``check`` after every outermost public API call on ``sm``.
 
-    Wraps each entry point in :data:`GUARDED_API` on the *instance* so
-    existing end-to-end tests exercise every invariant (including
-    :func:`check_lock_quiescence`) after every call, not only in
-    dedicated invariant tests.  A depth counter keeps nested calls
-    (``accept_thread`` -> ``accept_resource``, ecall dispatch inside
-    ``handle_trap``) from checking mid-transaction while locks are
-    legitimately held; checks are skipped when the call raises, so the
-    original exception is never masked.  Idempotent per instance.
+    Installs an :class:`InvariantInterceptor` outside the monitor's
+    dispatch pipeline so existing end-to-end tests exercise every
+    invariant (including :func:`check_lock_quiescence`) after every
+    call in :data:`GUARDED_API`, not only in dedicated invariant
+    tests.  Idempotent per instance.
     """
-    if getattr(sm, "_invariant_guard_depth", None) is not None:
+    if getattr(sm, "_invariant_guard", None) is not None:
         return sm
-    sm._invariant_guard_depth = 0
-
-    def wrap(method):
-        @functools.wraps(method)
-        def guarded(*args, **kwargs):
-            sm._invariant_guard_depth += 1
-            try:
-                result = method(*args, **kwargs)
-            finally:
-                sm._invariant_guard_depth -= 1
-            if sm._invariant_guard_depth == 0:
-                check(sm)
-            return result
-
-        return guarded
-
-    for name in GUARDED_API:
-        setattr(sm, name, wrap(getattr(sm, name)))
-    # The machine captured the unwrapped bound handler at SM
-    # construction; re-register so trap-path calls are guarded too.
-    sm.machine.set_trap_handler(sm.handle_trap)
+    sm._invariant_guard = sm.pipeline.install(InvariantInterceptor(check))
     return sm

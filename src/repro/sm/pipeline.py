@@ -1,0 +1,153 @@
+"""The layered SM dispatch pipeline.
+
+Every public SM entry point dispatches through one
+:class:`EcallPipeline` owned by the monitor.  The pipeline composes the
+cross-cutting concerns that the handlers in :mod:`repro.sm.api` used to
+hand-weave — perf timing, fault-injection yield points, invariant
+guarding, atomicity journaling — as a stack of *interceptors* around a
+single terminal executor, and enforces the registry's two-phase
+handler contract:
+
+1. **authorize** — the caller class declared by the
+   :class:`~repro.sm.abi.ApiSpec` is checked uniformly (OS-only calls
+   from any other domain return ``PROHIBITED``);
+2. **validate** — the handler's read-only ``_validate_<name>`` phase
+   checks arguments against the registry specs and either returns an
+   error :class:`~repro.errors.ApiResult` (shaped to the call's
+   documented payload) or a :class:`Plan` naming the locks to take;
+3. **lock** — the plan's locks are acquired in one
+   acquire-all-or-fail :class:`~repro.sm.locks.Transaction` (§V-A); a
+   conflict returns ``LOCK_CONFLICT`` with no side effects, because
+   nothing has mutated yet;
+4. **commit** — only now, with every lock held, does the plan's commit
+   callback mutate SM state.
+
+The registry's yield sites fire between the phases:
+``<name>.validated`` after a successful validate (before any lock),
+``<name>.locked`` once all locks are held — so fault injection
+exercises exactly the windows where real concurrency could preempt the
+call.  Mutation-before-validation is structurally impossible: commit
+code does not run until validation passed and the transaction holds
+every lock.
+
+Interceptors implement ``intercept(ctx, proceed)`` where ``proceed()``
+runs the rest of the stack; :meth:`EcallPipeline.install` pushes a new
+interceptor *outside* the existing stack.  Nesting depth is tracked on
+the pipeline (``accept_thread`` -> ``accept_resource``, ecall dispatch
+inside ``handle_trap``), so depth-sensitive interceptors (invariant
+guard, atomicity journal) act only on the outermost call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.abi import ApiSpec, CallerKind
+from repro.sm.locks import LockConflict, Transaction
+
+
+@dataclasses.dataclass
+class Plan:
+    """A validated call, ready to lock and commit.
+
+    Returned by a handler's validate phase in place of an error result.
+    ``commit(txn)`` runs with every lock in ``locks`` held (``txn`` is
+    None for lock-free calls) and performs all mutation.
+    """
+
+    commit: Callable[[Any], Any]
+    locks: tuple = ()
+
+
+class CallContext:
+    """One dispatch in flight: the spec, the raw args, and the owners."""
+
+    __slots__ = ("pipeline", "sm", "spec", "args")
+
+    def __init__(self, pipeline: "EcallPipeline", spec: ApiSpec, args: tuple) -> None:
+        self.pipeline = pipeline
+        self.sm = pipeline.sm
+        self.spec = spec
+        self.args = args
+
+
+class EcallPipeline:
+    """Interceptor stack around the two-phase handler executor."""
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        #: Outermost first.
+        self.interceptors: list = []
+        #: Current dispatch nesting depth (1 = outermost call).
+        self.depth = 0
+
+    def install(self, interceptor):
+        """Install ``interceptor`` outside the current stack."""
+        self.interceptors.insert(0, interceptor)
+        return interceptor
+
+    def uninstall(self, interceptor) -> None:
+        self.interceptors.remove(interceptor)
+
+    def dispatch(self, spec: ApiSpec, args: tuple):
+        """Run one API call through the interceptor stack."""
+        ctx = CallContext(self, spec, args)
+        self.depth += 1
+        try:
+            return self._run(ctx, 0)
+        finally:
+            self.depth -= 1
+
+    def _run(self, ctx: CallContext, index: int):
+        if index < len(self.interceptors):
+            interceptor = self.interceptors[index]
+            return interceptor.intercept(ctx, lambda: self._run(ctx, index + 1))
+        return self._execute(ctx)
+
+    # -- the terminal executor: authorize / validate / lock / commit -----
+
+    def _execute(self, ctx: CallContext):
+        spec = ctx.spec
+        sm = ctx.sm
+        if spec.raw:
+            return getattr(sm, "_raw_" + spec.name)(*ctx.args)
+        if spec.caller is CallerKind.OS and ctx.args[0] != DOMAIN_UNTRUSTED:
+            return spec.shape_error(ApiResult.PROHIBITED)
+        outcome = getattr(sm, "_validate_" + spec.name)(*ctx.args)
+        if not isinstance(outcome, Plan):
+            return spec.shape_error(outcome)
+        sm._yield_point(f"{spec.name}.validated")
+        if not outcome.locks:
+            return outcome.commit(None)
+        try:
+            with Transaction() as txn:
+                txn.take(*outcome.locks)
+                sm._yield_point(f"{spec.name}.locked")
+                return outcome.commit(txn)
+        except LockConflict:
+            return spec.shape_error(ApiResult.LOCK_CONFLICT)
+
+
+class PerfInterceptor:
+    """Record host-side latency of every dispatch (nested ones too).
+
+    Every call lands in the machine's latency histograms
+    (``machine.perf.api_latencies[name]`` — see :mod:`repro.hw.perf`),
+    which is how the reproduction quantifies the paper's "lightweight"
+    claim per API call.  Observational only: no simulated state is
+    touched, so determinism is unaffected.
+    """
+
+    def __init__(self, perf) -> None:
+        self.perf = perf
+
+    def intercept(self, ctx: CallContext, proceed):
+        start = time.perf_counter_ns()
+        try:
+            return proceed()
+        finally:
+            self.perf.record_api(ctx.spec.name, time.perf_counter_ns() - start)

@@ -173,7 +173,7 @@ def test_yield_points_fire_inside_api_calls(sanctum_system):
     rid = sanctum_system.kernel._donatable_regions[0]
     assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
     sm.set_fault_hook(None)
-    assert sites == ["block_resource.locked"]
+    assert sites == ["block_resource.validated", "block_resource.locked"]
 
 
 def test_yield_point_hook_is_suppressed_during_injection(sanctum_system):
@@ -190,7 +190,7 @@ def test_yield_point_hook_is_suppressed_during_injection(sanctum_system):
     sm.set_fault_hook(reentrant_hook)
     sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
     sm.set_fault_hook(None)
-    assert sites == ["block_resource.locked"]
+    assert sites == ["block_resource.validated", "block_resource.locked"]
 
 
 def test_scripted_injector_matches_sites_in_order(sanctum_system):

@@ -1,0 +1,35 @@
+"""Bit-identity regression: pre-refactor fuzz traces must replay unchanged.
+
+The fixtures under ``tests/data/`` were recorded by running the seeded
+fuzzer (seed 0) and capturing, for every step, the primary
+:class:`ApiResult` code plus the machine's final cycle accounting —
+*before* the SM call path was refactored onto the ABI-registry /
+interceptor pipeline.  Replaying them here proves the refactor changed
+no observable behaviour: same error codes for every call, same cycle
+counts, same OS-event traffic.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.faults.fuzzer import replay_with_results
+
+_DATA = pathlib.Path(__file__).resolve().parent.parent / "data"
+
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_baseline_trace_replays_bit_identically(platform):
+    fixture = json.loads(
+        (_DATA / f"replay_baseline_{platform}.json").read_text()
+    )
+    outcome = replay_with_results(fixture["trace"])
+    assert outcome["violation"] is None
+    expected = fixture["expected"]
+    assert outcome["results"] == expected["results"], (
+        "per-step API result codes diverged from the recorded baseline"
+    )
+    assert outcome["fingerprint"] == expected["fingerprint"], (
+        "machine cycle accounting diverged from the recorded baseline"
+    )

@@ -1,0 +1,219 @@
+"""The ABI registry is the single source of truth for the SM surface.
+
+Three properties keep the declarative table honest:
+
+* **Coverage** — every public ``SecurityMonitor`` method taking a
+  ``caller`` is registered (an unregistered public API method fails
+  here, and therefore fails CI), and every registry entry resolves to
+  a real wrapper + validate/raw handler pair.
+* **Yield-site fidelity** — the sites the pipeline actually fires
+  match each spec's declared ``yield_sites`` exactly: every
+  lock-taking call gets ``<name>.validated`` then ``<name>.locked``;
+  lock-free calls get only ``.validated``; no handler hand-rolls a
+  ``_yield_point`` call of its own.
+* **Derivation** — the SDK assembler stubs and the fuzzer's op table
+  are generated from the registry, so a new entry propagates to both
+  with no further code.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import ApiResult
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sdk import ecall
+from repro.sm import api as api_module
+from repro.sm.abi import (
+    ABI,
+    API_SPECS,
+    ECALL_STUBS,
+    EnclaveEcall,
+    arg_errors,
+    fuzzable_specs,
+)
+from repro.sm.api import SecurityMonitor
+from repro.sm.invariants import GUARDED_API
+from repro.sm.resources import ResourceType
+
+OS = DOMAIN_UNTRUSTED
+
+
+# ---------------------------------------------------------------------------
+# Coverage: registry <-> public methods
+# ---------------------------------------------------------------------------
+
+def _public_api_methods() -> list[str]:
+    """Public SecurityMonitor methods whose first parameter is ``caller``.
+
+    That calling convention is what marks a method as part of the
+    software-visible SM API (boot helpers and introspection take other
+    leading parameters).
+    """
+    names = []
+    for name, member in inspect.getmembers(SecurityMonitor, inspect.isfunction):
+        if name.startswith("_"):
+            continue
+        params = list(inspect.signature(member).parameters)
+        if len(params) >= 2 and params[1] == "caller":
+            names.append(name)
+    return sorted(names)
+
+
+def test_every_public_api_method_is_registered():
+    unregistered = [n for n in _public_api_methods() if n not in ABI]
+    assert not unregistered, (
+        f"public API methods missing from the ABI registry: {unregistered} — "
+        "add an ApiSpec to repro.sm.abi.API_SPECS"
+    )
+
+
+def test_every_registry_entry_has_a_handler():
+    for spec in API_SPECS:
+        assert callable(getattr(SecurityMonitor, spec.name, None)), (
+            f"{spec.name}: registered but no public wrapper exists"
+        )
+        handler = "_raw_" + spec.name if spec.raw else "_validate_" + spec.name
+        assert callable(getattr(SecurityMonitor, handler, None)), (
+            f"{spec.name}: registered but {handler} does not exist"
+        )
+
+
+def test_registry_args_match_handler_signatures():
+    for spec in API_SPECS:
+        wrapper = getattr(SecurityMonitor, spec.name)
+        params = list(inspect.signature(wrapper).parameters)[1:]  # drop self
+        assert params[0] == "caller"
+        assert [a.name for a in spec.args] == params[1:], (
+            f"{spec.name}: registry args {[a.name for a in spec.args]} != "
+            f"signature {params[1:]}"
+        )
+
+
+def test_invariant_guard_surface_is_registry_derived():
+    assert GUARDED_API == tuple(s.name for s in API_SPECS) + ("handle_trap",)
+
+
+# ---------------------------------------------------------------------------
+# Yield-site fidelity
+# ---------------------------------------------------------------------------
+
+def test_declared_yield_sites_shape():
+    for spec in API_SPECS:
+        if spec.raw:
+            assert spec.yield_sites == ()
+        elif spec.locks:
+            assert spec.yield_sites == (
+                f"{spec.name}.validated",
+                f"{spec.name}.locked",
+            ), f"{spec.name}: lock-taking calls get .validated then .locked"
+        else:
+            assert spec.yield_sites == (f"{spec.name}.validated",)
+
+
+def test_no_handler_hand_rolls_yield_points():
+    source = inspect.getsource(api_module)
+    calls = [
+        line for line in source.splitlines()
+        if "self._yield_point(" in line or "sm._yield_point(" in line
+    ]
+    assert not calls, (
+        "handlers must not call _yield_point themselves — the pipeline "
+        f"fires the registry's sites: {calls}"
+    )
+
+
+def test_lock_taking_call_fires_registry_sites(sanctum_system):
+    sm = sanctum_system.sm
+    rid = sanctum_system.kernel._donatable_regions[0]
+    sites: list[str] = []
+    sm.set_fault_hook(sites.append)
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+    sm.set_fault_hook(None)
+    assert tuple(sites) == ABI["block_resource"].yield_sites
+
+
+def test_lock_free_call_fires_only_validated(sanctum_system):
+    sm = sanctum_system.sm
+    sites: list[str] = []
+    sm.set_fault_hook(sites.append)
+    result, _ = sm.get_field(OS, 0)
+    sm.set_fault_hook(None)
+    assert result is ApiResult.OK
+    assert tuple(sites) == ABI["get_field"].yield_sites == ("get_field.validated",)
+
+
+def test_failed_validation_fires_no_sites(sanctum_system):
+    sm = sanctum_system.sm
+    sites: list[str] = []
+    sm.set_fault_hook(sites.append)
+    assert sm.init_enclave(OS, 0xDEAD000) is ApiResult.UNKNOWN_RESOURCE
+    sm.set_fault_hook(None)
+    assert sites == [], "error returns must not reach any yield site"
+
+
+# ---------------------------------------------------------------------------
+# Derivations: SDK stubs and fuzzer op table
+# ---------------------------------------------------------------------------
+
+def test_every_ecall_number_has_a_stub():
+    covered = {stub.number for stub in ECALL_STUBS}
+    assert covered == set(EnclaveEcall), (
+        f"ecall numbers without a stub: {set(EnclaveEcall) - covered}"
+    )
+
+
+def test_sdk_stub_functions_are_generated_for_every_ecall():
+    for stub in ECALL_STUBS:
+        fn = getattr(ecall, stub.name, None)
+        assert callable(fn), f"sdk.ecall.{stub.name} missing"
+        assert fn.__doc__ == stub.doc
+
+
+def test_generated_stub_asm_matches_the_documented_abi():
+    asm = ecall.accept_mail(1, "gp")
+    assert "    li   a1, 1" in asm
+    assert "    add  a2, gp, zero" in asm
+    assert f"    li   a0, {int(EnclaveEcall.ACCEPT_MAIL)}" in asm
+    assert asm.rstrip().endswith("ecall")
+
+    asm = ecall.send_mail(0x10000, "msg_buf", 16)
+    assert "    li   a1, 65536" in asm  # immediate recipient -> li
+    assert "    li   a2, msg_buf" in asm
+    assert "    li   a3, 16" in asm
+
+    asm = ecall.get_sealing_key("dst")
+    assert f"    li   a0, {int(EnclaveEcall.GET_SEALING_KEY)}" in asm
+
+
+def test_stub_api_links_resolve_to_registry_entries():
+    for stub in ECALL_STUBS:
+        if stub.api is not None:
+            assert stub.api in ABI, f"{stub.name} links unknown api {stub.api!r}"
+            assert ABI[stub.api].ecall is stub.number
+
+
+def test_fuzzer_op_table_is_registry_derived():
+    names = {spec.name for spec in fuzzable_specs()}
+    # Everything fuzzable is a real public method...
+    assert names <= set(_public_api_methods())
+    # ...and every registered call is currently fuzzable (none opt out).
+    assert names == {s.name for s in API_SPECS}
+
+
+# ---------------------------------------------------------------------------
+# Shared argument spec-checking
+# ---------------------------------------------------------------------------
+
+def test_arg_errors_explains_constraint_violations():
+    errors = arg_errors("create_enclave", (0x1000, 0x40000100, 0, 99))
+    text = "; ".join(errors)
+    assert "evrange_base" in text and "aligned" in text
+    assert "evrange_size" in text
+    assert "num_mailboxes" in text and "maximum" in text
+    assert arg_errors("create_enclave", (0x1000, 0x40000000, 0x10000, 1)) == []
+
+
+def test_arg_errors_tolerates_wrong_types():
+    errors = arg_errors("send_mail", (0x10000, 12345))  # int message
+    assert any("wrong type" in e for e in errors)

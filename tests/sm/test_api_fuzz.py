@@ -10,7 +10,7 @@ violating sequences when something breaks.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro import build_sanctum_system
@@ -80,6 +80,33 @@ def test_api_is_total_and_invariant_preserving(calls):
         check_all(sm)
 
 
+#: Ops that, when they legitimately succeed for the OS, move shared
+#: resources (cores, regions, enclaves) — a *well-formed* OS action, not
+#: garbage, and out of scope for the perturbation property below.
+_SHARED_STATE_OPS = frozenset(
+    {
+        "delete_enclave",
+        "enter_enclave",
+        "block_resource",
+        "clean_resource",
+        "grant_resource",
+        "accept_resource",
+        "accept_thread",
+    }
+)
+
+
+def _run_garbage(sm, calls):
+    for call in calls:
+        result = getattr(sm, call[0])(*call[1:])
+        primary = result[0] if isinstance(result, tuple) else result
+        # The id pools deliberately include live ids, so the generator
+        # occasionally emits a legal destructive call (e.g. a real
+        # delete_enclave).  That is legitimate OS behaviour, not junk:
+        # reject the example rather than mistake it for a violation.
+        assume(not (call[0] in _SHARED_STATE_OPS and primary is ApiResult.OK))
+
+
 @given(st.lists(_CALL, max_size=15), st.lists(_CALL, max_size=15))
 @settings(
     max_examples=10,
@@ -95,13 +122,11 @@ def test_garbage_calls_never_perturb_a_real_enclave(prefix, suffix):
         n_regions=4,
     )
     sm = system.sm
-    for call in prefix:
-        result = getattr(sm, call[0])(*call[1:])
+    _run_garbage(sm, prefix)
     out = system.kernel.alloc_buffer(1)
     loaded = system.kernel.load_enclave(trivial_enclave_image(out, value=777))
     measurement = sm.enclave_measurement(loaded.eid)
-    for call in suffix:
-        result = getattr(sm, call[0])(*call[1:])
+    _run_garbage(sm, suffix)
     # The adversarial churn must not have changed the enclave state.
     assert sm.enclave_measurement(loaded.eid) == measurement
     events = system.kernel.enter_and_run(loaded.eid, loaded.tids[0])

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro import image_from_assembly
 from repro.errors import ApiResult
+from repro.faults import AtomicityChecker
 from repro.faults.inject import forced_lock_conflict
 from repro.hw.core import DOMAIN_UNTRUSTED
 from repro.sm.api import EnclaveEcall
@@ -190,3 +191,105 @@ def test_pmp_slot_exhaustion_is_an_error_not_a_crash(keystone_system):
         ApiResult.INVALID_VALUE
     )
     assert sm.platform.region_ids() == region_ids
+
+
+# ---------------------------------------------------------------------------
+# Error paths proven side-effect free under the journal and the
+# invariant guard (the fixtures install the guard, so every dispatch
+# below also re-checks the global invariants on return).
+# ---------------------------------------------------------------------------
+
+def test_get_field_unknown_id_is_proven_side_effect_free(sanctum_system):
+    sm = sanctum_system.sm
+    checker = AtomicityChecker(sm)
+    result, data = checker.checked_call(
+        lambda: sm.get_field(OS, 999), label="get_field"
+    )
+    assert result is ApiResult.INVALID_VALUE and data == b""
+    assert checker.calls_checked == 1
+    assert checker.errors_verified == 1, (
+        "the error return must be journal-verified clean, not just returned"
+    )
+
+
+def test_get_self_measurement_bad_dest_then_good_dest(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    gsm = int(EnclaveEcall.GET_SELF_MEASUREMENT)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {gsm}
+    li   a1, {BAD_DEST}          # unmapped destination
+    ecall
+    sw   a0, {out}(zero)         # expect INVALID_VALUE
+    li   a0, {gsm}
+    li   a1, meas_buf
+    ecall
+    sw   a0, {out + 4}(zero)     # expect OK
+    li   t1, meas_buf
+    lw   t2, 0(t1)
+    sw   t2, {out + 8}(zero)
+    li   a0, {exit_call}
+    ecall
+    .align 8
+meas_buf:
+    .zero 64
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_VALUE).to_bytes(4, "little")
+    assert kernel.read_shared(out + 4, 4) == int(ApiResult.OK).to_bytes(4, "little")
+    assert kernel.read_shared(out + 8, 4) == sm.enclave_measurement(loaded.eid)[:4], (
+        "the retry must deliver the enclave's real measurement"
+    )
+
+
+def test_resume_from_aex_without_pending_state_is_an_error(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    resume = int(EnclaveEcall.RESUME_FROM_AEX)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {resume}
+    ecall
+    sw   a0, {out}(zero)         # expect INVALID_STATE, and keep running
+    li   a0, {exit_call}
+    ecall
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_STATE).to_bytes(4, "little")
+    thread = sm.state.threads[loaded.tids[0]]
+    assert not thread.aex_present, (
+        "a failed RESUME_FROM_AEX must not fabricate a pending AEX dump"
+    )
+
+
+def test_fault_return_without_pending_fault_is_an_error(sanctum_system):
+    system = sanctum_system
+    kernel = system.kernel
+    sm = system.sm
+    out = kernel.alloc_buffer(1)
+    fault_return = int(EnclaveEcall.FAULT_RETURN)
+    exit_call = int(EnclaveEcall.EXIT_ENCLAVE)
+    source = f"""
+_start:
+    li   a0, {fault_return}
+    ecall
+    sw   a0, {out}(zero)         # expect INVALID_STATE, and keep running
+    li   a0, {exit_call}
+    ecall
+"""
+    loaded = kernel.load_enclave(image_from_assembly(source, entry_symbol="_start"))
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert kernel.read_shared(out, 4) == int(ApiResult.INVALID_STATE).to_bytes(4, "little")
+    thread = sm.state.threads[loaded.tids[0]]
+    assert not thread.fault_present, (
+        "a failed FAULT_RETURN must not fabricate a pending fault frame"
+    )
