@@ -6,8 +6,8 @@ Commands:
 * ``perf`` — boot a Sanctum system, run a demo enclave workload, and
   print the machine-wide performance-counter report
   (:meth:`repro.hw.perf.PerfMonitor.format_report`).
-* ``bench`` — the simulator-speed benchmark (decode cache off vs on);
-  writes ``BENCH_sim_speed.json``.
+* ``bench`` — the simulator-speed benchmark (fast paths off vs on:
+  decode cache + trace cache); writes ``BENCH_sim_speed.json``.
 * ``fuzz`` — the fault-injecting API fuzzer (:mod:`repro.faults`);
   on violation, shrinks the trace and writes a replayable JSON
   counterexample.  ``fuzz --replay <trace.json>`` re-executes one.
@@ -126,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     perf = sub.add_parser("perf", help="run a demo workload, print perf counters")
     perf.add_argument("--iterations", type=int, default=20_000,
                       help="loop iterations of the demo workload")
-    bench = sub.add_parser("bench", help="sim-speed benchmark (decode cache off vs on)")
+    bench = sub.add_parser("bench", help="sim-speed benchmark (fast paths off vs on)")
     bench.add_argument("--iterations", type=int, default=DEFAULT_ITERATIONS,
                        help="loop iterations of the benchmark workload")
     bench.add_argument("--out", default=DEFAULT_OUT_PATH,

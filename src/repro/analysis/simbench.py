@@ -1,16 +1,16 @@
-"""Simulator-speed benchmark: the decoded-instruction fast path.
+"""Simulator-speed benchmark: the host-side fast paths.
 
 Runs one loop-heavy enclave workload twice, on two identically seeded
-Sanctum systems — once on the reference interpreter path
-(``decode_cache_enabled=False``) and once with the decode cache and
-translation memo on — then:
+Sanctum systems — once on the reference interpreter path (decode cache,
+translation memo, and trace cache all off) and once with the full fast
+path (decode cache + superblock trace cache + batched stepping) — then:
 
 * asserts the two runs are **architecturally identical** (per-core
-  cycle counts, retired-instruction counts, enclave measurement, and
-  the value the enclave stored to shared memory), which is the decode
-  cache's correctness contract, and
+  cycle counts, retired-instruction counts, TLB/L1/LLC statistics,
+  enclave measurement, and the value the enclave stored to shared
+  memory), which is the fast paths' correctness contract, and
 * reports host-side **instructions per second** for both paths and
-  their ratio, which is the fast path's reason to exist.
+  their ratio, which is the fast paths' reason to exist.
 
 ``python -m repro.analysis bench`` runs this and writes the result to
 ``BENCH_sim_speed.json`` (see docs/SIMULATOR.md for the format).
@@ -31,14 +31,16 @@ DEFAULT_ITERATIONS = 60_000
 #: Where ``python -m repro.analysis bench`` writes its result.
 DEFAULT_OUT_PATH = "BENCH_sim_speed.json"
 
-#: Fields of a single run that must be bit-identical with the decode
-#: cache on and off.
+#: Fields of a single run that must be bit-identical with the fast
+#: paths on and off.  ``microarch`` folds in the per-core TLB/L1 and
+#: shared LLC statistics, so cache timing can't silently diverge.
 _ARCHITECTURAL_FIELDS = (
     "result",
     "cycles",
     "instructions_retired",
     "measurement",
     "global_steps",
+    "microarch",
 )
 
 
@@ -57,13 +59,33 @@ loop:
 """
 
 
-def _run_once(iterations: int, decode_cache_enabled: bool) -> dict:
+def _microarch_state(machine) -> list:
+    """TLB/L1/LLC counters that the fast paths must leave untouched."""
+    state = [
+        (
+            core.tlb.hits,
+            core.tlb.misses,
+            core.tlb.shootdowns,
+            core.l1.stats.hits,
+            core.l1.stats.misses,
+            core.l1.stats.evictions,
+        )
+        for core in machine.cores
+    ]
+    llc = machine.llc
+    if llc is not None:
+        state.append((llc.stats.hits, llc.stats.misses, llc.stats.evictions))
+    return state
+
+
+def _run_once(iterations: int, fast_path: bool) -> dict:
     """Boot a fresh system, run the workload, return timing + state."""
     config = MachineConfig(
         n_cores=2,
         dram_size=32 * 1024 * 1024,
         llc_sets=256,
-        decode_cache_enabled=decode_cache_enabled,
+        decode_cache_enabled=fast_path,
+        trace_cache_enabled=fast_path,
     )
     system = build_sanctum_system(config=config, n_regions=8)
     kernel = system.kernel
@@ -79,7 +101,7 @@ def _run_once(iterations: int, decode_cache_enabled: bool) -> dict:
     instructions = sum(core.instructions_retired for core in machine.cores) - retired_before
     measurement = system.sm.enclave_measurement(loaded.eid)
     return {
-        "decode_cache_enabled": decode_cache_enabled,
+        "fast_path": fast_path,
         "instructions": instructions,
         "elapsed_s": elapsed,
         "ips": instructions / elapsed if elapsed > 0 else 0.0,
@@ -89,7 +111,52 @@ def _run_once(iterations: int, decode_cache_enabled: bool) -> dict:
         "instructions_retired": [core.instructions_retired for core in machine.cores],
         "measurement": measurement.hex() if measurement else None,
         "global_steps": machine.global_steps,
+        "microarch": _microarch_state(machine),
         "perf": machine.perf.snapshot(),
+    }
+
+
+def _aggregate_decode_cache(perf: dict) -> dict:
+    """Sum decode-cache counters over *all* cores.
+
+    The old bench read ``perf["cores"][0]`` only and snapshotted live
+    ``entries`` after the end-of-run core clean had flushed them — which
+    is how it reported 0 entries against 119,998 hits.  Peaks and event
+    totals aggregate meaningfully; hit_rate is recomputed from sums.
+    """
+    cores = perf["cores"]
+    hits = sum(c["decode_cache"]["hits"] for c in cores)
+    misses = sum(c["decode_cache"]["misses"] for c in cores)
+    return {
+        "entries": sum(c["decode_cache"]["entries"] for c in cores),
+        "peak_entries": sum(c["decode_cache"]["peak_entries"] for c in cores),
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        "invalidation_events": sum(
+            c["decode_cache"]["invalidation_events"] for c in cores
+        ),
+        "entries_dropped": sum(c["decode_cache"]["entries_dropped"] for c in cores),
+    }
+
+
+def _aggregate_trace_cache(perf: dict) -> dict:
+    """Sum trace-cache counters over all cores."""
+    cores = perf["cores"]
+    instructions = sum(c["trace_cache"]["instructions"] for c in cores)
+    retired = sum(c["instructions"] for c in cores)
+    return {
+        "traces": sum(c["trace_cache"]["traces"] for c in cores),
+        "peak_traces": sum(c["trace_cache"]["peak_traces"] for c in cores),
+        "built": sum(c["trace_cache"]["built"] for c in cores),
+        "executions": sum(c["trace_cache"]["executions"] for c in cores),
+        "instructions": instructions,
+        "coverage": round(instructions / retired, 4) if retired else 0.0,
+        "aborts": sum(c["trace_cache"]["aborts"] for c in cores),
+        "invalidation_events": sum(
+            c["trace_cache"]["invalidation_events"] for c in cores
+        ),
+        "entries_dropped": sum(c["trace_cache"]["entries_dropped"] for c in cores),
     }
 
 
@@ -97,8 +164,8 @@ def run_sim_speed_bench(
     iterations: int = DEFAULT_ITERATIONS, out_path: str | None = None
 ) -> dict:
     """Run the off/on comparison; optionally write BENCH_sim_speed.json."""
-    off = _run_once(iterations, decode_cache_enabled=False)
-    on = _run_once(iterations, decode_cache_enabled=True)
+    off = _run_once(iterations, fast_path=False)
+    on = _run_once(iterations, fast_path=True)
     mismatched = [
         field for field in _ARCHITECTURAL_FIELDS if off[field] != on[field]
     ]
@@ -118,7 +185,8 @@ def run_sim_speed_bench(
         "simulated_cycles": on["cycles"],
         "instructions_retired": on["instructions_retired"],
         "enclave_measurement": on["measurement"],
-        "decode_cache": on["perf"]["cores"][0]["decode_cache"],
+        "decode_cache": _aggregate_decode_cache(on["perf"]),
+        "trace_cache": _aggregate_trace_cache(on["perf"]),
         "perf": on["perf"],
     }
     if out_path is not None:
@@ -130,6 +198,7 @@ def run_sim_speed_bench(
 
 def format_bench(result: dict) -> str:
     """One-paragraph human rendering of a bench result."""
+    trace = result["trace_cache"]
     lines = [
         f"sim-speed bench: {result['workload_instructions']} workload instructions",
         f"  reference path : {result['ips_off']:>12,.0f} insn/s"
@@ -137,6 +206,8 @@ def format_bench(result: dict) -> str:
         f"  fast path      : {result['ips_on']:>12,.0f} insn/s"
         f"  ({result['elapsed_s_on']:.3f}s)",
         f"  speedup        : {result['speedup']:.2f}x",
+        f"  trace cache    : {trace['built']} traces, "
+        f"{trace['coverage']:.1%} of instructions, {trace['aborts']} aborts",
         f"  architecturally identical: {result['architecturally_identical']}",
     ]
     if result["mismatched_fields"]:

@@ -109,8 +109,14 @@ class FuzzReport:
 class _Session:
     """One live system under fuzz, with its checker and injector."""
 
-    def __init__(self, platform: str, engine_rng: DeterministicTRNG | None) -> None:
-        self.system = build_system(platform)
+    def __init__(
+        self,
+        platform: str,
+        engine_rng: DeterministicTRNG | None,
+        machine_config=None,
+    ) -> None:
+        kwargs = {} if machine_config is None else {"config": machine_config}
+        self.system = build_system(platform, **kwargs)
         self.platform_name = platform
         self.sm = self.system.sm
         self.machine = self.system.machine
@@ -458,7 +464,9 @@ def replay_trace(trace: dict[str, Any]) -> Violation | None:
     return _execute_steps(trace["steps"], trace.get("platform", "sanctum"))
 
 
-def replay_with_results(trace: dict[str, Any]) -> dict[str, Any]:
+def replay_with_results(
+    trace: dict[str, Any], machine_config=None
+) -> dict[str, Any]:
     """Replay a trace, capturing per-step results and a machine fingerprint.
 
     The returned document pins down observable behaviour end to end:
@@ -467,9 +475,13 @@ def replay_with_results(trace: dict[str, Any]) -> dict[str, Any]:
     cycle accounting.  Refactors of the SM call path must leave this
     bit-identical — ``tests/faults/test_replay_regression.py`` compares
     it against fixtures recorded before the refactor.
+
+    ``machine_config`` overrides the machine geometry/feature flags for
+    the replayed system; the determinism regressions use it to replay
+    one fixture with the trace cache off and on.
     """
     platform = trace.get("platform", "sanctum")
-    session = _Session(platform, engine_rng=None)
+    session = _Session(platform, engine_rng=None, machine_config=machine_config)
     results: list[int | None] = []
     violation = None
     for index, step in enumerate(trace["steps"]):

@@ -85,7 +85,15 @@ class DecodeCache:
     domain flushes can be selective.
     """
 
-    __slots__ = ("entries", "pages", "hits", "misses", "invalidations")
+    __slots__ = (
+        "entries",
+        "pages",
+        "hits",
+        "misses",
+        "peak_entries",
+        "invalidation_events",
+        "entries_dropped",
+    )
 
     def __init__(self) -> None:
         #: paddr -> (decoded instruction, fetching domain)
@@ -94,7 +102,21 @@ class DecodeCache:
         self.pages: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
-        self.invalidations = 0
+        #: High-water mark of resident entries.  The live count is
+        #: flushed with the core on every domain switch, so end-of-run
+        #: snapshots read 0 — this is the number benches report.
+        self.peak_entries = 0
+        #: Invalidation *causes* that dropped at least one entry (one
+        #: write/flush/reassignment event each), and the total entries
+        #: those events removed.  Two counters with two units, replacing
+        #: the old ``invalidations`` counter that mixed them.
+        self.invalidation_events = 0
+        self.entries_dropped = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Backwards-compatible alias for :attr:`invalidation_events`."""
+        return self.invalidation_events
 
     def lookup(self, paddr: int):
         """Return the cached decoded instruction, or None."""
@@ -109,15 +131,24 @@ class DecodeCache:
         """Cache one decoded instruction."""
         self.entries[paddr] = (instruction, domain)
         self.pages.setdefault(paddr >> 12, set()).add(paddr)
+        if len(self.entries) > self.peak_entries:
+            self.peak_entries = len(self.entries)
+
+    def _drop_page(self, ppn: int) -> int:
+        """Remove one page's entries; returns how many were dropped."""
+        paddrs = self.pages.pop(ppn, None)
+        if not paddrs:
+            return 0
+        for paddr in paddrs:
+            del self.entries[paddr]
+        return len(paddrs)
 
     def invalidate_page(self, ppn: int) -> None:
         """Drop every entry on one physical page (a write landed there)."""
-        paddrs = self.pages.pop(ppn, None)
-        if not paddrs:
-            return
-        for paddr in paddrs:
-            del self.entries[paddr]
-        self.invalidations += 1
+        dropped = self._drop_page(ppn)
+        if dropped:
+            self.invalidation_events += 1
+            self.entries_dropped += dropped
 
     def invalidate_range(self, base: int, size: int) -> None:
         """Drop entries in a physical interval (region reassignment)."""
@@ -128,15 +159,20 @@ class DecodeCache:
             stale = [ppn for ppn in self.pages if first <= ppn <= last]
         else:
             stale = [ppn for ppn in range(first, last + 1) if ppn in self.pages]
+        dropped = 0
         for ppn in stale:
-            self.invalidate_page(ppn)
+            dropped += self._drop_page(ppn)
+        if dropped:
+            self.invalidation_events += 1
+            self.entries_dropped += dropped
 
     def flush(self) -> None:
         """Drop everything (the SM's core clean)."""
         if self.entries:
+            self.entries_dropped += len(self.entries)
+            self.invalidation_events += 1
             self.entries.clear()
             self.pages.clear()
-            self.invalidations += 1
 
     def flush_domain(self, domain: int) -> None:
         """Drop all entries fetched by one protection domain."""
@@ -150,7 +186,245 @@ class DecodeCache:
                 page.discard(paddr)
                 if not page:
                     del self.pages[paddr >> 12]
-        self.invalidations += 1
+        self.invalidation_events += 1
+        self.entries_dropped += len(stale)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class _TraceAbort(Exception):
+    """Internal: a trace's validity guard failed mid-execution.
+
+    Raised by a guarded micro-op when the TLB generation or trace-cache
+    epoch moved under a running trace (a store hit a code page, a data
+    access evicted a TLB entry, ...).  The core falls back to the
+    reference interpreter at the exact instruction boundary the guard
+    protects, so the abort is architecturally invisible.
+    """
+
+
+#: A trace becomes eligible for compilation after its head pc has been
+#: single-stepped this many times in one domain.
+_TRACE_HOT_THRESHOLD = 16
+#: Longest straight-line run compiled into one trace.
+_TRACE_MAX_LEN = 64
+#: Traces shorter than this are not worth the dispatch they save.
+_TRACE_MIN_LEN = 2
+#: Cap on the hotness-counter table (cleared wholesale when exceeded).
+_TRACE_HEAT_LIMIT = 8192
+
+#: Control transfers that may *end* a superblock (they redirect pc but
+#: cannot trap, so they are safe to execute inside a trace).
+_TRACE_TERMINALS = frozenset(
+    {
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLTU,
+        Opcode.BGEU,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.JAL,
+        Opcode.JALR,
+    }
+)
+#: Opcodes never compiled into a trace: they trap by design, halt the
+#: core, flush translation/decode state, or have data-dependent cost
+#: models (CRYPTO).  A trace ends *before* any of these.
+_TRACE_EXCLUDED = frozenset(
+    {Opcode.ECALL, Opcode.EBREAK, Opcode.HALT, Opcode.FENCE, Opcode.CRYPTO}
+)
+
+#: Register-register ALU semantics for the trace compiler; each entry
+#: mirrors the corresponding _execute arm exactly (results are masked
+#: to 32 bits by the caller, as write_reg would).
+_TRACE_ALU = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIVU: lambda a, b: 0xFFFFFFFF if b == 0 else a // b,
+    Opcode.REMU: lambda a, b: a if b == 0 else a % b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 31),
+    Opcode.SRL: lambda a, b: a >> (b & 31),
+    Opcode.SRA: lambda a, b: to_signed32(a) >> (b & 31),
+    Opcode.SLT: lambda a, b: 1 if to_signed32(a) < to_signed32(b) else 0,
+    Opcode.SLTU: lambda a, b: 1 if a < b else 0,
+}
+
+#: Branch-taken predicates for the trace compiler's terminal uops.
+_TRACE_BRANCH = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLTU: lambda a, b: a < b,
+    Opcode.BGEU: lambda a, b: a >= b,
+    Opcode.BLT: lambda a, b: to_signed32(a) < to_signed32(b),
+    Opcode.BGE: lambda a, b: to_signed32(a) >= to_signed32(b),
+}
+
+
+class Trace:
+    """One compiled superblock: a hot straight-line run of instructions.
+
+    ``uops`` is a tuple of closures, one per instruction, each applying
+    that instruction's full architectural effect (registers, memory,
+    cycles, pc, retired count) exactly as the reference interpreter
+    would.  The trailing metadata lets :meth:`Core.try_trace`
+    revalidate the trace against the current translation and isolation
+    state before running a single uop.
+    """
+
+    __slots__ = (
+        "head",
+        "domain",
+        "uops",
+        "length",
+        "ppns",
+        "paging",
+        "evrange",
+        "page_checks",
+    )
+
+    def __init__(self, head, domain, uops, ppns, paging, evrange, page_checks):
+        self.head = head
+        self.domain = domain
+        self.uops = tuple(uops)
+        self.length = len(self.uops)
+        #: Physical pages the trace's code spans (registration keys).
+        self.ppns = tuple(ppns)
+        self.paging = paging
+        self.evrange = evrange
+        #: Per spanned page: (memo_key, expected_paddr_base, probe_paddr).
+        #: memo_key is None when the trace was built with paging off.
+        self.page_checks = tuple(page_checks)
+
+
+class TraceCache:
+    """Superblock/trace cache keyed by (domain, head virtual pc).
+
+    The decode cache removed fetch/decode cost but left one full
+    interpreter dispatch per instruction; this cache removes the
+    dispatch itself for hot straight-line code.  Traces are compiled
+    from *physical* bytes via the translation memo, so they are valid
+    only while every spanned page still translates to the same frames
+    with execute permission — revalidated on entry and guarded
+    per-micro-op via the TLB generation and this cache's ``epoch``.
+
+    Invalidation mirrors the decode cache (any write to a spanned page,
+    DRAM-region reassignment, SM core clean, FENCE/domain flush), with
+    ``epoch`` bumped whenever live traces are dropped so in-flight
+    traces abort at their next guard.
+    """
+
+    __slots__ = (
+        "entries",
+        "failed",
+        "pages",
+        "epoch",
+        "built",
+        "executions",
+        "instructions",
+        "aborts",
+        "peak_traces",
+        "invalidation_events",
+        "entries_dropped",
+    )
+
+    def __init__(self) -> None:
+        #: (domain, head vaddr) -> Trace
+        self.entries: dict[tuple[int, int], Trace] = {}
+        #: Heads known untraceable (e.g. an ECALL at the head): skip the
+        #: hotness accounting for them entirely.
+        self.failed: set[tuple[int, int]] = set()
+        #: physical page number -> set of trace keys spanning that page.
+        self.pages: dict[int, set[tuple[int, int]]] = {}
+        #: Bumped whenever live traces are dropped; guards compare it.
+        self.epoch = 0
+        self.built = 0
+        self.executions = 0
+        #: Instructions retired from inside traces.
+        self.instructions = 0
+        self.aborts = 0
+        self.peak_traces = 0
+        self.invalidation_events = 0
+        self.entries_dropped = 0
+
+    def register(self, key: tuple[int, int], trace: Trace) -> None:
+        self.entries[key] = trace
+        for ppn in trace.ppns:
+            self.pages.setdefault(ppn, set()).add(key)
+        self.built += 1
+        if len(self.entries) > self.peak_traces:
+            self.peak_traces = len(self.entries)
+
+    def _drop(self, key: tuple[int, int]) -> bool:
+        trace = self.entries.pop(key, None)
+        if trace is None:
+            return False
+        for ppn in trace.ppns:
+            bucket = self.pages.get(ppn)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self.pages[ppn]
+        return True
+
+    def invalidate_page(self, ppn: int) -> None:
+        """Drop every trace spanning one physical page."""
+        keys = self.pages.get(ppn)
+        if not keys:
+            return
+        dropped = 0
+        for key in list(keys):
+            if self._drop(key):
+                dropped += 1
+        if dropped:
+            self.invalidation_events += 1
+            self.entries_dropped += dropped
+            self.epoch += 1
+
+    def invalidate_range(self, base: int, size: int) -> None:
+        """Drop traces spanning a physical interval."""
+        if not self.pages:
+            return
+        first, last = base >> 12, (base + size - 1) >> 12
+        if last - first > len(self.pages):
+            stale = [ppn for ppn in self.pages if first <= ppn <= last]
+        else:
+            stale = [ppn for ppn in range(first, last + 1) if ppn in self.pages]
+        dropped = 0
+        for ppn in stale:
+            for key in list(self.pages.get(ppn, ())):
+                if self._drop(key):
+                    dropped += 1
+        if dropped:
+            self.invalidation_events += 1
+            self.entries_dropped += dropped
+            self.epoch += 1
+
+    def flush(self) -> None:
+        """Drop everything (the SM's core clean)."""
+        if self.entries:
+            self.entries_dropped += len(self.entries)
+            self.invalidation_events += 1
+            self.epoch += 1
+        self.entries.clear()
+        self.pages.clear()
+        self.failed.clear()
+
+    def flush_domain(self, domain: int) -> None:
+        """Drop all traces compiled for one protection domain."""
+        stale = [key for key in self.entries if key[0] == domain]
+        for key in stale:
+            self._drop(key)
+        if self.failed:
+            self.failed = {key for key in self.failed if key[0] != domain}
+        if stale:
+            self.invalidation_events += 1
+            self.entries_dropped += len(stale)
+            self.epoch += 1
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -217,6 +491,19 @@ class Core:
         #: cycle model is untouched.
         self._xlate_memo: dict[tuple[int, int], tuple[int, int]] = {}
         self._xlate_generation = -1
+        #: Superblock/trace cache: compiled hot straight-line runs.
+        #: Rides on the decode fast path (both gates must be on) and is
+        #: dispatched only by Machine.step_core when batching is safe.
+        self.trace_cache = TraceCache()
+        self.trace_cache_enabled = self.fast_path_enabled and getattr(
+            machine.config, "trace_cache_enabled", True
+        )
+        #: (domain, head pc) -> times single-stepped; feeds compilation.
+        self._trace_heat: dict[tuple[int, int], int] = {}
+        #: Index of the in-flight uop inside the currently executing
+        #: trace; read by _execute_trace to attribute partial progress
+        #: when a trap or guard abort interrupts a pass.
+        self._trace_pos = 0
 
     # ------------------------------------------------------------------
     # Register file
@@ -242,6 +529,8 @@ class Core:
         self.l1.flush()
         self.tlb.flush_all()
         self.decode_cache.flush()
+        self.trace_cache.flush()
+        self._trace_heat.clear()
         self._xlate_memo.clear()
         self._xlate_generation = -1
 
@@ -379,6 +668,386 @@ class Core:
         self._execute(instruction)
         self.instructions_retired += 1
 
+    # ------------------------------------------------------------------
+    # Superblock/trace cache
+    # ------------------------------------------------------------------
+    #
+    # The decode cache removed fetch/decode cost; per-instruction Python
+    # dispatch is the remaining wall.  try_trace() compiles hot
+    # straight-line runs into tuples of micro-op closures and executes
+    # whole blocks (and, for loops closing on their own head, whole
+    # loop nests) per Machine.step_core call.  Everything here is
+    # architecturally invisible: each uop applies exactly the register,
+    # memory, cycle, pc, and retired-count effects of the reference
+    # interpreter, in the same order, with the same trap behaviour.
+
+    def try_trace(self, limit: int) -> int:
+        """Execute a cached trace at the current pc, if one applies.
+
+        Returns the number of global steps consumed (0 means no trace
+        ran and the caller should single-step).  The caller
+        (Machine.step_core) guarantees batching is safe: no trace hook,
+        interrupts quiescent, and every other core halted.
+        """
+        pc = self.pc
+        if pc % INSTRUCTION_SIZE:
+            return 0
+        tcache = self.trace_cache
+        key = (self.domain, pc)
+        trace = tcache.entries.get(key)
+        if trace is None:
+            if key in tcache.failed:
+                return 0
+            heat = self._trace_heat
+            count = heat.get(key, 0) + 1
+            if count < _TRACE_HOT_THRESHOLD:
+                if len(heat) >= _TRACE_HEAT_LIMIT:
+                    heat.clear()
+                heat[key] = count
+                return 0
+            heat.pop(key, None)
+            trace, structural = self._build_trace(pc)
+            if trace is None:
+                if structural:
+                    tcache.failed.add(key)
+                return 0
+            tcache.register(key, trace)
+        # Revalidate the compiled block against current translation and
+        # isolation state before running a single uop.
+        ctx = self.context
+        if trace.paging != ctx.paging_enabled or trace.evrange != ctx.evrange:
+            return 0
+        machine = self.machine
+        if trace.paging:
+            if self._xlate_generation != self.tlb.generation:
+                return 0
+            memo = self._xlate_memo
+            for memo_key, base, probe in trace.page_checks:
+                entry = memo.get(memo_key)
+                if entry is None or not entry[1] & _PERM_X or entry[0] != base:
+                    return 0
+                if not machine.check_isolation(self, probe, AccessType.FETCH):
+                    return 0
+        else:
+            for _memo_key, _base, probe in trace.page_checks:
+                if not machine.check_isolation(self, probe, AccessType.FETCH):
+                    return 0
+        return self._execute_trace(trace, limit)
+
+    def _execute_trace(self, trace: Trace, limit: int) -> int:
+        """Run a validated trace under a step budget.
+
+        Executes full passes while the budget allows and — for traces
+        whose terminal branch loops back to the head — keeps iterating
+        without leaving the trace.  A partial pass (budget smaller than
+        the trace) runs uops one by one and stops at the boundary, which
+        is exact because every uop commits its instruction completely.
+        """
+        tcache = self.trace_cache
+        uops = trace.uops
+        length = trace.length
+        head = trace.head
+        generation = self.tlb.generation
+        epoch = tcache.epoch
+        steps = 0
+        passes = 0
+        self._trace_pos = 0
+        try:
+            while True:
+                if limit - steps >= length:
+                    for uop in uops:
+                        uop(generation, epoch)
+                    steps += length
+                    passes += 1
+                    if self.pc != head or steps >= limit:
+                        break
+                else:
+                    for index in range(limit - steps):
+                        uops[index](generation, epoch)
+                    steps = limit
+                    passes += 1
+                    break
+        except _TraceAbort:
+            steps += self._trace_pos
+            tcache.aborts += 1
+        except Trap as trap:
+            # The faulting uop already restored pc to its own vaddr and
+            # committed nothing; deliver the trap exactly as step_core's
+            # reference path would.  The faulting step itself counts.
+            steps += self._trace_pos
+            tcache.executions += passes
+            tcache.instructions += steps
+            self.machine.deliver_trap(self, trap)
+            return steps + 1
+        tcache.executions += passes
+        tcache.instructions += steps
+        return steps
+
+    def _resolve_fetch(self, vaddr: int):
+        """Side-effect-free fetch translation used by the trace builder.
+
+        Returns (paddr, memo_key) when the address is executable and
+        already memoized (i.e. TLB-resident), else None.  memo_key is
+        None with paging off.
+        """
+        ctx = self.context
+        if not ctx.paging_enabled:
+            if vaddr + INSTRUCTION_SIZE > self.machine.memory.size:
+                return None
+            return vaddr, None
+        tlb_domain = self.domain if ctx.in_evrange(vaddr) else DOMAIN_UNTRUSTED
+        memo_key = (tlb_domain, vaddr >> 12)
+        memo = self._xlate_memo.get(memo_key)
+        if memo is None or not memo[1] & _PERM_X:
+            return None
+        return memo[0] | (vaddr & 0xFFF), memo_key
+
+    def _build_trace(self, head: int):
+        """Compile a superblock starting at ``head``.
+
+        Returns (trace, structural): ``trace`` is None when compilation
+        failed; ``structural`` marks failures tied to the code itself
+        (untraceable opcode or undecodable bytes at the head) so the
+        head can be blacklisted, as opposed to transient translation
+        state that may memoize later.
+
+        The walk is pure: it only consults the translation memo (so a
+        missing page just ends the trace), the isolation platform
+        (verified side-effect-free), and raw physical bytes.
+        """
+        if self.context.paging_enabled and self._xlate_generation != self.tlb.generation:
+            return None, False
+        machine = self.machine
+        memory = machine.memory
+        paging = self.context.paging_enabled
+        uops = []
+        seen_pages: set = set()
+        ppns = []
+        page_checks = []
+        vaddr = head
+        guarded = False
+        structural = False
+        while len(uops) < _TRACE_MAX_LEN:
+            resolved = self._resolve_fetch(vaddr)
+            if resolved is None:
+                break
+            paddr, memo_key = resolved
+            if not machine.check_isolation(self, paddr, AccessType.FETCH):
+                break
+            ppn = paddr >> 12
+            page_token = memo_key if paging else ppn
+            if page_token not in seen_pages:
+                seen_pages.add(page_token)
+                ppns.append(ppn)
+                page_checks.append((memo_key, paddr & ~0xFFF, paddr))
+            try:
+                ins = decode(memory.read(paddr, INSTRUCTION_SIZE))
+            except ValueError:
+                structural = not uops
+                break
+            op = ins.opcode
+            if op in _TRACE_EXCLUDED:
+                structural = not uops
+                break
+            index = len(uops)
+            if op in _TRACE_TERMINALS:
+                uops.append(self._compile_terminal(ins, vaddr, paddr, guarded, index))
+                break
+            uop, is_mem = self._compile_uop(ins, vaddr, paddr, guarded, index)
+            uops.append(uop)
+            guarded = guarded or is_mem
+            vaddr = (vaddr + INSTRUCTION_SIZE) & 0xFFFFFFFF
+        if len(uops) < _TRACE_MIN_LEN:
+            return None, structural
+        evrange = self.context.evrange
+        return (
+            Trace(head, self.domain, uops, sorted(set(ppns)), paging, evrange, page_checks),
+            False,
+        )
+
+    def _compile_uop(self, ins, vaddr: int, paddr: int, guarded: bool, index: int):
+        """Compile one non-terminal instruction into a micro-op closure.
+
+        Returns (uop, is_memory_op).  A uop's contract: replicate the
+        reference interpreter's effects for this instruction exactly —
+        TLB hit count (fetch memo hit), L1/LLC fetch timing, +1 execute
+        cycle, register/memory effects, pc advance, retired count.
+        Guarded uops (anything after the first memory op in the trace)
+        first re-check the TLB generation and trace-cache epoch
+        captured at trace entry and abort cleanly when stale.
+        """
+        core = self
+        machine = self.machine
+        l1_access = self.l1.access
+        tlb = self.tlb
+        tcache = self.trace_cache
+        domain = self.domain
+        paging = self.context.paging_enabled
+        next_pc = (vaddr + INSTRUCTION_SIZE) & 0xFFFFFFFF
+        op = ins.opcode
+        rd = ins.rd
+        rs1 = ins.rs1
+        rs2 = ins.rs2
+        imm = ins.imm
+        is_mem = False
+
+        # --- per-opcode architectural effect, applied to the register
+        # file after fetch accounting (mirrors _execute's dispatch) ---
+        if op is Opcode.NOP:
+            def effect(regs):
+                pass
+        elif op is Opcode.LI:
+            value = imm & 0xFFFFFFFF
+            if rd:
+                def effect(regs):
+                    regs[rd] = value
+            else:
+                def effect(regs):
+                    pass
+        elif op is Opcode.ADDI:
+            if rd:
+                def effect(regs):
+                    regs[rd] = (regs[rs1] + imm) & 0xFFFFFFFF
+            else:
+                def effect(regs):
+                    pass
+        elif op in (Opcode.ANDI, Opcode.ORI, Opcode.XORI):
+            value = imm & 0xFFFFFFFF
+            if not rd:
+                def effect(regs):
+                    pass
+            elif op is Opcode.ANDI:
+                def effect(regs):
+                    regs[rd] = regs[rs1] & value
+            elif op is Opcode.ORI:
+                def effect(regs):
+                    regs[rd] = regs[rs1] | value
+            else:
+                def effect(regs):
+                    regs[rd] = regs[rs1] ^ value
+        elif op in (Opcode.LW, Opcode.LBU):
+            is_mem = True
+            size = 4 if op is Opcode.LW else 1
+            load = self.load
+            if rd:
+                def effect(regs):
+                    regs[rd] = load(regs[rs1] + imm, size)
+            else:
+                def effect(regs):
+                    load(regs[rs1] + imm, size)
+        elif op in (Opcode.SW, Opcode.SB):
+            is_mem = True
+            size = 4 if op is Opcode.SW else 1
+            store = self.store
+            def effect(regs):
+                store(regs[rs1] + imm, regs[rs2], size)
+        elif op is Opcode.RDCYCLE:
+            if rd:
+                def effect(regs):
+                    regs[rd] = core.cycles & 0xFFFFFFFF
+            else:
+                def effect(regs):
+                    pass
+        else:
+            alu = _TRACE_ALU[op]
+            if rd:
+                def effect(regs):
+                    regs[rd] = alu(regs[rs1], regs[rs2]) & 0xFFFFFFFF
+            else:
+                def effect(regs):
+                    alu(regs[rs1], regs[rs2])
+
+        if is_mem:
+            def uop(generation, epoch):
+                if guarded and (tlb.generation != generation or tcache.epoch != epoch):
+                    core._trace_pos = index
+                    core.pc = vaddr
+                    raise _TraceAbort
+                if paging:
+                    tlb.hits += 1
+                cycles, hit = l1_access(paddr, domain)
+                if not hit:
+                    llc = machine.llc
+                    if llc is not None:
+                        cycles += llc.access(paddr, domain)[0]
+                core.cycles += cycles + 1
+                # Restore the reference trap contract before the risky
+                # part: on a fault, pc names the faulting instruction
+                # and _trace_pos the committed prefix.
+                core.pc = vaddr
+                core._trace_pos = index
+                effect(core.regs)
+                core.pc = next_pc
+                core.instructions_retired += 1
+        else:
+            def uop(generation, epoch):
+                if guarded and (tlb.generation != generation or tcache.epoch != epoch):
+                    core._trace_pos = index
+                    core.pc = vaddr
+                    raise _TraceAbort
+                if paging:
+                    tlb.hits += 1
+                cycles, hit = l1_access(paddr, domain)
+                if not hit:
+                    llc = machine.llc
+                    if llc is not None:
+                        cycles += llc.access(paddr, domain)[0]
+                core.cycles += cycles + 1
+                effect(core.regs)
+                core.pc = next_pc
+                core.instructions_retired += 1
+        return uop, is_mem
+
+    def _compile_terminal(self, ins, vaddr: int, paddr: int, guarded: bool, index: int):
+        """Compile a trace-ending control transfer (branch/JAL/JALR)."""
+        core = self
+        machine = self.machine
+        l1_access = self.l1.access
+        tlb = self.tlb
+        tcache = self.trace_cache
+        domain = self.domain
+        paging = self.context.paging_enabled
+        op = ins.opcode
+        rd = ins.rd
+        rs1 = ins.rs1
+        rs2 = ins.rs2
+        imm = ins.imm
+        taken = (vaddr + imm) & 0xFFFFFFFF
+        fall = (vaddr + INSTRUCTION_SIZE) & 0xFFFFFFFF
+
+        if op is Opcode.JAL:
+            def settle(regs):
+                if rd:
+                    regs[rd] = fall
+                return taken
+        elif op is Opcode.JALR:
+            def settle(regs):
+                target = (regs[rs1] + imm) & 0xFFFFFFFF
+                if rd:
+                    regs[rd] = fall
+                return target
+        else:
+            cond = _TRACE_BRANCH[op]
+            def settle(regs):
+                return taken if cond(regs[rs1], regs[rs2]) else fall
+
+        def uop(generation, epoch):
+            if guarded and (tlb.generation != generation or tcache.epoch != epoch):
+                core._trace_pos = index
+                core.pc = vaddr
+                raise _TraceAbort
+            if paging:
+                tlb.hits += 1
+            cycles, hit = l1_access(paddr, domain)
+            if not hit:
+                llc = machine.llc
+                if llc is not None:
+                    cycles += llc.access(paddr, domain)[0]
+            core.cycles += cycles + 1
+            core.pc = settle(core.regs)
+            core.instructions_retired += 1
+        return uop
+
     def _execute(self, ins) -> None:
         op = ins.opcode
         rs1 = self.read_reg(ins.rs1)
@@ -395,6 +1064,7 @@ class Core:
             # (cf. fence.i), though stores already invalidate it.
             self.tlb.flush_domain(self.domain)
             self.decode_cache.flush_domain(self.domain)
+            self.trace_cache.flush_domain(self.domain)
         elif op is Opcode.HALT:
             self.halted = True
         elif op is Opcode.LI:

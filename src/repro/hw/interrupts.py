@@ -73,6 +73,16 @@ class InterruptController:
             return Trap(cause)
         return None
 
+    def quiescent(self, core_id: int) -> bool:
+        """True when a core's per-instruction poll is a guaranteed no-op.
+
+        Nothing pending and the timer disarmed means :meth:`poll` can
+        neither deliver nor mutate anything, so the machine may batch
+        that core's execution between poll points without changing
+        observable interrupt timing.
+        """
+        return not self._pending[core_id] and self._timer_compare[core_id] is None
+
     def pending_count(self, core_id: int) -> int:
         """Number of undelivered interrupts queued for a core."""
         self._check_core(core_id)

@@ -65,6 +65,12 @@ class MachineConfig:
     #: measurements, and register state); disable to run the reference
     #: interpreter path, e.g. for determinism regressions.
     decode_cache_enabled: bool = True
+    #: Second fast-path stage: superblock/trace cache plus batched
+    #: stepping (see docs/SIMULATOR.md).  Rides on the decode fast path
+    #: (it has no effect when that is off) and is equally invisible:
+    #: simulated cycles, state, and interleaving at trap boundaries are
+    #: bit-identical with it on or off.
+    trace_cache_enabled: bool = True
 
 
 class Machine:
@@ -99,25 +105,32 @@ class Machine:
             self.memory.set_write_observer(self._on_memory_write)
 
     def _on_memory_write(self, paddr: int, length: int) -> None:
-        """Invalidate decoded instructions on written code pages."""
+        """Invalidate decoded instructions and traces on written pages."""
         first = paddr >> PAGE_SHIFT
         last = (paddr + length - 1) >> PAGE_SHIFT
         for core in self.cores:
             pages = core.decode_cache.pages
-            if not pages:
-                continue
-            for ppn in range(first, last + 1):
-                if ppn in pages:
-                    core.decode_cache.invalidate_page(ppn)
+            if pages:
+                for ppn in range(first, last + 1):
+                    if ppn in pages:
+                        core.decode_cache.invalidate_page(ppn)
+            trace_pages = core.trace_cache.pages
+            if trace_pages:
+                for ppn in range(first, last + 1):
+                    if ppn in trace_pages:
+                        core.trace_cache.invalidate_page(ppn)
 
     def invalidate_decode_range(self, base: int, size: int) -> None:
-        """Drop decoded instructions in a physical interval on all cores.
+        """Drop decoded instructions and traces in a physical interval
+        on all cores.
 
         Called on DRAM-region reassignment and cleaning — the
-        page-reassignment invalidation rule of the decode cache.
+        page-reassignment invalidation rule of the decode and trace
+        caches.
         """
         for core in self.cores:
             core.decode_cache.invalidate_range(base, size)
+            core.trace_cache.invalidate_range(base, size)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -198,17 +211,50 @@ class Machine:
             self._trap_observer(core, trap)
         self._trap_handler(core, trap)
 
-    def step_core(self, core_id: int) -> bool:
-        """Advance one core by one instruction (or one trap delivery).
+    def _uncontended(self, core_id: int) -> bool:
+        """True when every other core is halted.
+
+        With a single runnable core the round-robin interleaving is
+        degenerate, so advancing that core by a whole trace between
+        scheduling points is observably identical to single-stepping.
+        """
+        for core in self.cores:
+            if core.core_id != core_id and not core.halted:
+                return False
+        return True
+
+    def step_core(self, core_id: int, budget: int = 1) -> bool:
+        """Advance one core (or deliver one trap/interrupt).
 
         Returns True when the core did any work (was not halted).
         Every productive step — instruction, trap, or interrupt
         delivery — advances ``global_steps``, so the fair-interleaving
         counter never undercounts interrupt-heavy workloads.
+
+        ``budget`` is the number of global steps the caller can absorb
+        from this call.  With the default of 1 this is exactly the
+        historical one-instruction contract.  A larger budget permits
+        the batched fast path: when no trace hook is installed, the
+        core's interrupts are quiescent (nothing pending, timer
+        disarmed — so the per-instruction poll is a no-op), and every
+        other core is halted (so the interleaving is degenerate), the
+        core may retire a whole compiled trace — or many passes of a
+        hot loop — in one call without changing observable behaviour.
         """
         core = self.cores[core_id]
         if core.halted:
             return False
+        if (
+            budget > 1
+            and core.trace_cache_enabled
+            and self._trace_hook is None
+            and self.interrupts.quiescent(core_id)
+            and self._uncontended(core_id)
+        ):
+            executed = core.try_trace(budget)
+            if executed:
+                self.global_steps += executed
+                return True
         interrupt = self.interrupts.poll(core_id, core.cycles)
         if interrupt is not None:
             self.deliver_trap(core, dataclasses.replace(interrupt, pc=core.pc))
@@ -226,24 +272,28 @@ class Machine:
     def run(self, max_steps: int = 1_000_000) -> int:
         """Round-robin all cores until all halt or the budget expires.
 
-        Returns the number of core-steps executed.
+        Returns the number of core-steps executed.  Each core's turn
+        carries the remaining step budget so an uncontended core can
+        advance in trace-sized chunks between interrupt-poll points;
+        with multiple runnable cores every turn is exactly one step,
+        preserving the historical interleaving.
         """
-        executed = 0
-        while executed < max_steps:
+        start = self.global_steps
+        while True:
             progressed = False
             for core_id in range(self.config.n_cores):
-                if executed >= max_steps:
-                    break
-                if self.step_core(core_id):
+                remaining = max_steps - (self.global_steps - start)
+                if remaining <= 0:
+                    return self.global_steps - start
+                if self.step_core(core_id, remaining):
                     progressed = True
-                    executed += 1
             if not progressed:
-                break
-        return executed
+                return self.global_steps - start
 
     def run_core(self, core_id: int, max_steps: int = 1_000_000) -> int:
         """Run a single core until it halts or the budget expires."""
-        executed = 0
-        while executed < max_steps and self.step_core(core_id):
-            executed += 1
-        return executed
+        start = self.global_steps
+        while True:
+            remaining = max_steps - (self.global_steps - start)
+            if remaining <= 0 or not self.step_core(core_id, remaining):
+                return self.global_steps - start

@@ -82,17 +82,24 @@ class LatencyHistogram:
         """Upper bucket bound below which a fraction ``q`` of samples fall.
 
         Bucket-resolution approximation; exact min/max are tracked
-        separately.  Returns 0 with no samples.
+        separately.  Returns 0 with no samples.  Two exactness fixes
+        over the naive bucket walk: a single sample *is* every
+        percentile (return it exactly), and no percentile can exceed
+        the observed maximum — a bucket's upper bound is clamped to
+        ``max_ns`` so e.g. p99 of samples topping out at 624µs no
+        longer reads as the 1000µs bucket bound.
         """
         if not self.count:
             return 0
+        if self.count == 1:
+            return self.max_ns
         target = q * self.count
         seen = 0
         for index, bucket_count in enumerate(self.counts):
             seen += bucket_count
             if seen >= target:
                 if index < len(LATENCY_BUCKETS_NS):
-                    return LATENCY_BUCKETS_NS[index]
+                    return min(LATENCY_BUCKETS_NS[index], self.max_ns)
                 return self.max_ns
         return self.max_ns
 
@@ -158,6 +165,7 @@ class PerfMonitor:
         tlb_total = tlb.hits + tlb.misses
         decode = core.decode_cache
         decode_total = decode.hits + decode.misses
+        tcache = core.trace_cache
         return {
             "core": core_id,
             "instructions": core.instructions_retired,
@@ -180,12 +188,27 @@ class PerfMonitor:
             },
             "decode_cache": {
                 "entries": len(decode),
+                "peak_entries": decode.peak_entries,
                 "hits": decode.hits,
                 "misses": decode.misses,
                 "hit_rate": round(decode.hits / decode_total, 4)
                 if decode_total
                 else 0.0,
-                "invalidations": decode.invalidations,
+                "invalidation_events": decode.invalidation_events,
+                "entries_dropped": decode.entries_dropped,
+            },
+            "trace_cache": {
+                "traces": len(tcache),
+                "peak_traces": tcache.peak_traces,
+                "built": tcache.built,
+                "executions": tcache.executions,
+                "instructions": tcache.instructions,
+                "aborts": tcache.aborts,
+                "coverage": round(tcache.instructions / core.instructions_retired, 4)
+                if core.instructions_retired
+                else 0.0,
+                "invalidation_events": tcache.invalidation_events,
+                "entries_dropped": tcache.entries_dropped,
             },
             "traps": dict(sorted(self.traps_by_cause[core_id].items())),
         }
@@ -233,6 +256,15 @@ class PerfMonitor:
                 f"l1 {core['l1']['hit_rate']:.2%}  "
                 f"decode {core['decode_cache']['hit_rate']:.2%}"
             )
+            tcache = core["trace_cache"]
+            if tcache["executions"]:
+                lines.append(
+                    f"    traces: {tcache['built']} built, "
+                    f"{tcache['executions']} executions, "
+                    f"{tcache['instructions']} insns "
+                    f"({tcache['coverage']:.2%} of retired), "
+                    f"{tcache['aborts']} aborts"
+                )
             if core["traps"]:
                 traps = ", ".join(f"{k}={v}" for k, v in core["traps"].items())
                 lines.append(f"    traps: {traps}")

@@ -93,6 +93,7 @@ class IsolationPlatform(abc.ABC):
         for core in self.machine.cores:
             core.l1.flush_domain(old_owner)
             core.decode_cache.flush_domain(old_owner)
+            core.trace_cache.flush_domain(old_owner)
         self.machine.invalidate_decode_range(base, size)
         self.tlb_shootdown()
         self.assign_region(rid, OWNER_FREE)

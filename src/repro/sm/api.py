@@ -1234,9 +1234,9 @@ class SecurityMonitor:
         """Hardware-side effects of an ownership change."""
         if rtype is ResourceType.DRAM_REGION:
             self.platform.assign_region(rid, owner)
-            # Page reassignment drops any decoded instructions cached
-            # from the region — stale code must not survive an
-            # ownership change even if DRAM bytes do.
+            # Region reassignment drops any decoded instructions and
+            # compiled traces cached from the region — stale code must
+            # not survive an ownership change even if DRAM bytes do.
             base, size = self.platform.region_range(rid)
             self.machine.invalidate_decode_range(base, size)
             self._recompute_dma_filter()

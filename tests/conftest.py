@@ -46,13 +46,25 @@ def any_system(request):
     return system
 
 
-def trivial_enclave_image(result_addr: int | None = None, value: int = 42):
-    """An enclave that optionally stores a value to shared memory and exits."""
+def trivial_enclave_image(
+    result_addr: int | None = None, value: int = 42, spin_iterations: int = 0
+):
+    """An enclave that optionally spins, stores a value, and exits."""
+    spin = (
+        f"""    li   t0, 0
+    li   t1, {spin_iterations}
+spin:
+    addi t0, t0, 1
+    bne  t0, t1, spin
+"""
+        if spin_iterations
+        else ""
+    )
     store = f"    sw   a2, {result_addr}(zero)\n" if result_addr is not None else ""
     return image_from_assembly(
         f"""
 entry:
-    li   a2, {value}
+{spin}    li   a2, {value}
 {store}    li   a0, 0
     ecall
 """

@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.faults.fuzzer import replay_with_results
+from repro.hw.machine import MachineConfig
 
 _DATA = pathlib.Path(__file__).resolve().parent.parent / "data"
 
@@ -33,3 +34,34 @@ def test_baseline_trace_replays_bit_identically(platform):
     assert outcome["fingerprint"] == expected["fingerprint"], (
         "machine cycle accounting diverged from the recorded baseline"
     )
+
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_trace_cache_replay_identity(platform):
+    """The superblock trace cache is invisible to a full fuzz trace.
+
+    Replays the recorded baseline with the trace cache off and on: the
+    per-step API result codes, final architectural/cycle accounting,
+    and the atomicity checker's checked-call counters must be
+    bit-identical — the trace-cache analogue of the decode-cache on/off
+    determinism tests.
+    """
+    fixture = json.loads(
+        (_DATA / f"replay_baseline_{platform}.json").read_text()
+    )
+    off = replay_with_results(
+        fixture["trace"], machine_config=MachineConfig(trace_cache_enabled=False)
+    )
+    on = replay_with_results(
+        fixture["trace"], machine_config=MachineConfig(trace_cache_enabled=True)
+    )
+    assert off["violation"] is None and on["violation"] is None
+    assert off["results"] == on["results"], (
+        "per-step API result codes depend on the trace cache"
+    )
+    assert off["fingerprint"] == on["fingerprint"], (
+        "cycle counts or checked-call accounting depend on the trace cache"
+    )
+    # Both toggles also still match the recorded pre-trace-cache baseline.
+    assert on["results"] == fixture["expected"]["results"]
+    assert on["fingerprint"] == fixture["expected"]["fingerprint"]

@@ -40,7 +40,9 @@ def _run_at(machine, source, base=0x1000):
 # ---------------------------------------------------------------------------
 
 def test_decode_cache_populates_and_hits_on_loops():
-    machine = _machine()
+    # Trace cache off: compiled traces bypass decode-cache lookups, and
+    # this test counts exactly those lookups.
+    machine = _machine(trace_cache_enabled=False)
     core = _run_at(
         machine,
         """
@@ -267,6 +269,70 @@ def test_latency_histogram_summary_and_percentiles():
     assert histogram.mean_ns == pytest.approx(sum((500, 1_500, 4_000, 90_000, 2 * LATENCY_BUCKETS_NS[-1])) / 5)
 
 
+def test_percentile_of_single_sample_is_the_sample():
+    """One observation *is* every percentile — not its bucket's bound.
+
+    Regression: a lone 66.389µs sample used to report p50 = 100µs (the
+    enclosing bucket's upper bound)."""
+    histogram = LatencyHistogram()
+    histogram.record(66_389)
+    assert histogram.percentile_ns(0.50) == 66_389
+    assert histogram.percentile_ns(0.99) == 66_389
+    summary = histogram.summary()
+    assert summary["p50_us"] == summary["p99_us"] == summary["max_us"] == 66.389
+
+
+def test_percentile_clamped_to_observed_max():
+    """No percentile may exceed the recorded maximum.
+
+    Regression: samples topping out at 624.51µs used to report
+    p99 = 1000µs (their bucket's upper bound)."""
+    histogram = LatencyHistogram()
+    for ns in (400_000, 450_000, 550_000, 624_510):
+        histogram.record(ns)
+    assert histogram.max_ns == 624_510
+    assert histogram.percentile_ns(0.99) == 624_510
+    summary = histogram.summary()
+    assert summary["p99_us"] <= summary["max_us"]
+    # Percentiles that resolve to a bucket below the max keep their
+    # bucket-bound semantics.
+    assert histogram.percentile_ns(0.25) == 500_000
+
+
+def test_decode_cache_invalidation_counters_have_distinct_units():
+    """invalidation_events counts causes; entries_dropped counts entries.
+
+    Regression: the old single ``invalidations`` counter bumped once
+    per *page* on write invalidations but once per *call* on flushes,
+    mixing units."""
+    from repro.hw.core import DecodeCache
+
+    cache = DecodeCache()
+    cache.insert(0x1000, "ins-a", domain=0)
+    cache.insert(0x1008, "ins-b", domain=0)
+    cache.insert(0x2000, "ins-c", domain=0)
+    assert cache.peak_entries == 3
+    cache.invalidate_page(0x1)  # drops the two page-1 entries
+    assert cache.invalidation_events == 1
+    assert cache.entries_dropped == 2
+    cache.invalidate_page(0x7)  # empty page: no event, nothing dropped
+    assert cache.invalidation_events == 1
+    # A range spanning many pages is still ONE invalidation event.
+    cache.insert(0x3000, "ins-d", domain=0)
+    cache.insert(0x4000, "ins-e", domain=0)
+    cache.invalidate_range(0x2000, 0x3000)
+    assert cache.invalidation_events == 2
+    assert cache.entries_dropped == 5
+    cache.insert(0x5000, "ins-f", domain=0)
+    cache.flush()
+    assert cache.invalidation_events == 3
+    assert cache.entries_dropped == 6
+    assert len(cache) == 0
+    assert cache.peak_entries == 3  # high-water mark survives the flush
+    # Back-compat alias used by older tests and tooling.
+    assert cache.invalidations == cache.invalidation_events
+
+
 def test_perf_monitor_counts_traps_and_renders_report():
     machine = _machine()
     machine.set_trap_handler(lambda core, trap: setattr(core, "halted", True))
@@ -288,6 +354,12 @@ def test_perf_snapshot_structure_on_bare_machine():
     core = snap["cores"][0]
     assert core["ipc"] > 0
     assert set(core["decode_cache"]) == {
-        "entries", "hits", "misses", "hit_rate", "invalidations",
+        "entries", "peak_entries", "hits", "misses", "hit_rate",
+        "invalidation_events", "entries_dropped",
     }
+    assert set(core["trace_cache"]) == {
+        "traces", "peak_traces", "built", "executions", "instructions",
+        "aborts", "coverage", "invalidation_events", "entries_dropped",
+    }
+    assert core["decode_cache"]["peak_entries"] >= core["decode_cache"]["entries"]
     assert core["l1"]["hits"] + core["l1"]["misses"] > 0

@@ -1,0 +1,206 @@
+"""The superblock/trace cache and batched stepping.
+
+Unit coverage for the second fast-path stage (docs/SIMULATOR.md):
+traces compile from hot straight-line code, execute whole loops per
+``step_core`` call, honour every invalidation rule the decode cache
+has, abort cleanly when translation state moves underneath them, and
+stay bit-identical to the reference interpreter — including when a
+step budget cuts a trace mid-block.
+"""
+
+from repro.hw.asm import assemble
+from repro.hw.isa import Reg
+from repro.hw.machine import Machine, MachineConfig
+
+
+def _machine(n_cores=1, **overrides):
+    config = MachineConfig(n_cores=n_cores, dram_size=1 << 20, **overrides)
+    return Machine(config)
+
+
+def _load_at(machine, source, base=0x1000):
+    machine.set_trap_handler(lambda core, trap: setattr(core, "halted", True))
+    image = assemble(source, base=base)
+    machine.memory.write(base, image.data)
+    core = machine.cores[0]
+    core.pc = base
+    core.halted = False
+    return core
+
+
+def _run_at(machine, source, base=0x1000):
+    core = _load_at(machine, source, base)
+    machine.run()
+    return core
+
+
+_LOOP = """
+entry:
+    li   t0, 0
+    li   t1, 500
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    halt
+"""
+
+
+def test_hot_loop_compiles_and_executes_in_traces():
+    machine = _machine()
+    core = _run_at(machine, _LOOP)
+    tcache = core.trace_cache
+    assert core.read_reg(Reg.T0) == 500
+    assert tcache.built >= 1
+    assert tcache.peak_traces >= 1
+    assert tcache.executions > 0
+    # The loop body dominates; almost every retired instruction should
+    # have come from inside a trace.
+    assert tcache.instructions > 900
+    assert tcache.aborts == 0
+
+
+def test_trace_cache_matches_reference_interpreter_exactly():
+    def run(trace_cache_enabled):
+        machine = _machine(trace_cache_enabled=trace_cache_enabled)
+        core = _run_at(machine, _LOOP)
+        return (
+            list(core.regs),
+            core.pc,
+            core.cycles,
+            core.instructions_retired,
+            machine.global_steps,
+            (core.tlb.hits, core.tlb.misses),
+            (core.l1.stats.hits, core.l1.stats.misses),
+        )
+
+    assert run(False) == run(True)
+
+
+def test_step_budget_cuts_a_trace_at_an_exact_instruction_boundary():
+    """run(max_steps=N) must stop after exactly N instructions even when
+    N lands in the middle of a compiled trace pass."""
+    def run_budgeted(trace_cache_enabled, budget):
+        machine = _machine(trace_cache_enabled=trace_cache_enabled)
+        core = _load_at(machine, _LOOP)
+        executed = machine.run(max_steps=budget)
+        return executed, machine.global_steps, list(core.regs), core.pc, core.cycles
+
+    for budget in (7, 40, 41, 333):
+        assert run_budgeted(True, budget) == run_budgeted(False, budget)
+        assert run_budgeted(True, budget)[0] == budget
+
+
+def test_guest_store_to_trace_page_invalidates_and_stays_correct():
+    """Self-modifying code: the store drops the trace covering the
+    patched instruction and the next pass executes the new code."""
+    patch_bytes = assemble("li a0, 7", base=0).data.hex(" ", 1)
+    machine = _machine()
+    core = _run_at(
+        machine,
+        f"""
+entry:
+    li   t0, 0
+    li   a3, target
+    li   a4, patch
+    lw   t1, 0(a4)
+    lw   t2, 4(a4)
+again:
+    addi t0, t0, 1
+target:
+    li   a0, 9
+    li   a5, 40
+    beq  t0, a5, done
+    sw   t1, 0(a3)
+    sw   t2, 4(a3)
+    jal  zero, again
+done:
+    halt
+patch:
+    .bytes {patch_bytes}
+""",
+    )
+    assert core.read_reg(Reg.T0) == 40
+    assert core.read_reg(Reg.A0) == 7, "trace cache served stale code"
+
+
+def test_region_reassignment_drops_traces_on_all_cores():
+    machine = _machine(n_cores=2)
+    core = _run_at(machine, _LOOP, base=0x1000)
+    assert len(core.trace_cache) > 0
+    events_before = core.trace_cache.invalidation_events
+    machine.invalidate_decode_range(0x1000, 0x2000)
+    assert len(core.trace_cache) == 0
+    assert core.trace_cache.invalidation_events == events_before + 1
+    assert core.trace_cache.entries_dropped >= 1
+    # A disjoint range is a no-op (no phantom events).
+    machine.invalidate_decode_range(0x10000, 0x1000)
+    assert core.trace_cache.invalidation_events == events_before + 1
+
+
+def test_fence_flushes_current_domain_traces():
+    machine = _machine()
+    core = _run_at(
+        machine,
+        """
+entry:
+    li   t0, 0
+    li   t1, 100
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    fence
+    halt
+""",
+    )
+    assert core.read_reg(Reg.T0) == 100
+    assert len(core.trace_cache) == 0
+    assert core.trace_cache.invalidation_events >= 1
+
+
+def test_core_clean_flushes_trace_cache():
+    machine = _machine()
+    core = _run_at(machine, _LOOP)
+    assert len(core.trace_cache) > 0
+    core.clean_architectural_state()
+    assert len(core.trace_cache) == 0
+
+
+def test_armed_timer_suppresses_trace_execution():
+    """A pending timer deadline means the per-instruction interrupt
+    poll is live, so batching must stand down — and the workload still
+    runs correctly one step at a time."""
+    machine = _machine()
+    core = _load_at(machine, _LOOP)
+    machine.interrupts.arm_timer(0, 10**12)  # far future, but armed
+    machine.run()
+    assert core.read_reg(Reg.T0) == 500
+    assert core.trace_cache.executions == 0
+
+
+def test_contended_cores_suppress_trace_execution():
+    """With two runnable cores the round-robin interleaving is
+    observable, so each turn stays a single step."""
+    machine = _machine(n_cores=2)
+    machine.set_trap_handler(lambda core, trap: setattr(core, "halted", True))
+    image = assemble(_LOOP, base=0x1000)
+    machine.memory.write(0x1000, image.data)
+    image2 = assemble(_LOOP, base=0x8000)
+    machine.memory.write(0x8000, image2.data)
+    for core, base in zip(machine.cores, (0x1000, 0x8000)):
+        core.pc = base
+        core.halted = False
+    machine.run()
+    assert machine.cores[0].read_reg(Reg.T0) == 500
+    assert machine.cores[1].read_reg(Reg.T0) == 500
+    assert machine.cores[0].trace_cache.executions == 0
+    # Once core 1 halts, core 0 may batch again: verified by the fact
+    # that a fresh single-core run does use traces (see above tests).
+
+
+def test_trace_cache_disabled_runs_decode_only_path():
+    machine = _machine(trace_cache_enabled=False)
+    core = _run_at(machine, _LOOP)
+    assert core.read_reg(Reg.T0) == 500
+    assert core.trace_cache.built == 0
+    assert core.trace_cache.executions == 0
+    assert core.decode_cache.hits > 900  # decode fast path still active

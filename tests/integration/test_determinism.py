@@ -135,6 +135,79 @@ loop:
     assert run(False) == run(True)
 
 
+def test_trace_cache_is_architecturally_invisible():
+    """Same run with and without the superblock trace cache.
+
+    The decode cache stays ON in both runs, so this isolates exactly
+    what the trace cache and batched stepping add: compiled-uop
+    execution and multi-pass loop batching must leave registers,
+    cycles, TLB/L1 statistics, measurements, and global_steps
+    bit-identical.
+    """
+    def run(trace_cache_enabled):
+        config = small_config()
+        config.trace_cache_enabled = trace_cache_enabled
+        system = build_sanctum_system(config=config)
+        out = system.kernel.alloc_buffer(1)
+        # Enough loop iterations to cross the trace-compilation
+        # threshold many times over.
+        loaded = system.kernel.load_enclave(
+            trivial_enclave_image(out, value=7, spin_iterations=400)
+        )
+        system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        return _architectural_state(system, loaded, out)
+
+    assert run(False) == run(True)
+
+
+def test_trace_cache_invisible_with_memory_traffic_and_tlb_pressure():
+    """Hot loops with loads/stores across more pages than the TLB holds.
+
+    Memory micro-ops inside a trace follow the full translated path
+    (page walks, TLB insertions/evictions, L1/LLC timing); TLB
+    evictions mid-trace must abort the trace at an exact instruction
+    boundary.  The resulting counts must match the reference
+    interpreter bit for bit.
+    """
+    def run(trace_cache_enabled):
+        config = small_config()
+        config.tlb_entries = 8
+        config.trace_cache_enabled = trace_cache_enabled
+        system = build_sanctum_system(config=config)
+        base = system.kernel.alloc_buffer(24)
+        core, _events = system.kernel.run_user_program(
+            f"""
+entry:
+    li   t0, {base}
+    li   t1, {base + 24 * 4096}
+    li   t2, 4096
+    li   a2, 0
+    li   a3, 8
+outer:
+    li   t0, {base}
+loop:
+    sw   t2, 0(t0)
+    lw   a1, 0(t0)
+    add  t0, t0, t2
+    bne  t0, t1, loop
+    addi a2, a2, 1
+    bne  a2, a3, outer
+    ecall
+"""
+        )
+        machine = system.machine
+        return {
+            "regs": list(core.regs),
+            "cycles": [c.cycles for c in machine.cores],
+            "retired": [c.instructions_retired for c in machine.cores],
+            "tlb": [(c.tlb.hits, c.tlb.misses) for c in machine.cores],
+            "l1": [(c.l1.stats.hits, c.l1.stats.misses) for c in machine.cores],
+            "global_steps": machine.global_steps,
+        }
+
+    assert run(False) == run(True)
+
+
 def test_run_twice_on_one_system_is_stable():
     """Within one system, repeating a workload gives identical events."""
     system = build_sanctum_system(config=small_config())
