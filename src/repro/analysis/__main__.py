@@ -10,12 +10,15 @@ Commands:
   decode cache + trace cache); writes ``BENCH_sim_speed.json``.
 * ``fuzz`` — the fault-injecting API fuzzer (:mod:`repro.faults`);
   on violation, shrinks the trace and writes a replayable JSON
-  counterexample.  ``fuzz --replay <trace.json>`` re-executes one.
+  counterexample.  ``fuzz --replay <trace.json>`` re-executes one;
+  ``fuzz --sabotage`` runs compartment-containment campaigns instead;
+  ``--platform both`` covers sanctum and keystone in one invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.analysis.loc import loc_report
 from repro.analysis.simbench import (
@@ -81,8 +84,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result["architecturally_identical"] else 1
 
 
+def _fuzz_platforms(choice: str) -> tuple[str, ...]:
+    return ("sanctum", "keystone") if choice == "both" else (choice,)
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.faults import load_trace, replay_trace, run_fuzz, save_trace
+    from repro.faults.fuzzer import run_sabotage_fuzz
     from repro.faults.trace import trace_to_actions
     from repro.verification.checker import format_trace
 
@@ -98,25 +106,45 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"[{violation.kind}] {violation.detail}")
         return 1
 
-    report = run_fuzz(seed=args.seed, steps=args.steps, platform=args.platform,
-                      inject=not args.no_inject)
-    print(f"fuzz: seed={report.seed} platform={report.platform} "
-          f"steps={report.steps_executed} calls_checked={report.calls_checked} "
-          f"errors_verified={report.errors_verified} "
-          f"injections={report.injections_fired}")
-    if report.violation is None:
-        print("no violations")
-        return 0
-    violation = report.violation
-    print(f"\nVIOLATION at step {violation.step_index}: "
-          f"[{violation.kind}] {violation.detail}")
-    print(f"shrunk to {len(report.shrunk_steps)} steps "
-          f"(from {len(report.trace)}):")
-    print(format_trace(trace_to_actions(report.shrunk_steps)))
-    save_trace(args.out, report.to_trace())
-    print(f"\nwrote counterexample to {args.out}")
-    print(f"replay with: python -m repro.analysis fuzz --replay {args.out}")
-    return 1
+    exit_code = 0
+    for platform in _fuzz_platforms(args.platform):
+        if args.sabotage:
+            report = run_sabotage_fuzz(
+                seed=args.seed, campaigns=args.campaigns, platform=platform
+            )
+            print(f"sabotage: seed={report.seed} platform={report.platform} "
+                  f"campaigns={report.campaigns_run} "
+                  f"steps={report.steps_executed} "
+                  f"sabotages={report.sabotages_applied} "
+                  f"contained={report.faults_contained} "
+                  f"quarantine_refusals={report.quarantine_refusals} "
+                  f"escapes={report.escapes}")
+        else:
+            report = run_fuzz(seed=args.seed, steps=args.steps,
+                              platform=platform, inject=not args.no_inject)
+            print(f"fuzz: seed={report.seed} platform={report.platform} "
+                  f"steps={report.steps_executed} "
+                  f"calls_checked={report.calls_checked} "
+                  f"errors_verified={report.errors_verified} "
+                  f"injections={report.injections_fired}")
+        if report.violation is None:
+            print("no violations")
+            continue
+        violation = report.violation
+        print(f"\nVIOLATION at step {violation.step_index}: "
+              f"[{violation.kind}] {violation.detail}")
+        print(f"shrunk to {len(report.shrunk_steps)} steps "
+              f"(from {len(report.trace)}):")
+        print(format_trace(trace_to_actions(report.shrunk_steps)))
+        out = args.out
+        if args.platform == "both":
+            directory, base = os.path.split(out)
+            out = os.path.join(directory, f"{platform}_{base}")
+        save_trace(out, report.to_trace())
+        print(f"\nwrote counterexample to {out}")
+        print(f"replay with: python -m repro.analysis fuzz --replay {out}")
+        exit_code = 1
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,11 +163,16 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument("--seed", type=int, default=0, help="RNG seed")
     fuzz.add_argument("--steps", type=int, default=500, help="fuzz steps")
     fuzz.add_argument("--platform", default="sanctum",
-                      choices=("sanctum", "keystone"), help="platform to fuzz")
+                      choices=("sanctum", "keystone", "both"),
+                      help="platform(s) to fuzz")
     fuzz.add_argument("--out", default="fuzz_counterexample.json",
                       help="where to write a shrunk counterexample")
     fuzz.add_argument("--no-inject", action="store_true",
                       help="disable yield-point fault injection")
+    fuzz.add_argument("--sabotage", action="store_true",
+                      help="run compartment-containment sabotage campaigns")
+    fuzz.add_argument("--campaigns", type=int, default=200,
+                      help="sabotage campaigns per platform (with --sabotage)")
     fuzz.add_argument("--replay", metavar="TRACE",
                       help="re-execute a saved counterexample trace")
     args = parser.parse_args(argv)

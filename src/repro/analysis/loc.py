@@ -30,6 +30,7 @@ LAYER_FILES = {
     "registry (sm/abi.py)": ("sm", "abi.py"),
     "pipeline (sm/pipeline.py)": ("sm", "pipeline.py"),
     "handlers (sm/api.py)": ("sm", "api.py"),
+    "compartments (sm/compartments.py)": ("sm", "compartments.py"),
 }
 
 #: Categories mirroring the paper's breakdown, mapped to our packages.

@@ -35,6 +35,11 @@ class ApiResult(enum.IntEnum):
     NO_SPACE = 6
     #: The mailbox transition is not permitted (wrong sender/empty/full).
     MAILBOX_STATE = 7
+    #: The commit phase wrote outside its declared compartments (the
+    #: write was rolled back and the compartment quarantined), or the
+    #: call targeted a compartment already quarantined by an earlier
+    #: contained fault.
+    COMPARTMENT_FAULT = 8
 
 
 class SanctorumError(Exception):
@@ -68,6 +73,25 @@ class InvariantViolation(SanctorumError):
     state no longer satisfies its own security invariants; this always
     indicates a bug in the monitor, never legal adversary behaviour.
     """
+
+
+class CompartmentFault(SanctorumError):
+    """A commit phase mutated state outside its declared compartments.
+
+    Raised by the compartment guard (:mod:`repro.sm.compartments` via
+    the ``CompartmentInterceptor``) when the snapshot diff of a commit
+    phase contains a write classified into a compartment the call's
+    :class:`~repro.sm.abi.ApiSpec` did not declare.  The guard catches
+    this itself — it rolls the commit back, quarantines the offending
+    compartments, and converts the fault into an
+    ``ApiResult.COMPARTMENT_FAULT`` error return — so user code should
+    never observe the exception escaping a dispatch.
+    """
+
+    def __init__(self, message: str, compartments: frozenset | None = None):
+        super().__init__(message)
+        #: The compartments the illegal writes were classified into.
+        self.compartments = compartments or frozenset()
 
 
 class AtomicityViolation(SanctorumError):

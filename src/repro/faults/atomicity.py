@@ -28,13 +28,25 @@ from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 class MemoryJournal:
     """Page-granular pre-image journal over one scope of execution."""
 
+    #: Sentinel distinguishing "no instance attribute was installed"
+    #: from a saved interposer when journals nest.
+    _ABSENT = object()
+
     def __init__(self, memory: PhysicalMemory) -> None:
         self.memory = memory
         self._preimages: dict[int, bytes] = {}
         self._original_write: Callable | None = None
         self._original_zero: Callable | None = None
+        self._saved_write: Any = self._ABSENT
+        self._saved_zero: Any = self._ABSENT
 
     def __enter__(self) -> "MemoryJournal":
+        # Journals nest (the compartment guard journals each commit
+        # inside the atomicity checker's call-wide journal): remember
+        # whether an interposer was already installed as an instance
+        # attribute so __exit__ can put it back instead of unhooking it.
+        self._saved_write = self.memory.__dict__.get("write", self._ABSENT)
+        self._saved_zero = self.memory.__dict__.get("zero_range", self._ABSENT)
         self._original_write = self.memory.write
         self._original_zero = self.memory.zero_range
 
@@ -51,9 +63,15 @@ class MemoryJournal:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        # Deleting the instance attributes restores the class methods.
-        del self.memory.write
-        del self.memory.zero_range
+        if self._saved_write is self._ABSENT:
+            # Deleting the instance attribute restores the class method.
+            del self.memory.write
+        else:
+            self.memory.write = self._saved_write
+        if self._saved_zero is self._ABSENT:
+            del self.memory.zero_range
+        else:
+            self.memory.zero_range = self._saved_zero
         return False
 
     def _touch(self, paddr: int, length: int) -> None:
@@ -68,6 +86,20 @@ class MemoryJournal:
     def rebaseline(self) -> None:
         """Forget pre-images: current memory becomes the new baseline."""
         self._preimages.clear()
+
+    def restore(self) -> list[int]:
+        """Write every changed page's pre-image back; return their ppns.
+
+        Restoration goes through ``memory.write`` — the interposition
+        chain if journals are nested, the class method at the bottom —
+        so the write observer fires and decode/trace caches covering the
+        restored pages are invalidated like any other store.
+        """
+        restored = []
+        for ppn in self.changed_pages():
+            self.memory.write(ppn << PAGE_SHIFT, self._preimages[ppn])
+            restored.append(ppn)
+        return restored
 
     def changed_pages(self) -> list[int]:
         """Journaled pages whose bytes differ from their pre-image."""

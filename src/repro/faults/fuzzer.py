@@ -32,13 +32,20 @@ from repro.faults.atomicity import (
     AtomicityInterceptor,
     _primary_result,
 )
-from repro.faults.inject import InjectionEngine, ScriptedInjector, forced_lock_conflict
+from repro.faults.inject import (
+    CompartmentSaboteur,
+    InjectionEngine,
+    ScriptedInjector,
+    ScriptedSaboteur,
+    forced_lock_conflict,
+)
 from repro.faults.trace import TRACE_VERSION, decode_arg, encode_arg
 from repro.hw.core import DOMAIN_UNTRUSTED
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.paging import PTE_R, PTE_W, PTE_X
 from repro.kernel.loader import L0_SPAN
 from repro.sm.abi import ArgKind, fuzzable_specs
+from repro.sm.compartments import install_compartment_guard
 from repro.sm.enclave import (
     ENCLAVE_METADATA_BASE_SIZE,
     ENCLAVE_METADATA_PER_MAILBOX,
@@ -67,7 +74,7 @@ _RUN_BUDGET = 300
 class Violation:
     """One observed robustness failure."""
 
-    kind: str  # "atomicity" | "invariant" | "dma-security" | "crash"
+    kind: str  # "atomicity" | "invariant" | "dma-security" | "containment" | "crash"
     detail: str
     step_index: int
 
@@ -114,18 +121,30 @@ class _Session:
         platform: str,
         engine_rng: DeterministicTRNG | None,
         machine_config=None,
+        sabotage_rng: DeterministicTRNG | None = None,
     ) -> None:
         kwargs = {} if machine_config is None else {"config": machine_config}
         self.system = build_system(platform, **kwargs)
         self.platform_name = platform
         self.sm = self.system.sm
         self.machine = self.system.machine
+        # The compartment guard is always on under fuzz (and first, so
+        # the atomicity interceptor installed next wraps the whole
+        # guarded dispatch and independently proves rollbacks clean);
+        # the replay-regression fixtures passing with it enabled is the
+        # proof that it is behavior-neutral on benign traces.
+        self.guard = install_compartment_guard(self.sm)
         self.checker = AtomicityChecker(self.sm)
         self.engine = InjectionEngine(
             self.system, engine_rng or DeterministicTRNG(0)
         )
         # Every outermost API dispatch is atomicity-checked in passing.
         self.sm.pipeline.install(AtomicityInterceptor(self.checker, self.engine))
+        #: Live-mode compartment saboteur (containment campaigns only).
+        self.saboteur = None
+        if sabotage_rng is not None:
+            self.saboteur = CompartmentSaboteur(self.sm, sabotage_rng)
+            self.guard.saboteur = self.saboteur
         if engine_rng is not None:
             # Live mode: randomized injections at every yield point.
             self.sm.set_fault_hook(self.engine.fire)
@@ -165,9 +184,17 @@ def _run_step(session: _Session, step: dict[str, Any], index: int,
     op = step["op"]
     args = [decode_arg(a) for a in step.get("args", [])]
     scripted = None
+    scripted_sab = None
+    guard = getattr(session.sm, "compartment_guard", None)
     if not live:
         scripted = ScriptedInjector(session.engine, step.get("inject", []))
         session.sm.set_fault_hook(scripted.fire)
+        if step.get("sabotage") and guard is not None:
+            scripted_sab = ScriptedSaboteur(
+                session.sm, [s["name"] for s in step["sabotage"]]
+            )
+            guard.saboteur = scripted_sab
+    primary = None
     try:
         if op == "run_core":
             session.machine.run_core(args[0], args[1])
@@ -187,11 +214,33 @@ def _run_step(session: _Session, step: dict[str, Any], index: int,
                     value = _invoke(session, op, args)
             else:
                 value = _invoke(session, op, args)
+            primary = _primary_result(value)
             if results is not None:
-                primary = _primary_result(value)
                 results.append(
                     int(primary) if isinstance(primary, ApiResult) else None
                 )
+        # Containment contract: an applied cross-compartment sabotage
+        # MUST surface as COMPARTMENT_FAULT (detected, rolled back,
+        # quarantined).  Any other result is an escape — checked before
+        # the invariant sweep so an escape is attributed precisely
+        # rather than as whatever downstream corruption it causes.
+        applied: list[dict[str, Any]] = []
+        if live and session.saboteur is not None:
+            applied = session.saboteur.drain_applied()
+            session.saboteur.disarm()
+            if applied:
+                step["sabotage"] = applied
+        elif scripted_sab is not None:
+            applied = scripted_sab.drain_applied()
+        if applied and primary is not ApiResult.COMPARTMENT_FAULT:
+            names = ", ".join(s["name"] for s in applied)
+            return Violation(
+                "containment",
+                f"sabotage [{names}] during {op} escaped: call returned "
+                f"{getattr(primary, 'name', primary)} instead of "
+                "COMPARTMENT_FAULT",
+                index,
+            )
         check_all(session.sm)
         if session.engine.security_failures:
             detail = "; ".join(session.engine.security_failures)
@@ -209,8 +258,18 @@ def _run_step(session: _Session, step: dict[str, Any], index: int,
             injected = session.engine.drain_record()
             if injected:
                 step["inject"] = injected
+            if session.saboteur is not None:
+                # Exception paths skip the in-line drain above; pick up
+                # any sabotage applied before the step blew up so the
+                # shrunken trace still re-applies it on replay.
+                session.saboteur.disarm()
+                late = session.saboteur.drain_applied()
+                if late:
+                    step["sabotage"] = step.get("sabotage", []) + late
         elif scripted is not None:
             session.sm.set_fault_hook(None)
+        if scripted_sab is not None and guard is not None:
+            guard.saboteur = session.saboteur
 
 
 def _make_step(op: str, args: list[Any], force_conflict: int | None = None) -> dict[str, Any]:
@@ -447,6 +506,208 @@ def run_fuzz(
         trace=trace,
         shrunk_steps=shrunk,
     )
+
+
+@dataclasses.dataclass
+class SabotageReport:
+    """Outcome of a compartment-containment sabotage campaign run."""
+
+    seed: int
+    platform: str
+    campaigns_run: int
+    steps_executed: int
+    #: Cross-compartment corruptions injected into commit windows.
+    sabotages_applied: int
+    #: Faults the guard detected, rolled back, and quarantined.
+    faults_contained: int
+    #: Calls refused up front because they named a quarantined
+    #: compartment (graceful degradation in action).
+    quarantine_refusals: int
+    calls_checked: int
+    errors_verified: int
+    violation: Violation | None
+    #: The failing campaign's full step trace (empty when clean).
+    trace: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    shrunk_steps: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    @property
+    def escapes(self) -> int:
+        return 1 if self.violation is not None else 0
+
+    def to_trace(self) -> dict[str, Any]:
+        """The JSON counterexample document for ``--replay``."""
+        document = {
+            "version": TRACE_VERSION,
+            "platform": self.platform,
+            "seed": self.seed,
+            "steps": self.shrunk_steps if self.violation is not None else self.trace,
+        }
+        if self.violation is not None:
+            document["violation"] = {
+                "kind": self.violation.kind,
+                "detail": self.violation.detail,
+                "step": self.violation.step_index,
+            }
+        return document
+
+
+def run_sabotage_fuzz(
+    seed: int = 0,
+    campaigns: int = 200,
+    platform: str = "sanctum",
+    steps_per_campaign: int = 25,
+    sabotage_rate: int = 3,
+    healthy_steps: int = 8,
+) -> SabotageReport:
+    """Run seeded compartment-sabotage campaigns; shrink any escape.
+
+    Each campaign boots a fresh system, fuzzes it with the compartment
+    saboteur armed for roughly one in ``sabotage_rate`` API steps (a
+    cross-compartment corruption fired inside the commit window), and
+    demands every applied sabotage come back ``COMPARTMENT_FAULT`` with
+    a clean snapshot diff (the in-pipeline atomicity checker proves the
+    rollback).  After the sabotage phase the campaign verifies graceful
+    degradation — quarantined compartments refuse service, healthy ones
+    keep passing invariants — then heals and runs a benign follow-up
+    workload.  The first violation of any kind aborts the run and is
+    delta-shrunk into a replayable counterexample.
+    """
+    root = DeterministicTRNG(seed)
+    steps_executed = 0
+    sabotages_applied = 0
+    faults_contained = 0
+    quarantine_refusals = 0
+    calls_checked = 0
+    errors_verified = 0
+
+    def report(violation, trace, session, campaigns_run):
+        shrunk: list[dict[str, Any]] = []
+        if violation is not None:
+            shrunk = shrink_trace(trace, platform, violation.kind)
+        return SabotageReport(
+            seed=seed,
+            platform=platform,
+            campaigns_run=campaigns_run,
+            steps_executed=steps_executed,
+            sabotages_applied=sabotages_applied,
+            faults_contained=faults_contained,
+            quarantine_refusals=quarantine_refusals,
+            calls_checked=calls_checked + session.checker.calls_checked,
+            errors_verified=errors_verified + session.checker.errors_verified,
+            violation=violation,
+            trace=trace if violation is not None else [],
+            shrunk_steps=shrunk,
+        )
+
+    session = None
+    for campaign in range(campaigns):
+        crng = root.fork(f"campaign-{campaign}")
+        session = _Session(
+            platform, engine_rng=None, sabotage_rng=crng.fork("sabotage")
+        )
+        generator = _Generator(session, crng.fork("gen"))
+        arm_rng = crng.fork("arm")
+        trace: list[dict[str, Any]] = []
+        for index in range(steps_per_campaign):
+            step = generator.next_step()
+            if step is None:
+                break
+            if arm_rng.randint(0, sabotage_rate - 1) == 0:
+                session.saboteur.arm()
+            trace.append(step)
+            contained_before = session.guard.faults_contained
+            violation = _run_step(session, step, index, live=True)
+            steps_executed += 1
+            if step.get("sabotage"):
+                sabotages_applied += len(step["sabotage"])
+            new_faults = session.guard.faults_contained - contained_before
+            faults_contained += new_faults
+            if violation is not None:
+                return report(violation, trace, session, campaign + 1)
+            declared = _declared_compartments(step["op"])
+            if new_faults and declared and not session.guard.quarantined:
+                return report(
+                    Violation(
+                        "containment",
+                        "guard contained a fault but engaged no quarantine",
+                        index,
+                    ),
+                    trace,
+                    session,
+                    campaign + 1,
+                )
+        # Graceful degradation: while quarantined, a call naming a dead
+        # compartment is refused; one naming only healthy compartments
+        # still executes (and invariants still hold, per _run_step).
+        if session.guard.quarantined:
+            refused, refusal_violation = _quarantine_refusal(session)
+            if refusal_violation is not None:
+                return report(refusal_violation, trace, session, campaign + 1)
+            if refused is not None:
+                quarantine_refusals += 1
+        session.guard.heal()
+        for extra in range(healthy_steps):
+            step = generator.next_step()
+            if step is None:
+                break
+            trace.append(step)
+            index = steps_per_campaign + extra
+            violation = _run_step(session, step, index, live=True)
+            steps_executed += 1
+            if violation is not None:
+                return report(violation, trace, session, campaign + 1)
+        calls_checked += session.checker.calls_checked
+        errors_verified += session.checker.errors_verified
+    return report(None, [], session, campaigns)
+
+
+def _declared_compartments(op: str) -> frozenset:
+    """The compartment declaration of ``op``, empty for non-API steps.
+
+    A sabotaged call that declares no compartments (a read-only call
+    like ``get_field``) has no component to take out of service: the
+    fault is still contained and refused, but the quarantine set
+    legitimately stays empty.
+    """
+    for spec in fuzzable_specs():
+        if spec.name == op:
+            return frozenset(spec.compartments or ())
+    return frozenset()
+
+
+def _quarantine_refusal(session: _Session):
+    """Probe one quarantined compartment.
+
+    Picks a checked spec declaring a quarantined compartment and calls
+    it with throwaway arguments: the interceptor must refuse it with
+    ``COMPARTMENT_FAULT`` before validation ever runs.  Returns
+    ``(refused_spec_name, violation)`` — the violation is None unless
+    the quarantine failed to hold.
+    """
+    for spec in fuzzable_specs():
+        declared = frozenset(spec.compartments or ())
+        if not declared & session.guard.quarantined:
+            continue
+        args: list[Any] = [DOMAIN_UNTRUSTED]
+        for arg in spec.args:
+            if arg.kind is ArgKind.RESOURCE_TYPE:
+                args.append(ResourceType.DRAM_REGION)
+            elif arg.kind is ArgKind.BYTES:
+                args.append(b"")
+            else:
+                args.append(0)
+        value = getattr(session.sm, spec.name)(*args)
+        primary = _primary_result(value)
+        if primary is not ApiResult.COMPARTMENT_FAULT:
+            violation = Violation(
+                "containment",
+                f"quarantined call {spec.name} returned "
+                f"{getattr(primary, 'name', primary)}, not COMPARTMENT_FAULT",
+                -1,
+            )
+            return spec.name, violation
+        return spec.name, None
+    return None, None
 
 
 def _execute_steps(steps: list[dict[str, Any]], platform: str) -> Violation | None:

@@ -185,6 +185,214 @@ class InjectionEngine:
         return not (owner_untrusted and record.state is ResourceState.OWNED)
 
 
+class SabotageEntry:
+    """One cross-compartment corruption the saboteur can perform."""
+
+    __slots__ = ("name", "compartment", "applicable", "apply")
+
+    def __init__(self, name, compartment, applicable, apply) -> None:
+        self.name = name
+        self.compartment = compartment
+        self.applicable = applicable
+        self.apply = apply
+
+
+def _min_enclave(sm):
+    return sm.state.enclaves[min(sm.state.enclaves)]
+
+
+def _min_thread(sm):
+    return sm.state.threads[min(sm.state.threads)]
+
+
+def _forged_claim_key(sm) -> int:
+    arena = sm.state.metadata_arenas[0]
+    return arena.base + arena.size + 0x1000
+
+
+def _build_sabotage_catalogue() -> list[SabotageEntry]:
+    from repro.sm.compartments import Compartment
+
+    def flip_byte(data: bytes) -> bytes:
+        if not data:
+            return b"\xa5"
+        return data[:-1] + bytes([data[-1] ^ 0xA5])
+
+    return [
+        SabotageEntry(
+            "enclave-evrange",
+            Compartment.ENCLAVE_META,
+            lambda sm: bool(sm.state.enclaves),
+            lambda sm: setattr(
+                _min_enclave(sm), "evrange_base",
+                _min_enclave(sm).evrange_base ^ 0x1000,
+            ),
+        ),
+        SabotageEntry(
+            "enclave-measurement",
+            Compartment.ENCLAVE_META,
+            lambda sm: bool(sm.state.enclaves),
+            lambda sm: setattr(
+                _min_enclave(sm), "measurement",
+                flip_byte(_min_enclave(sm).measurement),
+            ),
+        ),
+        SabotageEntry(
+            "region-owner-flip",
+            Compartment.RESOURCES,
+            lambda sm: bool(sm.platform.region_ids()),
+            lambda sm: sm.platform.assign_region(
+                sm.platform.region_ids()[0], 0x7777
+            ),
+        ),
+        SabotageEntry(
+            "arena-claim-forge",
+            Compartment.RESOURCES,
+            lambda sm: bool(sm.state.metadata_arenas)
+            and _forged_claim_key(sm) not in sm.state.metadata_arenas[0].claims,
+            lambda sm: sm.state.metadata_arenas[0].claims.__setitem__(
+                _forged_claim_key(sm), 64
+            ),
+        ),
+        SabotageEntry(
+            "mailbox-scribble",
+            Compartment.MAILBOXES,
+            lambda sm: any(e.mailboxes for e in sm.state.enclaves.values()),
+            lambda sm: setattr(
+                next(
+                    e for _, e in sorted(sm.state.enclaves.items()) if e.mailboxes
+                ).mailboxes[0],
+                "message",
+                b"corrupted-by-saboteur",
+            ),
+        ),
+        SabotageEntry(
+            "drbg-clobber",
+            Compartment.ATTESTATION,
+            lambda sm: sm.state.drbg is not None,
+            lambda sm: setattr(
+                sm.state.drbg, "_reseed_counter",
+                sm.state.drbg._reseed_counter + 1,
+            ),
+        ),
+        SabotageEntry(
+            "secret-key-leak",
+            Compartment.ATTESTATION,
+            lambda sm: bool(sm.state.sm_secret_key),
+            lambda sm: setattr(
+                sm.state, "sm_secret_key", flip_byte(sm.state.sm_secret_key)
+            ),
+        ),
+        SabotageEntry(
+            "thread-entry-hijack",
+            Compartment.SCHEDULING,
+            lambda sm: bool(sm.state.threads),
+            lambda sm: setattr(
+                _min_thread(sm), "entry_pc", _min_thread(sm).entry_pc ^ 0x4
+            ),
+        ),
+        SabotageEntry(
+            "core-thread-forge",
+            Compartment.SCHEDULING,
+            lambda sm: 0xDEAD not in sm._core_thread.values(),
+            lambda sm: sm._core_thread.__setitem__(
+                len(sm.machine.cores) - 1, 0xDEAD
+            ),
+        ),
+    ]
+
+
+_SABOTAGE_CATALOGUE: list[SabotageEntry] | None = None
+
+
+def sabotage_catalogue() -> list[SabotageEntry]:
+    """The shared catalogue (built lazily to avoid an import cycle)."""
+    global _SABOTAGE_CATALOGUE
+    if _SABOTAGE_CATALOGUE is None:
+        _SABOTAGE_CATALOGUE = _build_sabotage_catalogue()
+    return _SABOTAGE_CATALOGUE
+
+
+class CompartmentSaboteur:
+    """Corrupt one out-of-compartment structure inside a commit window.
+
+    The containment campaign's fault model: a compromised SM component
+    (the code running some API call's commit) scribbles over state
+    belonging to a *different* compartment.  The fuzzer arms the
+    saboteur before a step; at the next guarded commit it deterministically
+    picks an applicable catalogue entry whose target compartment is NOT
+    declared by the executing call — an undeclared cross-compartment
+    write the guard must detect, roll back, and quarantine — applies it,
+    and records the entry name for trace embedding/replay.
+    """
+
+    def __init__(self, sm, rng) -> None:
+        self.sm = sm
+        self.rng = rng
+        self.armed = False
+        self._applied: list[dict[str, Any]] = []
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def drain_applied(self) -> list[dict[str, Any]]:
+        applied, self._applied = self._applied, []
+        return applied
+
+    def fire(self, spec) -> None:
+        if not self.armed:
+            return
+        self.armed = False
+        declared = frozenset(spec.compartments or ())
+        candidates = [
+            entry
+            for entry in sabotage_catalogue()
+            if entry.compartment not in declared and entry.applicable(self.sm)
+        ]
+        if not candidates:
+            return
+        entry = candidates[self.rng.randint(0, len(candidates) - 1)]
+        entry.apply(self.sm)
+        self._applied.append(
+            {"name": entry.name, "compartment": entry.compartment.value}
+        )
+
+
+class ScriptedSaboteur:
+    """Replay recorded sabotage entries by name during trace replay.
+
+    Armed with the names a live campaign recorded for one step; fires
+    each at the guarded commits of that step in order.  Replay is
+    RNG-free: state replays deterministically, so a recorded entry is
+    applicable exactly where it originally fired.
+    """
+
+    def __init__(self, sm, names: list[str]) -> None:
+        self.sm = sm
+        self.pending = list(names)
+        self._applied: list[dict[str, Any]] = []
+
+    def drain_applied(self) -> list[dict[str, Any]]:
+        applied, self._applied = self._applied, []
+        return applied
+
+    def fire(self, spec) -> None:
+        if not self.pending:
+            return
+        name = self.pending[0]
+        entry = next(e for e in sabotage_catalogue() if e.name == name)
+        if not entry.applicable(self.sm):
+            return
+        self.pending.pop(0)
+        entry.apply(self.sm)
+        self._applied.append(
+            {"name": entry.name, "compartment": entry.compartment.value}
+        )
+
+
 class ScriptedInjector:
     """Replay a recorded injection list at matching yield sites.
 

@@ -121,6 +121,18 @@ def snapshot_system(sm: SecurityMonitor) -> dict[str, Any]:
             "reseed_counter": drbg._reseed_counter,
             "generates_since_reseed": drbg._generates_since_reseed,
         },
+        "static": {
+            # The boot-sealed identity: never legally mutated after
+            # secure boot, so any diff here is a key-compromise write
+            # (the attestation compartment's crown jewels).  Certificates
+            # are immutable objects derived from these keys and are
+            # deliberately skipped to keep per-call snapshots cheap.
+            "sm_measurement": state.sm_measurement.hex(),
+            "sm_secret_key": state.sm_secret_key.hex(),
+            "sm_public_key": state.sm_public_key.hex(),
+            "signing_enclave_measurement": state.signing_enclave_measurement.hex(),
+            "platform_name": state.platform_name,
+        },
         "core_thread": dict(sorted(sm._core_thread.items())),
         "cores": [_core_state(core) for core in sm.machine.cores],
         "platform_regions": {

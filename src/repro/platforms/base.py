@@ -117,6 +117,25 @@ class IsolationPlatform(abc.ABC):
         """Return a dynamic region's interval to the untrusted pool."""
         raise NotImplementedError(f"{self.name} has a static region map")
 
+    # -- assignment snapshots (compartment-guard rollback) -----------------
+
+    @abc.abstractmethod
+    def snapshot_assignments(self):
+        """Opaque copy of the hardware ownership state.
+
+        The compartment guard (:mod:`repro.sm.compartments`) captures
+        this before every guarded commit so a contained fault can roll
+        the platform back alongside SM state and physical memory.
+        """
+
+    @abc.abstractmethod
+    def restore_assignments(self, snapshot) -> None:
+        """Restore ownership state captured by :meth:`snapshot_assignments`.
+
+        Implementations must also reprogram any per-core isolation
+        hardware derived from it (e.g. Keystone's PMP entries).
+        """
+
     # -- per-core context --------------------------------------------------
 
     def configure_core(self, core: Core) -> None:

@@ -143,6 +143,16 @@ class KeystonePlatform(IsolationPlatform):
         self._region(rid).owner = owner
         self._reprogram_all_cores()
 
+    def snapshot_assignments(self):
+        regions = {rid: dataclasses.replace(r) for rid, r in self._regions.items()}
+        return regions, self._next_rid
+
+    def restore_assignments(self, snapshot) -> None:
+        regions, next_rid = snapshot
+        self._regions = {rid: dataclasses.replace(r) for rid, r in regions.items()}
+        self._next_rid = next_rid
+        self._reprogram_all_cores()
+
     # -- per-core PMP programming ---------------------------------------------
 
     def configure_core(self, core: Core) -> None:

@@ -92,6 +92,12 @@ class SanctumPlatform(IsolationPlatform):
         self._check_rid(rid)
         self._owners[rid] = owner
 
+    def snapshot_assignments(self):
+        return list(self._owners)
+
+    def restore_assignments(self, snapshot) -> None:
+        self._owners = list(snapshot)
+
     # -- access check --------------------------------------------------------
 
     def check_access(self, core: Core, paddr: int, access: AccessType) -> bool:

@@ -31,6 +31,7 @@ import enum
 from repro.errors import ApiResult
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.paging import PTE_R, PTE_W, PTE_X
+from repro.sm.compartments import Compartment
 from repro.sm.mailbox import MAILBOX_SIZE
 from repro.sm.resources import ResourceType
 
@@ -180,6 +181,16 @@ class ApiSpec:
     checked: bool = True
     #: Whether the fuzzer should generate this op directly.
     fuzz: bool = True
+    #: The compartments this call's commit phase may write
+    #: (:class:`~repro.sm.compartments.Compartment`).  Derived from the
+    #: lock set (see ``compartments_from_locks``) and pinned to the
+    #: observed commit-phase write set; ``()`` declares a read-only
+    #: commit.  ``None`` means undeclared, which fails the conformance
+    #: test in ``tests/sm/test_compartments.py`` — every registered
+    #: call must declare.  The dispatch pipeline opens exactly this set
+    #: for the commit when a
+    #: :class:`~repro.sm.compartments.CompartmentGuard` is installed.
+    compartments: tuple[Compartment, ...] | None = None
 
     @property
     def yield_sites(self) -> tuple[str, ...]:
@@ -212,6 +223,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         CallerKind.OS,
         [ArgSpec("rid", ArgKind.RESOURCE_ID)],
         locks="region",
+        compartments=(Compartment.RESOURCES,),
     ),
     _spec(
         "create_enclave",
@@ -222,6 +234,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("evrange_size", ArgKind.LENGTH, align=PAGE_SIZE, min=1),
             ArgSpec("num_mailboxes", ArgKind.COUNT, min=1, max=MAX_MAILBOXES),
         ],
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "create_enclave_region",
@@ -232,6 +245,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("size", ArgKind.LENGTH),
         ],
         locks="enclave",
+        compartments=(Compartment.RESOURCES,),
     ),
     _spec(
         "allocate_page_table",
@@ -243,6 +257,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("paddr", ArgKind.PADDR, align=PAGE_SIZE),
         ],
         locks="enclave",
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "load_page",
@@ -255,6 +270,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("acl", ArgKind.ACL),
         ],
         locks="enclave",
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "create_thread",
@@ -268,12 +284,14 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("fault_sp", ArgKind.VADDR),
         ],
         locks="enclave",
+        compartments=(Compartment.ENCLAVE_META, Compartment.SCHEDULING),
     ),
     _spec(
         "init_enclave",
         CallerKind.OS,
         [ArgSpec("eid", ArgKind.ENCLAVE_ID)],
         locks="enclave",
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "enter_enclave",
@@ -284,12 +302,14 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("core_id", ArgKind.CORE_ID),
         ],
         locks="enclave+thread+core",
+        compartments=(Compartment.SCHEDULING,),
     ),
     _spec(
         "delete_enclave",
         CallerKind.OS,
         [ArgSpec("eid", ArgKind.ENCLAVE_ID)],
         locks="enclave+regions+threads",
+        compartments=(Compartment.ENCLAVE_META, Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "block_resource",
@@ -300,6 +320,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         ],
         locks="resource",
         ecall=EnclaveEcall.BLOCK_RESOURCE,
+        compartments=(Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "clean_resource",
@@ -309,6 +330,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("rid", ArgKind.RESOURCE_ID),
         ],
         locks="resource",
+        compartments=(Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "grant_resource",
@@ -319,6 +341,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
             ArgSpec("recipient", ArgKind.DOMAIN),
         ],
         locks="resource",
+        compartments=(Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "accept_resource",
@@ -329,12 +352,14 @@ API_SPECS: tuple[ApiSpec, ...] = (
         ],
         locks="resource",
         ecall=EnclaveEcall.ACCEPT_RESOURCE,
+        compartments=(Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "accept_thread",
         CallerKind.ANY,
         [ArgSpec("tid", ArgKind.THREAD_ID)],
-        raw=True,  # pure alias for accept_resource(THREAD, tid)
+        raw=True,  # pure alias for accept_resource(THREAD, tid),
+        compartments=(Compartment.RESOURCES, Compartment.SCHEDULING),
     ),
     _spec(
         "accept_mail",
@@ -345,6 +370,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         ],
         locks="enclave",
         ecall=EnclaveEcall.ACCEPT_MAIL,
+        compartments=(Compartment.MAILBOXES,),
     ),
     _spec(
         "send_mail",
@@ -355,6 +381,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         ],
         locks="recipient",
         ecall=EnclaveEcall.SEND_MAIL,
+        compartments=(Compartment.MAILBOXES,),
     ),
     _spec(
         "get_mail",
@@ -363,6 +390,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         locks="enclave",
         payload=(b"", b""),
         ecall=EnclaveEcall.GET_MAIL,
+        compartments=(Compartment.MAILBOXES,),
     ),
     _spec(
         "get_field",
@@ -370,6 +398,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         [ArgSpec("field_id", ArgKind.FIELD_ID)],
         payload=(b"",),
         ecall=EnclaveEcall.GET_FIELD,
+        compartments=(),
     ),
     _spec(
         "get_random",
@@ -377,12 +406,14 @@ API_SPECS: tuple[ApiSpec, ...] = (
         [ArgSpec("n", ArgKind.LENGTH, min=0, max=4096)],
         payload=(b"",),
         ecall=EnclaveEcall.GET_RANDOM,
+        compartments=(Compartment.ATTESTATION,),
     ),
     _spec(
         "get_attestation_key",
         CallerKind.ENCLAVE,
         payload=(b"",),
         ecall=EnclaveEcall.GET_ATTESTATION_KEY,
+        compartments=(),
     ),
     _spec(
         "map_enclave_page",
@@ -394,6 +425,7 @@ API_SPECS: tuple[ApiSpec, ...] = (
         ],
         locks="enclave",
         ecall=EnclaveEcall.MAP_PAGE,
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "unmap_enclave_page",
@@ -401,12 +433,14 @@ API_SPECS: tuple[ApiSpec, ...] = (
         [ArgSpec("vaddr", ArgKind.VADDR, align=PAGE_SIZE)],
         locks="enclave",
         ecall=EnclaveEcall.UNMAP_PAGE,
+        compartments=(Compartment.ENCLAVE_META,),
     ),
     _spec(
         "get_sealing_key",
         CallerKind.ENCLAVE,
         payload=(b"",),
         ecall=EnclaveEcall.GET_SEALING_KEY,
+        compartments=(),
     ),
 )
 
@@ -421,6 +455,10 @@ TRAP_SPEC = ApiSpec(
     raw=True,
     checked=False,
     fuzz=False,
+    # Raw and unguarded (its legal job is mutating core state, and its
+    # ecall dispatch nests guarded API calls); declared empty so the
+    # conformance test covers the whole surface uniformly.
+    compartments=(),
 )
 
 

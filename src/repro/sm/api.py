@@ -32,7 +32,7 @@ the pipeline holds every planned lock.
 
 from __future__ import annotations
 
-from repro.errors import ApiResult
+from repro.errors import ApiResult, InvariantViolation
 from repro.hw.core import DOMAIN_SM, DOMAIN_UNTRUSTED, Core
 from repro.hw.dma import DmaRange
 from repro.hw.isa import INSTRUCTION_SIZE, Reg
@@ -578,7 +578,13 @@ class SecurityMonitor:
                 thread = self.state.threads[record.rid]
                 thread.state = ThreadState.BLOCKED
             del self.state.enclaves[eid]
-            self.state.release_metadata(eid)
+            if not self.state.release_metadata(eid):
+                # The enclave existed but no arena claim backs its
+                # metadata: the two bookkeeping structures have
+                # diverged (double release / forged claim map).
+                raise InvariantViolation(
+                    f"delete_enclave({eid:#x}): no arena claim to release"
+                )
             self._recompute_dma_filter()
             return ApiResult.OK
 

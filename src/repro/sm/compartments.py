@@ -1,0 +1,401 @@
+"""Compartmentalized SM state (Dorami-style privilege separation).
+
+*Dorami: Privilege Separating Security Monitor on RISC-V TEEs* shows
+that the SM itself need not be one trust domain: its state can be
+partitioned into PMP-guarded compartments so a bug in one SM component
+cannot corrupt another.  This module is the state-partition half of
+that design for the Sanctorum reproduction:
+
+* :class:`Compartment` names the ~5 partitions of
+  :class:`~repro.sm.state.SmState` (enclave metadata, regions and
+  resources, mailboxes, attestation/crypto keys, core scheduling);
+* :func:`classify_write` maps every mutation — expressed as one
+  dotted-path diff from :func:`repro.faults.snapshot.diff_snapshots` —
+  to the compartment that owns the touched state;
+* :func:`arena_slice_map` maps each PMP-guarded metadata arena slice
+  to the compartment owning the structure it backs (enclave metadata
+  vs thread metadata vs unclaimed arena bookkeeping);
+* :class:`CompartmentGuard` mediates every commit-phase mutation: the
+  dispatch pipeline opens only the compartments declared by the call's
+  :class:`~repro.sm.abi.ApiSpec` for the duration of the commit, and a
+  write classified outside that set raises
+  :class:`~repro.errors.CompartmentFault` *after rolling the whole
+  commit back* (journaled memory restore + deep-copied state
+  checkpoint), so the fault is contained: the caller sees
+  ``ApiResult.COMPARTMENT_FAULT``, the offending compartments are
+  quarantined, and calls against healthy compartments keep working.
+
+The guard is strictly behavior-neutral when unprovoked: it consumes no
+RNG, fires no yield sites, and a commit whose writes all fall inside
+the declared set returns exactly what it would have returned without
+the guard (proven by replaying the pre-refactor trace fixtures with
+the guard enabled in ``tests/faults/test_replay_regression.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import enum
+from typing import Any, Callable, Iterable
+
+from repro.errors import CompartmentFault
+
+
+class Compartment(enum.Enum):
+    """One privilege-separated partition of the SM's mutable state."""
+
+    #: Enclave metadata structures: lifecycle state, evrange,
+    #: measurement, page tables/mappings, plus the arena slices backing
+    #: enclave metadata.
+    ENCLAVE_META = "enclave-metadata"
+    #: The resource map for cores and DRAM regions, platform region
+    #: ownership tables, the DMA filter, and arena geometry.
+    RESOURCES = "regions-resources"
+    #: Mailbox state inside every enclave (local attestation, §VI-B).
+    MAILBOXES = "mailboxes"
+    #: The SM's crypto state: DRBG, keys, measurements, certificates.
+    ATTESTATION = "attestation-keys"
+    #: Thread metadata, thread resource records, per-core scheduling
+    #: state (core<->thread binding, architectural core state, the
+    #: delegated OS event queues).
+    SCHEDULING = "core-scheduling"
+
+
+#: Lock-descriptor tokens (``ApiSpec.locks``, "+"-separated) -> the
+#: compartment each token's guarded object lives in.  This is the
+#: *derivation hint* connecting the ABI registry's existing lock sets
+#: to compartment declarations: a call's declared set starts from the
+#: compartments its locks name and is then narrowed/widened to the
+#: commit phase's observed write set (locks also guard reads, and some
+#: writes — e.g. a region-ownership flip under an enclave lock — land
+#: in a different compartment than the lock's object).
+LOCK_TOKEN_COMPARTMENTS: dict[str, Compartment] = {
+    "region": Compartment.RESOURCES,
+    "regions": Compartment.RESOURCES,
+    "resource": Compartment.RESOURCES,
+    "enclave": Compartment.ENCLAVE_META,
+    "recipient": Compartment.MAILBOXES,
+    "thread": Compartment.SCHEDULING,
+    "threads": Compartment.SCHEDULING,
+    "core": Compartment.SCHEDULING,
+}
+
+
+def compartments_from_locks(locks: str) -> frozenset[Compartment]:
+    """The compartments a lock descriptor names (the derivation hint)."""
+    if not locks:
+        return frozenset()
+    return frozenset(
+        LOCK_TOKEN_COMPARTMENTS[token] for token in locks.split("+") if token
+    )
+
+
+# ----------------------------------------------------------------------
+# The write classifier: snapshot-diff path -> owning compartment
+# ----------------------------------------------------------------------
+
+def _claim_compartment(paddr_key: str, snapshots: Iterable[dict]) -> Compartment:
+    """Which compartment owns one metadata-arena claim.
+
+    The claim's start address *is* the structure's identity (eid/tid),
+    so membership in the enclave or thread registry of either the
+    before- or after-snapshot decides ownership; unattributed claims
+    (forged, or mid-creation) belong to the arena bookkeeping itself.
+    """
+    try:
+        key = f"{int(paddr_key):#x}"
+    except ValueError:
+        return Compartment.RESOURCES
+    for snapshot in snapshots:
+        if key in snapshot.get("enclaves", {}):
+            return Compartment.ENCLAVE_META
+        if key in snapshot.get("threads", {}):
+            return Compartment.SCHEDULING
+    return Compartment.RESOURCES
+
+
+def classify_write(
+    path: str, before: dict | None = None, after: dict | None = None
+) -> Compartment:
+    """Map one snapshot-diff path to the compartment that owns it.
+
+    ``path`` is a dotted diff path from
+    :func:`repro.faults.snapshot.diff_snapshots`
+    (``enclaves.0x8000000.mailboxes[0].state``,
+    ``resources.THREAD:3.owner``, ``arenas[0].claims.134348800``, ...).
+    ``before``/``after`` are the snapshots the diff came from; they are
+    consulted only for arena claims, whose owner is identified by
+    address.
+    """
+    head = path.split(".", 1)[0]
+    top = head.split("[", 1)[0].split(":", 1)[0]
+    if top == "resources":
+        # "resources.THREAD:3.owner": the record key carries the type.
+        parts = path.split(".")
+        record_key = parts[1] if len(parts) > 1 else ""
+        if record_key.startswith("THREAD"):
+            return Compartment.SCHEDULING
+        return Compartment.RESOURCES
+    if top == "enclaves":
+        parts = path.split(".")
+        field = parts[2].split("[", 1)[0].split(":", 1)[0] if len(parts) > 2 else ""
+        if field == "mailboxes":
+            return Compartment.MAILBOXES
+        if field in ("thread_tids", "scheduled_threads"):
+            return Compartment.SCHEDULING
+        return Compartment.ENCLAVE_META
+    if top == "threads":
+        return Compartment.SCHEDULING
+    if top == "arenas":
+        parts = path.split(".")
+        if len(parts) > 2 and parts[1].split("[", 1)[0] == "claims":
+            claim_key = parts[2].split(":", 1)[0]
+            return _claim_compartment(claim_key, [s for s in (before, after) if s])
+        return Compartment.RESOURCES
+    if top in ("drbg", "static"):
+        return Compartment.ATTESTATION
+    if top in ("platform_regions", "dma_ranges"):
+        return Compartment.RESOURCES
+    # core_thread, cores, os_events — and anything newly added defaults
+    # to the scheduling compartment, which owns per-core machine state.
+    return Compartment.SCHEDULING
+
+
+def arena_slice_map(state) -> list[dict[str, Any]]:
+    """Map each PMP-guarded metadata-arena slice to its owner compartment.
+
+    One entry per arena: the arena's physical interval plus every
+    claimed slice with the compartment owning the structure it backs.
+    This is the memory-layout view of the partition — the slices an
+    intra-SM PMP would program to wall enclave metadata off from thread
+    metadata inside the same SM-owned region.
+    """
+    arenas: list[dict[str, Any]] = []
+    for arena in state.metadata_arenas:
+        slices = []
+        for paddr, size in sorted(arena.claims.items()):
+            if paddr in state.enclaves:
+                compartment = Compartment.ENCLAVE_META
+            elif paddr in state.threads:
+                compartment = Compartment.SCHEDULING
+            else:
+                compartment = Compartment.RESOURCES
+            slices.append(
+                {"base": paddr, "size": size, "compartment": compartment}
+            )
+        arenas.append({"base": arena.base, "size": arena.size, "slices": slices})
+    return arenas
+
+
+# ----------------------------------------------------------------------
+# The commit-phase guard
+# ----------------------------------------------------------------------
+
+class _Checkpoint:
+    """A restorable deep copy of everything a commit phase may touch.
+
+    Lock objects are *shared* between the live state and the copy (the
+    deepcopy memo is pre-seeded with every :class:`~repro.sm.locks.SmLock`),
+    so the in-flight transaction still releases the locks it acquired
+    after a rollback swaps the guarded structures back in.
+    """
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        state = sm.state
+        memo: dict[int, Any] = {}
+        for record in state.resources.all_records():
+            memo[id(record.lock)] = record.lock
+        for enclave in state.enclaves.values():
+            memo[id(enclave.lock)] = enclave.lock
+        for thread in state.threads.values():
+            memo[id(thread.lock)] = thread.lock
+        self.resources = copy.deepcopy(state.resources, memo)
+        self.enclaves = copy.deepcopy(state.enclaves, memo)
+        self.threads = copy.deepcopy(state.threads, memo)
+        self.arenas = copy.deepcopy(state.metadata_arenas, memo)
+        self.drbg = copy.deepcopy(state.drbg, memo)
+        self.static = (
+            state.sm_measurement,
+            state.sm_secret_key,
+            state.sm_public_key,
+            state.sm_certificate,
+            state.device_certificate,
+            state.signing_enclave_measurement,
+            state.platform_name,
+        )
+        self.core_thread = dict(sm._core_thread)
+        self.cores = [
+            {
+                "regs": list(core.regs),
+                "pc": core.pc,
+                "privilege": core.privilege,
+                "halted": core.halted,
+                "domain": core.domain,
+                "context": dataclass_copy(core.context),
+            }
+            for core in sm.machine.cores
+        ]
+        self.platform = sm.platform.snapshot_assignments()
+        events = sm.os_events
+        self.event_queues = [list(queue) for queue in events._queues]
+        self.events_posted = events.posted
+        self.events_by_kind = dict(events.posted_by_kind)
+
+    def restore(self) -> None:
+        sm = self.sm
+        state = sm.state
+        state.resources = self.resources
+        state.enclaves = self.enclaves
+        state.threads = self.threads
+        state.metadata_arenas = self.arenas
+        state.drbg = self.drbg
+        (
+            state.sm_measurement,
+            state.sm_secret_key,
+            state.sm_public_key,
+            state.sm_certificate,
+            state.device_certificate,
+            state.signing_enclave_measurement,
+            state.platform_name,
+        ) = self.static
+        sm._core_thread.clear()
+        sm._core_thread.update(self.core_thread)
+        for core, saved in zip(sm.machine.cores, self.cores):
+            core.regs = list(saved["regs"])
+            core.pc = saved["pc"]
+            core.privilege = saved["privilege"]
+            core.halted = saved["halted"]
+            core.domain = saved["domain"]
+            ctx = saved["context"]
+            core.context.paging_enabled = ctx.paging_enabled
+            core.context.os_root_ppn = ctx.os_root_ppn
+            core.context.enclave_root_ppn = ctx.enclave_root_ppn
+            core.context.evrange = ctx.evrange
+            # Conservative: translations memoized during the rolled-back
+            # commit must not survive it.  A flushed TLB is always safe.
+            core.tlb.flush_all()
+        sm.platform.restore_assignments(self.platform)
+        events = sm.os_events
+        events._queues = [list(queue) for queue in self.event_queues]
+        events.posted = self.events_posted
+        events.posted_by_kind = dict(self.events_by_kind)
+        # The DMA filter is a pure function of SM state; recompute it
+        # from the restored tables rather than trusting a saved copy.
+        sm._recompute_dma_filter()
+
+
+def dataclass_copy(value):
+    """A shallow field copy of a plain dataclass instance."""
+    return dataclasses.replace(value)
+
+
+class CompartmentGuard:
+    """Mediates commit-phase mutations against declared compartments.
+
+    Owned by one :class:`~repro.sm.api.SecurityMonitor` (installed via
+    :func:`install_compartment_guard`).  The dispatch pipeline routes
+    every outermost, checkable commit through :meth:`guarded_commit`,
+    which snapshots, journals, runs the commit, classifies every
+    observed write, and on an out-of-compartment write rolls everything
+    back and raises :class:`~repro.errors.CompartmentFault`.  The
+    :class:`~repro.sm.pipeline.CompartmentInterceptor` converts that
+    fault into the ``API_COMPARTMENT_FAULT`` error return and
+    quarantines the call's compartments.
+    """
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        #: Compartments taken out of service by a contained fault.
+        self.quarantined: set[Compartment] = set()
+        #: spec name -> union of compartments its commits actually wrote
+        #: (the observed write set the conformance tests compare against
+        #: declarations).
+        self.observed: dict[str, set[Compartment]] = {}
+        #: Optional saboteur fired inside the commit window (the
+        #: fault-injection hook for containment campaigns); must expose
+        #: ``fire(spec) -> None``.
+        self.saboteur = None
+        #: Commits mediated / faults contained, for reporting.
+        self.commits_guarded = 0
+        self.faults_contained = 0
+
+    def guards(self, spec, depth: int) -> bool:
+        """Whether this guard mediates the given dispatch."""
+        return depth == 1 and spec.checked and not spec.raw
+
+    def declared(self, spec) -> frozenset[Compartment]:
+        return frozenset(spec.compartments or ())
+
+    def heal(self, *compartments: Compartment) -> None:
+        """Return compartments to service (all of them by default)."""
+        if compartments:
+            self.quarantined.difference_update(compartments)
+        else:
+            self.quarantined.clear()
+
+    def guarded_commit(self, spec, run: Callable[[], Any]) -> Any:
+        """Run one commit phase with only ``spec``'s compartments open."""
+        from repro.faults.atomicity import MemoryJournal
+        from repro.faults.snapshot import diff_snapshots, snapshot_system
+
+        self.commits_guarded += 1
+        checkpoint = _Checkpoint(self.sm)
+        before = snapshot_system(self.sm)
+        declared = self.declared(spec)
+        with MemoryJournal(self.sm.machine.memory) as journal:
+            saboteur = self.saboteur
+            if saboteur is not None:
+                saboteur.fire(spec)
+            result = run()
+            after = snapshot_system(self.sm)
+            # Diff lines are "<path>: <description>"; the separator is
+            # colon-space because bare colons occur inside resource keys
+            # ("resources.THREAD:3.owner").
+            classified = [
+                (line, classify_write(line.split(": ", 1)[0], before, after))
+                for line in diff_snapshots(before, after)
+            ]
+            observed = self.observed.setdefault(spec.name, set())
+            observed.update(compartment for _, compartment in classified)
+            illegal = [
+                (line, compartment)
+                for line, compartment in classified
+                if compartment not in declared
+            ]
+            if not illegal:
+                return result
+            self.faults_contained += 1
+            journal.restore()
+            checkpoint.restore()
+        targets = frozenset(compartment for _, compartment in illegal)
+        raise CompartmentFault(
+            f"{spec.name} commit wrote outside its declared compartments "
+            f"{sorted(c.value for c in declared)}: "
+            + "; ".join(
+                f"{path_line} -> {compartment.value}"
+                for path_line, compartment in illegal[:6]
+            ),
+            compartments=targets,
+        )
+
+
+def install_compartment_guard(sm) -> CompartmentGuard:
+    """Attach a guard to a monitor and interpose on its pipeline.
+
+    Idempotent: a monitor already guarded keeps its existing guard.
+    The :class:`~repro.sm.pipeline.CompartmentInterceptor` is installed
+    *outside* the current stack so quarantine checks run before perf
+    accounting and any later-installed atomicity checker wraps the
+    whole guarded dispatch (independently proving rollback cleanliness).
+    """
+    from repro.sm.pipeline import CompartmentInterceptor
+
+    existing = getattr(sm, "compartment_guard", None)
+    if existing is not None:
+        return existing
+    guard = CompartmentGuard(sm)
+    sm.compartment_guard = guard
+    sm.pipeline.install(CompartmentInterceptor(guard))
+    return guard

@@ -44,7 +44,7 @@ import dataclasses
 import time
 from typing import Any, Callable
 
-from repro.errors import ApiResult
+from repro.errors import ApiResult, CompartmentFault
 from repro.hw.core import DOMAIN_UNTRUSTED
 from repro.sm.abi import ApiSpec, CallerKind
 from repro.sm.locks import LockConflict, Transaction
@@ -122,14 +122,74 @@ class EcallPipeline:
             return spec.shape_error(outcome)
         sm._yield_point(f"{spec.name}.validated")
         if not outcome.locks:
-            return outcome.commit(None)
+            return self._commit(ctx, outcome, None)
         try:
             with Transaction() as txn:
                 txn.take(*outcome.locks)
                 sm._yield_point(f"{spec.name}.locked")
-                return outcome.commit(txn)
+                return self._commit(ctx, outcome, txn)
         except LockConflict:
             return spec.shape_error(ApiResult.LOCK_CONFLICT)
+
+    def _commit(self, ctx: CallContext, plan: Plan, txn):
+        """Run a plan's commit phase, compartment-guarded when a guard
+        is installed.
+
+        The guard opens exactly the compartments the call's registry
+        entry declares for the duration of the commit; a write outside
+        them raises :class:`~repro.errors.CompartmentFault` after the
+        commit (memory and SM state both) has been rolled back.  The
+        fault propagates out of the transaction — releasing every held
+        lock — and is converted into an ``API_COMPARTMENT_FAULT`` error
+        return by the :class:`CompartmentInterceptor`.
+        """
+        guard = getattr(ctx.sm, "compartment_guard", None)
+        if guard is None or not guard.guards(ctx.spec, self.depth):
+            return plan.commit(txn)
+        return guard.guarded_commit(ctx.spec, lambda: plan.commit(txn))
+
+
+class CompartmentInterceptor:
+    """Pipeline interceptor: contain compartment faults, enforce quarantine.
+
+    The write mediation itself happens in the executor's commit window
+    (see :meth:`EcallPipeline._commit`); this interceptor supplies the
+    dispatch-level halves of the containment story:
+
+    * **quarantine** — an outermost call declaring a quarantined
+      compartment is refused up front with ``COMPARTMENT_FAULT``
+      (shaped to the call's documented payload), *before* validate
+      runs, so a compartment taken out of service by an earlier
+      contained fault stops serving until healed;
+    * **containment** — a :class:`~repro.errors.CompartmentFault`
+      escaping the commit window (state already rolled back, locks
+      already released) is converted into the same error return, and
+      the offending call's declared compartments are quarantined.
+
+    Both halves are deterministic and consume no RNG; a dispatch whose
+    commit stays inside its declared compartments is returned
+    untouched, which keeps benign traces bit-identical with the guard
+    enabled.
+    """
+
+    def __init__(self, guard) -> None:
+        self.guard = guard
+
+    def intercept(self, ctx: CallContext, proceed):
+        guard = self.guard
+        if not guard.guards(ctx.spec, ctx.pipeline.depth):
+            return proceed()
+        declared = guard.declared(ctx.spec)
+        if declared & guard.quarantined:
+            return ctx.spec.shape_error(ApiResult.COMPARTMENT_FAULT)
+        try:
+            return proceed()
+        except CompartmentFault:
+            # The guard rolled the commit back before raising; take the
+            # misbehaving component (the call's own compartments) out
+            # of service and degrade gracefully instead of crashing.
+            guard.quarantined.update(declared)
+            return ctx.spec.shape_error(ApiResult.COMPARTMENT_FAULT)
 
 
 class PerfInterceptor:

@@ -67,9 +67,15 @@ class MetadataArena:
         self.claims[paddr] = size
         return True
 
-    def release(self, paddr: int) -> None:
-        """Drop a claim (structure destroyed)."""
-        self.claims.pop(paddr, None)
+    def release(self, paddr: int) -> bool:
+        """Drop a claim (structure destroyed); False if none existed.
+
+        A False return means the caller's bookkeeping disagrees with
+        the arena's — a double release or a forged address — which the
+        SM treats as an internal-consistency fault rather than silently
+        ignoring.
+        """
+        return self.claims.pop(paddr, None) is not None
 
     def suggest(self, size: int, alignment: int = 64) -> int | None:
         """First-fit free interval an OS could claim (helper, no authority)."""
@@ -118,9 +124,12 @@ class SmState:
                 return arena.claim(paddr, size)
         return False
 
-    def release_metadata(self, paddr: int) -> None:
+    def release_metadata(self, paddr: int) -> bool:
+        """Release a metadata claim; False if no arena held one."""
+        released = False
         for arena in self.metadata_arenas:
-            arena.release(paddr)
+            released = arena.release(paddr) or released
+        return released
 
     def suggest_metadata(self, size: int) -> int | None:
         """First-fit helper for OS models choosing a metadata address."""

@@ -1,0 +1,166 @@
+"""Compartment-fault containment campaigns (repro.faults.fuzzer).
+
+The containment story end to end: seeded sabotage campaigns on both
+platforms with zero escapes, the harness's ability to *detect* an
+escape (proven by sabotaging a declared compartment, which the guard is
+blind to by design), counterexample shrinking and replay for
+containment violations, and the nested/restoring memory journal the
+guard's rollback rides on.
+"""
+
+import pytest
+
+from repro import build_sanctum_system
+from repro.errors import ApiResult
+from repro.faults.atomicity import MemoryJournal
+from repro.faults.fuzzer import (
+    _execute_steps,
+    _make_step,
+    _Session,
+    run_sabotage_fuzz,
+    shrink_trace,
+)
+from repro.faults.inject import ScriptedSaboteur
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.compartments import install_compartment_guard
+
+
+# -- live campaigns: zero escapes ----------------------------------------
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_sabotage_campaigns_contain_every_fault(platform):
+    report = run_sabotage_fuzz(
+        seed=20260807, campaigns=3, platform=platform, steps_per_campaign=12
+    )
+    assert report.violation is None, report.violation
+    assert report.escapes == 0
+    assert report.campaigns_run == 3
+    assert report.sabotages_applied > 0
+    # Every injected corruption was detected, rolled back (the
+    # in-pipeline atomicity checker verified the snapshot diff clean —
+    # COMPARTMENT_FAULT is an error return), and quarantined.
+    assert report.faults_contained == report.sabotages_applied
+    assert report.errors_verified >= report.faults_contained
+    # Graceful degradation was actually exercised, not just healed past.
+    assert report.quarantine_refusals > 0
+
+
+# -- escape detection: the harness is not vacuous ------------------------
+
+def _escaping_steps(platform="sanctum"):
+    """One step whose sabotage targets a compartment the call declares.
+
+    block_resource declares regions-resources, and region-owner-flip
+    corrupts exactly that compartment — indistinguishable from the
+    call's own writes, so the guard *cannot* contain it.  The harness
+    must flag the escape.
+    """
+    probe = _Session(platform, engine_rng=None)
+    rid = probe.system.kernel._donatable_regions[0]
+    step = _make_step("block_resource", [0, "DRAM_REGION", rid])
+    step["sabotage"] = [
+        {"name": "region-owner-flip", "compartment": "regions-resources"}
+    ]
+    return [step]
+
+
+def test_declared_compartment_sabotage_is_flagged_as_escape():
+    steps = _escaping_steps()
+    violation = _execute_steps(steps, "sanctum")
+    assert violation is not None
+    assert violation.kind == "containment"
+    assert "escaped" in violation.detail
+    assert "region-owner-flip" in violation.detail
+
+
+def test_containment_counterexamples_shrink_and_replay():
+    # Pad the escaping step with irrelevant traffic; shrinking must
+    # strip the padding and the shrunken trace must still reproduce.
+    padding = [_make_step("run_core", [0, 50]) for _ in range(3)]
+    steps = padding + _escaping_steps() + padding
+    shrunk = shrink_trace(steps, "sanctum", "containment")
+    assert len(shrunk) == 1
+    assert shrunk[0]["op"] == "block_resource"
+    replayed = _execute_steps(shrunk, "sanctum")
+    assert replayed is not None and replayed.kind == "containment"
+
+
+def test_declaration_free_call_sabotage_contains_without_quarantine():
+    # A sabotaged call that declares NO compartments (read-only
+    # get_field) is still contained and refused, but there is no
+    # component to quarantine — the quarantine set legitimately stays
+    # empty (found by keystone campaign seed 0).
+    system = build_sanctum_system()
+    guard = install_compartment_guard(system.sm)
+    guard.saboteur = ScriptedSaboteur(system.sm, ["drbg-clobber"])
+    code, _ = system.sm.get_field(DOMAIN_UNTRUSTED, 1)
+    guard.saboteur = None
+    assert code is ApiResult.COMPARTMENT_FAULT
+    assert guard.faults_contained == 1
+    assert guard.quarantined == set()
+    # The campaign/replay harness accepts this as contained, not as a
+    # missing quarantine.
+    step = _make_step("get_field", [0, 1])
+    step["sabotage"] = [
+        {"name": "drbg-clobber", "compartment": "attestation-keys"}
+    ]
+    assert _execute_steps([step], "sanctum") is None
+
+
+def test_contained_sabotage_replays_as_contained():
+    # The inverse: a recorded *cross*-compartment sabotage replays
+    # through ScriptedSaboteur and is contained again — no violation.
+    probe = _Session("sanctum", engine_rng=None)
+    rid = probe.system.kernel._donatable_regions[0]
+    step = _make_step("block_resource", [0, "DRAM_REGION", rid])
+    step["sabotage"] = [
+        {"name": "drbg-clobber", "compartment": "attestation-keys"}
+    ]
+    assert _execute_steps([step], "sanctum") is None
+
+
+# -- the nested, restoring memory journal --------------------------------
+
+class TestMemoryJournalNesting:
+    def test_nested_journals_restore_independently(self):
+        system = build_sanctum_system()
+        memory = system.machine.memory
+        base = system.kernel.alloc_buffer(1)
+        memory.write(base, b"\xaa" * 8)
+        original = memory.read(base, 8)
+        with MemoryJournal(memory) as outer:
+            memory.write(base, b"\x11" * 8)
+            with MemoryJournal(memory) as inner:
+                memory.write(base, b"\x22" * 8)
+                restored = inner.restore()
+                assert restored  # the touched page came back
+                assert memory.read(base, 8) == b"\x11" * 8
+            # The outer journal survived the inner scope: its
+            # interposition is still active and its pre-images intact.
+            memory.write(base, b"\x33" * 8)
+            assert outer.changed_pages()
+            outer.restore()
+            assert memory.read(base, 8) == original
+        # All interposition gone: plain class methods again.
+        assert "write" not in memory.__dict__
+        assert "zero_range" not in memory.__dict__
+
+    def test_restore_returns_only_dirty_pages(self):
+        system = build_sanctum_system()
+        memory = system.machine.memory
+        base = system.kernel.alloc_buffer(1)
+        snapshot = memory.read(base, 4)
+        with MemoryJournal(memory) as journal:
+            memory.write(base, snapshot)  # touched but unchanged
+            assert journal.restore() == []
+
+    def test_zero_range_is_journaled_and_restored(self):
+        system = build_sanctum_system()
+        memory = system.machine.memory
+        base = system.kernel.alloc_buffer(1)
+        memory.write(base, b"\x5a" * 16)
+        with MemoryJournal(memory) as journal:
+            memory.zero_range(base, 16)
+            assert memory.read(base, 16) == b"\x00" * 16
+            journal.restore()
+        assert memory.read(base, 16) == b"\x5a" * 16

@@ -1,0 +1,263 @@
+"""The compartmentalized-SM model (repro.sm.compartments).
+
+Covers the write classifier, the arena-slice partition map, the ABI
+conformance of compartment declarations, the commit-window guard's
+behaviour (observed write sets, containment, rollback, quarantine,
+healing), and the bool-returning metadata-arena release.
+"""
+
+import pytest
+
+from repro import build_sanctum_system
+from repro.errors import ApiResult
+from repro.faults.inject import ScriptedSaboteur, sabotage_catalogue
+from repro.faults.snapshot import diff_snapshots, snapshot_system
+from repro.hw.core import DOMAIN_UNTRUSTED
+from repro.sm.abi import API_SPECS, TRAP_SPEC
+from repro.sm.compartments import (
+    LOCK_TOKEN_COMPARTMENTS,
+    Compartment,
+    arena_slice_map,
+    classify_write,
+    compartments_from_locks,
+    install_compartment_guard,
+)
+from repro.sm.resources import ResourceType
+from repro.sm.state import MetadataArena
+from repro.system import build_system
+from tests.conftest import trivial_enclave_image
+
+OS = DOMAIN_UNTRUSTED
+
+
+# -- the write classifier ------------------------------------------------
+
+class TestClassifyWrite:
+    @pytest.mark.parametrize("path,expected", [
+        ("resources.DRAM_REGION:3.owner", Compartment.RESOURCES),
+        ("resources.CORE:1.state", Compartment.RESOURCES),
+        ("resources.THREAD:5.owner", Compartment.SCHEDULING),
+        ("enclaves.0x8000000.state", Compartment.ENCLAVE_META),
+        ("enclaves.0x8000000.evrange[0]", Compartment.ENCLAVE_META),
+        ("enclaves.0x8000000.measurement", Compartment.ENCLAVE_META),
+        ("enclaves.0x8000000.vpn_to_ppn.262144", Compartment.ENCLAVE_META),
+        ("enclaves.0x8000000.mailboxes[0].state", Compartment.MAILBOXES),
+        ("enclaves.0x8000000.thread_tids", Compartment.SCHEDULING),
+        ("enclaves.0x8000000.scheduled_threads", Compartment.SCHEDULING),
+        ("threads.0x8001000.state", Compartment.SCHEDULING),
+        ("core_thread.0", Compartment.SCHEDULING),
+        ("cores[1].pc", Compartment.SCHEDULING),
+        ("os_events.posted", Compartment.SCHEDULING),
+        ("drbg.reseed_counter", Compartment.ATTESTATION),
+        ("static.sm_secret_key", Compartment.ATTESTATION),
+        ("platform_regions.2", Compartment.RESOURCES),
+        ("dma_ranges[0][0]", Compartment.RESOURCES),
+        ("arenas[0].base", Compartment.RESOURCES),
+    ])
+    def test_path_classification(self, path, expected):
+        assert classify_write(path) is expected
+
+    def test_arena_claim_owned_by_enclave(self):
+        before = {"enclaves": {"0x8020000": {}}, "threads": {}}
+        assert (
+            classify_write("arenas[0].claims.134348800", before, before)
+            is Compartment.ENCLAVE_META
+        )
+        assert 134348800 == 0x8020000
+
+    def test_arena_claim_owned_by_thread(self):
+        after = {"enclaves": {}, "threads": {"0x8020000": {}}}
+        assert (
+            classify_write("arenas[0].claims.134348800", {}, after)
+            is Compartment.SCHEDULING
+        )
+
+    def test_arena_claim_appearing_only_in_after_snapshot(self):
+        # create_enclave: the claim and the enclave registry entry land
+        # in the same commit, so ownership is visible only in `after`.
+        before = {"enclaves": {}, "threads": {}}
+        after = {"enclaves": {"0x8020000": {}}, "threads": {}}
+        assert (
+            classify_write("arenas[0].claims.134348800", before, after)
+            is Compartment.ENCLAVE_META
+        )
+
+    def test_unattributed_claim_is_arena_bookkeeping(self):
+        assert (
+            classify_write("arenas[0].claims.999", {}, {})
+            is Compartment.RESOURCES
+        )
+
+
+class TestLockDerivation:
+    def test_every_lock_token_maps_to_a_compartment(self):
+        for spec in (*API_SPECS, TRAP_SPEC):
+            for token in filter(None, (spec.locks or "").split("+")):
+                assert token in LOCK_TOKEN_COMPARTMENTS, (
+                    f"{spec.name}: lock token {token!r} has no compartment"
+                )
+
+    def test_compartments_from_locks(self):
+        assert compartments_from_locks("") == frozenset()
+        assert compartments_from_locks("enclave") == {Compartment.ENCLAVE_META}
+        assert compartments_from_locks("enclave+thread+core") == {
+            Compartment.ENCLAVE_META,
+            Compartment.SCHEDULING,
+        }
+
+
+# -- ABI conformance ------------------------------------------------------
+
+def test_every_spec_declares_its_compartments():
+    for spec in (*API_SPECS, TRAP_SPEC):
+        assert spec.compartments is not None, (
+            f"{spec.name} has no compartment declaration"
+        )
+        for compartment in spec.compartments:
+            assert isinstance(compartment, Compartment)
+
+
+def test_read_only_calls_declare_no_compartments():
+    for name in ("get_field", "get_attestation_key", "get_sealing_key"):
+        spec = next(s for s in API_SPECS if s.name == name)
+        assert spec.compartments == ()
+
+
+# -- observed write sets stay inside declarations ------------------------
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_lifecycle_commits_stay_inside_declared_compartments(platform):
+    system = build_system(platform)
+    sm, kernel = system.sm, system.kernel
+    guard = install_compartment_guard(sm)
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    assert sm.get_random(OS, 16)[0] is ApiResult.OK
+    kernel.destroy_enclave(loaded.eid)
+    assert guard.commits_guarded > 0
+    assert guard.faults_contained == 0
+    by_name = {s.name: s for s in API_SPECS}
+    for name, observed in guard.observed.items():
+        declared = frozenset(by_name[name].compartments or ())
+        assert observed <= declared, (
+            f"{name} wrote {sorted(c.value for c in observed - declared)} "
+            f"outside its declaration"
+        )
+
+
+# -- containment, rollback, quarantine, healing --------------------------
+
+@pytest.fixture
+def guarded_system():
+    system = build_sanctum_system()
+    guard = install_compartment_guard(system.sm)
+    return system, guard
+
+
+def test_cross_compartment_write_is_contained_and_rolled_back(guarded_system):
+    system, guard = guarded_system
+    sm, kernel = system.sm, system.kernel
+    rid = kernel._donatable_regions[0]
+    before = snapshot_system(sm)
+    guard.saboteur = ScriptedSaboteur(sm, ["drbg-clobber"])
+    result = sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
+    guard.saboteur = None
+    assert result is ApiResult.COMPARTMENT_FAULT
+    # The whole commit — sabotage AND the call's own legal writes —
+    # rolled back: the snapshot diff is empty.
+    assert diff_snapshots(before, snapshot_system(sm)) == []
+    assert guard.faults_contained == 1
+    # The misbehaving component (the call's declared compartments) is
+    # out of service, not the victim compartment.
+    assert guard.quarantined == {Compartment.RESOURCES, Compartment.SCHEDULING}
+
+
+def test_quarantine_refuses_service_and_heal_restores_it(guarded_system):
+    system, guard = guarded_system
+    sm, kernel = system.sm, system.kernel
+    rid = kernel._donatable_regions[0]
+    guard.saboteur = ScriptedSaboteur(sm, ["secret-key-leak"])
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) \
+        is ApiResult.COMPARTMENT_FAULT
+    guard.saboteur = None
+    # Quarantined compartments refuse before validation ever runs.
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) \
+        is ApiResult.COMPARTMENT_FAULT
+    # Healthy compartments keep working: attestation was the victim,
+    # not the faulting component, so randomness still serves.
+    code, data = sm.get_random(OS, 8)
+    assert code is ApiResult.OK and len(data) == 8
+    guard.heal()
+    assert guard.quarantined == set()
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) is ApiResult.OK
+
+
+def test_sabotage_inside_declared_compartment_is_invisible(guarded_system):
+    # A corruption *inside* the declared set is indistinguishable from
+    # the call's own writes — by design the guard cannot flag it.  This
+    # pins the detection boundary (and the fuzzer harness's escape
+    # check builds on exactly this blindness).
+    system, guard = guarded_system
+    sm, kernel = system.sm, system.kernel
+    rid = kernel._donatable_regions[0]
+    guard.saboteur = ScriptedSaboteur(sm, ["region-owner-flip"])
+    result = sm.block_resource(OS, ResourceType.DRAM_REGION, rid)
+    guard.saboteur = None
+    assert result is not ApiResult.COMPARTMENT_FAULT
+    assert guard.faults_contained == 0
+
+
+def test_install_is_idempotent(guarded_system):
+    system, guard = guarded_system
+    assert install_compartment_guard(system.sm) is guard
+
+
+def test_sabotage_catalogue_covers_every_compartment():
+    covered = {entry.compartment for entry in sabotage_catalogue()}
+    assert covered == set(Compartment)
+
+
+# -- the arena-slice partition map ---------------------------------------
+
+def test_arena_slice_map_partitions_claims_by_owner():
+    system = build_sanctum_system()
+    sm, kernel = system.sm, system.kernel
+    loaded = kernel.load_enclave(trivial_enclave_image())
+    arenas = arena_slice_map(sm.state)
+    assert len(arenas) == len(sm.state.metadata_arenas)
+    slices = [s for arena in arenas for s in arena["slices"]]
+    owners = {s["base"]: s["compartment"] for s in slices}
+    assert owners[loaded.eid] is Compartment.ENCLAVE_META
+    for tid in loaded.tids:
+        assert owners[tid] is Compartment.SCHEDULING
+    for arena, live in zip(arenas, sm.state.metadata_arenas):
+        assert arena["base"] == live.base and arena["size"] == live.size
+        for s in arena["slices"]:
+            assert live.claims[s["base"]] == s["size"]
+
+
+# -- MetadataArena.release returns a useful bool -------------------------
+
+class TestArenaRelease:
+    def test_release_reports_whether_a_claim_existed(self):
+        arena = MetadataArena(base=0x1000, size=0x1000)
+        assert arena.claim(0x1100, 0x100)
+        assert arena.release(0x1100) is True
+        assert arena.release(0x1100) is False  # double release detected
+        assert arena.release(0x1900) is False  # never claimed
+
+    def test_release_metadata_scans_all_arenas(self):
+        system = build_sanctum_system()
+        state = system.sm.state
+        paddr = state.suggest_metadata(64)
+        assert state.claim_metadata(paddr, 64)
+        assert state.release_metadata(paddr) is True
+        assert state.release_metadata(paddr) is False
+
+    def test_delete_enclave_releases_exactly_once(self):
+        system = build_sanctum_system()
+        sm, kernel = system.sm, system.kernel
+        loaded = kernel.load_enclave(trivial_enclave_image())
+        kernel.destroy_enclave(loaded.eid)
+        # The eid claim is gone; a second release is detectable.
+        assert sm.state.release_metadata(loaded.eid) is False

@@ -91,5 +91,6 @@ def test_report_breaks_out_the_dispatch_layers():
     handlers = report.per_layer["handlers (sm/api.py)"]
     assert report.per_layer["pipeline (sm/pipeline.py)"] < handlers / 4
     assert report.per_layer["registry (sm/abi.py)"] < handlers
+    assert report.per_layer["compartments (sm/compartments.py)"] < handlers
     # Layer files are sm_core files, so the layers nest inside it.
     assert sum(report.per_layer.values()) < report.per_category["sm_core"]
