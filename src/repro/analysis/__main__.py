@@ -13,6 +13,11 @@ Commands:
   counterexample.  ``fuzz --replay <trace.json>`` re-executes one;
   ``fuzz --sabotage`` runs compartment-containment campaigns instead;
   ``--platform both`` covers sanctum and keystone in one invocation.
+* ``fleet`` — multi-machine attestation-as-a-service benchmark
+  (:mod:`repro.fleet`): boots fleets of the given machine counts,
+  drives a client population through remote attestation, sealed
+  channel updates, and mailbox local attestation, verifies every
+  report cross-machine, and writes ``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
@@ -147,6 +152,43 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.bench import format_fleet_bench, run_fleet_bench
+
+    try:
+        machine_counts = tuple(
+            int(part) for part in str(args.machines).split(",") if part
+        )
+    except ValueError:
+        print(f"bad --machines value {args.machines!r}; expected e.g. 1,2,4")
+        return 2
+    if not machine_counts or any(count <= 0 for count in machine_counts):
+        print(f"bad --machines value {args.machines!r}; counts must be positive")
+        return 2
+    platforms = ("sanctum", "keystone") if args.platform == "both" else (args.platform,)
+    result = run_fleet_bench(
+        machine_counts=machine_counts,
+        clients=args.clients,
+        platforms=platforms,
+        fleet_seed=args.seed,
+        channel_updates=args.channel_updates,
+        local_attest_every=args.local_attest_every,
+        mode="inline" if args.inline else "process",
+        out_path=args.out,
+    )
+    print(format_fleet_bench(result))
+    print(f"  wrote {args.out}")
+    ok = all(
+        entry["all_verified"]
+        and entry["distinct_identities"]
+        and entry["replay_rejected"] is not False
+        and entry["splice_rejected"] is not False
+        for data in result["platforms"].values()
+        for entry in data["counts"]
+    )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.analysis")
     sub = parser.add_subparsers(dest="command")
@@ -175,9 +217,28 @@ def main(argv: list[str] | None = None) -> int:
                       help="sabotage campaigns per platform (with --sabotage)")
     fuzz.add_argument("--replay", metavar="TRACE",
                       help="re-execute a saved counterexample trace")
+    fleet = sub.add_parser("fleet",
+                           help="multi-machine attestation-as-a-service bench")
+    fleet.add_argument("--machines", default="1,2,4",
+                       help="comma-separated machine counts (default 1,2,4)")
+    fleet.add_argument("--clients", type=int, default=24,
+                       help="simulated clients per machine count")
+    fleet.add_argument("--platform", default="sanctum",
+                       choices=("sanctum", "keystone", "both"),
+                       help="platform(s) to run the fleet on")
+    fleet.add_argument("--seed", type=int, default=2026, help="fleet seed")
+    fleet.add_argument("--channel-updates", type=int, default=2,
+                       help="sealed channel round trips per client")
+    fleet.add_argument("--local-attest-every", type=int, default=4,
+                       help="every k-th client also runs Fig.-6 local "
+                            "attestation (0 disables)")
+    fleet.add_argument("--inline", action="store_true",
+                       help="run all machines in-process (no multiprocessing)")
+    fleet.add_argument("--out", default="BENCH_fleet.json",
+                       help="where to write the JSON result")
     args = parser.parse_args(argv)
     handler = {"perf": cmd_perf, "bench": cmd_bench,
-               "fuzz": cmd_fuzz}.get(args.command, cmd_loc)
+               "fuzz": cmd_fuzz, "fleet": cmd_fleet}.get(args.command, cmd_loc)
     return handler(args)
 
 

@@ -117,20 +117,42 @@ class Certificate:
         return ed25519_verify(issuer_key, self.to_signed_bytes(), self.signature)
 
 
-def verify_chain(chain: list[Certificate], root_key: bytes) -> Certificate:
+#: Issuer name the first certificate of a chain must carry — the
+#: manufacturer root that signs device certificates (§IV-A).
+ROOT_ISSUER_NAME = "manufacturer"
+
+
+def verify_chain(
+    chain: list[Certificate],
+    root_key: bytes,
+    root_name: str = ROOT_ISSUER_NAME,
+) -> Certificate:
     """Verify a root-first certificate chain against a trusted root key.
 
-    Each certificate must be signed by the previous certificate's
-    subject key (the first by ``root_key``).  Returns the leaf
-    certificate on success; raises :class:`CertificateError` otherwise.
+    Two links are checked per certificate: the *signature* link (each
+    certificate must verify under the previous certificate's subject
+    key, the first under ``root_key``) and the *name* link (each
+    certificate's ``issuer`` must equal the previous certificate's
+    ``subject``, the first must name ``root_name``).  The name check
+    matters: without it a chain whose leaf claims issuer
+    ``"manufacturer"`` but was actually signed by an unrelated subject
+    still passes the signature checks.  Returns the leaf certificate on
+    success; raises :class:`CertificateError` otherwise.
     """
     if not chain:
         raise CertificateError("empty certificate chain")
     signer_key = root_key
+    signer_name = root_name
     for depth, cert in enumerate(chain):
+        if cert.issuer != signer_name:
+            raise CertificateError(
+                f"certificate {depth} ({cert.subject!r}) names issuer "
+                f"{cert.issuer!r}, expected {signer_name!r}"
+            )
         if not cert.verify(signer_key):
             raise CertificateError(
                 f"certificate {depth} ({cert.subject!r}) failed verification"
             )
         signer_key = cert.subject_key
+        signer_name = cert.subject
     return chain[-1]

@@ -66,6 +66,16 @@ class CertificateError(CryptoError):
     """A certificate or certificate chain failed verification."""
 
 
+class BootError(SanctorumError):
+    """System bring-up reached an inconsistent state.
+
+    Raised by the :mod:`repro.system` builders when a boot-time
+    consistency check fails (e.g. the Keystone SM region record does
+    not reflect SM ownership).  Unlike a bare ``assert`` these checks
+    survive ``python -O``.
+    """
+
+
 class InvariantViolation(SanctorumError):
     """An SM runtime self-check failed.
 

@@ -1,0 +1,42 @@
+"""Multi-machine attestation-as-a-service (the ROADMAP's fleet item).
+
+The paper's remote-attestation protocol (§IV-A, §VI-C) earns its keep
+when *many* devices attest to *many* verifiers.  This package scales
+the single-machine reproduction out to a fleet:
+
+* :mod:`repro.fleet.identity` — distinct, deterministic per-machine
+  identities (TRNG seed + device id) derived from one fleet seed.
+* :mod:`repro.fleet.worker` — a per-machine server: boots one
+  :class:`~repro.system.System`, provisions the signing enclave once,
+  and serves client jobs (full Fig.-7 remote attestation, sealed
+  channel updates, Fig.-6 mailbox local attestation) from an event
+  loop, keeping a deterministic transcript.
+* :mod:`repro.fleet.harness` — boots N workers (multiprocessing — the
+  machines share no state) and drives M simulated clients against
+  them; every attestation is verified *cross-machine* in the harness,
+  which holds only each machine's manufacturer root public key.
+* :mod:`repro.fleet.verify` — the verifier-side chain cache that
+  amortizes certificate-chain signature checks across requests from
+  the same machine.
+* :mod:`repro.fleet.bench` — ``python -m repro.analysis fleet``:
+  attestations/sec and latency percentiles vs. machine count, written
+  to ``BENCH_fleet.json``.
+
+See docs/FLEET.md for the workload mix, identity model, and bench
+schema.
+"""
+
+from repro.fleet.bench import run_fleet_bench
+from repro.fleet.harness import FleetResult, FleetSpec, run_fleet
+from repro.fleet.identity import MachineIdentity, derive_identities
+from repro.fleet.verify import CachedChainVerifier
+
+__all__ = [
+    "CachedChainVerifier",
+    "FleetResult",
+    "FleetSpec",
+    "MachineIdentity",
+    "derive_identities",
+    "run_fleet",
+    "run_fleet_bench",
+]

@@ -1,0 +1,127 @@
+"""Fleet benchmark: attestations/sec and latency vs. machine count.
+
+``python -m repro.analysis fleet`` runs the fleet harness at several
+machine counts (default {1, 2, 4}) on one or both platforms and writes
+``BENCH_fleet.json``:
+
+.. code-block:: text
+
+    {
+      "bench": "fleet",
+      "fleet_seed": ..., "clients": ..., "channel_updates": ...,
+      "local_attest_every": ..., "mode": "process",
+      "host_cpus": <os.cpu_count()>,
+      "platforms": {
+        "<platform>": {
+          "counts": [<harness result per machine count>...],
+          "scaling_1_to_max": <throughput(max)/throughput(1)>,
+          "max_machines": <largest count>
+        }, ...
+      }
+    }
+
+Each per-count entry is :meth:`repro.fleet.harness.FleetResult.to_json`
+— throughput, p50/p99 attestation latency, verification verdicts,
+identity distinctness, negative-probe results, chain-cache statistics,
+and per-machine transcript hashes.
+
+Throughput scaling is a *host* property: the machines are independent
+processes, so on a runner with at least as many CPUs as machines the
+fleet scales near-linearly, while a single-CPU host time-slices them
+(``host_cpus`` is recorded so gates can tell the difference).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.fleet.harness import FleetSpec, run_fleet
+
+#: Default machine counts of the headline bench.
+DEFAULT_MACHINE_COUNTS = (1, 2, 4)
+
+#: Where ``python -m repro.analysis fleet`` writes its result.
+DEFAULT_OUT_PATH = "BENCH_fleet.json"
+
+
+def run_fleet_bench(
+    machine_counts: tuple[int, ...] = DEFAULT_MACHINE_COUNTS,
+    clients: int = 24,
+    platforms: tuple[str, ...] = ("sanctum",),
+    fleet_seed: int = 2026,
+    channel_updates: int = 2,
+    local_attest_every: int = 4,
+    mode: str = "process",
+    out_path: str | None = DEFAULT_OUT_PATH,
+) -> dict:
+    """Run the fleet at each machine count and write the JSON result."""
+    result: dict = {
+        "bench": "fleet",
+        "fleet_seed": fleet_seed,
+        "clients": clients,
+        "channel_updates": channel_updates,
+        "local_attest_every": local_attest_every,
+        "mode": mode,
+        "host_cpus": os.cpu_count(),
+        "platforms": {},
+    }
+    for platform in platforms:
+        entries = []
+        for n_machines in machine_counts:
+            outcome = run_fleet(
+                FleetSpec(
+                    n_machines=n_machines,
+                    clients=clients,
+                    platform=platform,
+                    fleet_seed=fleet_seed,
+                    channel_updates=channel_updates,
+                    local_attest_every=local_attest_every,
+                    mode=mode,
+                )
+            )
+            entries.append(outcome.to_json())
+        by_count = {e["machines"]: e for e in entries}
+        base = by_count.get(min(machine_counts))
+        peak = by_count.get(max(machine_counts))
+        scaling = (
+            peak["attestations_per_sec"] / base["attestations_per_sec"]
+            if base and peak and base["attestations_per_sec"] > 0
+            else 0.0
+        )
+        result["platforms"][platform] = {
+            "counts": entries,
+            "max_machines": max(machine_counts),
+            "scaling_1_to_max": round(scaling, 3),
+        }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def format_fleet_bench(result: dict) -> str:
+    """Human-readable summary of :func:`run_fleet_bench` output."""
+    lines = [
+        f"fleet bench — {result['clients']} clients, "
+        f"{result['channel_updates']} channel updates/client, "
+        f"seed {result['fleet_seed']}, host CPUs {result['host_cpus']}"
+    ]
+    for platform, data in result["platforms"].items():
+        lines.append(f"\n  {platform}:")
+        lines.append(
+            "    machines  attest/s   p50 ms   p99 ms  verified  distinct"
+        )
+        for entry in data["counts"]:
+            lines.append(
+                f"    {entry['machines']:>8}  {entry['attestations_per_sec']:>8.2f}"
+                f"  {entry['p50_attest_ms']:>7.1f}  {entry['p99_attest_ms']:>7.1f}"
+                f"  {str(entry['all_verified']):>8}"
+                f"  {str(entry['distinct_identities']):>8}"
+            )
+        lines.append(
+            f"    throughput scaling 1 -> {data['max_machines']} machines: "
+            f"{data['scaling_1_to_max']}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Per-machine identities for a simulated fleet.
+
+Every machine's manufacturer root, device keypair, and SM certificate
+derive from its TRNG seed (:mod:`repro.system`), so a fleet is only a
+fleet — rather than N clones of one device — if every member gets a
+*distinct* seed.  This module derives those seeds deterministically
+from a single fleet seed, so a fleet run is as replayable as a
+single-machine experiment: same fleet seed → same machine identities →
+bit-identical per-machine transcripts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.util.rng import DeterministicTRNG
+
+#: Fork label separating fleet-identity derivation from other consumers
+#: of a seed.
+_IDENTITY_STREAM = b"fleet-identity"
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineIdentity:
+    """Identity inputs for one fleet member."""
+
+    #: Position of the machine in the fleet (0-based).
+    index: int
+    #: Machine TRNG seed — the root of all its keys.
+    trng_seed: int
+    #: Human-readable device id, also mixed into the provisioning
+    #: stream (see :func:`repro.system.build_sanctum_system`).
+    device_id: str
+
+
+def derive_identities(fleet_seed: int, n_machines: int) -> list[MachineIdentity]:
+    """Derive ``n_machines`` pairwise-distinct machine identities.
+
+    Seeds are drawn from a splitmix stream over ``fleet_seed`` and
+    deduplicated (the stream is 64-bit, so collisions are theoretical,
+    but identity bugs are exactly what this package exists to prevent).
+    """
+    if n_machines <= 0:
+        raise ValueError(f"fleet size must be positive, got {n_machines}")
+    rng = DeterministicTRNG(fleet_seed).fork(_IDENTITY_STREAM)
+    seeds: list[int] = []
+    seen: set[int] = set()
+    while len(seeds) < n_machines:
+        seed = rng.next_u64()
+        if seed in seen:
+            continue
+        seen.add(seed)
+        seeds.append(seed)
+    return [
+        MachineIdentity(
+            index=i,
+            trng_seed=seed,
+            device_id=f"fleet{fleet_seed}-machine{i:04d}",
+        )
+        for i, seed in enumerate(seeds)
+    ]

@@ -1,0 +1,88 @@
+"""Verifier-side chain caching: amortized attestation verification.
+
+A fleet verifier sees a long stream of reports, but the
+manufacturer→device→SM certificate chain inside each report is *static
+per machine* — only the nonce and attestation signature vary per
+request.  Verifying the chain costs two Ed25519 verifications; doing
+that once per machine instead of once per request is the first real
+throughput win of attestation-as-a-service.
+
+The cache key is the exact serialized bytes of both certificates plus
+the root key they were verified against, so a machine presenting a
+*different* chain (rebooted with a patched SM, spliced certificates,
+...) never hits the cache of the old one.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cert import Certificate, verify_chain
+from repro.errors import CertificateError
+from repro.sm.attestation import (
+    AttestationReport,
+    VerificationResult,
+    verify_attestation_with_leaf,
+)
+
+
+class CachedChainVerifier:
+    """Verify attestation reports, caching per-machine chain checks.
+
+    Semantically equivalent to calling
+    :func:`repro.sm.attestation.verify_attestation` on every report —
+    the per-request facts (nonce freshness, attestation signature,
+    measurement pinning) are always checked — but the chain signatures
+    are only re-verified when the (chain bytes, root key) pair has not
+    been seen before.
+    """
+
+    def __init__(self) -> None:
+        #: (root_key, device cert bytes, sm cert bytes) -> verified leaf.
+        self._chains: dict[tuple[bytes, bytes, bytes], Certificate] = {}
+        #: Full chain verifications performed (cache misses).
+        self.chain_verifications = 0
+        #: Reports whose chain was already trusted (cache hits).
+        self.chain_cache_hits = 0
+
+    def _leaf_for(
+        self, report: AttestationReport, root_public_key: bytes
+    ) -> Certificate:
+        key = (
+            root_public_key,
+            report.device_certificate.to_bytes(),
+            report.sm_certificate.to_bytes(),
+        )
+        leaf = self._chains.get(key)
+        if leaf is not None:
+            self.chain_cache_hits += 1
+            return leaf
+        self.chain_verifications += 1
+        leaf = verify_chain(
+            [report.device_certificate, report.sm_certificate], root_public_key
+        )
+        if leaf.subject != "sm":
+            raise CertificateError(
+                f"leaf certificate is {leaf.subject!r}, not 'sm'"
+            )
+        self._chains[key] = leaf
+        return leaf
+
+    def verify(
+        self,
+        report: AttestationReport,
+        root_public_key: bytes,
+        expected_nonce: bytes,
+        expected_enclave_measurement: bytes | None = None,
+        expected_sm_measurement: bytes | None = None,
+    ) -> VerificationResult:
+        """Fig. 7 step ⑨ with the chain check amortized per machine."""
+        try:
+            leaf = self._leaf_for(report, root_public_key)
+        except CertificateError as exc:
+            return VerificationResult(False, f"certificate chain invalid: {exc}")
+        return verify_attestation_with_leaf(
+            report,
+            leaf,
+            expected_nonce,
+            expected_enclave_measurement=expected_enclave_measurement,
+            expected_sm_measurement=expected_sm_measurement,
+        )

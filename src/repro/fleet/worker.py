@@ -1,0 +1,209 @@
+"""The per-machine attestation server of the fleet.
+
+One worker owns one simulated :class:`~repro.system.System`.  It boots
+the machine with its fleet-assigned identity, provisions the signing
+enclave once (§VI-C — the per-request cost is then two enclave entries,
+not an enclave load), and serves *client jobs* from an event loop:
+
+* **remote attestation** — the full Fig.-7 flow: X25519 key agreement,
+  client-supplied nonce, mailbox relay, SM key release, in-enclave
+  Ed25519 signature, report export.  Verification is *deferred to the
+  harness*, which plays the remote verifier and holds only the
+  machine's manufacturer root public key.
+* **sealed channel updates** — step-⑩ steady state: the client drives
+  N sealed command/response round trips over the attested session.
+* **mailbox local attestation** — the Fig.-6 exchange between two
+  fresh enclaves, exercising SM mailboxes under service load.
+
+The worker keeps a **transcript**: a running SHA3-512 over every
+deterministic artifact it produces (reports, channel responses,
+recorded measurements, simulated step counts).  Same machine seed +
+same job stream → bit-identical transcript; wall-clock timings are
+deliberately excluded.
+
+``worker_main`` is the multiprocessing entry point; the same
+:class:`MachineServer` runs inline (no processes) for tests and
+debugging.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.crypto.sha3 import SHA3_512
+from repro.crypto.x25519 import x25519_generate_keypair
+from repro.hw.machine import MachineConfig
+from repro.sdk.local_attestation import run_local_attestation
+from repro.sdk.protocol import (
+    provision_signing_enclave,
+    run_channel_exchange,
+    run_remote_attestation,
+)
+from repro.system import build_system
+
+#: Machine geometry for fleet members: two cores and 32 MB keep boot
+#: and simulation fast while leaving room for hundreds of client pages.
+FLEET_MACHINE_CONFIG = dict(
+    n_cores=2,
+    dram_size=32 * 1024 * 1024,
+    llc_sets=256,
+)
+
+
+class MachineServer:
+    """One fleet machine: boots a system and serves client jobs."""
+
+    def __init__(self, spec: dict) -> None:
+        #: spec: platform, trng_seed, device_id, index.
+        self.spec = spec
+        self.system = None
+        self.signing = None
+        self.jobs_served = 0
+        self._transcript = SHA3_512()
+        self._transcript.update(b"sanctorum-fleet-transcript|")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def boot(self) -> dict:
+        """Build the system and provision the signing enclave.
+
+        Returns the machine's public identity — everything a remote
+        verifier may legitimately know ahead of time.
+        """
+        config = MachineConfig(
+            trng_seed=self.spec["trng_seed"], **FLEET_MACHINE_CONFIG
+        )
+        self.system = build_system(
+            self.spec["platform"],
+            config=config,
+            device_id=self.spec["device_id"],
+        )
+        self.signing = provision_signing_enclave(self.system)
+        boot = self.system.boot
+        return {
+            "index": self.spec["index"],
+            "device_id": self.spec["device_id"],
+            "trng_seed": self.spec["trng_seed"],
+            "root_public": boot.root_public,
+            "sm_public_key": boot.sm_public_key,
+            "sm_measurement": boot.sm_measurement,
+            "device_certificate": boot.device_certificate.to_bytes(),
+            "sm_certificate": boot.sm_certificate.to_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def _absorb(self, *chunks: bytes) -> None:
+        for chunk in chunks:
+            self._transcript.update(len(chunk).to_bytes(8, "little"))
+            self._transcript.update(chunk)
+
+    def serve_client(self, job: dict) -> dict:
+        """One simulated client: attest, update the channel, maybe Fig. 6.
+
+        ``job``: ``client_id`` (int), ``nonce`` (32 B), ``verifier_seed``
+        (32 B, the client's X25519 key seed), ``channel_updates`` (int),
+        ``local_attest`` (bool).
+        """
+        system = self.system
+        t_start = time.perf_counter()
+        outcome = run_remote_attestation(
+            system,
+            nonce=job["nonce"],
+            signing=self.signing,
+            verifier_keypair=x25519_generate_keypair(job["verifier_seed"]),
+            verify=False,
+        )
+        attest_latency = time.perf_counter() - t_start
+        report_bytes = outcome.report.to_bytes()
+
+        # Step-⑩ steady state: sealed counter updates over the session.
+        channel_values: list[int] = []
+        value = job["client_id"] * 1000
+        for i in range(job["channel_updates"]):
+            nonce8 = job["nonce"][:7] + bytes([i & 0xFF])
+            value = run_channel_exchange(system, outcome, value, nonce=nonce8)
+            channel_values.append(value)
+
+        local_ok = None
+        local_recorded = b""
+        if job["local_attest"]:
+            local = run_local_attestation(
+                system, message=b"fleet-client-%d" % job["client_id"]
+            )
+            local_ok = local.authenticated
+            local_recorded = local.recorded_sender_measurement
+            system.kernel.destroy_enclave(local.sender_eid)
+            system.kernel.destroy_enclave(local.receiver_eid)
+
+        # Release the client enclave so the machine serves indefinitely.
+        system.kernel.destroy_enclave(outcome.client_eid)
+        total_latency = time.perf_counter() - t_start
+
+        self.jobs_served += 1
+        self._absorb(
+            job["client_id"].to_bytes(8, "little"),
+            report_bytes,
+            outcome.expected_enclave_measurement,
+            b"".join(v.to_bytes(8, "little") for v in channel_values),
+            local_recorded,
+            system.machine.global_steps.to_bytes(16, "little"),
+        )
+        return {
+            "machine_index": self.spec["index"],
+            "client_id": job["client_id"],
+            "nonce": job["nonce"],
+            "report": report_bytes,
+            "expected_enclave_measurement": outcome.expected_enclave_measurement,
+            "channel_ok": outcome.channel_ok,
+            "channel_values": channel_values,
+            "local_ok": local_ok,
+            "attest_latency_s": attest_latency,
+            "total_latency_s": total_latency,
+        }
+
+    def summary(self) -> dict:
+        """Deterministic end-of-run digest of everything served."""
+        return {
+            "index": self.spec["index"],
+            "jobs_served": self.jobs_served,
+            "transcript": self._transcript.digest(),
+            "global_steps": self.system.machine.global_steps,
+        }
+
+
+def worker_main(conn, spec: dict) -> None:
+    """Multiprocessing entry point: event loop over a duplex pipe.
+
+    Protocol (parent → worker): ``("job", job_dict)`` any number of
+    times, then ``("done",)``.  Worker → parent: ``("ready", info)``
+    once after boot, ``("result", result)`` per job, ``("summary",
+    summary)`` on done.  Any exception is reported as ``("error",
+    detail)`` and ends the worker.
+    """
+    try:
+        server = MachineServer(spec)
+        conn.send(("ready", server.boot()))
+        while True:
+            message = conn.recv()
+            if message[0] == "done":
+                conn.send(("summary", server.summary()))
+                break
+            if message[0] == "job":
+                conn.send(("result", server.serve_client(message[1])))
+            else:
+                raise ValueError(f"unknown fleet message {message[0]!r}")
+    except Exception as exc:  # pragma: no cover - transported to parent
+        try:
+            conn.send(
+                ("error", {"error": repr(exc), "traceback": traceback.format_exc()})
+            )
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

@@ -39,6 +39,39 @@ class ProtocolError(SanctorumError):
     """A protocol step did not complete as scripted."""
 
 
+@dataclasses.dataclass(frozen=True)
+class SigningContext:
+    """A provisioned, resident signing enclave ready to serve clients.
+
+    The signing enclave re-arms its phase loop after every signature,
+    so one context serves arbitrarily many attestation requests ("the
+    OS is responsible for scheduling the signing enclave") — the
+    per-request cost is two enclave entries, not an enclave load.
+    """
+
+    eid: int
+    tid: int
+    page: int
+
+
+def provision_signing_enclave(system: System) -> SigningContext:
+    """Load the signing enclave and hard-code its measurement (§VI-C).
+
+    Must run before any other enclave exists (the SM enforces this);
+    service-style callers run it once at boot and pass the context to
+    every subsequent :func:`run_remote_attestation`.
+    """
+    kernel, sm = system.kernel, system.sm
+    sign_page = kernel.alloc_buffer(1)
+    signing_image = build_signing_enclave_image(sign_page)
+    signing_measurement = predict_measurement(
+        signing_image, system.boot.sm_measurement, system.platform.name
+    )
+    sm.register_signing_enclave(signing_measurement)
+    signing = kernel.load_enclave(signing_image)
+    return SigningContext(eid=signing.eid, tid=signing.tids[0], page=sign_page)
+
+
 @dataclasses.dataclass
 class RemoteAttestationOutcome:
     """Everything the Fig.-7 run produced, for inspection by callers."""
@@ -60,6 +93,9 @@ class RemoteAttestationOutcome:
     #: Handles for attesting further clients under the same signer.
     signing_tid: int = 0
     signing_page: int = 0
+    #: Measurement predicted offline from the client image — what a
+    #: remote verifier should pin the report's measurement against.
+    expected_enclave_measurement: bytes = b""
 
 
 def _run_phase(system: System, eid: int, tid: int, label: str, cycles: dict) -> None:
@@ -82,36 +118,39 @@ def run_remote_attestation(
     client_image: EnclaveImage | None = None,
     nonce: bytes | None = None,
     reuse_signing: RemoteAttestationOutcome | None = None,
+    signing: SigningContext | None = None,
+    verifier_keypair: tuple[bytes, bytes] | None = None,
+    verify: bool = True,
 ) -> RemoteAttestationOutcome:
     """Execute the complete Fig.-7 protocol.
 
-    On a freshly booted system the driver predicts the signing
-    enclave's measurement and hard-codes it via the boot hook, then
-    loads the signer.  Pass a previous run's outcome as
-    ``reuse_signing`` to attest further clients under the *same*
-    signing enclave (its phase loop re-arms after every signature —
-    "the OS is responsible for scheduling the signing enclave").
+    On a freshly booted system the driver provisions the signing
+    enclave itself (:func:`provision_signing_enclave`).  Pass a
+    ``signing`` context — or a previous run's outcome as
+    ``reuse_signing`` — to attest further clients under the *same*
+    signing enclave.
 
     A custom ``client_image`` may be supplied as long as it implements
     the client shared-page ABI; by default the stock client of
     :mod:`repro.sdk.attestation_client` is built against a freshly
-    allocated request page.
+    allocated request page.  Remote verifiers that are *not* simulated
+    from the machine's own TRNG (e.g. the fleet harness's clients)
+    supply their own ``nonce`` and X25519 ``verifier_keypair``.
     """
     kernel, sm, machine = system.kernel, system.sm, system.machine
     client_page = kernel.alloc_buffer(1)
 
-    if reuse_signing is None:
-        sign_page = kernel.alloc_buffer(1)
-        signing_image = build_signing_enclave_image(sign_page)
-        signing_measurement = predict_measurement(
-            signing_image, system.boot.sm_measurement, system.platform.name
-        )
-        sm.register_signing_enclave(signing_measurement)
-        signing = kernel.load_enclave(signing_image)
-        signing_eid, signing_tid = signing.eid, signing.tids[0]
-    else:
-        sign_page = reuse_signing.signing_page
-        signing_eid, signing_tid = reuse_signing.signing_eid, reuse_signing.signing_tid
+    if signing is None:
+        if reuse_signing is not None:
+            signing = SigningContext(
+                eid=reuse_signing.signing_eid,
+                tid=reuse_signing.signing_tid,
+                page=reuse_signing.signing_page,
+            )
+        else:
+            signing = provision_signing_enclave(system)
+    sign_page = signing.page
+    signing_eid, signing_tid = signing.eid, signing.tid
 
     if client_image is None:
         client_image = build_attestation_client_image(client_page)
@@ -124,7 +163,9 @@ def run_remote_attestation(
     verifier_rng = machine.trng.fork(b"remote-verifier")
     if nonce is None:
         nonce = verifier_rng.read(32)
-    verifier_secret, verifier_public = x25519_generate_keypair(verifier_rng.read(32))
+    if verifier_keypair is None:
+        verifier_keypair = x25519_generate_keypair(verifier_rng.read(32))
+    verifier_secret, verifier_public = verifier_keypair
 
     # Untrusted OS relays the public ids and verifier inputs.
     kernel.write_shared(sign_page, client.eid.to_bytes(4, "little"))
@@ -158,14 +199,20 @@ def run_remote_attestation(
         device_certificate=Certificate.from_bytes(device_cert_bytes),
     )
 
-    # ⑨: verification against the manufacturer root of trust.
-    verification = verify_attestation(
-        report,
-        system.root_public_key,
-        expected_nonce=nonce,
-        expected_enclave_measurement=expected_client_measurement,
-        expected_sm_measurement=system.boot.sm_measurement,
-    )
+    # ⑨: verification against the manufacturer root of trust.  A
+    # service-style caller that plays the verifier itself (e.g. the
+    # fleet harness, which amortizes the chain check across requests)
+    # passes ``verify=False`` and performs step ⑨ out-of-band.
+    if verify:
+        verification = verify_attestation(
+            report,
+            system.root_public_key,
+            expected_nonce=nonce,
+            expected_enclave_measurement=expected_client_measurement,
+            expected_sm_measurement=system.boot.sm_measurement,
+        )
+    else:
+        verification = VerificationResult(False, "verification deferred to caller")
 
     # ⑩: both ends must have derived the same session key.
     shared_secret = x25519(verifier_secret, client_dh_public)
@@ -184,11 +231,15 @@ def run_remote_attestation(
         client_page=client_page,
         signing_tid=signing_tid,
         signing_page=sign_page,
+        expected_enclave_measurement=expected_client_measurement,
     )
 
 
 def run_channel_exchange(
-    system: System, outcome: RemoteAttestationOutcome, value: int
+    system: System,
+    outcome: RemoteAttestationOutcome,
+    value: int,
+    nonce: bytes | None = None,
 ) -> int:
     """One step-⑩ round trip: sealed command in, sealed response out.
 
@@ -202,7 +253,8 @@ def run_channel_exchange(
     from repro.sdk.channel import SEALED_LEN, SealedWord, open_word, seal_word
 
     kernel = system.kernel
-    nonce = system.machine.trng.fork(b"verifier-channel").read(8)
+    if nonce is None:
+        nonce = system.machine.trng.fork(b"verifier-channel").read(8)
     sealed = seal_word(outcome.session_key, nonce, value)
     kernel.write_shared(outcome.client_page + 0x160, sealed.to_bytes())
 

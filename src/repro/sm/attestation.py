@@ -126,6 +126,32 @@ def verify_attestation(
         return VerificationResult(False, f"certificate chain invalid: {exc}")
     if leaf.subject != "sm":
         return VerificationResult(False, f"leaf certificate is {leaf.subject!r}, not 'sm'")
+    return verify_attestation_with_leaf(
+        report,
+        leaf,
+        expected_nonce,
+        expected_enclave_measurement=expected_enclave_measurement,
+        expected_sm_measurement=expected_sm_measurement,
+    )
+
+
+def verify_attestation_with_leaf(
+    report: AttestationReport,
+    leaf: Certificate,
+    expected_nonce: bytes,
+    expected_enclave_measurement: bytes | None = None,
+    expected_sm_measurement: bytes | None = None,
+) -> VerificationResult:
+    """Step ⑨ with the chain already verified down to ``leaf``.
+
+    A verifier that serves many attestations from the same machine
+    verifies the (static) manufacturer→device→SM chain once and then
+    checks only the per-request facts — nonce freshness and the
+    attestation signature under the already-trusted SM key.  The
+    caller is responsible for ``leaf`` really being the result of
+    :func:`~repro.crypto.cert.verify_chain` over this report's
+    certificates (see :class:`repro.fleet.verify.CachedChainVerifier`).
+    """
     if report.nonce != expected_nonce:
         return VerificationResult(False, "nonce mismatch (replay?)")
     message = attestation_message(report.nonce, report.enclave_measurement)

@@ -9,12 +9,25 @@ claim the SM's own memory, and start the untrusted OS.
     >>> system = build_sanctum_system()
     >>> enclave = system.kernel.load_enclave(image)
     >>> events = system.kernel.enter_and_run(enclave.eid, enclave.tids[0])
+
+Per-machine identity
+--------------------
+
+All randomness on a machine — and therefore its manufacturer root, its
+device keypair, and its SM certificate — flows from the machine TRNG
+seed.  Two systems built with the *same* seed share all keys: that is
+documented determinism, the property every replayable experiment in
+this repository relies on.  A fleet of machines that must carry
+*distinct* device identities (``repro.fleet``) passes a distinct
+``trng_seed`` (and optionally a ``device_id`` to diversify the
+provisioning stream) to each builder.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
+from repro.errors import BootError
 from repro.hw.machine import Machine, MachineConfig
 from repro.kernel.os_model import OsKernel
 from repro.platforms.base import IsolationPlatform
@@ -48,11 +61,53 @@ class System:
     kernel: OsKernel
     provisioning: ManufacturerProvisioning
     boot: SecureBootResult
+    #: Identity inputs this system was built with (see module docstring).
+    trng_seed: int = MachineConfig.trng_seed
+    device_id: str | None = None
 
     @property
     def root_public_key(self) -> bytes:
         """The manufacturer root key remote verifiers must trust."""
         return self.boot.root_public
+
+
+def _identity_config(
+    config: MachineConfig | None, trng_seed: int | None
+) -> MachineConfig:
+    """Resolve the machine config, overriding the TRNG seed if given."""
+    config = config or MachineConfig()
+    if trng_seed is not None and trng_seed != config.trng_seed:
+        config = dataclasses.replace(config, trng_seed=trng_seed)
+    return config
+
+
+def _provisioning_label(device_id: str | None) -> bytes:
+    """TRNG fork label for the manufacturer provisioning stream."""
+    if device_id is None:
+        return b"manufacturer"
+    return b"manufacturer|" + device_id.encode()
+
+
+def _validate_sm_region_record(record) -> None:
+    """Boot-time consistency check on the pre-existing SM region record.
+
+    On Keystone the SM's own region pre-exists the monitor, so the
+    monitor inherits rather than creates its record; if that record is
+    missing or does not reflect exclusive SM ownership the machine is
+    not safely bootable.  Raises :class:`~repro.errors.BootError`
+    (never a stripped-under-``-O`` ``assert``).
+    """
+    if record is None:
+        raise BootError("keystone SM region is not registered with the monitor")
+    if record.owner != DOMAIN_SM:
+        raise BootError(
+            f"keystone SM region is owned by domain {record.owner!r}, "
+            f"expected the SM domain {DOMAIN_SM!r}"
+        )
+    if record.state is not ResourceState.OWNED:
+        raise BootError(
+            f"keystone SM region is in state {record.state.name}, expected OWNED"
+        )
 
 
 def build_sanctum_system(
@@ -61,23 +116,32 @@ def build_sanctum_system(
     llc_partitioned: bool = True,
     signing_enclave_measurement: bytes = b"",
     sm_image: bytes | None = None,
+    trng_seed: int | None = None,
+    device_id: str | None = None,
 ) -> System:
     """Boot a Sanctum-style system (paper §VII-A).
 
     Region 0 becomes SM-owned (image + initial metadata arena); the
     remaining regions boot untrusted.  ``llc_partitioned=False`` builds
     the insecure-baseline configuration used by the cache ablation.
+    ``trng_seed`` overrides the config's seed (the machine's whole
+    identity); ``device_id`` additionally diversifies the manufacturer
+    provisioning stream and is recorded on the returned system.
     """
-    machine = Machine(config or MachineConfig())
+    config = _identity_config(config, trng_seed)
+    machine = Machine(config)
     platform = SanctumPlatform(machine, n_regions, llc_partitioned=llc_partitioned)
-    provisioning = provision_device(machine.trng.fork(b"manufacturer"))
+    provisioning = provision_device(machine.trng.fork(_provisioning_label(device_id)))
     boot = secure_boot(provisioning, sm_image=sm_image)
     sm = SecurityMonitor(machine, platform, boot, signing_enclave_measurement)
     sm.claim_sm_region(0)
     region_base, region_size = platform.region_range(0)
     sm.add_metadata_arena(region_base + SM_IMAGE_RESERVED, region_size - SM_IMAGE_RESERVED)
     kernel = OsKernel(machine, sm, platform)
-    return System(machine, platform, sm, kernel, provisioning, boot)
+    return System(
+        machine, platform, sm, kernel, provisioning, boot,
+        trng_seed=config.trng_seed, device_id=device_id,
+    )
 
 
 def build_keystone_system(
@@ -85,27 +149,32 @@ def build_keystone_system(
     signing_enclave_measurement: bytes = b"",
     sm_image: bytes | None = None,
     sm_region_size: int = KEYSTONE_SM_REGION_SIZE,
+    trng_seed: int | None = None,
+    device_id: str | None = None,
 ) -> System:
     """Boot a Keystone-style system (paper §VII-B).
 
     The SM white-lists one region at the bottom of DRAM for itself via
     PMP; all other memory boots untrusted and enclave regions are
-    carved dynamically.
+    carved dynamically.  ``trng_seed``/``device_id`` select the
+    machine's identity exactly as in :func:`build_sanctum_system`.
     """
-    machine = Machine(config or MachineConfig())
+    config = _identity_config(config, trng_seed)
+    machine = Machine(config)
     platform = KeystonePlatform(machine)
     rid = platform.create_region(0, sm_region_size, DOMAIN_SM)
-    provisioning = provision_device(machine.trng.fork(b"manufacturer"))
+    provisioning = provision_device(machine.trng.fork(_provisioning_label(device_id)))
     boot = secure_boot(provisioning, sm_image=sm_image)
     sm = SecurityMonitor(machine, platform, boot, signing_enclave_measurement)
     sm.add_metadata_arena(SM_IMAGE_RESERVED, sm_region_size - SM_IMAGE_RESERVED)
     # The SM region pre-exists the monitor, so it is already registered;
-    # make sure its record reflects SM ownership.
-    record = sm.state.resources.get(ResourceType.DRAM_REGION, rid)
-    assert record is not None and record.owner == DOMAIN_SM
-    assert record.state is ResourceState.OWNED
+    # its record must reflect exclusive SM ownership before the OS runs.
+    _validate_sm_region_record(sm.state.resources.get(ResourceType.DRAM_REGION, rid))
     kernel = OsKernel(machine, sm, platform)
-    return System(machine, platform, sm, kernel, provisioning, boot)
+    return System(
+        machine, platform, sm, kernel, provisioning, boot,
+        trng_seed=config.trng_seed, device_id=device_id,
+    )
 
 
 def build_system(platform_name: str = "sanctum", **kwargs) -> System:

@@ -1,0 +1,93 @@
+"""Issuer-name linkage in ``verify_chain`` (the spliced-chain bug).
+
+The signature link alone is not enough: a chain whose leaf *claims*
+issuer "manufacturer" but was actually signed by an unrelated subject
+used to verify, because only ``cert.verify(previous subject key)`` was
+checked.  These tests build chains whose signatures all check out but
+whose issuer names lie, and assert each one is rejected.
+"""
+
+import pytest
+
+from repro.crypto.cert import Certificate, verify_chain
+from repro.crypto.ed25519 import ed25519_generate_keypair
+from repro.errors import CertificateError
+from repro.util.rng import DeterministicTRNG
+
+
+@pytest.fixture
+def pki():
+    trng = DeterministicTRNG(7)
+    root_secret, root_public = ed25519_generate_keypair(trng.read(32))
+    device_secret, device_public = ed25519_generate_keypair(trng.read(32))
+    sm_secret, sm_public = ed25519_generate_keypair(trng.read(32))
+    return dict(
+        root_secret=root_secret, root_public=root_public,
+        device_secret=device_secret, device_public=device_public,
+        sm_secret=sm_secret, sm_public=sm_public,
+    )
+
+
+def _device_cert(pki, issuer="manufacturer"):
+    return Certificate.issue(issuer, pki["root_secret"], "device",
+                             pki["device_public"])
+
+
+def _sm_cert(pki, issuer="device"):
+    return Certificate.issue(issuer, pki["device_secret"], "sm",
+                             pki["sm_public"], measurement=b"M" * 64)
+
+
+def test_honest_chain_still_verifies(pki):
+    leaf = verify_chain([_device_cert(pki), _sm_cert(pki)], pki["root_public"])
+    assert leaf.subject == "sm"
+
+
+def test_leaf_lying_about_issuer_rejected(pki):
+    """Leaf claims the manufacturer signed it; the device actually did.
+
+    Every *signature* check passes — the leaf genuinely verifies under
+    the previous certificate's subject key — so only the issuer-name
+    link catches the lie.
+    """
+    spliced = _sm_cert(pki, issuer="manufacturer")
+    assert spliced.verify(pki["device_public"]), "signature link alone passes"
+    with pytest.raises(CertificateError, match="names issuer"):
+        verify_chain([_device_cert(pki), spliced], pki["root_public"])
+
+
+def test_first_cert_must_name_the_trusted_root(pki):
+    """Device cert signed by the real root but naming a fake issuer."""
+    masked = _device_cert(pki, issuer="evil-root")
+    assert masked.verify(pki["root_public"]), "signature link alone passes"
+    with pytest.raises(CertificateError, match="names issuer"):
+        verify_chain([masked, _sm_cert(pki)], pki["root_public"])
+
+
+def test_intermediate_subject_mismatch_rejected(pki):
+    """SM cert naming a different intermediate than the chain provides."""
+    wrong_link = Certificate.issue(
+        "gadget", pki["device_secret"], "sm", pki["sm_public"]
+    )
+    with pytest.raises(CertificateError, match="names issuer"):
+        verify_chain([_device_cert(pki), wrong_link], pki["root_public"])
+
+
+def test_custom_root_name(pki):
+    """Chains anchored in a differently named root still work when the
+    verifier says so — and only then."""
+    device = _device_cert(pki, issuer="acme")
+    chain = [device, _sm_cert(pki)]
+    assert verify_chain(chain, pki["root_public"], root_name="acme").subject == "sm"
+    with pytest.raises(CertificateError, match="names issuer"):
+        verify_chain(chain, pki["root_public"])
+
+
+def test_bad_signature_still_rejected(pki):
+    """The name check must not weaken the signature check."""
+    forged = Certificate(
+        subject="device", subject_key=pki["device_public"],
+        issuer="manufacturer", measurement=b"", signature=b"\x00" * 64,
+    )
+    with pytest.raises(CertificateError, match="failed verification"):
+        verify_chain([forged, _sm_cert(pki)], pki["root_public"])

@@ -1,0 +1,102 @@
+"""Cross-machine attestation: trust travels only through the root key.
+
+A verifier on machine A must accept a quote from machine B given
+*only* B's manufacturer root public key, and must reject a quote
+replayed against any other machine's trust anchors — the property the
+whole fleet service rests on.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.verify import CachedChainVerifier
+from repro.hw.machine import MachineConfig
+from repro.sdk.protocol import run_remote_attestation
+from repro.sm.attestation import verify_attestation
+from repro.system import build_sanctum_system
+
+SMALL = dict(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256)
+
+
+@pytest.fixture(scope="module")
+def two_machines():
+    a = build_sanctum_system(config=MachineConfig(**SMALL),
+                             trng_seed=101, device_id="machine-a")
+    b = build_sanctum_system(config=MachineConfig(**SMALL),
+                             trng_seed=202, device_id="machine-b")
+    outcome = run_remote_attestation(b, verify=False)
+    return a, b, outcome
+
+
+def test_verifier_accepts_foreign_quote_via_root_key(two_machines):
+    """Machine A's verifier holds only B's root key — and that suffices."""
+    _, b, outcome = two_machines
+    result = verify_attestation(
+        outcome.report,
+        b.root_public_key,
+        expected_nonce=outcome.report.nonce,
+        expected_enclave_measurement=outcome.expected_enclave_measurement,
+        expected_sm_measurement=b.boot.sm_measurement,
+    )
+    assert result.ok, result.reason
+
+
+def test_quote_rejected_against_other_machines_root(two_machines):
+    a, _, outcome = two_machines
+    result = verify_attestation(
+        outcome.report, a.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert not result.ok and "chain" in result.reason
+
+
+def test_quote_rejected_with_spliced_foreign_chain(two_machines):
+    """B's signature under A's (genuine) chain: the chain verifies, the
+    attestation signature does not — the quote cannot be re-homed."""
+    a, _, outcome = two_machines
+    spliced = dataclasses.replace(
+        outcome.report,
+        device_certificate=a.boot.device_certificate,
+        sm_certificate=a.boot.sm_certificate,
+    )
+    result = verify_attestation(
+        spliced, a.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert not result.ok and "signature" in result.reason
+
+
+def test_cached_verifier_matches_uncached_verdicts(two_machines):
+    """The chain cache is an optimization, not a semantic change."""
+    a, b, outcome = two_machines
+    verifier = CachedChainVerifier()
+
+    ok = verifier.verify(
+        outcome.report, b.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert ok.ok and verifier.chain_verifications == 1
+
+    # Second verification of the same machine's chain: cache hit, and
+    # the per-request checks still run — a wrong nonce is still caught.
+    replay = verifier.verify(
+        outcome.report, b.root_public_key, expected_nonce=b"\x00" * 32
+    )
+    assert not replay.ok and "nonce" in replay.reason
+    assert verifier.chain_cache_hits == 1
+    assert verifier.chain_verifications == 1
+
+    # A tampered signature is caught on the cached path too.
+    tampered = dataclasses.replace(
+        outcome.report,
+        signature=bytes([outcome.report.signature[0] ^ 1])
+        + outcome.report.signature[1:],
+    )
+    bad = verifier.verify(
+        tampered, b.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert not bad.ok and "signature" in bad.reason
+
+    # The wrong root key never hits the cache of the right one.
+    foreign = verifier.verify(
+        outcome.report, a.root_public_key, expected_nonce=outcome.report.nonce
+    )
+    assert not foreign.ok and "chain" in foreign.reason

@@ -1,0 +1,109 @@
+"""Per-machine identity threading through bring-up (the fleet-blocking bug).
+
+Every ``Machine`` used to seed its TRNG with the same default, so all
+"fleet" members derived identical manufacturer roots, device keys, and
+SM certificates.  These tests pin both sides of the fix: equal seeds
+still mean equal keys (documented determinism — replayable
+experiments), and fleet-derived identities mean pairwise-distinct
+device certificates and attestation keys.
+"""
+
+import pytest
+
+from repro.errors import BootError
+from repro.fleet.identity import derive_identities
+from repro.hw.machine import MachineConfig
+from repro.system import (
+    _validate_sm_region_record,
+    build_keystone_system,
+    build_sanctum_system,
+    build_system,
+)
+
+SMALL = dict(n_cores=2, dram_size=32 * 1024 * 1024, llc_sets=256)
+
+
+def test_default_builds_share_root_keys():
+    """Documented determinism: same (default) seed, same identity."""
+    a = build_sanctum_system(config=MachineConfig(**SMALL))
+    b = build_sanctum_system(config=MachineConfig(**SMALL))
+    assert a.root_public_key == b.root_public_key
+    assert a.boot.sm_public_key == b.boot.sm_public_key
+    assert a.boot.device_certificate == b.boot.device_certificate
+    assert a.trng_seed == b.trng_seed == MachineConfig.trng_seed
+
+
+@pytest.mark.parametrize("builder", [build_sanctum_system, build_keystone_system])
+def test_trng_seed_overrides_identity(builder):
+    base = builder(config=MachineConfig(**SMALL))
+    other = builder(config=MachineConfig(**SMALL), trng_seed=7)
+    assert other.trng_seed == 7
+    assert other.machine.config.trng_seed == 7
+    assert other.root_public_key != base.root_public_key
+    assert other.boot.sm_public_key != base.boot.sm_public_key
+
+
+def test_device_id_diversifies_provisioning():
+    a = build_sanctum_system(config=MachineConfig(**SMALL), device_id="dev-a")
+    b = build_sanctum_system(config=MachineConfig(**SMALL), device_id="dev-b")
+    assert a.device_id == "dev-a"
+    assert a.root_public_key != b.root_public_key
+    assert a.boot.device_certificate != b.boot.device_certificate
+
+
+def test_build_system_passes_identity_through():
+    system = build_system("keystone", config=MachineConfig(**SMALL),
+                          trng_seed=99, device_id="m99")
+    assert system.trng_seed == 99
+    assert system.device_id == "m99"
+
+
+def test_fleet_identities_distinct_and_deterministic():
+    identities = derive_identities(2026, 8)
+    assert len({i.trng_seed for i in identities}) == 8
+    assert len({i.device_id for i in identities}) == 8
+    assert identities == derive_identities(2026, 8)
+    assert identities != derive_identities(2027, 8)
+    with pytest.raises(ValueError):
+        derive_identities(1, 0)
+
+
+def test_fleet_built_systems_have_distinct_certificates():
+    """The headline regression: fleet members are not clones."""
+    systems = [
+        build_sanctum_system(
+            config=MachineConfig(**SMALL),
+            trng_seed=ident.trng_seed,
+            device_id=ident.device_id,
+        )
+        for ident in derive_identities(1, 3)
+    ]
+    device_certs = {s.boot.device_certificate.to_bytes() for s in systems}
+    sm_keys = {s.boot.sm_public_key for s in systems}
+    roots = {s.root_public_key for s in systems}
+    assert len(device_certs) == len(sm_keys) == len(roots) == 3
+
+
+# ---------------------------------------------------------------------------
+# Keystone boot-time validation (no bare asserts)
+# ---------------------------------------------------------------------------
+
+class _Record:
+    def __init__(self, owner, state):
+        self.owner = owner
+        self.state = state
+
+
+def test_sm_region_validation_raises_boot_errors():
+    from repro.hw.core import DOMAIN_SM
+    from repro.sm.resources import ResourceState
+
+    with pytest.raises(BootError, match="not registered"):
+        _validate_sm_region_record(None)
+    with pytest.raises(BootError, match="owned by domain"):
+        _validate_sm_region_record(_Record("os", ResourceState.OWNED))
+    with pytest.raises(BootError, match="state BLOCKED"):
+        _validate_sm_region_record(_Record(DOMAIN_SM, ResourceState.BLOCKED))
+    # The healthy record passes (and a healthy boot exercises it too).
+    _validate_sm_region_record(_Record(DOMAIN_SM, ResourceState.OWNED))
+    build_keystone_system(config=MachineConfig(**SMALL))
