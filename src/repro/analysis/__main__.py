@@ -18,6 +18,13 @@ Commands:
   drives a client population through remote attestation, sealed
   channel updates, and mailbox local attestation, verifies every
   report cross-machine, and writes ``BENCH_fleet.json``.
+* ``trace`` — traced attestation workload (:mod:`repro.telemetry`,
+  docs/OBSERVABILITY.md): spans with a deterministic virtual clock,
+  the hash-chained SM audit log, unified metrics, and a
+  Perfetto-loadable Chrome trace-event JSON; repeats ``--runs`` times
+  and exits non-zero unless fingerprints and audit heads reproduce
+  bit-for-bit.  ``--fleet`` traces a whole fleet and merges the
+  per-machine streams into one cross-process timeline.
 """
 
 from __future__ import annotations
@@ -56,14 +63,18 @@ def cmd_loc(_args: argparse.Namespace) -> int:
 def cmd_perf(args: argparse.Namespace) -> int:
     # Imported here so `loc` stays importable without the full stack.
     from repro.kernel.loader import image_from_assembly
-    from repro.system import build_sanctum_system
+    from repro.system import build_system
 
-    system = build_sanctum_system()
-    kernel = system.kernel
-    out = kernel.alloc_buffer(1)
-    loaded = kernel.load_enclave(
-        image_from_assembly(
-            f"""
+    platforms = (
+        ("sanctum", "keystone") if args.platform == "both" else (args.platform,)
+    )
+    for index, platform in enumerate(platforms):
+        system = build_system(platform)
+        kernel = system.kernel
+        out = kernel.alloc_buffer(1)
+        loaded = kernel.load_enclave(
+            image_from_assembly(
+                f"""
 entry:
     li   t0, 0
     li   t1, {args.iterations}
@@ -74,11 +85,16 @@ loop:
     li   a0, 0
     ecall
 """
+            )
         )
-    )
-    kernel.enter_and_run(loaded.eid, loaded.tids[0], max_steps=args.iterations * 4 + 100_000)
-    kernel.destroy_enclave(loaded.eid)
-    print(system.machine.perf.format_report())
+        kernel.enter_and_run(
+            loaded.eid, loaded.tids[0], max_steps=args.iterations * 4 + 100_000
+        )
+        kernel.destroy_enclave(loaded.eid)
+        if index:
+            print()
+        print(f"== {platform} ==")
+        print(system.machine.perf.format_report())
     return 0
 
 
@@ -189,6 +205,106 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.tracedemo import (
+        demo_chrome_trace,
+        format_trace_demo,
+        run_trace_demo,
+    )
+    from repro.telemetry.export import validate_chrome_trace
+
+    platforms = (
+        ("sanctum", "keystone") if args.platform == "both" else (args.platform,)
+    )
+    exit_code = 0
+    for index, platform in enumerate(platforms):
+        if index:
+            print()
+        if args.fleet:
+            from repro.fleet.harness import FleetSpec, run_fleet
+            from repro.telemetry.export import flame_summary
+
+            spec = FleetSpec(
+                n_machines=args.machines,
+                clients=args.clients,
+                platform=platform,
+                fleet_seed=args.seed,
+                channel_updates=args.channel_updates,
+                mode="inline" if args.inline else "process",
+                telemetry=True,
+            )
+            runs = [run_fleet(spec) for _ in range(max(1, args.runs))]
+            result = runs[0]
+            fingerprints = {run.trace_fingerprint() for run in runs}
+            heads = {tuple(sorted(run.audit_heads.items())) for run in runs}
+            print(f"== {platform} fleet: {spec.n_machines} machines, "
+                  f"{spec.clients} clients ({spec.mode}) ==")
+            print(f"spans: {len(result.spans)}  verified: {result.all_verified}  "
+                  f"audit chains verified: {result.audit_verified}")
+            print(f"trace fingerprint: {result.trace_fingerprint()[:16]}…  "
+                  f"({len(runs)} runs, {'REPRODUCIBLE' if len(fingerprints) == 1 else 'DIVERGENT'})")
+            print(f"audit heads: "
+                  + ", ".join(f"m{k}={v[:12]}…" for k, v in sorted(result.audit_heads.items()))
+                  + f" ({'REPRODUCIBLE' if len(heads) == 1 else 'DIVERGENT'})")
+            print()
+            print(flame_summary(result.spans, top=args.top))
+            if result.api_latency_summaries:
+                print()
+                print("fleet-wide SM API latencies (merged across machines):")
+                width = max(len(name) for name in result.api_latency_summaries)
+                for name, summary in result.api_latency_summaries.items():
+                    print(f"  {name.ljust(width)}  n={summary['count']:>6}  "
+                          f"mean={summary['mean_us']:>8.1f}us  "
+                          f"p99={summary['p99_us']:>8.1f}us")
+            doc = result.chrome_trace()
+            ok = (
+                result.all_verified
+                and result.audit_verified
+                and len(fingerprints) == 1
+                and len(heads) == 1
+            )
+        else:
+            runs = [
+                run_trace_demo(
+                    platform,
+                    clients=args.clients,
+                    channel_updates=args.channel_updates,
+                    seed=args.seed,
+                )
+                for _ in range(max(1, args.runs))
+            ]
+            demo = runs[0]
+            fingerprints = {d["fingerprint"] for d in runs}
+            heads = {d["audit_head"] for d in runs}
+            print(format_trace_demo(demo, top=args.top))
+            print()
+            print(f"determinism over {len(runs)} runs: "
+                  f"trace {'REPRODUCIBLE' if len(fingerprints) == 1 else 'DIVERGENT'}, "
+                  f"audit {'REPRODUCIBLE' if len(heads) == 1 else 'DIVERGENT'}")
+            doc = demo_chrome_trace(demo)
+            ok = (
+                demo["audit_ok"] and len(fingerprints) == 1 and len(heads) == 1
+            )
+        problems = validate_chrome_trace(doc)
+        if problems:
+            print("chrome-trace schema problems: " + "; ".join(problems[:5]))
+            ok = False
+        if args.out:
+            out = args.out
+            if args.platform == "both":
+                directory, base = os.path.split(out)
+                out = os.path.join(directory, f"{platform}_{base}")
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=1)
+            print(f"wrote Chrome trace ({len(doc['traceEvents'])} events) to {out}"
+                  f" — load it in Perfetto or chrome://tracing")
+        if not ok:
+            exit_code = 1
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.analysis")
     sub = parser.add_subparsers(dest="command")
@@ -196,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
     perf = sub.add_parser("perf", help="run a demo workload, print perf counters")
     perf.add_argument("--iterations", type=int, default=20_000,
                       help="loop iterations of the demo workload")
+    perf.add_argument("--platform", default="sanctum",
+                      choices=("sanctum", "keystone", "both"),
+                      help="platform(s) to run the demo workload on")
     bench = sub.add_parser("bench", help="sim-speed benchmark (fast paths off vs on)")
     bench.add_argument("--iterations", type=int, default=DEFAULT_ITERATIONS,
                        help="loop iterations of the benchmark workload")
@@ -236,9 +355,35 @@ def main(argv: list[str] | None = None) -> int:
                        help="run all machines in-process (no multiprocessing)")
     fleet.add_argument("--out", default="BENCH_fleet.json",
                        help="where to write the JSON result")
+    trace = sub.add_parser(
+        "trace",
+        help="traced attestation workload: spans, audit log, metrics",
+    )
+    trace.add_argument("--platform", default="sanctum",
+                       choices=("sanctum", "keystone", "both"),
+                       help="platform(s) to trace")
+    trace.add_argument("--runs", type=int, default=2,
+                       help="repeat runs for the determinism check")
+    trace.add_argument("--clients", type=int, default=2,
+                       help="attestation clients to serve")
+    trace.add_argument("--channel-updates", type=int, default=1,
+                       help="sealed channel round trips per client")
+    trace.add_argument("--seed", type=int, default=2026, help="workload seed")
+    trace.add_argument("--top", type=int, default=20,
+                       help="span paths shown in the flame summary")
+    trace.add_argument("--fleet", action="store_true",
+                       help="trace a whole fleet and merge the streams")
+    trace.add_argument("--machines", type=int, default=2,
+                       help="fleet machines (with --fleet)")
+    trace.add_argument("--inline", action="store_true",
+                       help="run the fleet in-process (with --fleet)")
+    trace.add_argument("--out", default="TRACE_demo.json",
+                       help="where to write the Chrome trace-event JSON "
+                            "('' disables)")
     args = parser.parse_args(argv)
     handler = {"perf": cmd_perf, "bench": cmd_bench,
-               "fuzz": cmd_fuzz, "fleet": cmd_fleet}.get(args.command, cmd_loc)
+               "fuzz": cmd_fuzz, "fleet": cmd_fleet,
+               "trace": cmd_trace}.get(args.command, cmd_loc)
     return handler(args)
 
 

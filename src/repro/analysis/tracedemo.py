@@ -1,0 +1,130 @@
+"""The ``python -m repro.analysis trace`` workload and renderers.
+
+Drives one machine (or a whole fleet) through the attestation service
+loop with tracing enabled and packages the three telemetry pillars for
+the CLI: the span stream (exported as Chrome trace-event JSON and a
+flame-style summary), the unified metrics registry, and the SM's
+hash-chained audit log.
+
+Everything here is deterministic for a fixed seed: the demo reuses the
+fleet's :class:`~repro.fleet.worker.MachineServer` (the same boot +
+serve path the fleet benchmark measures), the tracer records virtual
+time only, and audit records contain simulated facts only.  Running
+the demo twice and comparing fingerprints *is* the determinism check
+the ``trace-smoke`` CI job performs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fleet.worker import MachineServer
+from repro.telemetry.export import chrome_trace, flame_summary
+from repro.telemetry.metrics import MetricsRegistry, collect_system_metrics
+from repro.telemetry.tracer import spans_fingerprint
+from repro.util.rng import DeterministicTRNG
+
+#: Fixed device id for the single-machine demo (any value works; fixed
+#: keeps the audit genesis — and therefore the head — reproducible).
+DEMO_DEVICE_ID = "trace-demo-0"
+
+
+def run_trace_demo(
+    platform: str = "sanctum",
+    clients: int = 2,
+    channel_updates: int = 1,
+    seed: int = 2026,
+) -> dict[str, Any]:
+    """Serve a few attestation clients on one traced machine.
+
+    Returns the span stream (dicts), its virtual-time fingerprint, the
+    audit chain, and a populated :class:`MetricsRegistry` — everything
+    the CLI renders and the CI job hashes.
+    """
+    server = MachineServer(
+        {
+            "index": 0,
+            "platform": platform,
+            "trng_seed": seed,
+            "device_id": DEMO_DEVICE_ID,
+            "telemetry": True,
+        }
+    )
+    server.boot()
+    rng = DeterministicTRNG(seed).fork(b"trace-demo-clients")
+    spans: list[dict] = []
+    for client_id in range(clients):
+        result = server.serve_client(
+            {
+                "client_id": client_id,
+                "nonce": rng.read(32),
+                "verifier_seed": rng.read(32),
+                "channel_updates": channel_updates,
+                # First client exercises Fig.-6 mailboxes too, so the
+                # demo trace shows the local-attestation path.
+                "local_attest": client_id == 0,
+                "trace_id": f"client-{client_id:04d}",
+            }
+        )
+        spans.extend(result["spans"])
+    system = server.system
+    audit = system.sm.audit
+    return {
+        "platform": platform,
+        "spans": spans,
+        "fingerprint": spans_fingerprint(spans),
+        "audit_records": audit.to_dicts(),
+        "audit_head": audit.head_hex,
+        "audit_ok": audit.verify(),
+        "metrics": collect_system_metrics(system),
+    }
+
+
+def demo_chrome_trace(demo: dict[str, Any]) -> dict[str, Any]:
+    """The demo's span stream as a Perfetto-loadable document."""
+    return chrome_trace(
+        demo["spans"], process_names={0: f"machine ({demo['platform']})"}
+    )
+
+
+def format_trace_demo(demo: dict[str, Any], top: int = 20) -> str:
+    """Human rendering: flame summary, audit chain, headline metrics."""
+    registry: MetricsRegistry = demo["metrics"]
+    lines = [
+        f"platform: {demo['platform']}",
+        f"spans: {len(demo['spans'])}  "
+        f"fingerprint: {demo['fingerprint'][:16]}…",
+        "",
+        flame_summary(demo["spans"], top=top),
+        "",
+        f"audit log: {len(demo['audit_records'])} records, "
+        f"chain {'VERIFIED' if demo['audit_ok'] else 'BROKEN'}, "
+        f"head {demo['audit_head'][:16]}…",
+    ]
+    for record in demo["audit_records"]:
+        fields = {
+            key: value
+            for key, value in record["fields"].items()
+            if key not in ("sm_measurement", "signing_enclave_measurement")
+        }
+        body = ", ".join(
+            f"{key}={str(value)[:16]}" for key, value in sorted(fields.items())
+        )
+        lines.append(f"  [{record['index']:>3}] {record['kind']}: {body}")
+    lines.append("")
+    lines.append("headline metrics:")
+    for name in (
+        "sim_global_steps",
+        "sm_audit_records",
+        "trace_spans_started",
+        "trace_spans_dropped",
+    ):
+        value = registry.get(name)
+        if value is not None:
+            lines.append(f"  {name} = {value:g}")
+    api_calls = [
+        metric for metric in registry.metrics() if metric.name == "sm_api_calls"
+    ]
+    total = sum(metric.value for metric in api_calls)
+    lines.append(f"  sm_api_calls (all entry points) = {total:g}")
+    return "\n".join(lines)

@@ -54,6 +54,9 @@ class FleetSpec:
     #: "process" spawns one worker per machine; "inline" runs all
     #: machines in this process (deterministic debugging, tests).
     mode: str = "process"
+    #: Enable span tracing on every machine (virtual clock only) and
+    #: merge the shipped buffers into one cross-process trace.
+    telemetry: bool = False
 
 
 @dataclasses.dataclass
@@ -81,6 +84,33 @@ class FleetResult:
     chain_cache_hits: int
     #: Per-machine deterministic transcript hashes (hex).
     transcripts: dict[int, str]
+    #: Per-machine audit-chain heads (hex) — deterministic per seed.
+    audit_heads: dict[int, str] = dataclasses.field(default_factory=dict)
+    #: Whether every machine's shipped audit chain re-verified against
+    #: its public boot identity (chain recomputed harness-side).
+    audit_verified: bool = True
+    #: Merged cross-process span stream (telemetry runs only), sorted
+    #: by (machine, virtual time); each span dict carries a ``pid``.
+    spans: list[dict] = dataclasses.field(default_factory=list)
+    #: Fleet-wide SM API latency histograms (telemetry runs only),
+    #: merged across machines: call name -> summary dict.
+    api_latency_summaries: dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    def chrome_trace(self) -> dict:
+        """The merged trace as a Perfetto-loadable document."""
+        from repro.telemetry.export import chrome_trace
+
+        return chrome_trace(
+            self.spans,
+            process_names={0: "harness"}
+            | {i + 1: f"machine-{i}" for i in range(self.spec.n_machines)},
+        )
+
+    def trace_fingerprint(self) -> str:
+        """SHA3-256 over the merged virtual-time span stream."""
+        from repro.telemetry.tracer import spans_fingerprint
+
+        return spans_fingerprint(self.spans)
 
     def to_json(self) -> dict:
         """Flatten for ``BENCH_fleet.json``."""
@@ -105,6 +135,11 @@ class FleetResult:
             "chain_verifications": self.chain_verifications,
             "chain_cache_hits": self.chain_cache_hits,
             "transcripts": {str(k): v for k, v in self.transcripts.items()},
+            "audit_heads": {str(k): v for k, v in self.audit_heads.items()},
+            "audit_verified": self.audit_verified,
+            "spans": len(self.spans),
+            "trace_fingerprint": self.trace_fingerprint() if self.spans else None,
+            "api_latency_summaries": self.api_latency_summaries,
         }
 
 
@@ -123,6 +158,9 @@ def _client_jobs(spec: FleetSpec) -> list[dict]:
                     spec.local_attest_every > 0
                     and client_id % spec.local_attest_every == 0
                 ),
+                #: Cross-process correlation key: every span the serving
+                #: machine emits for this job carries this id.
+                "trace_id": f"client-{client_id:04d}",
             }
         )
     return jobs
@@ -135,6 +173,7 @@ def _worker_specs(spec: FleetSpec) -> list[dict]:
             "platform": spec.platform,
             "trng_seed": ident.trng_seed,
             "device_id": ident.device_id,
+            "telemetry": spec.telemetry,
         }
         for ident in derive_identities(spec.fleet_seed, spec.n_machines)
     ]
@@ -332,6 +371,51 @@ def run_fleet(spec: FleetSpec) -> FleetResult:
         )
         splice_rejected = not splice.ok
 
+    # -- audit chains: re-derive every machine's head from the shipped
+    #    records and its *public* boot identity (the chain genesis is
+    #    sm_measurement || sm_public_key, both in the ready message), so
+    #    tamper evidence holds without trusting the worker's own head.
+    from repro.telemetry.audit import verify_chain_dicts
+
+    audit_heads: dict[int, str] = {}
+    audit_verified = True
+    for s in summaries:
+        if s is None or "audit_head" not in s:
+            continue
+        audit_heads[s["index"]] = s["audit_head"]
+        machine = ready[s["index"]]
+        genesis = machine["sm_measurement"] + machine["sm_public_key"]
+        records = s["audit_records"]
+        chain_ok = verify_chain_dicts(records, genesis=genesis)
+        head_ok = (not records) or records[-1]["digest"] == s["audit_head"]
+        if not (chain_ok and head_ok):
+            audit_verified = False
+            failures.append(f"machine {s['index']}: audit chain verification failed")
+
+    # -- merged cross-process trace: order is deterministic even though
+    #    process-mode results arrive in arrival order — per-machine span
+    #    streams are deterministic, and the merge sorts by (machine,
+    #    virtual time).
+    spans: list[dict] = []
+    if spec.telemetry:
+        for result in results:
+            pid = result["machine_index"] + 1
+            for span in result.get("spans", ()):
+                span["pid"] = pid
+                spans.append(span)
+        spans.sort(key=lambda s: (s["pid"], s["start_steps"], s["start_seq"]))
+
+    api_latency_summaries: dict[str, dict] = {}
+    if spec.telemetry:
+        from repro.telemetry.metrics import merge_api_latencies
+
+        merged = merge_api_latencies(
+            s["api_latencies"] for s in summaries if s and "api_latencies" in s
+        )
+        api_latency_summaries = {
+            name: histogram.summary() for name, histogram in sorted(merged.items())
+        }
+
     return FleetResult(
         spec=spec,
         machines=[
@@ -361,4 +445,8 @@ def run_fleet(spec: FleetSpec) -> FleetResult:
         transcripts={
             s["index"]: s["transcript"].hex() for s in summaries if s is not None
         },
+        audit_heads=audit_heads,
+        audit_verified=audit_verified,
+        spans=spans,
+        api_latency_summaries=api_latency_summaries,
     )

@@ -55,7 +55,7 @@ class MachineServer:
     """One fleet machine: boots a system and serves client jobs."""
 
     def __init__(self, spec: dict) -> None:
-        #: spec: platform, trng_seed, device_id, index.
+        #: spec: platform, trng_seed, device_id, index, telemetry (opt).
         self.spec = spec
         self.system = None
         self.signing = None
@@ -81,7 +81,14 @@ class MachineServer:
             config=config,
             device_id=self.spec["device_id"],
         )
+        if self.spec.get("telemetry"):
+            # Virtual clock only: span streams shipped home must be
+            # bit-identical across runs (and across fleet backends).
+            self.system.machine.tracer.enable(wall_clock=False)
         self.signing = provision_signing_enclave(self.system)
+        # Provisioning spans are machine setup, not client service;
+        # drop them so each job ships exactly its own spans.
+        self.system.machine.tracer.drain()
         boot = self.system.boot
         return {
             "index": self.spec["index"],
@@ -111,7 +118,20 @@ class MachineServer:
         ``local_attest`` (bool).
         """
         system = self.system
+        tracer = system.machine.tracer
+        # One root span per job, keyed by the job's propagated trace id:
+        # every SM pipeline span emitted while serving this client nests
+        # under it (the tracer parents under the innermost open span and
+        # inherits its trace id).
+        root = tracer.start_span(
+            "fleet.serve_client",
+            "fleet",
+            trace_id=job.get("trace_id"),
+            client_id=job["client_id"],
+            machine_index=self.spec["index"],
+        )
         t_start = time.perf_counter()
+        stage = tracer.start_span("fleet.remote_attestation", "fleet")
         outcome = run_remote_attestation(
             system,
             nonce=job["nonce"],
@@ -119,6 +139,7 @@ class MachineServer:
             verifier_keypair=x25519_generate_keypair(job["verifier_seed"]),
             verify=False,
         )
+        tracer.end_span(stage)
         attest_latency = time.perf_counter() - t_start
         report_bytes = outcome.report.to_bytes()
 
@@ -127,12 +148,15 @@ class MachineServer:
         value = job["client_id"] * 1000
         for i in range(job["channel_updates"]):
             nonce8 = job["nonce"][:7] + bytes([i & 0xFF])
+            stage = tracer.start_span("fleet.channel_update", "fleet", round=i)
             value = run_channel_exchange(system, outcome, value, nonce=nonce8)
+            tracer.end_span(stage)
             channel_values.append(value)
 
         local_ok = None
         local_recorded = b""
         if job["local_attest"]:
+            stage = tracer.start_span("fleet.local_attestation", "fleet")
             local = run_local_attestation(
                 system, message=b"fleet-client-%d" % job["client_id"]
             )
@@ -140,9 +164,13 @@ class MachineServer:
             local_recorded = local.recorded_sender_measurement
             system.kernel.destroy_enclave(local.sender_eid)
             system.kernel.destroy_enclave(local.receiver_eid)
+            tracer.end_span(stage)
 
         # Release the client enclave so the machine serves indefinitely.
+        stage = tracer.start_span("fleet.teardown", "fleet")
         system.kernel.destroy_enclave(outcome.client_eid)
+        tracer.end_span(stage)
+        tracer.end_span(root)
         total_latency = time.perf_counter() - t_start
 
         self.jobs_served += 1
@@ -154,7 +182,7 @@ class MachineServer:
             local_recorded,
             system.machine.global_steps.to_bytes(16, "little"),
         )
-        return {
+        result = {
             "machine_index": self.spec["index"],
             "client_id": job["client_id"],
             "nonce": job["nonce"],
@@ -166,15 +194,31 @@ class MachineServer:
             "attest_latency_s": attest_latency,
             "total_latency_s": total_latency,
         }
+        if tracer.enabled:
+            # Ship this job's spans home with the result; the harness
+            # merges all machines' streams into one cross-process trace.
+            result["spans"] = tracer.drain_dicts()
+        return result
 
     def summary(self) -> dict:
-        """Deterministic end-of-run digest of everything served."""
-        return {
+        """Deterministic end-of-run digest of everything served.
+
+        Always carries the audit chain (records + head): the harness
+        re-derives the head from the records and the machine's public
+        identity, so a worker cannot silently rewrite its own history.
+        """
+        sm = self.system.sm
+        out = {
             "index": self.spec["index"],
             "jobs_served": self.jobs_served,
             "transcript": self._transcript.digest(),
             "global_steps": self.system.machine.global_steps,
+            "audit_head": sm.audit.head_hex,
+            "audit_records": sm.audit.to_dicts(),
         }
+        if self.spec.get("telemetry"):
+            out["api_latencies"] = self.system.machine.perf.api_latency_dicts()
+        return out
 
 
 def worker_main(conn, spec: dict) -> None:

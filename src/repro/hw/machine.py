@@ -32,6 +32,7 @@ from repro.hw.memory import PAGE_SHIFT, PhysicalMemory
 from repro.hw.paging import AccessType
 from repro.hw.perf import PerfMonitor
 from repro.hw.traps import Trap
+from repro.telemetry.tracer import Tracer
 from repro.util.rng import DeterministicTRNG
 
 
@@ -98,6 +99,10 @@ class Machine:
         self.global_steps = 0
         #: Machine-wide performance counters (see repro.hw.perf).
         self.perf = PerfMonitor(self)
+        #: Span tracer on the machine's virtual clock (disabled by
+        #: default; see repro.telemetry.tracer).  Always present so the
+        #: instrumented hot paths pay only one ``enabled`` check.
+        self.tracer = Tracer(clock=lambda: self.global_steps)
         # Keep the decode caches coherent with DRAM: any write (core
         # store, SM page load/scrub, DMA) to a page holding cached
         # decoded instructions drops that page's entries.

@@ -22,6 +22,7 @@ as ``machine.perf``; ``python -m repro.analysis perf`` renders
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine imports us)
@@ -61,18 +62,52 @@ class LatencyHistogram:
         self.max_ns = 0
 
     def record(self, ns: int) -> None:
-        """Add one observation."""
+        """Add one observation.
+
+        ``bisect_left`` finds the first bound with ``ns <= bound`` in
+        O(log buckets); values above the last bound land at index
+        ``len(LATENCY_BUCKETS_NS)``, the implicit overflow bucket.
+        """
         self.count += 1
         self.total_ns += ns
         if self.min_ns is None or ns < self.min_ns:
             self.min_ns = ns
         if ns > self.max_ns:
             self.max_ns = ns
-        for index, bound in enumerate(LATENCY_BUCKETS_NS):
-            if ns <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        self.counts[bisect_left(LATENCY_BUCKETS_NS, ns)] += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (cross-process rollup)."""
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min_ns is not None and (
+            self.min_ns is None or other.min_ns < self.min_ns
+        ):
+            self.min_ns = other.min_ns
+        if other.max_ns > self.max_ns:
+            self.max_ns = other.max_ns
+
+    def to_dict(self) -> dict:
+        """Lossless serialized form (pipe- and JSON-safe)."""
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        histogram = cls()
+        histogram.counts = list(data["counts"])
+        histogram.count = data["count"]
+        histogram.total_ns = data["total_ns"]
+        histogram.min_ns = data["min_ns"]
+        histogram.max_ns = data["max_ns"]
+        return histogram
 
     @property
     def mean_ns(self) -> float:
@@ -149,6 +184,13 @@ class PerfMonitor:
         if histogram is None:
             histogram = self.api_latencies[name] = LatencyHistogram()
         histogram.record(ns)
+
+    def api_latency_dicts(self) -> dict[str, dict]:
+        """Serialized latency table (what fleet workers ship home)."""
+        return {
+            name: histogram.to_dict()
+            for name, histogram in sorted(self.api_latencies.items())
+        }
 
     def reset(self) -> None:
         """Zero the monitor's own counters (not the machine's)."""

@@ -60,7 +60,14 @@ from repro.sm.enclave import (
 from repro.sm.events import OsEvent, OsEventKind, OsEventQueue, fault_is_enclave_handled
 from repro.sm.mailbox import MAILBOX_SIZE, Mailbox
 from repro.sm.measurement import EnclaveMeasurement
-from repro.sm.pipeline import EcallPipeline, PerfInterceptor, Plan
+from repro.sm.pipeline import (
+    AuditInterceptor,
+    EcallPipeline,
+    PerfInterceptor,
+    Plan,
+    TraceInterceptor,
+)
+from repro.telemetry.audit import AuditEventKind, AuditLog
 from repro.sm.resources import ResourceState, ResourceType
 from repro.sm.state import SmState
 from repro.sm.thread import THREAD_METADATA_SIZE, ThreadMetadata, ThreadState
@@ -96,6 +103,12 @@ class SecurityMonitor:
         #: outside it on demand.
         self.pipeline = EcallPipeline(self)
         self.pipeline.install(PerfInterceptor(machine.perf))
+        self.pipeline.install(TraceInterceptor(machine.tracer))
+        #: Tamper-evident audit log of security events, anchored to the
+        #: boot identity (so every device's chain is distinct and any
+        #: verifier holding the identity can re-derive the head).
+        self.audit = AuditLog(genesis=boot.sm_measurement + boot.sm_public_key)
+        self.pipeline.install(AuditInterceptor(self))
 
         # Static trust state from secure boot (§IV-A).
         self.state.sm_measurement = boot.sm_measurement
@@ -123,6 +136,12 @@ class SecurityMonitor:
 
         machine.set_trap_handler(self.handle_trap)
         self._recompute_dma_filter()
+        self.audit.append(
+            AuditEventKind.SM_BOOT,
+            platform=platform.name,
+            sm_measurement=boot.sm_measurement,
+            signing_enclave_measurement=signing_enclave_measurement,
+        )
 
     def _dispatch(self, name: str, *args):
         return self.pipeline.dispatch(ABI[name], args)

@@ -330,10 +330,25 @@ class CompartmentGuard:
 
     def heal(self, *compartments: Compartment) -> None:
         """Return compartments to service (all of them by default)."""
+        healed = sorted(
+            c.value
+            for c in (self.quarantined & set(compartments) if compartments
+                      else self.quarantined)
+        )
         if compartments:
             self.quarantined.difference_update(compartments)
         else:
             self.quarantined.clear()
+        if healed:
+            audit = getattr(self.sm, "audit", None)
+            if audit is not None:
+                from repro.telemetry.audit import AuditEventKind
+
+                audit.append(
+                    AuditEventKind.HEAL,
+                    compartments=healed,
+                    steps=self.sm.machine.global_steps,
+                )
 
     def guarded_commit(self, spec, run: Callable[[], Any]) -> Any:
         """Run one commit phase with only ``spec``'s compartments open."""

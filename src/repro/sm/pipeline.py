@@ -48,6 +48,7 @@ from repro.errors import ApiResult, CompartmentFault
 from repro.hw.core import DOMAIN_UNTRUSTED
 from repro.sm.abi import ApiSpec, CallerKind
 from repro.sm.locks import LockConflict, Transaction
+from repro.telemetry.audit import AuditEventKind
 
 
 @dataclasses.dataclass
@@ -113,6 +114,8 @@ class EcallPipeline:
     def _execute(self, ctx: CallContext):
         spec = ctx.spec
         sm = ctx.sm
+        if sm.machine.tracer.enabled:
+            return self._execute_traced(ctx, sm.machine.tracer)
         if spec.raw:
             return getattr(sm, "_raw_" + spec.name)(*ctx.args)
         if spec.caller is CallerKind.OS and ctx.args[0] != DOMAIN_UNTRUSTED:
@@ -129,6 +132,56 @@ class EcallPipeline:
                 sm._yield_point(f"{spec.name}.locked")
                 return self._commit(ctx, outcome, txn)
         except LockConflict:
+            return spec.shape_error(ApiResult.LOCK_CONFLICT)
+
+    def _execute_traced(self, ctx: CallContext, tracer):
+        """The same authorize/validate/lock/commit sequence as
+        :meth:`_execute`, with one span per phase.
+
+        A separate method (rather than inline conditionals) keeps the
+        untraced executor — the hot path every benchmark measures —
+        free of per-phase overhead; the single ``tracer.enabled`` check
+        in :meth:`_execute` is the entire disabled-mode cost.  Behavior
+        is identical: spans are observational, consume no RNG, and
+        touch no simulated state.
+        """
+        spec = ctx.spec
+        sm = ctx.sm
+        if spec.raw:
+            with tracer.span(f"{spec.name}.raw", "sm.phase"):
+                return getattr(sm, "_raw_" + spec.name)(*ctx.args)
+        with tracer.span(f"{spec.name}.authorize", "sm.phase"):
+            prohibited = (
+                spec.caller is CallerKind.OS and ctx.args[0] != DOMAIN_UNTRUSTED
+            )
+        if prohibited:
+            return spec.shape_error(ApiResult.PROHIBITED)
+        validate_span = tracer.start_span(f"{spec.name}.validate", "sm.phase")
+        outcome = getattr(sm, "_validate_" + spec.name)(*ctx.args)
+        planned = isinstance(outcome, Plan)
+        tracer.end_span(validate_span, ok=planned)
+        if not planned:
+            return spec.shape_error(outcome)
+        sm._yield_point(f"{spec.name}.validated")
+        if not outcome.locks:
+            with tracer.span(f"{spec.name}.commit", "sm.phase", locks=0):
+                return self._commit(ctx, outcome, None)
+        lock_span = tracer.start_span(
+            f"{spec.name}.lock", "sm.phase", locks=len(outcome.locks)
+        )
+        try:
+            with Transaction() as txn:
+                txn.take(*outcome.locks)
+                tracer.end_span(lock_span, conflict=False)
+                lock_span = None
+                sm._yield_point(f"{spec.name}.locked")
+                with tracer.span(
+                    f"{spec.name}.commit", "sm.phase", locks=len(outcome.locks)
+                ):
+                    return self._commit(ctx, outcome, txn)
+        except LockConflict:
+            if lock_span is not None:
+                tracer.end_span(lock_span, conflict=True)
             return spec.shape_error(ApiResult.LOCK_CONFLICT)
 
     def _commit(self, ctx: CallContext, plan: Plan, txn):
@@ -181,6 +234,16 @@ class CompartmentInterceptor:
             return proceed()
         declared = guard.declared(ctx.spec)
         if declared & guard.quarantined:
+            tracer = ctx.sm.machine.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "sm.quarantine.refused",
+                    "sm.compartment",
+                    call=ctx.spec.name,
+                    compartments=sorted(
+                        c.value for c in declared & guard.quarantined
+                    ),
+                )
             return ctx.spec.shape_error(ApiResult.COMPARTMENT_FAULT)
         try:
             return proceed()
@@ -189,6 +252,28 @@ class CompartmentInterceptor:
             # misbehaving component (the call's own compartments) out
             # of service and degrade gracefully instead of crashing.
             guard.quarantined.update(declared)
+            sm = ctx.sm
+            names = sorted(c.value for c in declared)
+            steps = sm.machine.global_steps
+            audit = getattr(sm, "audit", None)
+            if audit is not None:
+                audit.append(
+                    AuditEventKind.COMPARTMENT_FAULT,
+                    call=ctx.spec.name,
+                    compartments=names,
+                    steps=steps,
+                )
+                audit.append(
+                    AuditEventKind.QUARANTINE, compartments=names, steps=steps
+                )
+            tracer = sm.machine.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "sm.compartment.fault",
+                    "sm.compartment",
+                    call=ctx.spec.name,
+                    compartments=names,
+                )
             return ctx.spec.shape_error(ApiResult.COMPARTMENT_FAULT)
 
 
@@ -211,3 +296,106 @@ class PerfInterceptor:
             return proceed()
         finally:
             self.perf.record_api(ctx.spec.name, time.perf_counter_ns() - start)
+
+
+class TraceInterceptor:
+    """Emit one span per SM dispatch, tagged with call, caller, result.
+
+    Installed outside the perf interceptor so a call's span covers the
+    whole dispatch (the per-phase sub-spans come from the executor's
+    traced path, :meth:`EcallPipeline._execute_traced`).  With the
+    tracer disabled this interceptor is a single attribute check per
+    dispatch; spans never touch simulated state, so enabling tracing
+    does not perturb replay fixtures.
+    """
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+
+    def intercept(self, ctx: CallContext, proceed):
+        tracer = self.tracer
+        if not tracer.enabled:
+            return proceed()
+        spec = ctx.spec
+        attrs: dict = {"depth": ctx.pipeline.depth}
+        if not spec.raw and ctx.args:
+            attrs["caller"] = ctx.args[0]
+        span = tracer.start_span(
+            f"sm.{spec.name}", "sm.raw" if spec.raw else "sm.api", **attrs
+        )
+        try:
+            result = proceed()
+        except BaseException as exc:
+            tracer.end_span(span, result=type(exc).__name__)
+            raise
+        primary = result[0] if isinstance(result, tuple) else result
+        tracer.end_span(
+            span,
+            result=primary.name if isinstance(primary, ApiResult) else str(primary),
+        )
+        return result
+
+
+#: The calls whose successful completion lands in the audit log.
+AUDITED_CALLS = frozenset(
+    {"create_enclave", "init_enclave", "delete_enclave", "get_attestation_key"}
+)
+
+
+class AuditInterceptor:
+    """Append security-lifecycle events to the SM's hash-chained log.
+
+    Filters by *spec name*, not dispatch depth: ``get_attestation_key``
+    reaches the pipeline at depth 2 (an enclave ecall dispatched from
+    inside the raw trap handler) and must still be recorded.  Only
+    ``ApiResult.OK`` outcomes append — a refused, conflicted, or
+    compartment-faulted (rolled back) call never happened as far as
+    the audit history is concerned.  Fields are simulated facts only
+    (ids, measurements, ``global_steps``), keeping the chain head
+    bit-identical across runs of the same seed.
+    """
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+
+    def intercept(self, ctx: CallContext, proceed):
+        result = proceed()
+        spec = ctx.spec
+        if spec.name not in AUDITED_CALLS:
+            return result
+        primary = result[0] if isinstance(result, tuple) else result
+        if primary is not ApiResult.OK:
+            return result
+        sm = self.sm
+        audit = sm.audit
+        steps = sm.machine.global_steps
+        if spec.name == "create_enclave":
+            _, eid, evrange_base, evrange_size, num_mailboxes = ctx.args
+            audit.append(
+                AuditEventKind.ENCLAVE_CREATE,
+                eid=eid,
+                evrange_base=evrange_base,
+                evrange_size=evrange_size,
+                mailboxes=num_mailboxes,
+                steps=steps,
+            )
+        elif spec.name == "init_enclave":
+            eid = ctx.args[1]
+            enclave = sm.state.enclaves.get(eid)
+            audit.append(
+                AuditEventKind.ENCLAVE_INIT,
+                eid=eid,
+                measurement=enclave.measurement if enclave is not None else b"",
+                steps=steps,
+            )
+        elif spec.name == "delete_enclave":
+            audit.append(
+                AuditEventKind.ENCLAVE_DESTROY, eid=ctx.args[1], steps=steps
+            )
+        else:  # get_attestation_key: caller is the requesting enclave.
+            audit.append(
+                AuditEventKind.ATTESTATION_KEY_RELEASED,
+                eid=ctx.args[0],
+                steps=steps,
+            )
+        return result

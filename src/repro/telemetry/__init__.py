@@ -1,0 +1,58 @@
+"""Deterministic end-to-end telemetry: spans, metrics, and the audit log.
+
+The paper's headline claim is that the security monitor is
+*lightweight*; this package is where the reproduction makes that claim
+*observable* end to end.  Three pillars, all deterministic by
+construction:
+
+* :mod:`repro.telemetry.tracer` — a span-based tracer with **dual
+  clocks**: a virtual clock derived from the machine's deterministic
+  ``global_steps`` counter (bit-identical across runs of the same
+  seed), plus an optional host wall clock for reproduction-speed
+  numbers.  Spans land in a bounded ring buffer and cost near zero
+  when tracing is disabled.
+* :mod:`repro.telemetry.audit` — a hash-chained (SHA3-512) append-only
+  **audit log** of security-relevant SM events (enclave create/init/
+  destroy, attestation key releases, contained compartment faults,
+  quarantine and heal).  The head digest commits to the whole history:
+  any retroactive edit breaks the chain, and for a fixed seed the
+  digest is bit-identical across runs.
+* :mod:`repro.telemetry.metrics` — one labelled-counter registry
+  consolidating the previously scattered numbers: simulator perf
+  counters, decode/trace-cache stats, SM API latency histograms,
+  OS-event traffic, fleet chain-verifier cache stats, and audit/tracer
+  self-accounting.
+
+:mod:`repro.telemetry.export` renders span buffers as Chrome
+trace-event JSON (loadable in Perfetto / ``chrome://tracing``) and as
+a human flame-style summary; ``python -m repro.analysis trace`` drives
+a demo workload (or a whole fleet) through all of it.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.audit import AuditEventKind, AuditLog, AuditRecord
+from repro.telemetry.export import (
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    collect_chain_verifier_metrics,
+    collect_system_metrics,
+)
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = [
+    "AuditEventKind",
+    "AuditLog",
+    "AuditRecord",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "collect_chain_verifier_metrics",
+    "collect_system_metrics",
+    "flame_summary",
+    "validate_chrome_trace",
+]

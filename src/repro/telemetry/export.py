@@ -1,0 +1,212 @@
+"""Trace exporters: Chrome trace-event JSON and a flame-style summary.
+
+The Chrome trace-event format (the JSON array flavour with a
+``traceEvents`` wrapper) is loadable by Perfetto and
+``chrome://tracing``.  Mapping:
+
+* one **complete event** (``"ph": "X"``) per span, with the virtual
+  clock as the microsecond timeline: ``ts = global_steps`` (fractional
+  part = the tracer's sequence number, which orders host-level events
+  sharing one step);
+* ``pid`` = the originating process (0 = the harness/driver, 1+N =
+  fleet machine N), named by **metadata events** (``"ph": "M"``);
+* ``tid`` = the span's trace id (one per fleet client job), so a
+  Perfetto row shows one client's whole journey across the stack;
+* span attributes, the span/parent ids, and (when recorded) wall-clock
+  nanoseconds ride in ``args``.
+
+Everything emitted is deterministic for a fixed seed unless the tracer
+recorded wall clocks; :func:`chrome_trace` therefore excludes wall
+fields by default so the exported document itself is bit-identical
+across runs (the ``trace-smoke`` CI gate).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.telemetry.tracer import Span
+
+
+def _as_dict(span: Span | dict) -> dict:
+    return span.to_dict() if isinstance(span, Span) else span
+
+
+def chrome_trace(
+    spans: Iterable[Span | dict],
+    process_names: Mapping[int, str] | None = None,
+    include_wall: bool = False,
+) -> dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON document.
+
+    ``spans`` may be :class:`Span` objects or their dict form; a span
+    dict may carry an extra ``pid`` key (added by the fleet merge) —
+    absent means pid 0.  ``process_names`` labels pids in the viewer.
+    ``include_wall`` adds ``wall_ns`` to args (off by default to keep
+    the document bit-identical across runs).
+    """
+    events: list[dict[str, Any]] = []
+    tid_tables: dict[int, dict[str, int]] = {}
+    span_dicts = sorted(
+        (_as_dict(span) for span in spans),
+        key=lambda s: (s.get("pid", 0), s["start_steps"], s["start_seq"]),
+    )
+    for data in span_dicts:
+        pid = data.get("pid", 0)
+        tids = tid_tables.setdefault(pid, {})
+        tid = tids.setdefault(data["trace_id"], len(tids) + 1)
+        start = data["start_steps"] + data["start_seq"] * 1e-6
+        end_steps = data["end_steps"]
+        end = (
+            end_steps + (data["end_seq"] or 0) * 1e-6
+            if end_steps is not None
+            else start
+        )
+        args: dict[str, Any] = dict(data.get("attrs", ()))
+        args["span_id"] = data["span_id"]
+        if data["parent_id"] is not None:
+            args["parent_id"] = data["parent_id"]
+        args["trace_id"] = data["trace_id"]
+        if include_wall and data.get("start_wall_ns") is not None:
+            args["wall_ns"] = data["end_wall_ns"] - data["start_wall_ns"]
+        events.append(
+            {
+                "name": data["name"],
+                "cat": data["category"] or "span",
+                "ph": "X",
+                "ts": round(start, 6),
+                "dur": round(max(0.0, end - start), 6),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: list[dict[str, Any]] = []
+    for pid in sorted(tid_tables):
+        name = (process_names or {}).get(pid) or (
+            "driver" if pid == 0 else f"machine-{pid - 1}"
+        )
+        metadata.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        for trace_id, tid in sorted(tid_tables[pid].items(), key=lambda kv: kv[1]):
+            metadata.append(
+                {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                 "args": {"name": trace_id}}
+            )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual (1 us == 1 global step; fraction == sequence)",
+            "source": "repro.telemetry",
+        },
+    }
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema-check a document produced by :func:`chrome_trace`.
+
+    Returns a list of human-readable problems (empty == valid).  Used
+    by the ``trace-smoke`` CI job and the exporter tests; deliberately
+    checks the *generic* trace-event contract, so any document that
+    passes loads in Perfetto.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                problems.append(f"{where} lacks {field!r}")
+        phase = event.get("ph")
+        if phase == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where} complete event lacks numeric ts")
+            if not isinstance(dur, (int, float)) or (
+                isinstance(dur, (int, float)) and dur < 0
+            ):
+                problems.append(f"{where} complete event needs dur >= 0")
+            if not isinstance(event.get("args", {}), dict):
+                problems.append(f"{where} args is not an object")
+        elif phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                problems.append(f"{where} metadata event lacks args.name")
+        elif phase is not None and not isinstance(phase, str):
+            problems.append(f"{where} ph is not a string")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The human-readable rendering
+# ----------------------------------------------------------------------
+
+def _stack_paths(span_dicts: list[dict]) -> dict[int, str]:
+    """span_id -> "root;child;..." flame path for every span."""
+    by_id = {data["span_id"]: data for data in span_dicts}
+    paths: dict[int, str] = {}
+
+    def path_of(data: dict) -> str:
+        cached = paths.get(data["span_id"])
+        if cached is not None:
+            return cached
+        parent = by_id.get(data["parent_id"]) if data["parent_id"] else None
+        path = data["name"] if parent is None else f"{path_of(parent)};{data['name']}"
+        paths[data["span_id"]] = path
+        return path
+
+    for data in span_dicts:
+        path_of(data)
+    return paths
+
+
+def flame_summary(spans: Iterable[Span | dict], top: int = 30) -> str:
+    """Aggregate spans by stack path — a textual flame graph.
+
+    Columns: call count, total *virtual* steps (simulated work under
+    the path), and total wall microseconds when the tracer recorded the
+    host clock.  SM API phases legitimately show 0 virtual steps: the
+    monitor's own work is host-level, which is precisely the paper's
+    lightweight-monitor story.
+    """
+    span_dicts = [_as_dict(span) for span in spans]
+    if not span_dicts:
+        return "(no spans)"
+    paths = _stack_paths(span_dicts)
+    totals: dict[str, dict[str, float]] = {}
+    any_wall = False
+    for data in span_dicts:
+        path = paths[data["span_id"]]
+        row = totals.setdefault(path, {"count": 0, "steps": 0, "wall_ns": 0})
+        row["count"] += 1
+        if data["end_steps"] is not None:
+            row["steps"] += data["end_steps"] - data["start_steps"]
+        if data.get("start_wall_ns") is not None and data.get("end_wall_ns") is not None:
+            row["wall_ns"] += data["end_wall_ns"] - data["start_wall_ns"]
+            any_wall = True
+    ordered = sorted(
+        totals.items(), key=lambda item: (-item[1]["steps"], -item[1]["count"], item[0])
+    )
+    width = min(80, max(len(path) for path, _ in ordered[:top]) + 2)
+    header = f"{'span path'.ljust(width)} {'count':>7} {'virt steps':>12}"
+    if any_wall:
+        header += f" {'wall ms':>10}"
+    lines = [header]
+    for path, row in ordered[:top]:
+        line = f"{path.ljust(width)} {row['count']:>7.0f} {row['steps']:>12.0f}"
+        if any_wall:
+            line += f" {row['wall_ns'] / 1e6:>10.3f}"
+        lines.append(line)
+    if len(ordered) > top:
+        lines.append(f"... {len(ordered) - top} more paths")
+    return "\n".join(lines)

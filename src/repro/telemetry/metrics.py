@@ -1,0 +1,190 @@
+"""One labelled-counter schema for every number the reproduction keeps.
+
+Before this module the evidence for the paper's "lightweight" claim was
+scattered: :class:`~repro.hw.perf.PerfMonitor` snapshots, decode/trace
+cache stats inside them, fleet :class:`~repro.fleet.verify.CachedChainVerifier`
+counters, ad-hoc ``BENCH_*.json`` schemas.  :class:`MetricsRegistry`
+consolidates them into one flat, deterministic schema:
+
+.. code-block:: text
+
+    {"name": "sim_instructions", "labels": {"core": "0"}, "value": 81920}
+    {"name": "sm_api_calls",     "labels": {"call": "create_enclave"}, "value": 3}
+    {"name": "fleet_chain_cache_hits", "labels": {}, "value": 11}
+
+Collectors are read-only: they walk structures the simulator already
+maintains, so collection costs nothing on the hot path and the values
+(except the explicitly host-side ``*_ns`` latencies) are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+
+@dataclasses.dataclass(frozen=True)
+class Metric:
+    """One labelled sample."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class MetricsRegistry:
+    """A flat bag of labelled counters/gauges with deterministic output."""
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, Any]) -> tuple[str, tuple[tuple[str, str], ...]]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def record(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge (last write wins)."""
+        self._values[self._key(name, labels)] = value
+
+    def inc(self, name: str, delta: float = 1, **labels: Any) -> None:
+        """Increment a counter."""
+        key = self._key(name, labels)
+        self._values[key] = self._values.get(key, 0) + delta
+
+    def get(self, name: str, **labels: Any) -> float | None:
+        return self._values.get(self._key(name, labels))
+
+    def metrics(self) -> list[Metric]:
+        """All samples, sorted by (name, labels) — deterministic."""
+        return [
+            Metric(name=name, labels=labels, value=value)
+            for (name, labels), value in sorted(self._values.items())
+        ]
+
+    def to_json(self) -> list[dict[str, Any]]:
+        return [metric.to_dict() for metric in self.metrics()]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Sum another registry into this one (cross-process rollup)."""
+        for (name, labels), value in other._values.items():
+            self._values[(name, labels)] = self._values.get((name, labels), 0) + value
+
+    def format(self) -> str:
+        """Prometheus-exposition-style text rendering."""
+        lines = []
+        for metric in self.metrics():
+            if metric.labels:
+                body = ",".join(f'{k}="{v}"' for k, v in metric.labels)
+                lines.append(f"{metric.name}{{{body}}} {metric.value:g}")
+            else:
+                lines.append(f"{metric.name} {metric.value:g}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Collectors
+# ----------------------------------------------------------------------
+
+def collect_machine_metrics(machine, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Simulator counters: cores, TLB/L1/LLC, decode + trace caches."""
+    registry = registry or MetricsRegistry()
+    registry.record("sim_global_steps", machine.global_steps)
+    for snapshot in (machine.perf.core_counters(i) for i in range(len(machine.cores))):
+        core = snapshot["core"]
+        registry.record("sim_instructions", snapshot["instructions"], core=core)
+        registry.record("sim_cycles", snapshot["cycles"], core=core)
+        for unit in ("tlb", "l1"):
+            for field in ("hits", "misses"):
+                registry.record(f"sim_{unit}_{field}", snapshot[unit][field], core=core)
+        registry.record("sim_decode_cache_hits", snapshot["decode_cache"]["hits"], core=core)
+        registry.record("sim_decode_cache_misses", snapshot["decode_cache"]["misses"], core=core)
+        registry.record(
+            "sim_decode_cache_peak_entries",
+            snapshot["decode_cache"]["peak_entries"],
+            core=core,
+        )
+        tcache = snapshot["trace_cache"]
+        for field in ("built", "executions", "instructions", "aborts"):
+            registry.record(f"sim_trace_cache_{field}", tcache[field], core=core)
+        for cause, count in snapshot["traps"].items():
+            registry.record("sim_traps", count, core=core, cause=cause)
+    if machine.llc is not None:
+        stats = machine.llc.stats
+        registry.record("sim_llc_hits", stats.hits)
+        registry.record("sim_llc_misses", stats.misses)
+        registry.record("sim_llc_evictions", stats.evictions)
+        registry.record("sim_llc_cross_domain_evictions", stats.cross_domain_evictions)
+    return registry
+
+
+def collect_api_latency_metrics(perf, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """SM API latency histograms as labelled counters (host-side ns)."""
+    registry = registry or MetricsRegistry()
+    for name, histogram in sorted(perf.api_latencies.items()):
+        registry.record("sm_api_calls", histogram.count, call=name)
+        registry.record("sm_api_total_ns", histogram.total_ns, call=name)
+        registry.record("sm_api_max_ns", histogram.max_ns, call=name)
+        registry.record("sm_api_p99_ns", histogram.percentile_ns(0.99), call=name)
+    return registry
+
+
+def collect_system_metrics(system, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Everything one booted :class:`~repro.system.System` exposes.
+
+    Machine counters, SM API latencies, OS-event traffic, audit-log
+    record counts, and the tracer's self-accounting — the unified view
+    ``python -m repro.analysis trace`` renders.
+    """
+    registry = registry or MetricsRegistry()
+    collect_machine_metrics(system.machine, registry)
+    collect_api_latency_metrics(system.machine.perf, registry)
+    for kind, count in system.sm.os_events.counters().items():
+        registry.record("sm_os_events", count, kind=kind)
+    audit = getattr(system.sm, "audit", None)
+    if audit is not None:
+        registry.record("sm_audit_records", len(audit))
+        for kind, count in audit.counters().items():
+            registry.record("sm_audit_events", count, kind=kind)
+    tracer = getattr(system.machine, "tracer", None)
+    if tracer is not None:
+        for field, value in tracer.counters().items():
+            registry.record(f"trace_spans_{field}", value)
+    guard = getattr(system.sm, "compartment_guard", None)
+    if guard is not None:
+        registry.record("sm_commits_guarded", guard.commits_guarded)
+        registry.record("sm_faults_contained", guard.faults_contained)
+    return registry
+
+
+def collect_chain_verifier_metrics(
+    verifier, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Fleet verifier-side counters (chain cache hits/misses)."""
+    registry = registry or MetricsRegistry()
+    registry.record("fleet_chain_verifications", verifier.chain_verifications)
+    registry.record("fleet_chain_cache_hits", verifier.chain_cache_hits)
+    return registry
+
+
+def merge_api_latencies(histogram_dicts: Iterable[dict[str, dict]]) -> dict:
+    """Merge serialized per-process API latency tables into one.
+
+    Each input is ``{call_name: LatencyHistogram.to_dict()}`` (one per
+    worker process); the output maps each call to one merged
+    :class:`~repro.hw.perf.LatencyHistogram` — the cross-process
+    aggregation the fleet harness reports.
+    """
+    from repro.hw.perf import LatencyHistogram
+
+    merged: dict[str, LatencyHistogram] = {}
+    for table in histogram_dicts:
+        for name, data in table.items():
+            histogram = LatencyHistogram.from_dict(data)
+            if name in merged:
+                merged[name].merge(histogram)
+            else:
+                merged[name] = histogram
+    return merged

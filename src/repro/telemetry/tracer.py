@@ -1,0 +1,297 @@
+"""Span-based tracing with dual (virtual + wall) clocks.
+
+One :class:`Tracer` hangs off every :class:`~repro.hw.machine.Machine`
+as ``machine.tracer``, disabled by default.  The design constraints, in
+order:
+
+1. **Determinism.**  The primary clock is *virtual*: a span's timestamp
+   is ``(machine.global_steps, seq)`` where ``seq`` is a monotonic
+   per-tracer sequence number.  Both components are pure functions of
+   the simulated execution, so two runs of the same seed produce
+   bit-identical span streams.  The host wall clock is a strictly
+   optional second channel (``wall_clock=True``) and is excluded from
+   every determinism-sensitive artifact.
+2. **Near-zero cost when disabled.**  ``machine.tracer`` always exists
+   (no ``hasattr`` dances on the hot path), but every recording entry
+   point returns immediately on ``self.enabled`` being False, and the
+   instrumented call sites check the same flag before building any
+   attributes.
+3. **Bounded memory.**  Completed spans land in a ring buffer
+   (``collections.deque(maxlen=capacity)``); overflow drops the oldest
+   span and counts it in ``dropped`` — a long fleet run can trace
+   forever without growing without bound.
+
+Spans form a tree: :meth:`Tracer.start_span` parents the new span under
+the innermost still-open one, and the **trace id** (the cross-process
+correlation key — one per fleet client job) is inherited from the
+parent unless overridden.  Serialization round-trips through plain
+dicts (:meth:`Span.to_dict`) so worker processes can ship their
+buffers over multiprocessing pipes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable
+
+#: Default ring-buffer capacity (completed spans retained).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed operation, on the virtual and (optionally) wall clock.
+
+    ``start_steps``/``end_steps`` are ``Machine.global_steps`` readings;
+    ``start_seq``/``end_seq`` are the tracer's monotonic sequence
+    numbers, which order events within one global step (SM API calls
+    run at host level and may not advance the step counter at all).
+    """
+
+    span_id: int
+    parent_id: int | None
+    trace_id: str
+    name: str
+    category: str
+    start_steps: int
+    start_seq: int
+    end_steps: int | None = None
+    end_seq: int | None = None
+    start_wall_ns: int | None = None
+    end_wall_ns: int | None = None
+    attrs: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def start_vt(self) -> float:
+        """Virtual timestamp: global steps, sequence-tie-broken.
+
+        The fractional part orders events sharing one global step; the
+        sequence counter is deterministic, so this float is too.
+        """
+        return self.start_steps + self.start_seq * 1e-6
+
+    @property
+    def end_vt(self) -> float:
+        if self.end_steps is None:
+            return self.start_vt
+        return self.end_steps + (self.end_seq or 0) * 1e-6
+
+    @property
+    def duration_steps(self) -> int:
+        """Virtual duration in global steps (0 for host-level spans)."""
+        if self.end_steps is None:
+            return 0
+        return self.end_steps - self.start_steps
+
+    @property
+    def duration_wall_ns(self) -> int | None:
+        if self.start_wall_ns is None or self.end_wall_ns is None:
+            return None
+        return self.end_wall_ns - self.start_wall_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (pipe- and JSON-serializable)."""
+        out: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "category": self.category,
+            "start_steps": self.start_steps,
+            "start_seq": self.start_seq,
+            "end_steps": self.end_steps,
+            "end_seq": self.end_seq,
+            "attrs": dict(self.attrs),
+        }
+        if self.start_wall_ns is not None:
+            out["start_wall_ns"] = self.start_wall_ns
+            out["end_wall_ns"] = self.end_wall_ns
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            trace_id=data["trace_id"],
+            name=data["name"],
+            category=data["category"],
+            start_steps=data["start_steps"],
+            start_seq=data["start_seq"],
+            end_steps=data["end_steps"],
+            end_seq=data["end_seq"],
+            start_wall_ns=data.get("start_wall_ns"),
+            end_wall_ns=data.get("end_wall_ns"),
+            attrs=dict(data.get("attrs", ())),
+        )
+
+
+class Tracer:
+    """Bounded-buffer span recorder around one deterministic clock.
+
+    ``clock`` is a zero-argument callable returning the current virtual
+    time base (``machine.global_steps``); None pins the base to 0 for
+    machine-less tracers (the fleet harness's own client-side spans).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int] | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        trace_id: str = "main",
+    ) -> None:
+        self._clock = clock
+        self.capacity = capacity
+        self.trace_id = trace_id
+        self.enabled = False
+        self.wall_clock = False
+        #: Completed spans, oldest first (ring: oldest dropped on overflow).
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        #: Open spans, outermost first (the parenting stack).
+        self._stack: list[Span] = []
+        self._seq = 0
+        self._next_span_id = 1
+        #: Lifetime accounting (survives drains).
+        self.started = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, wall_clock: bool = False) -> None:
+        """Turn recording on (optionally with the host wall clock)."""
+        self.enabled = True
+        self.wall_clock = wall_clock
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def now(self) -> tuple[int, int]:
+        """One virtual-clock reading: ``(global_steps, seq)``.
+
+        Every reading consumes a sequence number, so distinct readings
+        within one global step stay totally ordered.
+        """
+        self._seq += 1
+        return (self._clock() if self._clock is not None else 0), self._seq
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        category: str = "",
+        trace_id: str | None = None,
+        **attrs: Any,
+    ) -> Span | None:
+        """Open a span (None when disabled — pass it to :meth:`end_span`)."""
+        if not self.enabled:
+            return None
+        steps, seq = self.now()
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=trace_id
+            or (parent.trace_id if parent is not None else self.trace_id),
+            name=name,
+            category=category,
+            start_steps=steps,
+            start_seq=seq,
+            start_wall_ns=time.perf_counter_ns() if self.wall_clock else None,
+            attrs=attrs,
+        )
+        self._next_span_id += 1
+        self.started += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span | None, **attrs: Any) -> None:
+        """Close a span and commit it to the ring buffer."""
+        if span is None:
+            return
+        if self.wall_clock and span.start_wall_ns is not None:
+            span.end_wall_ns = time.perf_counter_ns()
+        span.end_steps, span.end_seq = self.now()
+        if attrs:
+            span.attrs.update(attrs)
+        # Tolerate out-of-order ends; the common case is LIFO.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        if len(self.spans) == self.capacity:
+            self.dropped += 1
+        self.spans.append(span)
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **attrs: Any):
+        """Context-managed span; yields the :class:`Span` (or None)."""
+        span = self.start_span(name, category, **attrs)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    def event(self, name: str, category: str = "", **attrs: Any) -> Span | None:
+        """An instant event: a zero-duration span at the current time."""
+        span = self.start_span(name, category, **attrs)
+        self.end_span(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[Span]:
+        """Remove and return all completed spans, oldest first."""
+        spans = list(self.spans)
+        self.spans.clear()
+        return spans
+
+    def drain_dicts(self) -> list[dict[str, Any]]:
+        """Drain, serialized (for pipes and JSON)."""
+        return [span.to_dict() for span in self.drain()]
+
+    def counters(self) -> dict[str, int]:
+        """Self-accounting for the metrics registry."""
+        return {
+            "started": self.started,
+            "buffered": len(self.spans),
+            "dropped": self.dropped,
+            "open": len(self._stack),
+        }
+
+
+def spans_fingerprint(spans: Iterable[Span | dict]) -> str:
+    """SHA3-256 over the virtual-time content of a span stream.
+
+    Wall-clock fields are excluded by construction, so two runs of the
+    same seed must produce the same fingerprint — the bit-identity the
+    ``trace-smoke`` CI job and the determinism tests assert.
+    """
+    import json
+
+    from repro.crypto.sha3 import sha3_256
+
+    canonical = []
+    for span in spans:
+        data = span.to_dict() if isinstance(span, Span) else dict(span)
+        data.pop("start_wall_ns", None)
+        data.pop("end_wall_ns", None)
+        attrs = data.get("attrs")
+        if attrs:
+            data["attrs"] = {
+                key: value
+                for key, value in attrs.items()
+                if not key.endswith("_wall_ns")
+            }
+        canonical.append(data)
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return sha3_256(payload.encode()).hex()

@@ -1,0 +1,123 @@
+"""Cross-process trace merge and audit shipping in the fleet harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.harness import FleetSpec, run_fleet
+from repro.telemetry.export import validate_chrome_trace
+
+
+def small_spec(**overrides) -> FleetSpec:
+    defaults = dict(
+        n_machines=2,
+        clients=4,
+        channel_updates=1,
+        local_attest_every=3,
+        mode="inline",
+        telemetry=True,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def traced_fleet():
+    return run_fleet(small_spec())
+
+
+def test_traced_fleet_still_verifies(traced_fleet):
+    assert traced_fleet.all_verified, traced_fleet.failures
+    assert traced_fleet.audit_verified
+    assert traced_fleet.attestations == 4
+
+
+def test_merged_trace_covers_every_client_and_machine(traced_fleet):
+    spans = traced_fleet.spans
+    assert spans, "telemetry run produced no spans"
+    assert {s["trace_id"] for s in spans} == {
+        f"client-{i:04d}" for i in range(4)
+    }
+    assert {s["pid"] for s in spans} == {1, 2}
+
+
+def test_every_job_span_nests_under_its_trace_id(traced_fleet):
+    spans = traced_fleet.spans
+    roots = [s for s in spans if s["parent_id"] is None]
+    # Exactly one root per client job, and it is the worker's root span.
+    assert sorted(s["trace_id"] for s in roots) == [
+        f"client-{i:04d}" for i in range(4)
+    ]
+    assert {s["name"] for s in roots} == {"fleet.serve_client"}
+    by_id = {(s["pid"], s["span_id"]): s for s in spans}
+    for span in spans:
+        if span["parent_id"] is None:
+            continue
+        parent = by_id[(span["pid"], span["parent_id"])]
+        assert parent["trace_id"] == span["trace_id"], (
+            f"{span['name']} carries {span['trace_id']} but its parent "
+            f"{parent['name']} carries {parent['trace_id']}"
+        )
+
+
+def test_sm_pipeline_spans_present_in_merged_trace(traced_fleet):
+    categories = {s["category"] for s in traced_fleet.spans}
+    assert "fleet" in categories
+    assert "sm.api" in categories  # SM dispatches nested under job spans
+    assert "sm.phase" in categories  # per-phase executor spans
+    phases = {
+        s["name"].rsplit(".", 1)[1]
+        for s in traced_fleet.spans
+        if s["category"] == "sm.phase"
+    }
+    assert {"authorize", "validate", "commit"} <= phases
+
+
+def test_trace_and_audit_bit_identical_across_runs(traced_fleet):
+    again = run_fleet(small_spec())
+    assert again.trace_fingerprint() == traced_fleet.trace_fingerprint()
+    assert again.audit_heads == traced_fleet.audit_heads
+    assert again.transcripts == traced_fleet.transcripts
+
+
+def test_chrome_export_is_valid_and_fleet_shaped(traced_fleet):
+    doc = traced_fleet.chrome_trace()
+    assert validate_chrome_trace(doc) == []
+    process_names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert {"machine-0", "machine-1"} <= process_names
+
+
+def test_fleet_api_latencies_merged_across_machines(traced_fleet):
+    summaries = traced_fleet.api_latency_summaries
+    assert "create_enclave" in summaries
+    # 4 clients x (1 client enclave) + 1 signing enclave per machine,
+    # + 2 enclaves per local-attestation job (clients 0 and 3).
+    assert summaries["create_enclave"]["count"] >= 6
+    for summary in summaries.values():
+        assert summary["count"] >= 1
+        assert summary["max_us"] >= summary["p50_us"] >= 0
+
+
+def test_audit_heads_shipped_and_recomputed(traced_fleet):
+    assert set(traced_fleet.audit_heads) == {0, 1}
+    # Distinct machines have distinct identities, hence distinct chains.
+    assert traced_fleet.audit_heads[0] != traced_fleet.audit_heads[1]
+    as_json = traced_fleet.to_json()
+    assert as_json["audit_verified"] is True
+    assert as_json["trace_fingerprint"] == traced_fleet.trace_fingerprint()
+
+
+def test_telemetry_off_keeps_result_shape_and_transcripts(traced_fleet):
+    off = run_fleet(small_spec(telemetry=False))
+    assert off.all_verified
+    assert off.spans == []
+    assert off.api_latency_summaries == {}
+    # The audit chain is always on and observational-only: heads and
+    # transcripts are identical with and without tracing.
+    assert off.audit_heads == traced_fleet.audit_heads
+    assert off.transcripts == traced_fleet.transcripts
+    assert off.to_json()["trace_fingerprint"] is None

@@ -1,0 +1,124 @@
+"""LatencyHistogram bucketing/merge and PerfMonitor snapshot edge cases."""
+
+from __future__ import annotations
+
+from repro.hw.machine import Machine
+from repro.hw.perf import LATENCY_BUCKETS_NS, LatencyHistogram
+from tests.conftest import small_config
+
+
+def linear_bucket_index(ns: int) -> int:
+    """The pre-bisect reference implementation of bucket selection."""
+    for index, bound in enumerate(LATENCY_BUCKETS_NS):
+        if ns <= bound:
+            return index
+    return len(LATENCY_BUCKETS_NS)
+
+
+def test_bisect_bucketing_matches_linear_reference():
+    # Every boundary, boundary±1, and the overflow region must land in
+    # exactly the bucket the old linear scan chose.
+    probes = [0, 1, 999]
+    for bound in LATENCY_BUCKETS_NS:
+        probes.extend((bound - 1, bound, bound + 1))
+    probes.append(LATENCY_BUCKETS_NS[-1] * 10)
+    for ns in probes:
+        histogram = LatencyHistogram()
+        histogram.record(ns)
+        expected = linear_bucket_index(ns)
+        assert histogram.counts[expected] == 1, (
+            f"{ns}ns landed in bucket {histogram.counts.index(1)}, "
+            f"expected {expected}"
+        )
+
+
+def test_merge_combines_counts_and_extremes():
+    left, right = LatencyHistogram(), LatencyHistogram()
+    for ns in (500, 90_000):
+        left.record(ns)
+    for ns in (200, 7_000_000):
+        right.record(ns)
+    left.merge(right)
+    assert left.count == 4
+    assert left.min_ns == 200
+    assert left.max_ns == 7_000_000
+    assert left.total_ns == 500 + 90_000 + 200 + 7_000_000
+    assert sum(left.counts) == 4
+
+
+def test_merge_into_empty_histogram():
+    empty, full = LatencyHistogram(), LatencyHistogram()
+    full.record(42_000)
+    empty.merge(full)
+    assert empty.count == 1
+    assert empty.min_ns == 42_000
+    assert empty.summary() == full.summary()
+    # Merging an empty histogram changes nothing.
+    full.merge(LatencyHistogram())
+    assert full.count == 1 and full.min_ns == 42_000
+
+
+def test_serialization_round_trip_preserves_everything():
+    histogram = LatencyHistogram()
+    for ns in (999, 1_000, 1_001, 250_000_000):
+        histogram.record(ns)
+    restored = LatencyHistogram.from_dict(histogram.to_dict())
+    assert restored.counts == histogram.counts
+    assert restored.count == histogram.count
+    assert restored.total_ns == histogram.total_ns
+    assert restored.min_ns == histogram.min_ns
+    assert restored.max_ns == histogram.max_ns
+    assert restored.summary() == histogram.summary()
+    # Empty histograms round-trip too (min_ns stays None).
+    empty = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+    assert empty.count == 0 and empty.min_ns is None
+
+
+# -- PerfMonitor snapshot edge cases -------------------------------------
+
+def test_snapshot_on_idle_machine_guards_zero_division():
+    # A bare machine: no LLC installed, cores never stepped (zero
+    # cycles), no SM so the API latency table is empty.
+    machine = Machine(small_config())
+    snap = machine.perf.snapshot()
+    assert snap["llc"] is None
+    assert snap["api"] == {}
+    for core in snap["cores"]:
+        assert core["ipc"] == 0.0
+        assert core["tlb"]["hit_rate"] == 0.0
+        assert core["decode_cache"]["hit_rate"] == 0.0
+        assert core["trace_cache"]["coverage"] == 0.0
+
+
+def test_format_report_without_llc_or_api_table():
+    machine = Machine(small_config())
+    report = machine.perf.format_report()
+    assert "llc:" not in report
+    assert "SM API latencies" not in report
+    assert "core 0" in report
+
+
+def test_format_report_with_single_sample_api_entry():
+    machine = Machine(small_config())
+    machine.perf.record_api("create_enclave", 66_389)
+    report = machine.perf.format_report()
+    # A single observation is every percentile: mean == p99 == max.
+    assert "SM API latencies" in report
+    summary = machine.perf.snapshot()["api"]["create_enclave"]
+    assert summary["count"] == 1
+    assert summary["p99_us"] == summary["max_us"] == 66.389
+
+
+def test_api_latency_dicts_sorted_and_serializable():
+    import json
+
+    machine = Machine(small_config())
+    machine.perf.record_api("b_call", 2_000)
+    machine.perf.record_api("a_call", 1_000)
+    table = machine.perf.api_latency_dicts()
+    assert list(table) == ["a_call", "b_call"]
+    json.dumps(table)  # pipe-safe
+
+    merged = LatencyHistogram.from_dict(table["a_call"])
+    merged.merge(LatencyHistogram.from_dict(table["b_call"]))
+    assert merged.count == 2

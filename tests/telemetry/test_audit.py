@@ -1,0 +1,172 @@
+"""The tamper-evident audit log: chain mechanics and SM integration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ApiResult
+from repro.faults.inject import ScriptedSaboteur
+from repro.hw.core import DOMAIN_UNTRUSTED as OS
+from repro.sm.compartments import install_compartment_guard
+from repro.sm.resources import ResourceType
+from repro.system import build_system
+from repro.telemetry.audit import (
+    AuditEventKind,
+    AuditLog,
+    verify_chain_dicts,
+)
+from tests.conftest import small_config, trivial_enclave_image
+
+
+# -- chain mechanics -----------------------------------------------------
+
+def test_append_and_verify():
+    log = AuditLog(genesis=b"device-identity")
+    log.append(AuditEventKind.SM_BOOT, platform="sanctum")
+    log.append(AuditEventKind.ENCLAVE_CREATE, eid=0x8000, steps=12)
+    assert len(log) == 2
+    assert log.verify()
+    assert log.records[1].digest == log.head
+    assert log.counters() == {"sm_boot": 1, "enclave_create": 1}
+
+
+def test_bytes_fields_are_hex_encoded():
+    log = AuditLog()
+    record = log.append(AuditEventKind.ENCLAVE_INIT, measurement=b"\x01\x02")
+    assert record.fields["measurement"] == "0102"
+    assert log.verify()
+
+
+def test_head_deterministic_for_same_events():
+    def build() -> AuditLog:
+        log = AuditLog(genesis=b"genesis")
+        log.append(AuditEventKind.SM_BOOT, platform="sanctum")
+        log.append(AuditEventKind.QUARANTINE, compartments=["a", "b"], steps=3)
+        return log
+
+    assert build().head == build().head
+    assert build().head_hex != AuditLog(genesis=b"other").head_hex
+
+
+def test_tampering_breaks_verification():
+    log = AuditLog(genesis=b"g")
+    log.append(AuditEventKind.ENCLAVE_CREATE, eid=1)
+    log.append(AuditEventKind.ENCLAVE_DESTROY, eid=1)
+    assert log.verify()
+    # Retroactive edit of a recorded field.
+    tampered = dataclasses.replace(log.records[0], fields={"eid": 2})
+    log.records[0] = tampered
+    assert not log.verify()
+
+
+def test_record_deletion_and_reordering_break_verification():
+    log = AuditLog(genesis=b"g")
+    for eid in (1, 2, 3):
+        log.append(AuditEventKind.ENCLAVE_CREATE, eid=eid)
+    assert log.verify()
+    removed = log.records.pop(1)
+    assert not log.verify()
+    log.records.insert(1, removed)
+    assert log.verify()
+    log.records[0], log.records[1] = log.records[1], log.records[0]
+    assert not log.verify()
+
+
+def test_remote_verification_of_shipped_dicts():
+    log = AuditLog(genesis=b"machine-identity")
+    log.append(AuditEventKind.SM_BOOT, platform="keystone")
+    log.append(AuditEventKind.ATTESTATION_KEY_RELEASED, eid=0x10000, steps=9)
+    shipped = log.to_dicts()
+    assert verify_chain_dicts(shipped, genesis=b"machine-identity")
+    assert shipped[-1]["digest"] == log.head_hex
+    # Wrong genesis or edited payload must fail.
+    assert not verify_chain_dicts(shipped, genesis=b"forged-identity")
+    shipped[0]["fields"]["platform"] = "sanctum"
+    assert not verify_chain_dicts(shipped, genesis=b"machine-identity")
+
+
+# -- SM integration ------------------------------------------------------
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_sm_lifecycle_lands_in_audit_log(platform):
+    system = build_system(platform, config=small_config())
+    audit = system.sm.audit
+    boot_records = audit.by_kind(AuditEventKind.SM_BOOT)
+    assert len(boot_records) == 1
+    assert boot_records[0].fields["platform"] == platform
+    loaded = system.kernel.load_enclave(trivial_enclave_image())
+    created = audit.by_kind(AuditEventKind.ENCLAVE_CREATE)
+    initialized = audit.by_kind(AuditEventKind.ENCLAVE_INIT)
+    assert [r.fields["eid"] for r in created] == [loaded.eid]
+    assert [r.fields["eid"] for r in initialized] == [loaded.eid]
+    # The recorded measurement is the enclave's real final measurement.
+    expected = system.sm.state.enclaves[loaded.eid].measurement.hex()
+    assert initialized[0].fields["measurement"] == expected
+    system.kernel.destroy_enclave(loaded.eid)
+    destroyed = audit.by_kind(AuditEventKind.ENCLAVE_DESTROY)
+    assert [r.fields["eid"] for r in destroyed] == [loaded.eid]
+    assert audit.verify()
+
+
+@pytest.mark.parametrize("platform", ["sanctum", "keystone"])
+def test_audit_head_bit_identical_across_runs(platform):
+    def run() -> str:
+        system = build_system(platform, config=small_config())
+        loaded = system.kernel.load_enclave(trivial_enclave_image())
+        system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+        system.kernel.destroy_enclave(loaded.eid)
+        assert system.sm.audit.verify()
+        return system.sm.audit.head_hex
+
+    assert run() == run()
+
+
+def test_failed_calls_leave_no_audit_trace():
+    system = build_system("sanctum", config=small_config())
+    audit = system.sm.audit
+    before = len(audit)
+    # Bogus eid: create_enclave fails validation, nothing is recorded.
+    result = system.sm.create_enclave(OS, 0xDEAD, 0x10000000, 0x4000, 1)
+    assert result is not ApiResult.OK
+    assert len(audit) == before
+
+
+def test_contained_fault_records_fault_quarantine_and_heal():
+    system = build_system("sanctum", config=small_config())
+    sm, kernel = system.sm, system.kernel
+    guard = install_compartment_guard(sm)
+    rid = kernel._donatable_regions[0]
+    guard.saboteur = ScriptedSaboteur(sm, ["drbg-clobber"])
+    assert sm.block_resource(OS, ResourceType.DRAM_REGION, rid) \
+        is ApiResult.COMPARTMENT_FAULT
+    guard.saboteur = None
+    faults = sm.audit.by_kind(AuditEventKind.COMPARTMENT_FAULT)
+    quarantines = sm.audit.by_kind(AuditEventKind.QUARANTINE)
+    assert len(faults) == 1 and faults[0].fields["call"] == "block_resource"
+    assert len(quarantines) == 1
+    assert quarantines[0].fields["compartments"] == sorted(
+        c.value for c in guard.quarantined
+    )
+    guard.heal()
+    heals = sm.audit.by_kind(AuditEventKind.HEAL)
+    assert len(heals) == 1
+    assert heals[0].fields["compartments"] == quarantines[0].fields["compartments"]
+    # Healing with nothing quarantined appends nothing.
+    guard.heal()
+    assert len(sm.audit.by_kind(AuditEventKind.HEAL)) == 1
+    assert sm.audit.verify()
+
+
+def test_attestation_key_release_is_recorded():
+    from repro.sdk.protocol import provision_signing_enclave, run_remote_attestation
+
+    system = build_system("sanctum", config=small_config())
+    signing = provision_signing_enclave(system)
+    outcome = run_remote_attestation(system, nonce=b"n" * 32, signing=signing)
+    assert outcome.verification.ok
+    releases = system.sm.audit.by_kind(AuditEventKind.ATTESTATION_KEY_RELEASED)
+    assert len(releases) == 1
+    assert releases[0].fields["eid"] == signing.eid
+    assert system.sm.audit.verify()

@@ -1,0 +1,172 @@
+"""Metrics registry, collectors, and the trace exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw.machine import Machine
+from repro.system import build_system
+from repro.telemetry.export import (
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    collect_machine_metrics,
+    collect_system_metrics,
+    merge_api_latencies,
+)
+from repro.telemetry.tracer import Tracer
+from tests.conftest import small_config, trivial_enclave_image
+
+
+# -- registry ------------------------------------------------------------
+
+def test_registry_gauges_counters_and_labels():
+    registry = MetricsRegistry()
+    registry.record("speed", 3.5, core=0)
+    registry.record("speed", 4.0, core=0)  # gauge: last write wins
+    registry.inc("events", 2, kind="create")
+    registry.inc("events", kind="create")
+    assert registry.get("speed", core=0) == 4.0
+    assert registry.get("events", kind="create") == 3
+    assert registry.get("missing") is None
+
+
+def test_registry_output_sorted_and_json_safe():
+    registry = MetricsRegistry()
+    registry.record("b_metric", 1)
+    registry.record("a_metric", 2, z="9", a="1")
+    names = [metric.name for metric in registry.metrics()]
+    assert names == sorted(names)
+    # Label keys are sorted inside each metric, so output is canonical.
+    assert registry.metrics()[0].labels == (("a", "1"), ("z", "9"))
+    json.dumps(registry.to_json())  # must not raise
+    text = registry.format()
+    assert 'a_metric{a="1",z="9"} 2' in text
+
+
+def test_registry_merge_sums():
+    left, right = MetricsRegistry(), MetricsRegistry()
+    left.inc("calls", 2, call="x")
+    right.inc("calls", 3, call="x")
+    right.inc("calls", 1, call="y")
+    left.merge(right)
+    assert left.get("calls", call="x") == 5
+    assert left.get("calls", call="y") == 1
+
+
+# -- collectors ----------------------------------------------------------
+
+def test_collect_machine_metrics_on_bare_machine():
+    # A bare machine has no LLC and zero-cycle cores: the collector (and
+    # the snapshot it reads) must handle both without dividing by zero.
+    machine = Machine(small_config())
+    registry = collect_machine_metrics(machine)
+    assert registry.get("sim_global_steps") == 0
+    assert registry.get("sim_cycles", core=0) == 0
+    assert registry.get("sim_llc_hits") is None
+
+
+def test_collect_system_metrics_unifies_all_sources():
+    system = build_system("sanctum", config=small_config())
+    system.machine.tracer.enable()
+    loaded = system.kernel.load_enclave(trivial_enclave_image())
+    system.kernel.enter_and_run(loaded.eid, loaded.tids[0])
+    system.kernel.destroy_enclave(loaded.eid)
+    registry = collect_system_metrics(system)
+    values = {metric.name for metric in registry.metrics()}
+    # One registry now answers for the simulator, the SM API, the audit
+    # log, and the tracer at once.
+    for expected in (
+        "sim_instructions",
+        "sim_llc_hits",
+        "sm_api_calls",
+        "sm_api_p99_ns",
+        "sm_os_events",
+        "sm_audit_records",
+        "sm_audit_events",
+        "trace_spans_started",
+    ):
+        assert expected in values, f"missing {expected}"
+    assert registry.get("sm_audit_records") == len(system.sm.audit)
+    assert registry.get("trace_spans_started") == system.machine.tracer.started
+
+
+def test_merge_api_latencies_round_trips_histograms():
+    from repro.hw.perf import LatencyHistogram
+
+    one, two = LatencyHistogram(), LatencyHistogram()
+    for ns in (900, 40_000):
+        one.record(ns)
+    two.record(3_000_000)
+    merged = merge_api_latencies(
+        [{"call": one.to_dict()}, {"call": two.to_dict()}]
+    )
+    histogram = merged["call"]
+    assert histogram.count == 3
+    assert histogram.min_ns == 900
+    assert histogram.max_ns == 3_000_000
+    assert histogram.total_ns == one.total_ns + two.total_ns
+
+
+# -- exporters -----------------------------------------------------------
+
+def _sample_spans():
+    clock = {"steps": 0}
+    tracer = Tracer(clock=lambda: clock["steps"], trace_id="client-0000")
+    tracer.enable()
+    outer = tracer.start_span("serve", "fleet", client=0)
+    clock["steps"] = 5
+    with tracer.span("attest", "sm.api"):
+        clock["steps"] = 9
+    tracer.end_span(outer)
+    return tracer.drain()
+
+
+def test_chrome_trace_schema_and_structure():
+    spans = _sample_spans()
+    doc = chrome_trace(spans, process_names={0: "demo"})
+    assert validate_chrome_trace(doc) == []
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(events) == len(spans)
+    names = {e["args"]["name"] for e in metadata}
+    assert {"demo", "client-0000"} <= names
+    serve = next(e for e in events if e["name"] == "serve")
+    attest = next(e for e in events if e["name"] == "attest")
+    assert serve["ts"] <= attest["ts"]
+    assert serve["dur"] >= attest["dur"]
+    assert attest["args"]["parent_id"] == serve["args"]["span_id"]
+    json.dumps(doc)  # must be JSON-serializable as-is
+
+
+def test_chrome_trace_assigns_tids_per_trace_id_within_pid():
+    spans = [span.to_dict() for span in _sample_spans()]
+    for span in spans:
+        span["pid"] = 2
+    doc = chrome_trace(spans)
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["pid"] for e in events} == {2}
+    assert {e["tid"] for e in events} == {1}  # one trace id -> one lane
+
+
+def test_validate_chrome_trace_rejects_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+    bad_dur = {
+        "traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 1, "ts": 0, "dur": -1}
+        ]
+    }
+    assert any("dur" in problem for problem in validate_chrome_trace(bad_dur))
+
+
+def test_flame_summary_aggregates_by_path():
+    spans = _sample_spans()
+    text = flame_summary(spans)
+    assert "serve" in text
+    assert "serve;attest" in text
+    assert flame_summary([]) == "(no spans)"

@@ -1,0 +1,114 @@
+"""Unit tests for the span tracer (repro.telemetry.tracer)."""
+
+from __future__ import annotations
+
+from repro.telemetry.tracer import Span, Tracer, spans_fingerprint
+
+
+def make_tracer(**kwargs) -> Tracer:
+    clock = {"steps": 0}
+    tracer = Tracer(clock=lambda: clock["steps"], **kwargs)
+    tracer._test_clock = clock
+    return tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = make_tracer()
+    assert tracer.start_span("op") is None
+    tracer.end_span(None)
+    with tracer.span("op") as span:
+        assert span is None
+    assert tracer.event("op") is None
+    assert list(tracer.spans) == []
+    assert tracer.counters() == {
+        "started": 0, "buffered": 0, "dropped": 0, "open": 0,
+    }
+
+
+def test_span_parenting_and_trace_id_inheritance():
+    tracer = make_tracer(trace_id="root-trace")
+    tracer.enable()
+    outer = tracer.start_span("outer")
+    inner = tracer.start_span("inner")
+    override = tracer.start_span("override", trace_id="other")
+    assert outer.parent_id is None
+    assert outer.trace_id == "root-trace"
+    assert inner.parent_id == outer.span_id
+    assert inner.trace_id == "root-trace"
+    assert override.parent_id == inner.span_id
+    assert override.trace_id == "other"
+    tracer.end_span(override)
+    tracer.end_span(inner)
+    tracer.end_span(outer)
+    assert [span.name for span in tracer.drain()] == ["override", "inner", "outer"]
+    assert tracer.counters()["open"] == 0
+
+
+def test_virtual_clock_orders_events_within_one_step():
+    tracer = make_tracer()
+    tracer.enable()
+    first = tracer.event("a")
+    second = tracer.event("b")
+    assert first.start_steps == second.start_steps == 0
+    assert first.start_seq < second.start_seq
+    assert first.start_vt < second.start_vt
+    tracer._test_clock["steps"] = 41
+    later = tracer.event("c")
+    assert later.start_steps == 41
+    assert later.start_vt > second.start_vt
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = make_tracer(capacity=3)
+    tracer.enable()
+    for index in range(5):
+        tracer.event(f"e{index}")
+    assert [span.name for span in tracer.spans] == ["e2", "e3", "e4"]
+    assert tracer.dropped == 2
+    assert tracer.started == 5
+
+
+def test_out_of_order_end_is_tolerated():
+    tracer = make_tracer()
+    tracer.enable()
+    outer = tracer.start_span("outer")
+    inner = tracer.start_span("inner")
+    tracer.end_span(outer)  # ends before its child
+    tracer.end_span(inner)
+    assert tracer.counters()["open"] == 0
+    assert {span.name for span in tracer.drain()} == {"outer", "inner"}
+
+
+def test_span_dict_round_trip():
+    tracer = make_tracer()
+    tracer.enable(wall_clock=True)
+    with tracer.span("op", "cat", key="value"):
+        pass
+    span = tracer.drain()[0]
+    assert span.duration_wall_ns is not None and span.duration_wall_ns >= 0
+    restored = Span.from_dict(span.to_dict())
+    assert restored.to_dict() == span.to_dict()
+    assert restored.attrs == {"key": "value"}
+
+
+def test_fingerprint_deterministic_and_wall_clock_excluded():
+    def run(wall_clock: bool) -> str:
+        tracer = make_tracer()
+        tracer.enable(wall_clock=wall_clock)
+        with tracer.span("outer", caller=3):
+            tracer._test_clock["steps"] = 10
+            tracer.event("tick", result="OK")
+        return spans_fingerprint(tracer.drain())
+
+    assert run(False) == run(False)
+    # The wall clock varies run to run; the fingerprint must not.
+    assert run(True) == run(False)
+
+
+def test_fingerprint_sensitive_to_content():
+    tracer = make_tracer()
+    tracer.enable()
+    tracer.event("a")
+    base = spans_fingerprint(tracer.drain())
+    tracer.event("b")
+    assert spans_fingerprint(tracer.drain()) != base
